@@ -1,0 +1,389 @@
+//! Classification AI — a 3D densely-connected convolutional classifier
+//! (DenseNet-121 adapted for 3D volumes in the paper, §2.3.2; a
+//! width/depth-reduced DenseNet here, same topology family).
+//!
+//! Input: `(B, 1, D, H, W)` normalized volumes. Output: one logit per
+//! volume; `sigmoid(logit)` is the COVID-positive probability.
+
+use cc19_nn::graph::{Graph, Var};
+use cc19_nn::init::Init;
+use cc19_nn::layers::{BatchNorm, Conv3d, Linear};
+use cc19_nn::param::ParamStore;
+use cc19_tensor::conv::Conv2dSpec;
+use cc19_tensor::pool::PoolSpec;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::{Tensor, TensorError};
+
+use crate::Result;
+
+/// Classifier hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierConfig {
+    /// Stem width.
+    pub base: usize,
+    /// Dense growth rate.
+    pub growth: usize,
+    /// Dense layers per block.
+    pub per_block: usize,
+    /// Number of dense blocks (each followed by transition + pool).
+    pub blocks: usize,
+    /// Leaky-ReLU slope.
+    pub leaky: f32,
+}
+
+impl ClassifierConfig {
+    /// DenseNet-121-like proportions at reduced width (4 dense blocks, as
+    /// in the paper's Figure description).
+    pub fn reduced() -> Self {
+        ClassifierConfig { base: 8, growth: 8, per_block: 2, blocks: 3, leaky: 0.01 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        ClassifierConfig { base: 4, growth: 4, per_block: 1, blocks: 2, leaky: 0.01 }
+    }
+}
+
+struct DenseLayer3d {
+    bn_in: BatchNorm,
+    conv1: Conv3d,
+    bn_mid: BatchNorm,
+    conv3: Conv3d,
+}
+
+impl DenseLayer3d {
+    fn new(store: &mut ParamStore, name: &str, cin: usize, cfg: &ClassifierConfig, rng: &mut Xorshift) -> Self {
+        let init = Init::KaimingLeaky { negative_slope: cfg.leaky };
+        DenseLayer3d {
+            bn_in: BatchNorm::new(store, &format!("{name}.bn_in"), cin),
+            conv1: Conv3d::new(
+                store,
+                &format!("{name}.conv1"),
+                cin,
+                cfg.growth,
+                1,
+                Conv2dSpec { stride: 1, padding: 0 },
+                init,
+                rng,
+            ),
+            bn_mid: BatchNorm::new(store, &format!("{name}.bn_mid"), cfg.growth),
+            conv3: Conv3d::new(
+                store,
+                &format!("{name}.conv3"),
+                cfg.growth,
+                cfg.growth,
+                3,
+                Conv2dSpec { stride: 1, padding: 1 },
+                init,
+                rng,
+            ),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, leaky: f32, training: bool) -> Result<Var> {
+        let h = self.bn_in.forward(g, x, training)?;
+        let h = g.leaky_relu(h, leaky);
+        let h = self.conv1.forward(g, h)?;
+        let h = self.bn_mid.forward(g, h, training)?;
+        let h = g.leaky_relu(h, leaky);
+        let h = self.conv3.forward(g, h)?;
+        g.concat_channels(&[x, h])
+    }
+}
+
+struct Block3d {
+    layers: Vec<DenseLayer3d>,
+    transition: Conv3d,
+    bn_t: BatchNorm,
+}
+
+/// The 3D DenseNet classifier.
+pub struct DenseNet3d {
+    /// Configuration.
+    pub cfg: ClassifierConfig,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    stem: Conv3d,
+    bn_stem: BatchNorm,
+    blocks: Vec<Block3d>,
+    head: Linear,
+}
+
+impl DenseNet3d {
+    /// Build with a seed.
+    pub fn new(cfg: ClassifierConfig, seed: u64) -> Self {
+        let mut rng = Xorshift::new(seed);
+        let mut store = ParamStore::new();
+        let init = Init::KaimingLeaky { negative_slope: cfg.leaky };
+        let stem = Conv3d::new(
+            &mut store,
+            "stem",
+            1,
+            cfg.base,
+            3,
+            Conv2dSpec { stride: 1, padding: 1 },
+            init,
+            &mut rng,
+        );
+        let bn_stem = BatchNorm::new(&mut store, "bn_stem", cfg.base);
+
+        let mut blocks = Vec::new();
+        for b in 0..cfg.blocks {
+            let layers = (0..cfg.per_block)
+                .map(|i| {
+                    DenseLayer3d::new(
+                        &mut store,
+                        &format!("b{b}.l{i}"),
+                        cfg.base + i * cfg.growth,
+                        &cfg,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            let cin = cfg.base + cfg.per_block * cfg.growth;
+            let transition = Conv3d::new(
+                &mut store,
+                &format!("b{b}.trans"),
+                cin,
+                cfg.base,
+                1,
+                Conv2dSpec { stride: 1, padding: 0 },
+                init,
+                &mut rng,
+            );
+            let bn_t = BatchNorm::new(&mut store, &format!("b{b}.bn_t"), cfg.base);
+            blocks.push(Block3d { layers, transition, bn_t });
+        }
+        let head = Linear::new(&mut store, "head", cfg.base, 1, Init::Gaussian(0.05), &mut rng);
+        DenseNet3d { cfg, store, stem, bn_stem, blocks, head }
+    }
+
+    /// Forward a `(B, 1, D, H, W)` batch to `(B, 1)` logits.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Result<Var> {
+        let dims = g.value(x).dims().to_vec();
+        if dims.len() != 5 || dims[1] != 1 {
+            return Err(TensorError::Incompatible(format!(
+                "classifier expects (B,1,D,H,W), got {dims:?}"
+            )));
+        }
+        let min_extent = 1usize << self.cfg.blocks;
+        if dims[2] < min_extent || dims[3] < min_extent || dims[4] < min_extent {
+            return Err(TensorError::Incompatible(format!(
+                "volume {dims:?} too small for {} pooling stages",
+                self.cfg.blocks
+            )));
+        }
+        let leaky = self.cfg.leaky;
+        let pool = PoolSpec { kernel: 2, stride: 2, padding: 0 };
+
+        let mut h = self.stem.forward(g, x)?;
+        h = self.bn_stem.forward(g, h, training)?;
+        h = g.leaky_relu(h, leaky);
+
+        for b in &self.blocks {
+            h = g.max_pool3d(h, pool)?;
+            for l in &b.layers {
+                h = l.forward(g, h, leaky, training)?;
+            }
+            h = b.transition.forward(g, h)?;
+            h = b.bn_t.forward(g, h, training)?;
+            h = g.leaky_relu(h, leaky);
+        }
+        let pooled = g.global_avg_pool(h)?; // (B, base)
+        self.head.forward(g, pooled)
+    }
+
+    /// COVID-positive probability for one `(D, H, W)` normalized volume.
+    pub fn predict_proba(&self, volume: &Tensor) -> Result<f64> {
+        volume.shape().expect_rank(3)?;
+        let d = volume.dims().to_vec();
+        let x = volume.reshape([1, 1, d[0], d[1], d[2]])?;
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let logit = self.forward(&mut g, xv, false)?;
+        let z = g.value(logit).data()[0] as f64;
+        Ok(1.0 / (1.0 + (-z).exp()))
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// All batch-norm layers in a fixed order (checkpoint layout).
+    fn batch_norms(&self) -> Vec<&BatchNorm> {
+        let mut bns: Vec<&BatchNorm> = vec![&self.bn_stem];
+        for b in &self.blocks {
+            for l in &b.layers {
+                bns.push(&l.bn_in);
+                bns.push(&l.bn_mid);
+            }
+            bns.push(&b.bn_t);
+        }
+        bns
+    }
+
+    fn config_fingerprint(&self) -> Vec<f32> {
+        vec![
+            self.cfg.base as f32,
+            self.cfg.growth as f32,
+            self.cfg.per_block as f32,
+            self.cfg.blocks as f32,
+        ]
+    }
+
+    /// Save weights + batch-norm running statistics.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut ck = cc19_nn::checkpoint::Checkpoint::new();
+        ck.push("classifier.config", self.config_fingerprint());
+        ck.push("classifier.params", self.store.snapshot());
+        for (i, bn) in self.batch_norms().into_iter().enumerate() {
+            ck.push(format!("classifier.bn{i}.mean"), bn.running_mean());
+            ck.push(format!("classifier.bn{i}.var"), bn.running_var());
+        }
+        ck.save(path)
+    }
+
+    /// Load a checkpoint written by [`DenseNet3d::save`] into this
+    /// (structurally identical) network.
+    pub fn load(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let ck = cc19_nn::checkpoint::Checkpoint::load(path)?;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        if ck.get("classifier.config").ok_or_else(|| bad("missing config"))?
+            != self.config_fingerprint()
+        {
+            return Err(bad("checkpoint was saved from a different classifier configuration"));
+        }
+        let params = ck.get("classifier.params").ok_or_else(|| bad("missing params"))?;
+        self.store.load_snapshot(params).map_err(|e| bad(&format!("parameter mismatch: {e}")))?;
+        for (i, bn) in self.batch_norms().into_iter().enumerate() {
+            let mean =
+                ck.get(&format!("classifier.bn{i}.mean")).ok_or_else(|| bad("missing bn mean"))?;
+            let var =
+                ck.get(&format!("classifier.bn{i}.var")).ok_or_else(|| bad("missing bn var"))?;
+            bn.set_running_stats(mean.to_vec(), var.to_vec());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 1);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([2, 1, 8, 16, 16]));
+        let y = net.forward(&mut g, x, false).unwrap();
+        assert_eq!(g.value(y).dims(), &[2, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 2);
+        let mut g = Graph::new();
+        let rank4 = g.input(Tensor::zeros([1, 8, 16, 16]));
+        assert!(net.forward(&mut g, rank4, false).is_err());
+        let too_small = g.input(Tensor::zeros([1, 1, 2, 16, 16]));
+        assert!(net.forward(&mut g, too_small, false).is_err());
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 3);
+        let mut rng = Xorshift::new(4);
+        let vol = rng.uniform_tensor([8, 16, 16], 0.0, 1.0);
+        let p = net.predict_proba(&vol).unwrap();
+        assert!((0.0..=1.0).contains(&p), "p {p}");
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 5);
+        let mut rng = Xorshift::new(6);
+        let x = rng.uniform_tensor([2, 1, 8, 8, 8], 0.0, 1.0);
+        let y = Tensor::from_vec([2, 1], vec![1.0, 0.0]).unwrap();
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let yv = g.input(y);
+        let logit = net.forward(&mut g, xv, true).unwrap();
+        let loss = g.bce_with_logits_loss(logit, yv).unwrap();
+        net.store.zero_grad();
+        g.backward(loss);
+        for p in net.store.params() {
+            let p = p.borrow();
+            assert!(p.grad.is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = std::env::temp_dir().join("cc19_cls_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cls.ckpt");
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 31);
+        let mut rng = Xorshift::new(32);
+        let vol = rng.uniform_tensor([8, 16, 16], 0.0, 1.0);
+        // warm the BN stats
+        {
+            let mut g = Graph::new();
+            let x = g.input(vol.reshape([1, 1, 8, 16, 16]).unwrap());
+            net.forward(&mut g, x, true).unwrap();
+        }
+        let p_before = net.predict_proba(&vol).unwrap();
+        net.save(&path).unwrap();
+        let other = DenseNet3d::new(ClassifierConfig::tiny(), 777);
+        other.load(&path).unwrap();
+        let p_after = other.predict_proba(&vol).unwrap();
+        assert!((p_before - p_after).abs() < 1e-9, "{p_before} vs {p_after}");
+        // config mismatch rejected
+        let wrong = DenseNet3d::new(ClassifierConfig::reduced(), 1);
+        assert!(wrong.load(&path).is_err());
+    }
+
+    #[test]
+    fn learns_blob_presence() {
+        // Volumes with a bright blob vs without: the classifier should
+        // separate them after a few steps.
+        let net = DenseNet3d::new(ClassifierConfig::tiny(), 7);
+        let mut opt = cc19_nn::optim::Adam::new(1e-2);
+        let make = |seed: u64, blob: bool| {
+            let mut rng = Xorshift::new(seed);
+            let mut v = rng.uniform_tensor([8, 16, 16], 0.0, 0.3);
+            if blob {
+                for z in 3..5 {
+                    for y in 6..10 {
+                        for x in 6..10 {
+                            v.set(&[z, y, x], 0.9);
+                        }
+                    }
+                }
+            }
+            v
+        };
+        let mut last_loss = f32::INFINITY;
+        for step in 0..60 {
+            let pos = make(step as u64 * 2, true);
+            let neg = make(step as u64 * 2 + 1, false);
+            let mut batch = Tensor::zeros([2, 1, 8, 16, 16]);
+            batch.data_mut()[..2048].copy_from_slice(pos.data());
+            batch.data_mut()[2048..].copy_from_slice(neg.data());
+            let labels = Tensor::from_vec([2, 1], vec![1.0, 0.0]).unwrap();
+            let mut g = Graph::new();
+            let xv = g.input(batch);
+            let yv = g.input(labels);
+            let logit = net.forward(&mut g, xv, true).unwrap();
+            let loss = g.bce_with_logits_loss(logit, yv).unwrap();
+            last_loss = g.value(loss).item().unwrap();
+            net.store.zero_grad();
+            g.backward(loss);
+            opt.step(&net.store);
+        }
+        assert!(last_loss < 0.5, "loss {last_loss}");
+        let p_pos = net.predict_proba(&make(1000, true)).unwrap();
+        let p_neg = net.predict_proba(&make(1001, false)).unwrap();
+        assert!(p_pos > p_neg, "pos {p_pos} neg {p_neg}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cc19-analysis
+//!
+//! The "Analysis AI" half of ComputeCOVID19+ (§2.3): Segmentation AI +
+//! Classification AI, plus the evaluation metrics of §5.2.
+//!
+//! - **Segmentation AI** — the paper uses NVIDIA Clara's pre-trained
+//!   AH-Net "as is". Our stand-in is [`segmentation::LungSegmenter`], a
+//!   classical HU-threshold + connected-components + morphology pipeline
+//!   that plays the same pipeline role (a fixed, pre-built model producing
+//!   a binary lung mask that multiplies the volume). A small *trainable*
+//!   CNN segmenter ([`seg_cnn::CnnSegmenter`]) is provided as well.
+//! - **Classification AI** — a 3D densely-connected classifier
+//!   ([`classifier::DenseNet3d`], DenseNet-121-lite) producing the
+//!   COVID-positive probability of a volume, trained with the paper's BCE
+//!   loss (Eq 2) and §3.3.1 augmentations.
+//! - **Metrics** — accuracy (Eq 3), TPR/FPR (Eq 4/5), ROC curves, AUC, and
+//!   the confusion matrix of Table 9.
+
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod metrics;
+pub mod seg_cnn;
+pub mod segmentation;
+pub mod train;
+
+pub use classifier::{ClassifierConfig, DenseNet3d};
+pub use metrics::{accuracy, auc_roc, confusion_at, roc_curve, ConfusionMatrix};
+pub use segmentation::LungSegmenter;
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

@@ -1,0 +1,337 @@
+//! Classification metrics (§5.2 of the paper).
+//!
+//! - Accuracy, Eq (3): `(TP + TN) / (TP + FP + FN + TN)`
+//! - TPR, Eq (4): `TP / (TP + FN)`
+//! - FPR, Eq (5): `FP / (FP + TN)`
+//! - ROC curve and AUC (trapezoidal / rank statistic)
+//! - Confusion matrix at a threshold (Table 9 uses 0.061)
+
+/// Counts of a binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positives predicted positive.
+    pub tp: usize,
+    /// Negatives predicted positive.
+    pub fp: usize,
+    /// Positives predicted negative.
+    pub fn_: usize,
+    /// Negatives predicted negative.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Accuracy, Eq (3).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// True-positive rate (sensitivity / recall), Eq (4).
+    pub fn tpr(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / p as f64
+    }
+
+    /// False-positive rate, Eq (5).
+    pub fn fpr(&self) -> f64 {
+        let n = self.fp + self.tn;
+        if n == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / n as f64
+    }
+
+    /// Specificity = 1 - FPR.
+    pub fn specificity(&self) -> f64 {
+        1.0 - self.fpr()
+    }
+
+    /// Precision (positive predictive value).
+    pub fn precision(&self) -> f64 {
+        let pp = self.tp + self.fp;
+        if pp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / pp as f64
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.tpr();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Confusion matrix for `scores` against boolean `labels` at a decision
+/// threshold (score ≥ threshold ⇒ predicted positive).
+pub fn confusion_at(scores: &[f64], labels: &[bool], threshold: f64) -> ConfusionMatrix {
+    assert_eq!(scores.len(), labels.len());
+    let mut cm = ConfusionMatrix::default();
+    for (&s, &y) in scores.iter().zip(labels) {
+        match (s >= threshold, y) {
+            (true, true) => cm.tp += 1,
+            (true, false) => cm.fp += 1,
+            (false, true) => cm.fn_ += 1,
+            (false, false) => cm.tn += 1,
+        }
+    }
+    cm
+}
+
+/// Accuracy at a threshold, Eq (3).
+pub fn accuracy(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    confusion_at(scores, labels, threshold).accuracy()
+}
+
+/// ROC curve: `(fpr, tpr)` points swept over every distinct score
+/// threshold, ordered from (0,0) to (1,1).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let p = labels.iter().filter(|&&l| l).count();
+    let n = labels.len() - p;
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        // advance over ties together
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push((
+            if n == 0 { 0.0 } else { fp as f64 / n as f64 },
+            if p == 0 { 0.0 } else { tp as f64 / p as f64 },
+        ));
+    }
+    curve
+}
+
+/// Area under the ROC curve (trapezoidal rule over [`roc_curve`]).
+pub fn auc_roc(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    let mut auc = 0.0;
+    for w in curve.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        auc += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    auc
+}
+
+/// The threshold maximizing accuracy (the paper reports an "optimal
+/// threshold value of 0.061" for Table 9). Ties break toward the smaller
+/// threshold.
+pub fn optimal_threshold(scores: &[f64], labels: &[bool]) -> f64 {
+    let mut cands: Vec<f64> = scores.to_vec();
+    // A threshold above every score ("predict all negative") must be a
+    // candidate too; threshold == min already covers "all positive".
+    if let Some(max) = scores.iter().cloned().fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v)))) {
+        cands.push(max + 1.0);
+    }
+    cands.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    cands.dedup();
+    let mut best = (0.0f64, f64::NEG_INFINITY);
+    for &t in &cands {
+        let acc = accuracy(scores, labels, t);
+        if acc > best.1 {
+            best = (t, acc);
+        }
+    }
+    best.0
+}
+
+/// Wilson score interval for a binomial proportion — the honest error bar
+/// for accuracy/sensitivity on small test sets like the paper's 95 scans
+/// (or our scaled 19). Returns `(low, high)` at the given z (1.96 ≈ 95 %).
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Brier score — mean squared error of predicted probabilities against
+/// outcomes; a proper scoring rule for the classifier's calibration.
+pub fn brier_score(scores: &[f64], labels: &[bool]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &y)| {
+            let t = if y { 1.0 } else { 0.0 };
+            (s - t) * (s - t)
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+/// Mean predicted probability of the positive class over true positives —
+/// the paper reports this improving by 0.1136 with enhancement (§5.2.3).
+pub fn mean_positive_probability(scores: &[f64], labels: &[bool]) -> f64 {
+    let pos: Vec<f64> =
+        scores.iter().zip(labels).filter(|(_, &l)| l).map(|(&s, _)| s).collect();
+    if pos.is_empty() {
+        return 0.0;
+    }
+    pos.iter().sum::<f64>() / pos.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let cm = confusion_at(&scores, &labels, 0.5);
+        assert_eq!(cm, ConfusionMatrix { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(cm.accuracy(), 0.5);
+        assert_eq!(cm.tpr(), 0.5);
+        assert_eq!(cm.fpr(), 0.5);
+    }
+
+    #[test]
+    fn perfect_classifier_auc_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels), 1.0);
+        let cm = confusion_at(&scores, &labels, 0.5);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+    }
+
+    #[test]
+    fn random_classifier_auc_is_half() {
+        // scores identical -> single diagonal step -> AUC 0.5
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((auc_roc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.7, 0.4, 0.6, 0.2];
+        let labels = [true, false, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap(), &(0.0, 0.0));
+        assert_eq!(curve.last().unwrap(), &(1.0, 1.0));
+        // monotone non-decreasing in both coordinates
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn auc_equals_rank_statistic() {
+        // AUC == P(score_pos > score_neg) + 0.5 P(tie)
+        let scores = [0.9, 0.8, 0.8, 0.4, 0.3, 0.2];
+        let labels = [true, true, false, true, false, false];
+        let mut stat = 0.0;
+        let mut pairs = 0.0;
+        for (i, &li) in labels.iter().enumerate() {
+            if !li {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj {
+                    continue;
+                }
+                pairs += 1.0;
+                if scores[i] > scores[j] {
+                    stat += 1.0;
+                } else if scores[i] == scores[j] {
+                    stat += 0.5;
+                }
+            }
+        }
+        assert!((auc_roc(&scores, &labels) - stat / pairs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_threshold_maximizes_accuracy() {
+        let scores = [0.9, 0.7, 0.65, 0.3, 0.2];
+        let labels = [true, true, false, false, false];
+        let t = optimal_threshold(&scores, &labels);
+        let acc = accuracy(&scores, &labels, t);
+        // best achievable: threshold 0.7 -> all correct
+        assert_eq!(acc, 1.0);
+        assert!((0.65..=0.7).contains(&t) || t == 0.7);
+    }
+
+    #[test]
+    fn mean_positive_probability_averages_positives_only() {
+        let scores = [0.8, 0.2, 0.6];
+        let labels = [true, false, true];
+        assert!((mean_positive_probability(&scores, &labels) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // contains the point estimate and shrinks with n
+        let (lo, hi) = wilson_interval(8, 10, 1.96);
+        assert!(lo < 0.8 && 0.8 < hi);
+        let (lo2, hi2) = wilson_interval(800, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo, "narrower with more trials");
+        assert!(lo2 < 0.8 && 0.8 < hi2);
+        // bounds are clamped to [0,1]
+        let (lo, hi) = wilson_interval(0, 5, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 1.0);
+        let (lo, hi) = wilson_interval(5, 5, 1.96);
+        assert!(lo > 0.0 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn brier_score_properties() {
+        // perfect confident predictions score 0; maximally wrong score 1
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        // uninformative 0.5 predictions score 0.25
+        assert!((brier_score(&[0.5; 4], &[true, false, true, false]) - 0.25).abs() < 1e-12);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(auc_roc(&[], &[]), 0.0);
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.tpr(), 0.0);
+        assert_eq!(cm.fpr(), 0.0);
+    }
+}

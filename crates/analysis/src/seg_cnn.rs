@@ -1,0 +1,139 @@
+//! A small trainable CNN lung segmenter — demonstrates that the
+//! segmentation stage can be *learned* (the AH-Net route of the paper)
+//! rather than rule-based like [`crate::segmentation::LungSegmenter`].
+//!
+//! Per-pixel binary classification on 2D slices: three 2D conv layers with
+//! batch norm, trained with BCE against the phantom's ground-truth masks.
+
+use cc19_nn::graph::{Graph, Var};
+use cc19_nn::init::Init;
+use cc19_nn::layers::{BatchNorm, Conv2d};
+use cc19_nn::optim::Adam;
+use cc19_nn::param::ParamStore;
+use cc19_tensor::conv::Conv2dSpec;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+use crate::Result;
+
+/// Three-layer fully-convolutional segmenter.
+pub struct CnnSegmenter {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    conv1: Conv2d,
+    bn1: BatchNorm,
+    conv2: Conv2d,
+    bn2: BatchNorm,
+    conv3: Conv2d,
+}
+
+impl CnnSegmenter {
+    /// Build with `width` hidden channels.
+    pub fn new(width: usize, seed: u64) -> Self {
+        let mut rng = Xorshift::new(seed);
+        let mut store = ParamStore::new();
+        let init = Init::KaimingLeaky { negative_slope: 0.01 };
+        let spec3 = Conv2dSpec { stride: 1, padding: 1 };
+        let conv1 = Conv2d::new(&mut store, "seg.conv1", 1, width, 3, spec3, init, &mut rng);
+        let bn1 = BatchNorm::new(&mut store, "seg.bn1", width);
+        let conv2 = Conv2d::new(&mut store, "seg.conv2", width, width, 3, spec3, init, &mut rng);
+        let bn2 = BatchNorm::new(&mut store, "seg.bn2", width);
+        let conv3 = Conv2d::new(
+            &mut store,
+            "seg.conv3",
+            width,
+            1,
+            1,
+            Conv2dSpec { stride: 1, padding: 0 },
+            init,
+            &mut rng,
+        );
+        CnnSegmenter { store, conv1, bn1, conv2, bn2, conv3 }
+    }
+
+    /// Forward a `(B, 1, H, W)` normalized batch to per-pixel logits.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Result<Var> {
+        let h = self.conv1.forward(g, x)?;
+        let h = self.bn1.forward(g, h, training)?;
+        let h = g.leaky_relu(h, 0.01);
+        let h = self.conv2.forward(g, h)?;
+        let h = self.bn2.forward(g, h, training)?;
+        let h = g.leaky_relu(h, 0.01);
+        self.conv3.forward(g, h)
+    }
+
+    /// One training step on `(slice, mask)` pairs; returns the BCE loss.
+    pub fn train_step(
+        &self,
+        slices: &Tensor,
+        masks: &Tensor,
+        opt: &mut Adam,
+    ) -> Result<f32> {
+        let mut g = Graph::new();
+        let x = g.input(slices.clone());
+        let t = g.input(masks.clone());
+        let logits = self.forward(&mut g, x, true)?;
+        let loss = g.bce_with_logits_loss(logits, t)?;
+        let l = g.value(loss).item()?;
+        self.store.zero_grad();
+        g.backward(loss);
+        opt.step(&self.store);
+        Ok(l)
+    }
+
+    /// Predict a binary mask for one `(H, W)` normalized slice.
+    pub fn predict_mask(&self, slice: &Tensor, threshold: f32) -> Result<Tensor> {
+        slice.shape().expect_rank(2)?;
+        let (h, w) = (slice.dims()[0], slice.dims()[1]);
+        let x = slice.reshape([1, 1, h, w])?;
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let logits = self.forward(&mut g, xv, false)?;
+        let probs = cc19_tensor::ops::sigmoid(g.value(logits));
+        let mask: Vec<f32> =
+            probs.data().iter().map(|&p| if p >= threshold { 1.0 } else { 0.0 }).collect();
+        Tensor::from_vec([h, w], mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmentation::dice;
+    use cc19_ctsim::phantom::ChestPhantom;
+    use cc19_ctsim::hu;
+
+    #[test]
+    fn cnn_segmenter_learns_lungs() {
+        let seg = CnnSegmenter::new(8, 1);
+        let mut opt = Adam::new(1e-2);
+        let n = 64;
+        // train on a handful of phantom slices
+        let mut last = f32::INFINITY;
+        for step in 0..100 {
+            let p = ChestPhantom::subject(step as u64 % 6, 0.5, None);
+            let img = hu::hu_window_to_unit(&p.rasterize_hu(n), -1000.0, 400.0);
+            let mask = p.lung_mask(n);
+            let x = img.reshape([1, 1, n, n]).unwrap();
+            let t = mask.reshape([1, 1, n, n]).unwrap();
+            last = seg.train_step(&x, &t, &mut opt).unwrap();
+        }
+        assert!(last < 0.35, "seg loss {last}");
+        // evaluate on an unseen subject
+        let p = ChestPhantom::subject(99, 0.5, None);
+        let img = hu::hu_window_to_unit(&p.rasterize_hu(n), -1000.0, 400.0);
+        let truth = p.lung_mask(n);
+        let pred = seg.predict_mask(&img, 0.5).unwrap();
+        let d = dice(&pred, &truth).unwrap();
+        assert!(d > 0.6, "dice {d}");
+    }
+
+    #[test]
+    fn predict_mask_is_binary() {
+        let seg = CnnSegmenter::new(4, 2);
+        let mut rng = Xorshift::new(3);
+        let img = rng.uniform_tensor([32, 32], 0.0, 1.0);
+        let mask = seg.predict_mask(&img, 0.5).unwrap();
+        assert!(mask.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}

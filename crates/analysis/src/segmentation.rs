@@ -1,0 +1,339 @@
+//! Segmentation AI — lung segmentation.
+//!
+//! The paper consumes NVIDIA Clara's pre-trained AH-Net lung segmenter "as
+//! is" (§3.2): a fixed model that produces a binary lung mask which is then
+//! multiplied with the scan. [`LungSegmenter`] is our pre-built
+//! equivalent: the classical HU-threshold pipeline used in lung-CT
+//! literature —
+//!
+//! 1. threshold air-like voxels (HU < `air_threshold`);
+//! 2. flood-fill from the image border to identify *outside* air;
+//! 3. lung candidates = air-like ∧ ¬outside;
+//! 4. morphological closing to reclaim lesion voxels (GGOs are denser than
+//!    lung and would otherwise punch holes in the mask);
+//! 5. drop small connected components (airways, noise).
+//!
+//! A trainable CNN alternative lives in [`crate::seg_cnn`].
+
+use rayon::prelude::*;
+
+use cc19_tensor::{Tensor, TensorError};
+
+use crate::Result;
+
+/// Classical lung segmenter (the "pre-trained model" stand-in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LungSegmenter {
+    /// Voxels below this HU are air-like (lung parenchyma ~ -850).
+    pub air_threshold: f32,
+    /// Radius (pixels) of the morphological closing.
+    pub closing_radius: usize,
+    /// Minimum component area (fraction of slice area) to keep.
+    pub min_component_frac: f32,
+}
+
+impl Default for LungSegmenter {
+    fn default() -> Self {
+        LungSegmenter { air_threshold: -400.0, closing_radius: 3, min_component_frac: 0.004 }
+    }
+}
+
+impl LungSegmenter {
+    /// Segment one HU slice `(n, n)` -> binary mask `(n, n)`.
+    pub fn segment_slice(&self, hu: &Tensor) -> Result<Tensor> {
+        hu.shape().expect_rank(2)?;
+        let (h, w) = (hu.dims()[0], hu.dims()[1]);
+        let data = hu.data();
+
+        // 1. air-like
+        let mut air: Vec<bool> = data.iter().map(|&v| v < self.air_threshold).collect();
+
+        // 2. flood fill outside air from the border
+        let mut outside = vec![false; h * w];
+        let mut stack: Vec<usize> = Vec::new();
+        for x in 0..w {
+            for &i in &[x, (h - 1) * w + x] {
+                if air[i] && !outside[i] {
+                    outside[i] = true;
+                    stack.push(i);
+                }
+            }
+        }
+        for y in 0..h {
+            for &i in &[y * w, y * w + w - 1] {
+                if air[i] && !outside[i] {
+                    outside[i] = true;
+                    stack.push(i);
+                }
+            }
+        }
+        while let Some(i) = stack.pop() {
+            let (y, x) = (i / w, i % w);
+            let mut push = |j: usize| {
+                if air[j] && !outside[j] {
+                    outside[j] = true;
+                    stack.push(j);
+                }
+            };
+            if x > 0 {
+                push(i - 1);
+            }
+            if x + 1 < w {
+                push(i + 1);
+            }
+            if y > 0 {
+                push(i - w);
+            }
+            if y + 1 < h {
+                push(i + w);
+            }
+        }
+
+        // 3. candidates
+        for (a, &o) in air.iter_mut().zip(&outside) {
+            *a = *a && !o;
+        }
+
+        // 4. morphological closing (dilate then erode, square structuring
+        //    element) to fill GGO holes
+        let closed = erode(&dilate(&air, h, w, self.closing_radius), h, w, self.closing_radius);
+
+        // 5. small-component removal
+        let min_area = ((h * w) as f32 * self.min_component_frac) as usize;
+        let kept = drop_small_components(&closed, h, w, min_area);
+
+        let mask: Vec<f32> = kept.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        Tensor::from_vec([h, w], mask)
+    }
+
+    /// Segment a `(D, H, W)` HU volume slice-by-slice.
+    pub fn segment_volume(&self, hu: &Tensor) -> Result<Tensor> {
+        hu.shape().expect_rank(3)?;
+        let (d, h, w) = (hu.dims()[0], hu.dims()[1], hu.dims()[2]);
+        let plane = h * w;
+        let mut mask = Tensor::zeros([d, h, w]);
+        let src = hu.data();
+        let results: Vec<Result<Vec<f32>>> = (0..d)
+            .into_par_iter()
+            .map(|s| {
+                let slice = Tensor::from_vec([h, w], src[s * plane..(s + 1) * plane].to_vec())?;
+                Ok(self.segment_slice(&slice)?.into_vec())
+            })
+            .collect();
+        for (s, r) in results.into_iter().enumerate() {
+            mask.data_mut()[s * plane..(s + 1) * plane].copy_from_slice(&r?);
+        }
+        Ok(mask)
+    }
+}
+
+fn dilate(mask: &[bool], h: usize, w: usize, r: usize) -> Vec<bool> {
+    if r == 0 {
+        return mask.to_vec();
+    }
+    // separable: horizontal then vertical max filter
+    let mut tmp = vec![false; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let lo = x.saturating_sub(r);
+            let hi = (x + r).min(w - 1);
+            tmp[y * w + x] = (lo..=hi).any(|xx| mask[y * w + xx]);
+        }
+    }
+    let mut out = vec![false; h * w];
+    for y in 0..h {
+        let lo = y.saturating_sub(r);
+        let hi = (y + r).min(h - 1);
+        for x in 0..w {
+            out[y * w + x] = (lo..=hi).any(|yy| tmp[yy * w + x]);
+        }
+    }
+    out
+}
+
+fn erode(mask: &[bool], h: usize, w: usize, r: usize) -> Vec<bool> {
+    let inv: Vec<bool> = mask.iter().map(|&b| !b).collect();
+    dilate(&inv, h, w, r).into_iter().map(|b| !b).collect()
+}
+
+fn drop_small_components(mask: &[bool], h: usize, w: usize, min_area: usize) -> Vec<bool> {
+    let mut label = vec![0u32; h * w]; // 0 = unvisited
+    let mut keep = vec![false; h * w];
+    let mut next = 1u32;
+    let mut stack = Vec::new();
+    for start in 0..h * w {
+        if !mask[start] || label[start] != 0 {
+            continue;
+        }
+        // BFS this component
+        let id = next;
+        next += 1;
+        label[start] = id;
+        stack.push(start);
+        let mut members = vec![start];
+        while let Some(i) = stack.pop() {
+            let (y, x) = (i / w, i % w);
+            let push = |j: usize, stack: &mut Vec<usize>, members: &mut Vec<usize>, label: &mut Vec<u32>| {
+                if mask[j] && label[j] == 0 {
+                    label[j] = id;
+                    stack.push(j);
+                    members.push(j);
+                }
+            };
+            if x > 0 {
+                push(i - 1, &mut stack, &mut members, &mut label);
+            }
+            if x + 1 < w {
+                push(i + 1, &mut stack, &mut members, &mut label);
+            }
+            if y > 0 {
+                push(i - w, &mut stack, &mut members, &mut label);
+            }
+            if y + 1 < h {
+                push(i + w, &mut stack, &mut members, &mut label);
+            }
+        }
+        if members.len() >= min_area {
+            for m in members {
+                keep[m] = true;
+            }
+        }
+    }
+    keep
+}
+
+/// Multiply a volume / slice by a binary mask of the same shape — the
+/// paper's "binary map is then multiplied with the input CT scan" (§3.2).
+pub fn apply_mask(data: &Tensor, mask: &Tensor) -> Result<Tensor> {
+    data.shape().expect_same(mask.shape())?;
+    cc19_tensor::ops::mul(data, mask)
+}
+
+/// Dice similarity coefficient between two binary masks (values > 0.5 are
+/// foreground).
+pub fn dice(a: &Tensor, b: &Tensor) -> Result<f64> {
+    if a.dims() != b.dims() {
+        return Err(TensorError::ShapeMismatch { left: a.dims().to_vec(), right: b.dims().to_vec() });
+    }
+    let mut inter = 0usize;
+    let mut asum = 0usize;
+    let mut bsum = 0usize;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let xa = x > 0.5;
+        let yb = y > 0.5;
+        if xa {
+            asum += 1;
+        }
+        if yb {
+            bsum += 1;
+        }
+        if xa && yb {
+            inter += 1;
+        }
+    }
+    if asum + bsum == 0 {
+        return Ok(1.0);
+    }
+    Ok(2.0 * inter as f64 / (asum + bsum) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_ctsim::phantom::{ChestPhantom, Severity};
+
+    #[test]
+    fn segments_healthy_phantom_lungs() {
+        let p = ChestPhantom::subject(1, 0.5, None);
+        let hu = p.rasterize_hu(128);
+        let truth = p.lung_mask(128);
+        let seg = LungSegmenter::default().segment_slice(&hu).unwrap();
+        let d = dice(&seg, &truth).unwrap();
+        assert!(d > 0.85, "dice {d}");
+    }
+
+    #[test]
+    fn segmentation_robust_to_lesions() {
+        // GGOs must not punch large holes in the mask (closing step).
+        let p = ChestPhantom::subject(2, 0.5, Some(Severity::Severe));
+        let hu = p.rasterize_hu(128);
+        let truth = p.lung_mask(128);
+        let seg = LungSegmenter::default().segment_slice(&hu).unwrap();
+        let d = dice(&seg, &truth).unwrap();
+        assert!(d > 0.75, "dice with lesions {d}");
+    }
+
+    #[test]
+    fn outside_air_is_excluded() {
+        let p = ChestPhantom::subject(3, 0.5, None);
+        let hu = p.rasterize_hu(128);
+        let seg = LungSegmenter::default().segment_slice(&hu).unwrap();
+        // corners are air but not lung
+        assert_eq!(seg.at(&[0, 0]), 0.0);
+        assert_eq!(seg.at(&[127, 127]), 0.0);
+    }
+
+    #[test]
+    fn volume_segmentation_matches_slicewise() {
+        let p = ChestPhantom::subject(4, 0.5, None);
+        let hu0 = p.rasterize_hu(64);
+        let mut vol = Tensor::zeros([2, 64, 64]);
+        vol.data_mut()[..64 * 64].copy_from_slice(hu0.data());
+        vol.data_mut()[64 * 64..].copy_from_slice(hu0.data());
+        let seg = LungSegmenter::default();
+        let vmask = seg.segment_volume(&vol).unwrap();
+        let smask = seg.segment_slice(&hu0).unwrap();
+        assert_eq!(&vmask.data()[..64 * 64], smask.data());
+        assert_eq!(&vmask.data()[64 * 64..], smask.data());
+    }
+
+    #[test]
+    fn apply_mask_zeroes_background() {
+        let img = Tensor::from_vec([2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let mask = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = apply_mask(&img, &mask).unwrap();
+        assert_eq!(out.data(), &[5.0, 0.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn dice_properties() {
+        let a = Tensor::from_vec([4], vec![1.0, 1.0, 0.0, 0.0]).unwrap();
+        let b = Tensor::from_vec([4], vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(dice(&a, &a).unwrap(), 1.0);
+        assert!((dice(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+        let empty = Tensor::zeros([4]);
+        assert_eq!(dice(&empty, &empty).unwrap(), 1.0);
+        assert_eq!(dice(&a, &empty).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn morphology_roundtrip() {
+        // dilate then erode returns a superset that contains the original
+        let h = 8;
+        let w = 8;
+        let mut m = vec![false; 64];
+        m[3 * 8 + 3] = true;
+        m[3 * 8 + 5] = true; // gap of one pixel
+        let closed = erode(&dilate(&m, h, w, 1), h, w, 1);
+        assert!(closed[3 * 8 + 3] && closed[3 * 8 + 5]);
+        assert!(closed[3 * 8 + 4], "gap should be closed");
+    }
+
+    #[test]
+    fn small_components_dropped() {
+        let h = 16;
+        let w = 16;
+        let mut m = vec![false; 256];
+        // big blob 5x5
+        for y in 2..7 {
+            for x in 2..7 {
+                m[y * w + x] = true;
+            }
+        }
+        // lone pixel
+        m[12 * w + 12] = true;
+        let kept = drop_small_components(&m, h, w, 4);
+        assert!(kept[3 * w + 3]);
+        assert!(!kept[12 * w + 12]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the metrics module (Eq 3–5, ROC/AUC) and
+//! segmentation invariants.
+
+use proptest::prelude::*;
+
+use cc19_analysis::metrics::{accuracy, auc_roc, confusion_at, optimal_threshold, roc_curve};
+use cc19_analysis::segmentation::dice;
+use cc19_tensor::Tensor;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..40)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Confusion-matrix counts always partition the dataset.
+    #[test]
+    fn confusion_partitions((scores, labels) in scores_and_labels(), t in 0.0f64..1.0) {
+        let cm = confusion_at(&scores, &labels, t);
+        prop_assert_eq!(cm.tp + cm.fp + cm.fn_ + cm.tn, scores.len());
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assert_eq!(cm.tp + cm.fn_, pos);
+        prop_assert_eq!(cm.fp + cm.tn, scores.len() - pos);
+    }
+
+    /// Accuracy is within [0, 1] and the optimal threshold is optimal.
+    #[test]
+    fn optimal_threshold_dominates((scores, labels) in scores_and_labels(), t in 0.0f64..1.0) {
+        let topt = optimal_threshold(&scores, &labels);
+        let a_opt = accuracy(&scores, &labels, topt);
+        let a_t = accuracy(&scores, &labels, t);
+        prop_assert!((0.0..=1.0).contains(&a_opt));
+        prop_assert!(a_opt >= a_t - 1e-12, "opt {} < {} at t {}", a_opt, a_t, t);
+    }
+
+    /// AUC is within [0, 1] and invariant under strictly monotone
+    /// transformations of the scores.
+    #[test]
+    fn auc_monotone_invariant((scores, labels) in scores_and_labels()) {
+        let auc = auc_roc(&scores, &labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&auc), "auc {}", auc);
+        // strictly monotone transform: s -> exp(2s) + s
+        let transformed: Vec<f64> = scores.iter().map(|s| (2.0 * s).exp() + s).collect();
+        let auc_t = auc_roc(&transformed, &labels);
+        prop_assert!((auc - auc_t).abs() < 1e-9, "{} vs {}", auc, auc_t);
+    }
+
+    /// Flipping all labels mirrors the AUC around 0.5.
+    #[test]
+    fn auc_label_flip_symmetry((scores, labels) in scores_and_labels()) {
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(pos > 0 && pos < labels.len());
+        let auc = auc_roc(&scores, &labels);
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let auc_f = auc_roc(&scores, &flipped);
+        prop_assert!((auc + auc_f - 1.0).abs() < 1e-9, "{} + {} != 1", auc, auc_f);
+    }
+
+    /// ROC curves are monotone staircases from (0,0) to (1,1).
+    #[test]
+    fn roc_monotone((scores, labels) in scores_and_labels()) {
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(pos > 0 && pos < labels.len());
+        let curve = roc_curve(&scores, &labels);
+        prop_assert_eq!(curve[0], (0.0, 0.0));
+        prop_assert_eq!(*curve.last().unwrap(), (1.0, 1.0));
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12);
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    /// Dice is symmetric, bounded, and 1 exactly on identical masks.
+    #[test]
+    fn dice_properties(bits in proptest::collection::vec(proptest::bool::ANY, 16)) {
+        let a = Tensor::from_vec([16], bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<f32>>()).unwrap();
+        let b = Tensor::from_vec([16], bits.iter().rev().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<f32>>()).unwrap();
+        let dab = dice(&a, &b).unwrap();
+        let dba = dice(&b, &a).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(dice(&a, &a).unwrap(), 1.0);
+    }
+}

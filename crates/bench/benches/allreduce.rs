@@ -1,0 +1,60 @@
+//! Ring vs naive (parameter-server) all-reduce at DDnet gradient size —
+//! the gloo-algorithm ablation of DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_dist::allreduce::{make_ring, make_star, naive_allreduce, ring_allreduce};
+
+fn run_ring(n: usize, len: usize) {
+    let rings = make_ring(n);
+    let handles: Vec<_> = rings
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ring)| {
+            std::thread::spawn(move || {
+                let mut buf = vec![rank as f32; len];
+                ring_allreduce(&mut buf, rank, n, &ring);
+                buf[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn run_naive(n: usize, len: usize) {
+    let stars = make_star(n);
+    let handles: Vec<_> = stars
+        .into_iter()
+        .enumerate()
+        .map(|(rank, star)| {
+            std::thread::spawn(move || {
+                let mut buf = vec![rank as f32; len];
+                naive_allreduce(&mut buf, rank, n, &star);
+                buf[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    // DDnet gradient size (~175k params)
+    let len = 175_000;
+    let mut group = c.benchmark_group("allreduce_175k");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| b.iter(|| run_ring(n, len)));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| b.iter(|| run_naive(n, len)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Convolution kernel across the paper's optimization stages
+//! (Table 7 ablation at kernel granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_kernels::conv::{conv2d, ConvShape};
+use cc19_kernels::OptLevel;
+use cc19_tensor::rng::Xorshift;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_5x5");
+    let s = ConvShape { cin: 16, cout: 16, h: 128, w: 128, k: 5, pad: 2 };
+    let mut rng = Xorshift::new(1);
+    let input: Vec<f32> = (0..s.in_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let weight: Vec<f32> = (0..s.cout * s.cin * 25).map(|_| rng.uniform(-0.5, 0.5)).collect();
+    let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.1, 0.1)).collect();
+
+    for level in OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &level, |b, &level| {
+            b.iter(|| conv2d(level, &input, &weight, &bias, s));
+        });
+    }
+    group.finish();
+
+    // the 7x7 stem at full resolution
+    let mut group = c.benchmark_group("conv2d_stem_7x7");
+    let s = ConvShape { cin: 1, cout: 16, h: 256, w: 256, k: 7, pad: 3 };
+    let input: Vec<f32> = (0..s.in_len()).map(|_| rng.uniform(0.0, 1.0)).collect();
+    let weight: Vec<f32> = (0..s.cout * 49).map(|_| rng.uniform(-0.5, 0.5)).collect();
+    let bias = vec![0.0f32; 16];
+    group.bench_function("prefetch_unrolled", |b| {
+        b.iter(|| conv2d(OptLevel::RefactoredPrefetchUnrolled, &input, &weight, &bias, s));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv
+}
+criterion_main!(benches);

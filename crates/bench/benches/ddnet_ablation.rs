@@ -1,0 +1,40 @@
+//! DDnet design ablations (DESIGN.md §6): global shortcuts on/off and
+//! growth-rate scaling — forward-pass cost of each variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_tensor::rng::Xorshift;
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 64usize;
+    let mut rng = Xorshift::new(4);
+    let img = rng.uniform_tensor([n, n], 0.0, 1.0);
+
+    let mut group = c.benchmark_group("ddnet_ablation_64");
+
+    let full = Ddnet::new(DdnetConfig::reduced(), 1);
+    group.bench_function("with_global_shortcuts", |b| b.iter(|| full.enhance(&img).unwrap()));
+
+    let mut cfg = DdnetConfig::reduced();
+    cfg.no_global_shortcuts = true;
+    let ablated = Ddnet::new(cfg, 1);
+    group.bench_function("no_global_shortcuts", |b| b.iter(|| ablated.enhance(&img).unwrap()));
+
+    for growth in [4usize, 8, 16] {
+        let mut cfg = DdnetConfig::reduced();
+        cfg.growth = growth;
+        let net = Ddnet::new(cfg, 1);
+        group.bench_with_input(BenchmarkId::new("growth", growth), &growth, |b, _| {
+            b.iter(|| net.enhance(&img).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Whole-DDnet inference: hand kernels (per optimization stage) and the
+//! autograd-graph reference path (the "framework"/PyTorch analogue of
+//! Table 4's two columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_kernels::ddnet_exec::{run_ddnet_inference, DdnetShape};
+use cc19_kernels::OptLevel;
+use cc19_tensor::rng::Xorshift;
+
+fn bench_ddnet(c: &mut Criterion) {
+    let n = 128usize;
+
+    let mut group = c.benchmark_group("ddnet_inference_128");
+    for level in [OptLevel::Refactored, OptLevel::RefactoredPrefetchUnrolled] {
+        group.bench_with_input(
+            BenchmarkId::new("hand_kernels", level.label()),
+            &level,
+            |b, &level| {
+                b.iter(|| run_ddnet_inference(DdnetShape::reduced(n), level, 1));
+            },
+        );
+    }
+
+    // the framework path (autograd graph, like the paper's PyTorch column)
+    let net = Ddnet::new(DdnetConfig::paper(), 1);
+    let mut rng = Xorshift::new(3);
+    let img = rng.uniform_tensor([n, n], 0.0, 1.0);
+    group.bench_function("framework_graph", |b| {
+        b.iter(|| net.enhance(&img).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ddnet
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Deconvolution kernel: scatter (baseline) vs gather (+REF) vs
+//! prefetched vs unrolled — the paper's §4.2.1 headline kernel result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_kernels::conv::ConvShape;
+use cc19_kernels::deconv::deconv2d;
+use cc19_kernels::OptLevel;
+use cc19_tensor::rng::Xorshift;
+
+fn bench_deconv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deconv2d_5x5");
+    let s = ConvShape { cin: 16, cout: 32, h: 128, w: 128, k: 5, pad: 2 };
+    let mut rng = Xorshift::new(2);
+    let input: Vec<f32> = (0..s.cin * s.h * s.w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let weight: Vec<f32> = (0..s.cin * s.cout * 25).map(|_| rng.uniform(-0.5, 0.5)).collect();
+    let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.1, 0.1)).collect();
+
+    for level in OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &level, |b, &level| {
+            b.iter(|| deconv2d(level, &input, &weight, &bias, s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deconv
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! FBP reconstruction: parallel vs fan beam, Ram-Lak vs Hann
+//! (the CT-substrate design ablations of DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cc19_ctsim::fbp::{fbp_fan, fbp_parallel};
+use cc19_ctsim::filter::Window;
+use cc19_ctsim::geometry::{FanBeamGeometry, ParallelBeamGeometry};
+use cc19_ctsim::phantom::ChestPhantom;
+use cc19_ctsim::siddon::{project_fan, project_parallel, Grid};
+
+fn bench_fbp(c: &mut Criterion) {
+    let n = 128;
+    let grid = Grid::fov500(n);
+    let img = cc19_ctsim::hu::image_hu_to_mu(&ChestPhantom::subject(1, 0.5, None).rasterize_hu(n));
+
+    let pgeom = ParallelBeamGeometry::for_image(n, grid.px, 180);
+    let psino = project_parallel(&img, grid, &pgeom).unwrap();
+    let fgeom = FanBeamGeometry::reduced(180, 192);
+    let fsino = project_fan(&img, grid, &fgeom).unwrap();
+
+    let mut group = c.benchmark_group("fbp_128");
+    group.bench_function("parallel_ramlak", |b| {
+        b.iter(|| fbp_parallel(&psino, &pgeom, grid, Window::RamLak).unwrap())
+    });
+    group.bench_function("parallel_hann", |b| {
+        b.iter(|| fbp_parallel(&psino, &pgeom, grid, Window::Hann).unwrap())
+    });
+    group.bench_function("fan_ramlak", |b| {
+        b.iter(|| fbp_fan(&fsino, &fgeom, grid, Window::RamLak).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fbp
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Direct convolution vs im2col+GEMM lowering across channel widths —
+//! the framework-internals ablation (see `cc19-tensor::gemm_conv`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_tensor::conv::{conv2d, Conv2dSpec};
+use cc19_tensor::gemm_conv::conv2d_gemm;
+use cc19_tensor::rng::Xorshift;
+
+fn bench_gemm_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_lowering_64x64_5x5");
+    let spec = Conv2dSpec { stride: 1, padding: 2 };
+    for ch in [4usize, 16, 64] {
+        let mut rng = Xorshift::new(ch as u64);
+        let x = rng.uniform_tensor([1, ch, 64, 64], -1.0, 1.0);
+        let w = rng.uniform_tensor([ch, ch, 5, 5], -0.5, 0.5);
+        let b = rng.uniform_tensor([ch], -0.1, 0.1);
+        group.bench_with_input(BenchmarkId::new("direct", ch), &ch, |bch, _| {
+            bch.iter(|| conv2d(&x, &w, Some(&b), spec).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_gemm", ch), &ch, |bch, _| {
+            bch.iter(|| conv2d_gemm(&x, &w, Some(&b), spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm_vs_direct
+}
+criterion_main!(benches);

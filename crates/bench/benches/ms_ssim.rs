@@ -1,0 +1,40 @@
+//! MS-SSIM metric and differentiable-loss cost per image size — the loss
+//! is computed every training step, so its cost shapes Table 3's compute
+//! model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc19_nn::graph::Graph;
+use cc19_nn::losses::enhancement_loss;
+use cc19_nn::ssim::{max_levels, ms_ssim};
+use cc19_tensor::rng::Xorshift;
+
+fn bench_ms_ssim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ms_ssim");
+    for n in [64usize, 128] {
+        let mut rng = Xorshift::new(n as u64);
+        let a = rng.uniform_tensor([1, 1, n, n], 0.0, 1.0);
+        let b = rng.uniform_tensor([1, 1, n, n], 0.0, 1.0);
+        let levels = max_levels(n, n);
+        group.bench_with_input(BenchmarkId::new("metric", n), &n, |bch, _| {
+            bch.iter(|| ms_ssim(&a, &b, levels, 1.0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("loss_with_backward", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let av = g.input_grad(a.clone());
+                let bv = g.input(b.clone());
+                let loss = enhancement_loss(&mut g, av, bv, levels).unwrap();
+                g.backward(loss);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ms_ssim
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Siddon forward projection throughput (rays/second), fan and parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cc19_ctsim::geometry::{FanBeamGeometry, ParallelBeamGeometry};
+use cc19_ctsim::phantom::ChestPhantom;
+use cc19_ctsim::siddon::{project_fan, project_parallel, Grid};
+
+fn bench_siddon(c: &mut Criterion) {
+    let n = 128;
+    let grid = Grid::fov500(n);
+    let img = cc19_ctsim::hu::image_hu_to_mu(&ChestPhantom::subject(2, 0.5, None).rasterize_hu(n));
+
+    let fgeom = FanBeamGeometry::reduced(90, 128);
+    let pgeom = ParallelBeamGeometry::for_image(n, grid.px, 90);
+
+    let mut group = c.benchmark_group("siddon_projection");
+    group.throughput(Throughput::Elements((fgeom.views * fgeom.detectors) as u64));
+    group.bench_function("fan_90x128", |b| b.iter(|| project_fan(&img, grid, &fgeom).unwrap()));
+    group.throughput(Throughput::Elements((pgeom.views * pgeom.detectors) as u64));
+    group.bench_function("parallel_90", |b| b.iter(|| project_parallel(&img, grid, &pgeom).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_siddon
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Baseline comparison (the paper's §6.3 related-work landscape, made
+//! concrete): on identical sparse-view low-dose degradations, compare
+//!
+//! 1. FBP only;
+//! 2. FBP + Gaussian smoothing (non-learned denoiser);
+//! 3. sinogram view-interpolation + FBP (classical sinogram completion);
+//! 4. SIRT iterative reconstruction (Beister et al.);
+//! 5. FBP + U-Net (Jin et al. / Chen et al. style);
+//! 6. FBP + DDnet (this paper).
+
+use cc19_bench::{banner, parse_scale, Scale, TablePrinter};
+use cc19_ctsim::fbp::fbp_parallel;
+use cc19_ctsim::filter::Window;
+use cc19_ctsim::geometry::ParallelBeamGeometry;
+use cc19_ctsim::hu;
+use cc19_ctsim::iterative::{interpolate_views, sirt, SirtConfig};
+use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
+use cc19_ctsim::phantom::{ChestPhantom, Severity};
+use cc19_ctsim::siddon::{project_parallel, Grid};
+use cc19_data::lowdose_pairs::{Beam, PairConfig};
+use cc19_data::prep::{normalize_for_enhancement, PrepConfig};
+use cc19_ddnet::baselines::{gaussian_smooth, UNetLite};
+use cc19_ddnet::trainer::{train_enhancement, TrainConfig};
+use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_nn::graph::Graph;
+use cc19_nn::optim::Adam;
+use cc19_nn::ssim::ms_ssim_image;
+use cc19_tensor::Tensor;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Baselines", "enhancement baselines head-to-head (paper §6.3)", scale);
+
+    let (n, subjects, epochs) = match scale {
+        Scale::Full => (48usize, 24usize, 20usize),
+        Scale::Quick => (32, 16, 14),
+    };
+    let views = n / 2;
+    let dose = 3.0e4;
+    let grid = Grid::fov500(n);
+    let sparse_geom = ParallelBeamGeometry::for_image(n, grid.px, views);
+    let dense_geom = ParallelBeamGeometry::for_image(n, grid.px, views * 3);
+    let prep = PrepConfig::scaled(1);
+
+    let acquire = |seed: u64| {
+        let sev = if seed % 2 == 0 { Some(Severity::Moderate) } else { None };
+        let hu_img = ChestPhantom::subject(seed, 0.5, sev).rasterize_hu(n);
+        let mu = hu::image_hu_to_mu(&hu_img);
+        let clean_sino = project_parallel(&mu, grid, &sparse_geom).unwrap();
+        let noisy = apply_poisson_noise(&clean_sino, DoseSettings { blank_scan: dose, seed });
+        (hu_img, noisy)
+    };
+    let to_unit = |mu: &Tensor| normalize_for_enhancement(&hu::image_mu_to_hu(mu), prep);
+
+    // --- train DDnet and U-Net on the same degradation distribution ---
+    let mut pc = PairConfig::reduced(n, 2021);
+    pc.views = views;
+    pc.dose.blank_scan = dose;
+    pc.beam = Beam::Parallel;
+    let ds = cc19_data::dataset::EnhancementDataset::generate(subjects, pc).unwrap();
+
+    println!("training DDnet ({} epochs) ...", epochs);
+    let ddnet = Ddnet::new(DdnetConfig::reduced(), 2021);
+    let mut tc = TrainConfig::quick(epochs);
+    tc.lr = 1.5e-3;
+    train_enhancement(&ddnet, &ds.train, &ds.val, tc).unwrap();
+
+    println!("training U-Net baseline (same pairs, same steps) ...");
+    let unet = UNetLite::new(8, 2021);
+    let mut opt = Adam::new(1.5e-3);
+    for _ in 0..epochs {
+        for p in &ds.train {
+            let (h, w) = (p.low.dims()[0], p.low.dims()[1]);
+            let x = p.low.reshape([1, 1, h, w]).unwrap();
+            let t = p.full.reshape([1, 1, h, w]).unwrap();
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            let tv = g.input(t);
+            let y = unet.forward(&mut g, xv, true).unwrap();
+            let loss = g.mse_loss(y, tv).unwrap();
+            unet.store.zero_grad();
+            g.backward(loss);
+            unet.store.clip_grad_norm(1.0);
+            opt.step(&unet.store);
+        }
+    }
+
+    // --- evaluate all six pipelines on unseen subjects ---
+    let labels = [
+        "FBP only",
+        "FBP + Gaussian smoothing",
+        "view interp + FBP",
+        "SIRT (iterative)",
+        "FBP + U-Net [19][5]",
+        "FBP + DDnet (paper)",
+    ];
+    let mut acc = vec![(0.0f64, 0.0f64); labels.len()];
+    let test_seeds: Vec<u64> = (3000..3006).collect();
+    for &seed in &test_seeds {
+        let (hu_img, noisy) = acquire(seed);
+        let target = normalize_for_enhancement(&hu_img, prep);
+
+        let fbp_mu = fbp_parallel(&noisy, &sparse_geom, grid, Window::RamLak).unwrap();
+        let fbp_unit = to_unit(&fbp_mu);
+
+        let variants: Vec<Tensor> = vec![
+            fbp_unit.clone(),
+            gaussian_smooth(&fbp_unit, 0.8).unwrap(),
+            {
+                let completed = interpolate_views(&noisy, views * 3).unwrap();
+                to_unit(&fbp_parallel(&completed, &dense_geom, grid, Window::RamLak).unwrap())
+            },
+            to_unit(&sirt(&noisy, &sparse_geom, grid, SirtConfig { iterations: 40, ..Default::default() }).unwrap()),
+            unet.enhance(&fbp_unit).unwrap(),
+            ddnet.enhance(&fbp_unit).unwrap(),
+        ];
+        for (i, img) in variants.iter().enumerate() {
+            acc[i].0 += cc19_tensor::reduce::mse(img, &target).unwrap();
+            acc[i].1 += ms_ssim_image(img, &target, 1.0).unwrap();
+        }
+    }
+
+    let t = TablePrinter::new(&[28, 12, 12]);
+    t.row(&[&"Pipeline", &"MSE", &"MS-SSIM"]);
+    t.sep();
+    let mut csv = String::from("pipeline,mse,ms_ssim\n");
+    let m = test_seeds.len() as f64;
+    for (i, label) in labels.iter().enumerate() {
+        t.row(&[label, &format!("{:.5}", acc[i].0 / m), &format!("{:.1} %", acc[i].1 / m * 100.0)]);
+        csv.push_str(&format!("{label},{},{}\n", acc[i].0 / m, acc[i].1 / m));
+    }
+    t.sep();
+    println!("\nexpected shape: learned enhancement beats the unlearned FBP/smoothing");
+    println!("baselines. At paper scale DDnet wins outright (ref [45]); at this reduced");
+    println!("scale the much lighter U-Net trains further within the same step budget, so");
+    println!("it can lead — the gap closes as --full raises the training budget.");
+    cc19_bench::write_result("baselines.csv", &csv);
+}

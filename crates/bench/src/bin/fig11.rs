@@ -1,0 +1,70 @@
+//! Figure 11: training-loss curves for Enhancement AI (11a) and
+//! Classification AI (11b). Writes CSV series for plotting.
+
+use cc19_bench::{banner, parse_scale, Scale};
+use cc19_analysis::classifier::{ClassifierConfig, DenseNet3d};
+use cc19_analysis::train::{train_classifier, ClassTrainConfig, Example};
+use cc19_data::dataset::{ClassificationDataset, EnhancementDataset};
+use cc19_data::lowdose_pairs::PairConfig;
+use cc19_data::prep::{normalize_for_enhancement, PrepConfig};
+use cc19_ddnet::trainer::{train_enhancement, TrainConfig};
+use cc19_ddnet::{Ddnet, DdnetConfig};
+
+fn main() {
+    let scale = parse_scale();
+    banner("Fig 11", "training loss curves (Enhancement AI, Classification AI)", scale);
+
+    let (n, pairs, e_epochs, c_epochs, vols) = match scale {
+        Scale::Full => (48usize, 32usize, 25usize, 30usize, 24usize),
+        Scale::Quick => (32, 16, 12, 15, 12),
+    };
+
+    // --- 11a: Enhancement AI ---
+    let mut pc = PairConfig::reduced(n, 3);
+    pc.views = n / 2;
+    let ds = EnhancementDataset::generate(pairs, pc).unwrap();
+    let net = Ddnet::new(DdnetConfig::reduced(), 3);
+    let mut tc = TrainConfig::quick(e_epochs);
+    tc.lr = 2e-3;
+    let stats = train_enhancement(&net, &ds.train, &ds.val, tc).unwrap();
+    println!("Enhancement AI ({} epochs):", e_epochs);
+    println!("  epoch | train loss | val loss | val MS-SSIM");
+    let mut csv_a = String::from("epoch,train_loss,val_loss,val_ms_ssim\n");
+    for s in &stats {
+        println!("  {:>5} | {:.5}    | {:.5}  | {:.2}%", s.epoch, s.train_loss, s.val_loss, s.val_ms_ssim);
+        csv_a.push_str(&format!("{},{},{},{}\n", s.epoch, s.train_loss, s.val_loss, s.val_ms_ssim));
+    }
+    let falling = stats.last().unwrap().train_loss < stats[0].train_loss;
+    println!("  -> monotone-ish decreasing: {falling} (paper Fig 11a shows a decreasing curve)\n");
+    cc19_bench::write_result("fig11a_enhancement_loss.csv", &csv_a);
+
+    // --- 11b: Classification AI ---
+    let cds = ClassificationDataset::generate(vols, 2, n, 8).unwrap();
+    let prep = PrepConfig::scaled(1);
+    let seg = cc19_analysis::segmentation::LungSegmenter::default();
+    let examples: Vec<Example> = cds
+        .train
+        .iter()
+        .map(|item| {
+            let unit = normalize_for_enhancement(&item.volume.hu, prep);
+            let mask = seg.segment_volume(&item.volume.hu).unwrap();
+            let masked = cc19_analysis::segmentation::apply_mask(&unit, &mask).unwrap();
+            Example { volume: masked, label: item.label }
+        })
+        .collect();
+    let cls = DenseNet3d::new(ClassifierConfig::tiny(), 4);
+    let mut ctc = ClassTrainConfig::quick(c_epochs);
+    ctc.lr = 1e-2;
+    ctc.augment = None;
+    let cstats = train_classifier(&cls, &examples, ctc).unwrap();
+    println!("Classification AI ({} epochs):", c_epochs);
+    println!("  epoch | train loss (BCE)");
+    let mut csv_b = String::from("epoch,train_loss\n");
+    for s in &cstats {
+        println!("  {:>5} | {:.5}", s.epoch, s.train_loss);
+        csv_b.push_str(&format!("{},{}\n", s.epoch, s.train_loss));
+    }
+    let falling = cstats.last().unwrap().train_loss < cstats[0].train_loss;
+    println!("  -> decreasing: {falling} (paper Fig 11b shows a decreasing curve)");
+    cc19_bench::write_result("fig11b_classification_loss.csv", &csv_b);
+}

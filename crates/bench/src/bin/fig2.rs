@@ -1,0 +1,38 @@
+//! Figure 2 (introduction context): confirmed COVID-19 cases per million —
+//! the two-wave shape with a variant-driven fourth wave, regenerated from
+//! the two-strain SEIR model in `computecovid19::epi`.
+
+use cc19_bench::{banner, parse_scale};
+use computecovid19::epi::{simulate, summarize, EpiConfig};
+
+fn main() {
+    let scale = parse_scale();
+    banner("Fig 2", "cases-per-million waves (two-strain SEIR)", scale);
+
+    let cfg = EpiConfig::uk_delta_wave();
+    let records = simulate(&cfg);
+    let s = summarize(&records);
+
+    println!("first-wave peak : {:>8.1} cases/million/day", s.first_peak);
+    println!("trough at day   : {:>8}", s.trough_day);
+    println!("second-wave peak: {:>8.1} cases/million/day", s.second_peak);
+    println!("final variant share: {:.1}% (paper: Delta at 98% of UK cases by June 2021)", s.final_variant_share * 100.0);
+    println!();
+
+    // ASCII sparkline of the curve
+    let maxv = records.iter().map(|r| r.cases_per_million).fold(0.0f64, f64::max);
+    let blocks = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let line: String = records
+        .iter()
+        .step_by(3)
+        .map(|r| blocks[((r.cases_per_million / maxv * 8.0).round() as usize).min(8)])
+        .collect();
+    println!("cases/million over {} days:", cfg.days);
+    println!("  {line}");
+
+    let mut csv = String::from("day,cases_per_million,variant_share\n");
+    for r in &records {
+        csv.push_str(&format!("{},{},{}\n", r.day, r.cases_per_million, r.variant_share));
+    }
+    cc19_bench::write_result("fig2_cases.csv", &csv);
+}

@@ -1,0 +1,53 @@
+//! Figure 8: low-dose CT simulation — a chest phantom, its simulated
+//! sinogram (Siddon + Beer's law + Poisson noise at the paper's b=1e6),
+//! and the FBP reconstruction.
+//!
+//! Writes PGM images to `results/`.
+
+use cc19_bench::{banner, parse_scale, Scale};
+use cc19_ctsim::fbp::fbp_fan;
+use cc19_ctsim::filter::Window;
+use cc19_ctsim::geometry::FanBeamGeometry;
+use cc19_ctsim::hu;
+use cc19_ctsim::io::write_pgm;
+use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
+use cc19_ctsim::phantom::{ChestPhantom, Severity};
+use cc19_ctsim::siddon::{project_fan, Grid};
+
+fn main() {
+    let scale = parse_scale();
+    banner("Fig 8", "low-dose CT simulation: sinogram + FBP reconstruction", scale);
+
+    // --full runs the paper's exact geometry (512^2, 720 views, 1024 det);
+    // --quick a faster one.
+    let (n, geom) = match scale {
+        Scale::Full => (512, FanBeamGeometry::paper()),
+        Scale::Quick => (128, FanBeamGeometry::reduced(360, 256)),
+    };
+    let grid = Grid::fov500(n);
+
+    let phantom = ChestPhantom::subject(4, 0.5, Some(Severity::Moderate));
+    let hu_img = phantom.rasterize_hu(n);
+    let mu_img = hu::image_hu_to_mu(&hu_img);
+
+    println!("projecting {n}x{n} phantom over {} views x {} detectors ...", geom.views, geom.detectors);
+    let t0 = std::time::Instant::now();
+    let sino = project_fan(&mu_img, grid, &geom).unwrap();
+    println!("  forward projection: {:.2}s", t0.elapsed().as_secs_f64());
+
+    let noisy = apply_poisson_noise(&sino, DoseSettings::paper(7));
+
+    let t0 = std::time::Instant::now();
+    let recon_mu = fbp_fan(&noisy, &geom, grid, Window::RamLak).unwrap();
+    println!("  FBP reconstruction: {:.2}s", t0.elapsed().as_secs_f64());
+    let recon_hu = hu::image_mu_to_hu(&recon_mu);
+
+    let dir = cc19_bench::results_dir();
+    write_pgm(&hu_img, -1000.0, 400.0, &dir.join("fig8_phantom.pgm")).unwrap();
+    cc19_ctsim::io::write_pgm_auto(noisy.tensor(), &dir.join("fig8_sinogram.pgm")).unwrap();
+    write_pgm(&recon_hu, -1000.0, 400.0, &dir.join("fig8_fbp_recon.pgm")).unwrap();
+
+    let err = cc19_tensor::reduce::rmse(&recon_hu, &hu_img).unwrap();
+    println!("reconstruction RMSE vs phantom: {err:.1} HU");
+    println!("[written] fig8_phantom.pgm, fig8_sinogram.pgm, fig8_fbp_recon.pgm in {}", dir.display());
+}

@@ -1,0 +1,110 @@
+//! Extension experiment (paper §7): "we intend to analyze the
+//! applicability of ComputeCOVID19+ for diagnosing other maladies, such
+//! as viral pneumonia and cancer."
+//!
+//! Three binary discrimination tasks over synthetic pathologies:
+//! COVID vs healthy, pneumonia vs healthy, and the clinically interesting
+//! COVID vs pneumonia (both are opacities — can the 3D features tell the
+//! bilateral-peripheral-GGO pattern from a unilateral lobar
+//! consolidation?).
+
+use cc19_analysis::classifier::{ClassifierConfig, DenseNet3d};
+use cc19_analysis::metrics::auc_roc;
+use cc19_analysis::segmentation::{apply_mask, LungSegmenter};
+use cc19_analysis::train::{train_classifier, ClassTrainConfig, Example};
+use cc19_bench::{banner, parse_scale, Scale, TablePrinter};
+use cc19_ctsim::phantom::{ChestPhantom, Pathology, Severity};
+use cc19_data::prep::{normalize_for_enhancement, PrepConfig};
+use cc19_tensor::Tensor;
+
+fn volume(seed: u64, pathology: Option<Pathology>, n: usize, slices: usize) -> Tensor {
+    let mut vol = Tensor::zeros([slices, n, n]);
+    let plane = n * n;
+    for s in 0..slices {
+        let z = (s as f32 + 0.5) / slices as f32;
+        let img = ChestPhantom::subject_with(seed, z, pathology).rasterize_hu(n);
+        vol.data_mut()[s * plane..(s + 1) * plane].copy_from_slice(img.data());
+    }
+    vol
+}
+
+fn preprocess(hu: &Tensor, seg: &LungSegmenter) -> Tensor {
+    let unit = normalize_for_enhancement(hu, PrepConfig::scaled(1));
+    let mask = seg.segment_volume(hu).unwrap();
+    apply_mask(&unit, &mask).unwrap()
+}
+
+fn run_task(
+    name: &str,
+    pos: Option<Pathology>,
+    neg: Option<Pathology>,
+    n: usize,
+    slices: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    epochs: usize,
+) -> (String, f64, f64) {
+    let seg = LungSegmenter::default();
+    let mut examples = Vec::new();
+    for i in 0..train_per_class {
+        examples.push(Example {
+            volume: preprocess(&volume(1000 + i as u64, pos, n, slices), &seg),
+            label: true,
+        });
+        examples.push(Example {
+            volume: preprocess(&volume(2000 + i as u64, neg, n, slices), &seg),
+            label: false,
+        });
+    }
+    let net = DenseNet3d::new(ClassifierConfig::tiny(), 42);
+    let mut cfg = ClassTrainConfig::quick(epochs);
+    cfg.lr = 1e-2;
+    cfg.augment = None;
+    let stats = train_classifier(&net, &examples, cfg).unwrap();
+
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..test_per_class {
+        scores.push(net.predict_proba(&preprocess(&volume(5000 + i as u64, pos, n, slices), &seg)).unwrap());
+        labels.push(true);
+        scores.push(net.predict_proba(&preprocess(&volume(6000 + i as u64, neg, n, slices), &seg)).unwrap());
+        labels.push(false);
+    }
+    let auc = auc_roc(&scores, &labels);
+    (name.to_string(), stats.last().unwrap().train_loss, auc)
+}
+
+fn main() {
+    let scale = parse_scale();
+    banner("Extension: other maladies", "pneumonia & nodule discrimination (§7)", scale);
+
+    let (n, slices, train, test, epochs) = match scale {
+        Scale::Full => (48usize, 8usize, 12usize, 8usize, 25usize),
+        Scale::Quick => (48, 8, 8, 6, 18),
+    };
+    let covid = Some(Pathology::Covid(Severity::Moderate));
+    println!(
+        "per task: {train} train + {test} test volumes per class at {n}x{n}x{slices}, {epochs} epochs\n"
+    );
+
+    let tasks = [
+        run_task("COVID vs healthy", covid, None, n, slices, train, test, epochs),
+        run_task("pneumonia vs healthy", Some(Pathology::Pneumonia), None, n, slices, train, test, epochs),
+        run_task("nodule vs healthy", Some(Pathology::Nodule), None, n, slices, train, test, epochs),
+        run_task("COVID vs pneumonia", covid, Some(Pathology::Pneumonia), n, slices, train, test, epochs),
+    ];
+
+    let t = TablePrinter::new(&[24, 16, 10]);
+    t.row(&[&"Task", &"Final BCE loss", &"Test AUC"]);
+    t.sep();
+    let mut csv = String::from("task,final_loss,test_auc\n");
+    for (name, loss, auc) in &tasks {
+        t.row(&[name, &format!("{loss:.4}"), &format!("{auc:.3}")]);
+        csv.push_str(&format!("{name},{loss},{auc}\n"));
+    }
+    t.sep();
+    println!("\nexpected shape: opacity-vs-healthy tasks are easy (AUC near 1); the subtle");
+    println!("nodule and the COVID-vs-pneumonia pattern discrimination are harder — the");
+    println!("framework generalizes beyond COVID, supporting the paper's §7 outlook.");
+    cc19_bench::write_result("other_maladies.csv", &csv);
+}

@@ -1,0 +1,37 @@
+//! Table 2: DDnet layer output sizes and filter configurations.
+//!
+//! Builds the paper-configuration DDnet and prints its architecture audit
+//! next to the paper's table; the unit test in `cc19-ddnet` asserts the
+//! values match.
+
+use cc19_bench::{banner, parse_scale, TablePrinter};
+use cc19_ddnet::{Ddnet, DdnetConfig};
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table 2", "DDnet layer shapes (512x512 input)", scale);
+
+    let net = Ddnet::new(DdnetConfig::paper(), 1);
+    let rows = net.layer_table(512);
+
+    let t = TablePrinter::new(&[18, 16, 40]);
+    t.row(&[&"Layer", &"Output size", &"Details"]);
+    t.sep();
+    for r in &rows {
+        let (h, w, c) = r.output;
+        t.row(&[&r.layer, &format!("{h}x{w}x{c}"), &r.detail]);
+    }
+    t.sep();
+    println!(
+        "convolution layers: {} (paper: 37)   deconvolution layers: {} (paper: 8)   parameters: {}",
+        net.conv_layer_count(),
+        net.deconv_layer_count(),
+        net.num_params()
+    );
+
+    let mut csv = String::from("layer,h,w,c,detail\n");
+    for r in &rows {
+        csv.push_str(&format!("{},{},{},{},{}\n", r.layer, r.output.0, r.output.1, r.output.2, r.detail));
+    }
+    cc19_bench::write_result("table2.csv", &csv);
+}

@@ -1,0 +1,41 @@
+//! Table 6: global memory load/store and floating-point operation counts
+//! per kernel, for an input of size 512×512×32 with 5×5 filters.
+//!
+//! These are exact analytic counts validated against instrumented kernel
+//! loops in `cc19-kernels::count`; the paper values are reproduced to
+//! within rounding.
+
+use cc19_bench::{banner, parse_scale, TablePrinter};
+use cc19_kernels::count::kernel_counts;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table 6", "per-kernel operation counts (512x512x32 input, 5x5 filters)", scale);
+
+    let k = kernel_counts(512, 512, 32, 5);
+    let rows: [(&str, _, (f64, f64, f64)); 6] = [
+        ("Convolution", k.convolution, (13421.7, 8.4, 13421.7)),
+        ("Deconvolution", k.deconvolution, (13421.7, 8.4, 13421.7)),
+        ("Pooling", k.pooling, (18.9, 2.1, 0.0)),
+        ("Un-pooling", k.unpooling, (134.3, 33.5, 469.7)),
+        ("Leaky-ReLU", k.leaky_relu, (8.4, 8.4, 8.4)),
+        ("Batch Normalization", k.batch_norm, (41.9, 8.4, 41.9)),
+    ];
+
+    let t = TablePrinter::new(&[20, 14, 14, 14, 30]);
+    t.row(&[&"Kernel", &"Loads (10^6)", &"Stores (10^6)", &"Flops (10^6)", &"Paper (loads/stores/flops)"]);
+    t.sep();
+    let mut csv = String::from("kernel,loads_m,stores_m,flops_m,paper_loads_m,paper_stores_m,paper_flops_m\n");
+    for (name, counts, paper) in rows {
+        let (l, s, f) = counts.in_millions();
+        t.row(&[
+            &name,
+            &format!("{l:.1}"),
+            &format!("{s:.1}"),
+            &format!("{f:.1}"),
+            &format!("{}/{}/{}", paper.0, paper.1, paper.2),
+        ]);
+        csv.push_str(&format!("{name},{l:.1},{s:.1},{f:.1},{},{},{}\n", paper.0, paper.1, paper.2));
+    }
+    cc19_bench::write_result("table6.csv", &csv);
+}

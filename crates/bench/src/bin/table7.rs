@@ -1,0 +1,69 @@
+//! Table 7: whole-DDnet execution time under cumulative optimizations —
+//! Baseline / +REF / +PF / +LU.
+//!
+//! The six paper platforms are model predictions; the measured section
+//! runs all four real kernel stages on this host, demonstrating the same
+//! shape: the scatter→gather refactoring delivers the big win, prefetch
+//! and unrolling shave the rest.
+
+use cc19_bench::{banner, fmt_secs, parse_scale, Scale, TablePrinter};
+use cc19_hetero::{predict_table7_row, DEVICES};
+use cc19_kernels::ddnet_exec::{run_ddnet_inference, DdnetShape};
+use cc19_kernels::OptLevel;
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table 7", "DDnet time vs optimization stage (REF/PF/LU)", scale);
+
+    let paper: [[f64; 4]; 6] = [
+        [63.82, 0.10, 0.10, 0.10],
+        [152.08, 0.29, 0.26, 0.25],
+        [219.60, 0.25, 0.25, 0.25],
+        [59.30, 0.32, 0.31, 0.29],
+        [6.51, 1.95, 1.69, 1.64],
+        [278.53, 130.62, 127.72, 65.83],
+    ];
+
+    let t = TablePrinter::new(&[30, 11, 11, 11, 11, 26]);
+    t.row(&[&"Platform", &"Baseline", &"+REF", &"+PF", &"+LU", &"Paper row"]);
+    t.sep();
+    let mut csv = String::from("platform,baseline_s,ref_s,pf_s,lu_s,paper_baseline,paper_ref,paper_pf,paper_lu\n");
+    for (i, dev) in DEVICES.iter().enumerate() {
+        let row = predict_table7_row(dev, DdnetShape::paper());
+        t.row(&[
+            &dev.name,
+            &fmt_secs(row[0]),
+            &fmt_secs(row[1]),
+            &fmt_secs(row[2]),
+            &fmt_secs(row[3]),
+            &format!("{:?}", paper[i]),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            dev.name, row[0], row[1], row[2], row[3], paper[i][0], paper[i][1], paper[i][2], paper[i][3]
+        ));
+    }
+    t.sep();
+
+    let shape = match scale {
+        Scale::Full => DdnetShape::paper(),
+        Scale::Quick => DdnetShape::reduced(128),
+    };
+    println!("\nmeasured on this host, input {}x{} (all four kernel stages, real kernels):", shape.n, shape.n);
+    let mut measured = Vec::new();
+    for level in OptLevel::ALL {
+        let times = run_ddnet_inference(shape, level, 5);
+        println!("  {:<26} {} s", level.label(), fmt_secs(times.total().as_secs_f64()));
+        measured.push(times.total().as_secs_f64());
+    }
+    println!(
+        "  baseline/optimized ratio: {:.1}x (paper CPU: {:.1}x)",
+        measured[0] / measured[3],
+        6.51 / 1.64
+    );
+    csv.push_str(&format!(
+        "this host (n={}),{},{},{},{},,,,\n",
+        shape.n, measured[0], measured[1], measured[2], measured[3]
+    ));
+    cc19_bench::write_result("table7.csv", &csv);
+}

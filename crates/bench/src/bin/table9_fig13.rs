@@ -1,0 +1,117 @@
+//! Table 9 + Figure 13: the headline accuracy experiment — classification
+//! of the held-out test set with and without Enhancement AI.
+//!
+//! Paper results: accuracy 86.32% → 90.53%, AUC 0.890 → 0.942, optimal
+//! threshold 0.061 (Table 9's confusion matrix). This harness runs the
+//! whole pipeline at reduced scale (see EXPERIMENTS.md for the scale
+//! policy) and prints accuracy, AUC, ROC points and the confusion
+//! matrices of both arms.
+
+use cc19_bench::{banner, parse_scale, Scale, TablePrinter};
+use cc19_analysis::metrics;
+use computecovid19::experiments::{run_accuracy_experiment, AccuracyConfig};
+
+fn main() {
+    let scale = parse_scale();
+    banner("Table 9 / Fig 13", "classification accuracy with vs without Enhancement AI", scale);
+
+    let cfg = match scale {
+        Scale::Full => AccuracyConfig::full(),
+        Scale::Quick => AccuracyConfig::quick(),
+    };
+    println!(
+        "config: {}x{}x{} volumes, {} train / {} test, {} enh pairs, {} views, b={:.0e}\n",
+        cfg.n, cfg.n, cfg.slices, cfg.train_volumes, cfg.test_volumes, cfg.enh_pairs, cfg.views,
+        cfg.blank_scan
+    );
+    let t0 = std::time::Instant::now();
+    let out = run_accuracy_experiment(cfg).unwrap();
+    println!("experiment ran in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    // Table 8 side-product
+    println!(
+        "enhancement quality (Table 8 shape): raw mse {:.5}/ms-ssim {:.1}% -> enhanced mse {:.5}/ms-ssim {:.1}%\n",
+        out.table8_raw.mse,
+        out.table8_raw.ms_ssim * 100.0,
+        out.table8_enhanced.mse,
+        out.table8_enhanced.ms_ssim * 100.0
+    );
+
+    let (acc_o, th_o) = out.accuracy(&out.scores_original);
+    let (acc_e, th_e) = out.accuracy(&out.scores_enhanced);
+    let auc_o = out.auc(&out.scores_original);
+    let auc_e = out.auc(&out.scores_enhanced);
+
+    let t = TablePrinter::new(&[34, 12, 10, 12, 18]);
+    t.row(&[&"Arm", &"Accuracy", &"AUC", &"Threshold", &"Paper (acc/AUC)"]);
+    t.sep();
+    t.row(&[
+        &"Seg + Class (original CT)",
+        &format!("{:.2} %", acc_o * 100.0),
+        &format!("{auc_o:.3}"),
+        &format!("{th_o:.3}"),
+        &"86.32 % / 0.890",
+    ]);
+    t.row(&[
+        &"Enh + Seg + Class (enhanced CT)",
+        &format!("{:.2} %", acc_e * 100.0),
+        &format!("{auc_e:.3}"),
+        &format!("{th_e:.3}"),
+        &"90.53 % / 0.942",
+    ]);
+    t.sep();
+
+    // Confusion matrices at each arm's optimal threshold (Table 9).
+    for (name, scores, th) in [
+        ("original", &out.scores_original, th_o),
+        ("enhanced", &out.scores_enhanced, th_e),
+    ] {
+        let cm = out.confusion(scores, th);
+        println!("\nconfusion matrix ({name} arm, threshold {th:.3}):");
+        println!("                     ground truth +   ground truth -");
+        println!("  predicted +        TP {:>4}           FP {:>4}", cm.tp, cm.fp);
+        println!("  predicted -        FN {:>4}           TN {:>4}", cm.fn_, cm.tn);
+        println!(
+            "  sensitivity (TPR) {:.2}%  specificity {:.2}%  F1 {:.3}",
+            cm.tpr() * 100.0,
+            cm.specificity() * 100.0,
+            cm.f1()
+        );
+    }
+
+    // Wilson 95% intervals — the honest error bars for these small test sets.
+    let n_test = out.labels.len();
+    for (name, acc) in [("original", acc_o), ("enhanced", acc_e)] {
+        let correct = (acc * n_test as f64).round() as usize;
+        let (lo, hi) = metrics::wilson_interval(correct, n_test, 1.96);
+        println!(
+            "\naccuracy 95% interval ({name}): [{:.1} %, {:.1} %] over {n_test} scans",
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+
+    // §5.2.3's mean positive-probability improvement.
+    let mp_o = metrics::mean_positive_probability(&out.scores_original, &out.labels);
+    let mp_e = metrics::mean_positive_probability(&out.scores_enhanced, &out.labels);
+    println!(
+        "\nmean positive-class probability of true positives: {:.4} -> {:.4} (delta {:+.4}; paper: +0.1136)",
+        mp_o,
+        mp_e,
+        mp_e - mp_o
+    );
+
+    // ROC curves (Fig 13b) to CSV.
+    let mut csv = String::from("arm,fpr,tpr\n");
+    for (arm, scores) in [("original", &out.scores_original), ("enhanced", &out.scores_enhanced)] {
+        for (fpr, tpr) in metrics::roc_curve(scores, &out.labels) {
+            csv.push_str(&format!("{arm},{fpr},{tpr}\n"));
+        }
+    }
+    cc19_bench::write_result("fig13_roc.csv", &csv);
+
+    let summary = format!(
+        "arm,accuracy,auc,threshold\noriginal,{acc_o},{auc_o},{th_o}\nenhanced,{acc_e},{auc_e},{th_e}\n"
+    );
+    cc19_bench::write_result("table9.csv", &summary);
+}

@@ -1,0 +1,189 @@
+//! Minimal radix-2 FFT (f64), used by the FBP ramp filtering.
+//!
+//! Hand-rolled because the allowed dependency set has no FFT crate; the
+//! sizes involved (≤ 4096) make an iterative radix-2 implementation more
+//! than fast enough.
+
+/// Complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// Next power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/N scale).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // bit-reversal permutation
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen: Complex = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w: Complex = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = c_mul(data[i + k + len / 2], w);
+                data[i + k] = c_add(u, v);
+                data[i + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            v.0 *= inv_n;
+            v.1 *= inv_n;
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to `m` (power of two).
+pub fn rfft_padded(signal: &[f32], m: usize) -> Vec<Complex> {
+    assert!(m.is_power_of_two() && m >= signal.len());
+    let mut buf: Vec<Complex> = signal.iter().map(|&v| (v as f64, 0.0)).collect();
+    buf.resize(m, (0.0, 0.0));
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Circular convolution of a real signal with a real kernel via FFT, both
+/// zero-padded to `m`; returns the first `out_len` samples (real parts).
+pub fn fft_convolve(signal: &[f32], kernel: &[f64], m: usize, out_len: usize) -> Vec<f32> {
+    assert!(m.is_power_of_two() && m >= signal.len() && m >= kernel.len());
+    let mut a: Vec<Complex> = signal.iter().map(|&v| (v as f64, 0.0)).collect();
+    a.resize(m, (0.0, 0.0));
+    let mut b: Vec<Complex> = kernel.iter().map(|&v| (v, 0.0)).collect();
+    b.resize(m, (0.0, 0.0));
+    fft_in_place(&mut a, false);
+    fft_in_place(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = c_mul(*x, *y);
+    }
+    fft_in_place(&mut a, true);
+    a[..out_len].iter().map(|&(re, _)| re as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let mut data: Vec<Complex> = (0..64).map(|i| ((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let orig = data.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.0 - b.0).abs() < 1e-10 && (a.1 - b.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![(0.0, 0.0); 16];
+        data[0] = (1.0, 0.0);
+        fft_in_place(&mut data, false);
+        for &(re, im) in &data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                (ph.cos(), 0.0)
+            })
+            .collect();
+        fft_in_place(&mut data, false);
+        let mags: Vec<f64> = data.iter().map(|&(re, im)| (re * re + im * im).sqrt()).collect();
+        // peak at bins k and n-k
+        let max = mags.iter().cloned().fold(0.0, f64::max);
+        assert!((mags[k] - max).abs() < 1e-9);
+        assert!((mags[n - k] - max).abs() < 1e-9);
+        assert!(mags[k] > 10.0 * mags[k + 1]);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut rng = cc19_tensor::rng::Xorshift::new(7);
+        let n = 128;
+        let data: Vec<Complex> = (0..n).map(|_| (rng.uniform(-1.0, 1.0) as f64, 0.0)).collect();
+        let time_energy: f64 = data.iter().map(|&(re, im)| re * re + im * im).sum();
+        let mut f = data.clone();
+        fft_in_place(&mut f, false);
+        let freq_energy: f64 =
+            f.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn convolution_matches_direct() {
+        let signal = vec![1.0f32, 2.0, 3.0, 4.0, 0.0, -1.0];
+        let kernel = vec![0.5f64, -0.25, 0.125];
+        let m = next_pow2(signal.len() + kernel.len());
+        let got = fft_convolve(&signal, &kernel, m, signal.len());
+        // direct (causal) convolution
+        for i in 0..signal.len() {
+            let mut acc = 0.0f64;
+            for (j, &kv) in kernel.iter().enumerate() {
+                if i >= j {
+                    acc += signal[i - j] as f64 * kv;
+                }
+            }
+            assert!((got[i] as f64 - acc).abs() < 1e-6, "i={i}: {} vs {acc}", got[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft_in_place(&mut data, false);
+    }
+}

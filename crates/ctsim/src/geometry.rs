@@ -1,0 +1,171 @@
+//! Acquisition geometries.
+//!
+//! The paper's geometry (§3.1.2) is fan-beam: source–detector distance
+//! 1500 mm, source–isocenter 1000 mm, 720 evenly-spaced projections over
+//! 360°, 1024 detector pixels. A parallel-beam geometry is provided as
+//! well: it admits the textbook FBP inversion used by the reconstruction
+//! unit tests, and is the default for the reduced-scale training data.
+
+/// Fan-beam geometry with a flat (equispaced) detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanBeamGeometry {
+    /// Source-to-isocenter distance (mm).
+    pub sod: f32,
+    /// Source-to-detector distance (mm).
+    pub sdd: f32,
+    /// Number of projection angles over the full scan.
+    pub views: usize,
+    /// Total scan arc in radians (the paper uses 2π).
+    pub arc: f32,
+    /// Number of detector pixels.
+    pub detectors: usize,
+    /// Detector pixel pitch (mm) at the detector plane.
+    pub det_pitch: f32,
+}
+
+impl FanBeamGeometry {
+    /// The paper's acquisition setup (§3.1.2): SOD 1000 mm, SDD 1500 mm,
+    /// 720 views / 360°, 1024 detector pixels. The pitch is chosen so the
+    /// fan covers a 500 mm-diameter field of view with ~10% margin.
+    pub fn paper() -> Self {
+        let sod = 1000.0;
+        let sdd = 1500.0;
+        // half-fan to cover radius 250 mm with margin 1.1 at the isocenter:
+        let gamma = (250.0f32 * 1.1 / sod).asin();
+        let half_width = sdd * gamma.tan();
+        let detectors = 1024;
+        FanBeamGeometry {
+            sod,
+            sdd,
+            views: 720,
+            arc: std::f32::consts::TAU,
+            detectors,
+            det_pitch: 2.0 * half_width / detectors as f32,
+        }
+    }
+
+    /// A scaled-down variant for fast tests / reduced-resolution training.
+    pub fn reduced(views: usize, detectors: usize) -> Self {
+        let mut g = Self::paper();
+        g.views = views;
+        g.detectors = detectors;
+        let gamma = (250.0f32 * 1.1 / g.sod).asin();
+        let half_width = g.sdd * gamma.tan();
+        g.det_pitch = 2.0 * half_width / detectors as f32;
+        g
+    }
+
+    /// Angle (radians) of view `v`.
+    pub fn view_angle(&self, v: usize) -> f32 {
+        self.arc * v as f32 / self.views as f32
+    }
+
+    /// Source position for view `v` (isocenter coordinates, mm).
+    pub fn source_pos(&self, v: usize) -> (f32, f32) {
+        let beta = self.view_angle(v);
+        (-self.sod * beta.sin(), self.sod * beta.cos())
+    }
+
+    /// Center of detector pixel `d` for view `v` (mm).
+    pub fn detector_pos(&self, v: usize, d: usize) -> (f32, f32) {
+        let beta = self.view_angle(v);
+        // Detector center is opposite the source at distance (sdd - sod)
+        // from the isocenter; the detector line is perpendicular to the
+        // source->isocenter axis.
+        let cx = (self.sdd - self.sod) * beta.sin();
+        let cy = -(self.sdd - self.sod) * beta.cos();
+        let u = (d as f32 + 0.5 - self.detectors as f32 / 2.0) * self.det_pitch;
+        // unit vector along the detector
+        let (tx, ty) = (beta.cos(), beta.sin());
+        (cx + u * tx, cy + u * ty)
+    }
+
+    /// Signed detector coordinate (mm) of pixel `d`.
+    pub fn detector_u(&self, d: usize) -> f32 {
+        (d as f32 + 0.5 - self.detectors as f32 / 2.0) * self.det_pitch
+    }
+}
+
+/// Parallel-beam geometry (Radon transform sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelBeamGeometry {
+    /// Number of projection angles over `[0, pi)`.
+    pub views: usize,
+    /// Number of detector bins.
+    pub detectors: usize,
+    /// Detector bin pitch (mm).
+    pub det_pitch: f32,
+}
+
+impl ParallelBeamGeometry {
+    /// Geometry sized for an `n`×`n` image with pixel size `px` mm: the
+    /// detector spans the image diagonal.
+    pub fn for_image(n: usize, px: f32, views: usize) -> Self {
+        let diag = (n as f32) * px * std::f32::consts::SQRT_2;
+        let detectors = (n as f32 * std::f32::consts::SQRT_2).ceil() as usize + 2;
+        ParallelBeamGeometry { views, detectors, det_pitch: diag / detectors as f32 }
+    }
+
+    /// Angle (radians) of view `v`, evenly spread over `[0, pi)`.
+    pub fn view_angle(&self, v: usize) -> f32 {
+        std::f32::consts::PI * v as f32 / self.views as f32
+    }
+
+    /// Signed detector coordinate (mm) of bin `d`.
+    pub fn detector_s(&self, d: usize) -> f32 {
+        (d as f32 + 0.5 - self.detectors as f32 / 2.0) * self.det_pitch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_parameters() {
+        let g = FanBeamGeometry::paper();
+        assert_eq!(g.views, 720);
+        assert_eq!(g.detectors, 1024);
+        assert_eq!(g.sod, 1000.0);
+        assert_eq!(g.sdd, 1500.0);
+        // detector must cover the 550 mm FOV projected to the detector plane
+        let span = g.det_pitch * g.detectors as f32;
+        assert!(span > 550.0, "span {span}");
+    }
+
+    #[test]
+    fn source_rotates_on_circle() {
+        let g = FanBeamGeometry::paper();
+        for v in [0, 180, 360, 540] {
+            let (x, y) = g.source_pos(v);
+            let r = (x * x + y * y).sqrt();
+            assert!((r - g.sod).abs() < 1e-2, "view {v}: r {r}");
+        }
+        // view 0 source at (0, +sod)
+        let (x0, y0) = g.source_pos(0);
+        assert!(x0.abs() < 1e-3 && (y0 - g.sod).abs() < 1e-3);
+    }
+
+    #[test]
+    fn detector_opposite_source() {
+        let g = FanBeamGeometry::paper();
+        for v in [0usize, 97, 333] {
+            let (sx, sy) = g.source_pos(v);
+            let (dx, dy) = g.detector_pos(v, g.detectors / 2);
+            // source and central detector pixel are nearly collinear with origin
+            let dot = sx * dx + sy * dy;
+            assert!(dot < 0.0, "detector should be on the far side");
+            let dist = ((sx - dx).powi(2) + (sy - dy).powi(2)).sqrt();
+            assert!((dist - g.sdd).abs() < g.det_pitch, "view {v}: dist {dist}");
+        }
+    }
+
+    #[test]
+    fn parallel_geometry_covers_diagonal() {
+        let g = ParallelBeamGeometry::for_image(128, 1.0, 180);
+        let span = g.det_pitch * g.detectors as f32;
+        assert!(span >= 128.0 * std::f32::consts::SQRT_2 - 1e-3);
+        // symmetric detector coordinates
+        assert!((g.detector_s(0) + g.detector_s(g.detectors - 1)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Hounsfield-unit (HU) conversions.
+//!
+//! CT scanners report attenuation in HU: `HU = 1000 * (mu - mu_water) /
+//! mu_water`. The projector works in linear attenuation `mu` (1/mm); the
+//! networks work either in HU (Classification AI, §3.3.1) or in `[0, 1]`
+//! normalized floats (Enhancement AI, §3.1.1).
+
+use cc19_tensor::Tensor;
+
+/// Linear attenuation coefficient of water at the paper's monochromatic
+/// 60 keV source energy, in 1/mm.
+pub const MU_WATER_60KEV: f32 = 0.0206;
+
+/// HU of air.
+pub const HU_AIR: f32 = -1000.0;
+
+/// Convert a single HU value to linear attenuation (1/mm), clamped at 0.
+pub fn hu_to_mu(hu: f32) -> f32 {
+    (MU_WATER_60KEV * (1.0 + hu / 1000.0)).max(0.0)
+}
+
+/// Convert linear attenuation (1/mm) back to HU.
+pub fn mu_to_hu(mu: f32) -> f32 {
+    1000.0 * (mu - MU_WATER_60KEV) / MU_WATER_60KEV
+}
+
+/// Elementwise HU -> mu for an image tensor.
+pub fn image_hu_to_mu(img: &Tensor) -> Tensor {
+    cc19_tensor::ops::map(img, hu_to_mu)
+}
+
+/// Elementwise mu -> HU for an image tensor.
+pub fn image_mu_to_hu(img: &Tensor) -> Tensor {
+    cc19_tensor::ops::map(img, mu_to_hu)
+}
+
+/// Normalize an HU image into `[0, 1]` over a fixed display window
+/// (the paper converts HU to `[0,1]` floats before Enhancement AI to avoid
+/// integer overflow, §3.1.1). Standard lung-window default is
+/// `[-1000, 400]` HU.
+pub fn hu_window_to_unit(img: &Tensor, lo: f32, hi: f32) -> Tensor {
+    debug_assert!(hi > lo);
+    let scale = 1.0 / (hi - lo);
+    cc19_tensor::ops::map(img, move |v| ((v - lo) * scale).clamp(0.0, 1.0))
+}
+
+/// Inverse of [`hu_window_to_unit`] (values that were clamped cannot be
+/// recovered).
+pub fn unit_to_hu_window(img: &Tensor, lo: f32, hi: f32) -> Tensor {
+    cc19_tensor::ops::map(img, move |v| lo + v * (hi - lo))
+}
+
+/// The default Enhancement-AI window.
+pub const LUNG_WINDOW: (f32, f32) = (-1000.0, 400.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hu_mu_roundtrip() {
+        for &hu in &[-1000.0f32, -500.0, 0.0, 40.0, 700.0] {
+            let mu = hu_to_mu(hu);
+            assert!((mu_to_hu(mu) - hu).abs() < 1e-2, "hu {hu}");
+        }
+    }
+
+    #[test]
+    fn reference_points() {
+        // air ~ 0 attenuation, water = mu_water
+        assert!(hu_to_mu(-1000.0).abs() < 1e-9);
+        assert!((hu_to_mu(0.0) - MU_WATER_60KEV).abs() < 1e-9);
+        assert!(hu_to_mu(-2000.0) >= 0.0, "mu clamped at zero");
+    }
+
+    #[test]
+    fn window_normalization() {
+        let img = Tensor::from_vec([4], vec![-1000.0, -300.0, 400.0, 1000.0]).unwrap();
+        let u = hu_window_to_unit(&img, -1000.0, 400.0);
+        assert!((u.data()[0] - 0.0).abs() < 1e-6);
+        assert!((u.data()[1] - 0.5).abs() < 1e-6);
+        assert!((u.data()[2] - 1.0).abs() < 1e-6);
+        assert!((u.data()[3] - 1.0).abs() < 1e-6, "clamped");
+        let back = unit_to_hu_window(&u, -1000.0, 400.0);
+        assert!((back.data()[1] + 300.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Image output: binary PGM (P5) writers for the figure harnesses
+//! (Fig 8 sinogram/reconstruction, Fig 12 enhancement panels).
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use cc19_tensor::Tensor;
+
+/// Write a rank-2 tensor as an 8-bit binary PGM, linearly mapping
+/// `[lo, hi]` to `[0, 255]` (values clamped).
+pub fn write_pgm(img: &Tensor, lo: f32, hi: f32, path: &Path) -> std::io::Result<()> {
+    assert_eq!(img.shape().rank(), 2, "write_pgm expects a rank-2 image");
+    assert!(hi > lo);
+    let (h, w) = (img.dims()[0], img.dims()[1]);
+    let f = File::create(path)?;
+    let mut out = BufWriter::new(f);
+    write!(out, "P5\n{w} {h}\n255\n")?;
+    let scale = 255.0 / (hi - lo);
+    let bytes: Vec<u8> = img
+        .data()
+        .iter()
+        .map(|&v| ((v - lo) * scale).clamp(0.0, 255.0) as u8)
+        .collect();
+    out.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Write with automatic window = [min, max] of the image.
+pub fn write_pgm_auto(img: &Tensor, path: &Path) -> std::io::Result<()> {
+    let lo = cc19_tensor::reduce::min(img);
+    let hi = cc19_tensor::reduce::max(img);
+    let hi = if hi > lo { hi } else { lo + 1.0 };
+    write_pgm(img, lo, hi, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let img = Tensor::from_vec([2, 3], vec![0.0, 0.5, 1.0, 1.0, 0.5, 0.0]).unwrap();
+        let dir = std::env::temp_dir().join("cc19_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        write_pgm(&img, 0.0, 1.0, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = b"P5\n3 2\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        let px = &bytes[header.len()..];
+        assert_eq!(px.len(), 6);
+        assert_eq!(px[0], 0);
+        assert_eq!(px[2], 255);
+        assert!((px[1] as i32 - 127).abs() <= 1);
+    }
+
+    #[test]
+    fn auto_window_handles_constant_image() {
+        let img = Tensor::full([4, 4], 7.0);
+        let dir = std::env::temp_dir().join("cc19_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.pgm");
+        write_pgm_auto(&img, &path).unwrap();
+        assert!(path.exists());
+    }
+}

@@ -1,0 +1,235 @@
+//! Iterative (algebraic) reconstruction — SIRT — the classical alternative
+//! to FBP that the paper's related work cites (§6.3, Beister et al.,
+//! "Iterative Reconstruction Methods in X-ray CT").
+//!
+//! SIRT update: `x ← x + λ · Aᵀ R (b − A x)` with row/column
+//! normalizations `R = diag(1/row_sums)`, folded into a per-pixel scale
+//! here. We implement it matrix-free on top of the Siddon projector for
+//! the parallel-beam geometry, with a non-negativity constraint (linear
+//! attenuation cannot be negative).
+
+use rayon::prelude::*;
+
+use cc19_tensor::Tensor;
+
+use crate::geometry::ParallelBeamGeometry;
+use crate::siddon::{project_parallel, Grid};
+use crate::sinogram::Sinogram;
+use crate::Result;
+
+/// SIRT settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SirtConfig {
+    /// Number of sweeps over all views.
+    pub iterations: usize,
+    /// Relaxation factor (0 < λ ≤ 1).
+    pub lambda: f32,
+    /// Clamp negative attenuation to zero each iteration.
+    pub nonneg: bool,
+}
+
+impl Default for SirtConfig {
+    fn default() -> Self {
+        SirtConfig { iterations: 30, lambda: 0.25, nonneg: true }
+    }
+}
+
+/// Matrix-free back projection of a residual sinogram (unfiltered Aᵀ r),
+/// normalized per pixel by the ray length through the grid.
+fn backproject_residual(
+    residual: &Sinogram,
+    geom: &ParallelBeamGeometry,
+    grid: Grid,
+) -> Tensor {
+    let n = grid.n;
+    let half = grid.half();
+    let mut img = Tensor::zeros([n, n]);
+    let det_center = geom.detectors as f32 / 2.0 - 0.5;
+    let inv_pitch = 1.0 / geom.det_pitch;
+    let angles: Vec<(f32, f32)> =
+        (0..geom.views).map(|v| { let a = geom.view_angle(v); (a.cos(), a.sin()) }).collect();
+    let rd = residual.tensor().data();
+    let det = geom.detectors;
+
+    img.data_mut().par_chunks_mut(n).enumerate().for_each(|(r, row)| {
+        let y = half - (r as f32 + 0.5) * grid.px;
+        for (c, out) in row.iter_mut().enumerate() {
+            let x = (c as f32 + 0.5) * grid.px - half;
+            let mut acc = 0.0f32;
+            for (v, &(cos_t, sin_t)) in angles.iter().enumerate() {
+                let s = x * cos_t + y * sin_t;
+                let fd = s * inv_pitch + det_center;
+                let i0 = fd.floor();
+                let frac = fd - i0;
+                let i0 = i0 as isize;
+                if i0 < 0 || i0 as usize + 1 >= det {
+                    continue;
+                }
+                let base = v * det + i0 as usize;
+                acc += rd[base] * (1.0 - frac) + rd[base + 1] * frac;
+            }
+            // normalize by accumulated ray length (~views * average chord)
+            *out = acc / (geom.views as f32 * grid.px * (n as f32).sqrt());
+        }
+    });
+    img
+}
+
+/// SIRT reconstruction of a parallel-beam sinogram onto an `n`×`n` grid.
+pub fn sirt(
+    sino: &Sinogram,
+    geom: &ParallelBeamGeometry,
+    grid: Grid,
+    cfg: SirtConfig,
+) -> Result<Tensor> {
+    let mut x = Tensor::zeros([grid.n, grid.n]);
+    for _ in 0..cfg.iterations {
+        let fwd = project_parallel(&x, grid, geom)?;
+        // residual = b - A x
+        let mut residual = Sinogram::zeros(geom.views, geom.detectors);
+        for ((r, &b), &a) in residual
+            .tensor_mut()
+            .data_mut()
+            .iter_mut()
+            .zip(sino.tensor().data())
+            .zip(fwd.tensor().data())
+        {
+            *r = b - a;
+        }
+        let update = backproject_residual(&residual, geom, grid);
+        cc19_tensor::ops::axpy(cfg.lambda, &update, &mut x)?;
+        if cfg.nonneg {
+            for v in x.data_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// Sinogram completion by linear view interpolation — the cheap classical
+/// fix for sparse-view acquisition the related work cites (§6.3, sinogram
+/// inpainting): upsample an `m`-view sinogram to `target_views` by
+/// linearly blending adjacent measured views.
+pub fn interpolate_views(sino: &Sinogram, target_views: usize) -> Result<Sinogram> {
+    let m = sino.views();
+    let det = sino.detectors();
+    assert!(m >= 2, "need at least two views");
+    let mut out = Sinogram::zeros(target_views, det);
+    for tv in 0..target_views {
+        // position in source-view coordinates
+        let f = tv as f32 * m as f32 / target_views as f32;
+        let v0 = (f.floor() as usize).min(m - 1);
+        let v1 = (v0 + 1).min(m - 1);
+        let w = f - v0 as f32;
+        let src0 = sino.view(v0);
+        let src1 = sino.view(v1);
+        let dst = &mut out.tensor_mut().data_mut()[tv * det..(tv + 1) * det];
+        for ((d, &a), &b) in dst.iter_mut().zip(src0).zip(src1) {
+            *d = a * (1.0 - w) + b * w;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fbp::fbp_parallel;
+    use crate::filter::Window;
+    use crate::hu;
+    use crate::lowdose::{apply_poisson_noise, DoseSettings};
+    use crate::phantom::ChestPhantom;
+
+    fn setup(n: usize, views: usize) -> (Tensor, ParallelBeamGeometry, Grid, Sinogram) {
+        let grid = Grid::fov500(n);
+        let mu = hu::image_hu_to_mu(&ChestPhantom::subject(1, 0.5, None).rasterize_hu(n));
+        let geom = ParallelBeamGeometry::for_image(n, grid.px, views);
+        let sino = project_parallel(&mu, grid, &geom).unwrap();
+        (mu, geom, grid, sino)
+    }
+
+    #[test]
+    fn sirt_converges_toward_the_phantom() {
+        let (mu, geom, grid, sino) = setup(48, 48);
+        let short = sirt(&sino, &geom, grid, SirtConfig { iterations: 2, ..Default::default() }).unwrap();
+        let long = sirt(&sino, &geom, grid, SirtConfig { iterations: 25, ..Default::default() }).unwrap();
+        let err_short = cc19_tensor::reduce::mse(&short, &mu).unwrap();
+        let err_long = cc19_tensor::reduce::mse(&long, &mu).unwrap();
+        assert!(err_long < err_short, "more iterations must help: {err_long} vs {err_short}");
+        // and the long run should be a decent reconstruction
+        let rel = err_long.sqrt() / cc19_tensor::reduce::mean(&mu).abs().max(1e-9);
+        assert!(rel < 1.5, "relative error {rel}");
+    }
+
+    #[test]
+    fn sirt_is_nonnegative_when_constrained() {
+        let (_, geom, grid, sino) = setup(32, 32);
+        let x = sirt(&sino, &geom, grid, SirtConfig::default()).unwrap();
+        assert!(x.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sirt_beats_fbp_on_noisy_sparse_data() {
+        // The classical selling point of iterative methods: robustness to
+        // noise + few views.
+        let n = 48;
+        let grid = Grid::fov500(n);
+        let mu = hu::image_hu_to_mu(&ChestPhantom::subject(2, 0.5, None).rasterize_hu(n));
+        let geom = ParallelBeamGeometry::for_image(n, grid.px, 16); // very sparse
+        let sino = project_parallel(&mu, grid, &geom).unwrap();
+        let noisy = apply_poisson_noise(&sino, DoseSettings { blank_scan: 2.0e4, seed: 3 });
+
+        let fbp = fbp_parallel(&noisy, &geom, grid, Window::RamLak).unwrap();
+        let it = sirt(&noisy, &geom, grid, SirtConfig { iterations: 40, ..Default::default() }).unwrap();
+        let err_fbp = cc19_tensor::reduce::mse(&fbp, &mu).unwrap();
+        let err_sirt = cc19_tensor::reduce::mse(&it, &mu).unwrap();
+        assert!(
+            err_sirt < err_fbp,
+            "SIRT should beat FBP on sparse noisy data: {err_sirt} vs {err_fbp}"
+        );
+    }
+
+    #[test]
+    fn view_interpolation_upsamples_consistently() {
+        let (_, _, _, sino) = setup(32, 16);
+        let up = interpolate_views(&sino, 64).unwrap();
+        assert_eq!(up.views(), 64);
+        assert_eq!(up.detectors(), sino.detectors());
+        // measured views are preserved exactly at their positions
+        assert_eq!(up.view(0), sino.view(0));
+        assert_eq!(up.view(4), sino.view(1)); // 64/16 = 4
+        // interpolated views lie between neighbours
+        for d in 0..sino.detectors() {
+            let a = sino.at(0, d).min(sino.at(1, d));
+            let b = sino.at(0, d).max(sino.at(1, d));
+            let mid = up.at(2, d);
+            assert!(mid >= a - 1e-5 && mid <= b + 1e-5);
+        }
+    }
+
+    #[test]
+    fn interpolated_sparse_recon_improves_over_raw_sparse() {
+        // Sparse FBP has streaks; interpolating views before FBP reduces
+        // them — the classical sinogram-completion result.
+        let n = 48;
+        let grid = Grid::fov500(n);
+        let mu = hu::image_hu_to_mu(&ChestPhantom::subject(4, 0.5, None).rasterize_hu(n));
+        let dense_geom = ParallelBeamGeometry::for_image(n, grid.px, 72);
+        let sparse_geom = ParallelBeamGeometry::for_image(n, grid.px, 18);
+        let sparse = project_parallel(&mu, grid, &sparse_geom).unwrap();
+
+        let raw = fbp_parallel(&sparse, &sparse_geom, grid, Window::RamLak).unwrap();
+        let completed = interpolate_views(&sparse, 72).unwrap();
+        let comp = fbp_parallel(&completed, &dense_geom, grid, Window::RamLak).unwrap();
+
+        let err_raw = cc19_tensor::reduce::mse(&raw, &mu).unwrap();
+        let err_comp = cc19_tensor::reduce::mse(&comp, &mu).unwrap();
+        assert!(
+            err_comp < err_raw,
+            "view interpolation should reduce streaking: {err_comp} vs {err_raw}"
+        );
+    }
+}

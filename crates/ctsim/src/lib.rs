@@ -1,0 +1,37 @@
+//! # cc19-ctsim
+//!
+//! The CT-physics substrate of the ComputeCOVID19+ reproduction. The paper
+//! (§3.1.2) synthesizes low-X-ray-dose CT training data by:
+//!
+//! 1. forward-projecting existing CT images with **Siddon's ray-driven
+//!    method** under **Beer's law** (monochromatic 60 keV source),
+//! 2. adding **Poisson noise** `P_i ~ Poisson(b_i * e^{-l_i})` with blank
+//!    scan factor `b_i = 1e6` photons/ray,
+//! 3. reconstructing with **filtered back projection** (FBP).
+//!
+//! This crate implements that pipeline end-to-end, for both the paper's
+//! fan-beam geometry (source–detector 1500 mm, source–isocenter 1000 mm,
+//! 720 views over 360°, 1024 detector pixels) and a parallel-beam geometry
+//! used for unit-testable reconstruction, plus procedural chest phantoms
+//! standing in for the gated clinical datasets (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod fbp;
+pub mod fft;
+pub mod filter;
+pub mod geometry;
+pub mod hu;
+pub mod io;
+pub mod iterative;
+pub mod lowdose;
+pub mod phantom;
+pub mod siddon;
+pub mod sinogram;
+
+pub use geometry::{FanBeamGeometry, ParallelBeamGeometry};
+pub use phantom::{ChestPhantom, Ellipse, Lesion};
+pub use sinogram::Sinogram;
+
+/// Crate-wide result alias (re-uses the tensor error type).
+pub type Result<T> = cc19_tensor::Result<T>;

@@ -1,0 +1,541 @@
+//! Procedural chest phantoms.
+//!
+//! Stand-ins for the gated clinical datasets (Mayo / BIMCV / MIDRC / LIDC —
+//! see DESIGN.md §2): anatomically-plausible 2D chest slices built from
+//! ellipses (body, lungs, spine, heart, ribs) in Hounsfield units, with
+//! optional COVID-like lesions — ground-glass opacities (GGOs) as soft
+//! Gaussian blobs and denser consolidations — placed inside the lungs.
+//! A smooth deterministic texture field adds parenchymal variation so the
+//! classifier cannot key on perfectly uniform tissue.
+//!
+//! Everything is deterministic per seed; the z-profile support lets the
+//! data crate stack slices into 3D volumes with anatomy that waxes and
+//! wanes along the scan axis like a real chest.
+
+use rayon::prelude::*;
+
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+/// An additive ellipse in HU. Coordinates in mm, isocenter origin,
+/// +y up; `theta` rotates counter-clockwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipse {
+    /// Center x (mm).
+    pub cx: f32,
+    /// Center y (mm).
+    pub cy: f32,
+    /// Semi-axis along the (rotated) x direction (mm).
+    pub a: f32,
+    /// Semi-axis along the (rotated) y direction (mm).
+    pub b: f32,
+    /// Rotation (radians, CCW).
+    pub theta: f32,
+    /// Additive HU contribution inside the ellipse.
+    pub hu: f32,
+}
+
+impl Ellipse {
+    /// True if the point (mm) lies inside.
+    pub fn contains(&self, x: f32, y: f32) -> bool {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let (c, s) = (self.theta.cos(), self.theta.sin());
+        let u = dx * c + dy * s;
+        let v = -dx * s + dy * c;
+        (u / self.a).powi(2) + (v / self.b).powi(2) <= 1.0
+    }
+}
+
+/// A soft lesion: Gaussian HU bump `peak * exp(-r^2 / (2 sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lesion {
+    /// Center x (mm).
+    pub cx: f32,
+    /// Center y (mm).
+    pub cy: f32,
+    /// Gaussian sigma (mm). The visible extent is roughly `2.5 sigma`.
+    pub sigma: f32,
+    /// Peak additive HU. GGOs raise lung (~-850 HU) toward -300..-500;
+    /// consolidations go higher.
+    pub peak: f32,
+}
+
+impl Lesion {
+    /// Additive HU at a point.
+    pub fn hu_at(&self, x: f32, y: f32) -> f32 {
+        let r2 = (x - self.cx).powi(2) + (y - self.cy).powi(2);
+        self.peak * (-r2 / (2.0 * self.sigma * self.sigma)).exp()
+    }
+}
+
+/// COVID severity, controls lesion count and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A couple of small GGOs.
+    Mild,
+    /// Several GGOs, the classic bilateral peripheral pattern.
+    Moderate,
+    /// Many GGOs plus consolidations.
+    Severe,
+}
+
+/// Lung pathology classes — the §7 "other maladies" extension. COVID-19
+/// presents as bilateral peripheral GGOs; (lobar) viral/bacterial
+/// pneumonia as a dense unilateral consolidation; a malignant nodule as a
+/// small, solid, sharply-bounded mass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pathology {
+    /// COVID-19 with the given severity (bilateral peripheral GGOs).
+    Covid(Severity),
+    /// Lobar pneumonia: one large dense consolidation in a single lung.
+    Pneumonia,
+    /// A solitary pulmonary nodule (cancer-like): small, dense, compact.
+    Nodule,
+}
+
+/// A single chest slice: anatomy ellipses + lesions + texture parameters.
+#[derive(Debug, Clone)]
+pub struct ChestPhantom {
+    /// Anatomy, painted in order (later entries overlay earlier ones
+    /// additively).
+    pub ellipses: Vec<Ellipse>,
+    /// The two lung ellipses (subset of `ellipses`, kept separately as the
+    /// segmentation ground truth).
+    pub lungs: [Ellipse; 2],
+    /// COVID lesions (empty for healthy subjects).
+    pub lesions: Vec<Lesion>,
+    /// Smooth-texture amplitude in HU.
+    pub texture_amp: f32,
+    /// Texture phase seeds.
+    texture: [(f32, f32, f32); 6],
+}
+
+/// HU of air (background).
+const HU_AIR: f32 = -1000.0;
+
+impl ChestPhantom {
+    /// Build the anatomy for one subject and axial position.
+    ///
+    /// - `seed`: subject identity (anatomy jitter);
+    /// - `z`: axial position in `[0, 1]` — lungs are largest mid-scan and
+    ///   vanish toward the apices/bases;
+    /// - `severity`: `None` for healthy, `Some(..)` adds lesions whose
+    ///   layout is also deterministic in `(seed, z)`.
+    pub fn subject(seed: u64, z: f32, severity: Option<Severity>) -> Self {
+        Self::subject_with(seed, z, severity.map(Pathology::Covid))
+    }
+
+    /// Like [`ChestPhantom::subject`] but for any [`Pathology`] — the §7
+    /// "other maladies" extension (pneumonia, nodules).
+    pub fn subject_with(seed: u64, z: f32, pathology: Option<Pathology>) -> Self {
+        let mut rng = Xorshift::new(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        // Subject-level jitter (drawn before slice-level values so the
+        // subject's anatomy is stable across z).
+        let body_a = 170.0 * rng.uniform(0.92, 1.08);
+        let body_b = 115.0 * rng.uniform(0.92, 1.08);
+        let lung_scale = rng.uniform(0.9, 1.1);
+        let tilt = rng.uniform(-0.05, 0.05);
+        let heart_shift = rng.uniform(-8.0, 8.0);
+        let texture_amp = rng.uniform(15.0, 30.0);
+        let texture: [(f32, f32, f32); 6] = std::array::from_fn(|_| {
+            (rng.uniform(0.01, 0.06), rng.uniform(0.01, 0.06), rng.uniform(0.0, std::f32::consts::TAU))
+        });
+
+        // Axial profile: lungs shrink away from mid-chest.
+        let zc = (z.clamp(0.0, 1.0) - 0.5) * 2.0; // [-1, 1]
+        let axial = (1.0 - 0.75 * zc * zc).max(0.15);
+        let la0 = 62.0 * lung_scale * axial;
+        let lb0 = 95.0 * lung_scale * axial;
+
+        let body = Ellipse { cx: 0.0, cy: 0.0, a: body_a, b: body_b, theta: tilt, hu: 1040.0 };
+
+        // Shrink the lungs until they sit strictly inside the body with an
+        // 8 mm tissue margin — otherwise lung air connects to outside air,
+        // which both breaks threshold segmentation and is anatomically
+        // wrong. Binary search over a shared scale factor, testing sampled
+        // boundary points of both (rotated) lung ellipses.
+        let margin = 8.0f32;
+        let fits = |scale: f32| -> bool {
+            for (cx, th) in [(-72.0f32, tilt + 0.12), (72.0, tilt - 0.12)] {
+                let (a, b) = (la0 * scale, lb0 * scale);
+                for k in 0..64 {
+                    let t = std::f32::consts::TAU * k as f32 / 64.0;
+                    let (lx, ly) = (a * t.cos(), b * t.sin());
+                    let x = cx + lx * th.cos() - ly * th.sin();
+                    let y = 5.0 + lx * th.sin() + ly * th.cos();
+                    // into the body frame
+                    let (c, s) = (tilt.cos(), tilt.sin());
+                    let u = x * c + y * s;
+                    let v = -x * s + y * c;
+                    if (u / (body_a - margin)).powi(2) + (v / (body_b - margin)).powi(2) > 1.0 {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        let mut lo = 0.3f32;
+        let mut hi = 1.0f32;
+        if fits(hi) {
+            lo = hi;
+        } else {
+            for _ in 0..16 {
+                let mid = 0.5 * (lo + hi);
+                if fits(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        let la = la0 * lo;
+        let lb = lb0 * lo;
+
+        let lung_l = Ellipse { cx: -72.0, cy: 5.0, a: la, b: lb, theta: tilt + 0.12, hu: -890.0 };
+        let lung_r = Ellipse { cx: 72.0, cy: 5.0, a: la, b: lb, theta: tilt - 0.12, hu: -890.0 };
+        let spine = Ellipse { cx: 0.0, cy: -82.0, a: 17.0, b: 20.0, theta: 0.0, hu: 660.0 };
+        let heart = Ellipse {
+            cx: -18.0 + heart_shift,
+            cy: -10.0,
+            a: 42.0 * axial.max(0.5),
+            b: 48.0 * axial.max(0.5),
+            theta: 0.35,
+            hu: 890.0, // raises lung area back to soft tissue where it overlaps
+        };
+
+        let mut ellipses = vec![body, lung_l, lung_r, heart, spine];
+        // Ribs: small dense circles around the body boundary.
+        for k in 0..8 {
+            let ang = std::f32::consts::PI * (0.15 + 0.7 * k as f32 / 7.0);
+            for side in [-1.0f32, 1.0] {
+                ellipses.push(Ellipse {
+                    cx: side * (body_a - 12.0) * ang.sin(),
+                    cy: (body_b - 10.0) * ang.cos(),
+                    a: 5.0,
+                    b: 5.0,
+                    theta: 0.0,
+                    hu: 760.0,
+                });
+            }
+        }
+
+        let lesions = match pathology {
+            None => Vec::new(),
+            Some(Pathology::Covid(sev)) => {
+                // Slice-dependent lesion stream, but subject-consistent.
+                let mut lrng =
+                    Xorshift::new(seed.wrapping_mul(0x2545F4914F6CDD1D) ^ ((z * 64.0) as u64) | 1);
+                let (count, consolidation) = match sev {
+                    Severity::Mild => (lrng.next_u64() as usize % 2 + 1, 0),
+                    Severity::Moderate => (lrng.next_u64() as usize % 3 + 3, 0),
+                    Severity::Severe => (lrng.next_u64() as usize % 4 + 5, 2),
+                };
+                let mut lesions = Vec::new();
+                for i in 0..count + consolidation {
+                    let lung = if lrng.next_f32() < 0.5 { &lung_l } else { &lung_r };
+                    // Peripheral bias: GGOs in COVID favour the lung rim.
+                    let rad = lrng.uniform(0.45, 0.92);
+                    let ang = lrng.uniform(0.0, std::f32::consts::TAU);
+                    let cx = lung.cx + lung.a * rad * ang.cos();
+                    let cy = lung.cy + lung.b * rad * ang.sin();
+                    let is_consolidation = i >= count;
+                    lesions.push(Lesion {
+                        cx,
+                        cy,
+                        sigma: if is_consolidation {
+                            lrng.uniform(6.0, 12.0)
+                        } else {
+                            lrng.uniform(10.0, 26.0)
+                        },
+                        peak: if is_consolidation {
+                            lrng.uniform(700.0, 850.0)
+                        } else {
+                            lrng.uniform(350.0, 550.0)
+                        },
+                    });
+                }
+                lesions
+            }
+            Some(Pathology::Pneumonia) => {
+                // Lobar pneumonia: one dense consolidation cluster filling
+                // the lower part of a single (subject-fixed) lung.
+                let mut srng = Xorshift::new(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+                let lung = if srng.next_f32() < 0.5 { &lung_l } else { &lung_r };
+                let mut lrng =
+                    Xorshift::new(seed.wrapping_mul(0x2545F4914F6CDD1D) ^ ((z * 64.0) as u64) | 1);
+                let mut lesions = Vec::new();
+                for _ in 0..3 {
+                    lesions.push(Lesion {
+                        cx: lung.cx + lrng.uniform(-0.3, 0.3) * lung.a,
+                        // lower-lobe bias
+                        cy: lung.cy - lung.b * lrng.uniform(0.2, 0.6),
+                        sigma: lrng.uniform(16.0, 30.0),
+                        peak: lrng.uniform(750.0, 900.0),
+                    });
+                }
+                lesions
+            }
+            Some(Pathology::Nodule) => {
+                // Solitary pulmonary nodule: small, solid, sharply bounded;
+                // subject-fixed location, present only in nearby slices.
+                let mut srng = Xorshift::new(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+                let lung = if srng.next_f32() < 0.5 { &lung_l } else { &lung_r };
+                let rad = srng.uniform(0.1, 0.6);
+                let ang = srng.uniform(0.0, std::f32::consts::TAU);
+                let z0 = srng.uniform(0.35, 0.65);
+                if (z - z0).abs() < 0.12 {
+                    vec![Lesion {
+                        cx: lung.cx + lung.a * rad * ang.cos(),
+                        cy: lung.cy + lung.b * rad * ang.sin(),
+                        sigma: srng.uniform(3.0, 6.0),
+                        peak: srng.uniform(900.0, 1100.0),
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+
+        ChestPhantom { ellipses, lungs: [lung_l, lung_r], lesions, texture_amp, texture }
+    }
+
+    /// HU value at a point (mm).
+    pub fn hu_at(&self, x: f32, y: f32) -> f32 {
+        let mut hu = HU_AIR;
+        for e in &self.ellipses {
+            if e.contains(x, y) {
+                hu += e.hu;
+            }
+        }
+        // Lesions only act inside lung tissue (their physical substrate).
+        if self.in_lungs(x, y) {
+            for l in &self.lesions {
+                hu += l.hu_at(x, y);
+            }
+            // Parenchymal texture.
+            let mut t = 0.0f32;
+            for &(fx, fy, ph) in &self.texture {
+                t += (x * fx + y * fy + ph).sin();
+            }
+            hu += self.texture_amp * t / self.texture.len() as f32;
+        }
+        // The additive composition can overshoot where structures overlap
+        // (e.g. two consolidations on the heart border); clamp to the
+        // physical CT range — nothing in a chest exceeds dense bone.
+        hu.clamp(-1000.0, 1400.0)
+    }
+
+    /// True inside either lung ellipse.
+    pub fn in_lungs(&self, x: f32, y: f32) -> bool {
+        self.lungs.iter().any(|l| l.contains(x, y))
+    }
+
+    /// Rasterize to an `n`×`n` HU image over a 500 mm field of view.
+    pub fn rasterize_hu(&self, n: usize) -> Tensor {
+        let px = 500.0 / n as f32;
+        let half = 250.0;
+        let mut img = Tensor::zeros([n, n]);
+        img.data_mut().par_chunks_mut(n).enumerate().for_each(|(r, row)| {
+            let y = half - (r as f32 + 0.5) * px;
+            for (c, out) in row.iter_mut().enumerate() {
+                let x = (c as f32 + 0.5) * px - half;
+                *out = self.hu_at(x, y);
+            }
+        });
+        img
+    }
+
+    /// Ground-truth lung mask (1 inside lungs, 0 elsewhere) at `n`×`n`.
+    pub fn lung_mask(&self, n: usize) -> Tensor {
+        let px = 500.0 / n as f32;
+        let half = 250.0;
+        let mut img = Tensor::zeros([n, n]);
+        img.data_mut().par_chunks_mut(n).enumerate().for_each(|(r, row)| {
+            let y = half - (r as f32 + 0.5) * px;
+            for (c, out) in row.iter_mut().enumerate() {
+                let x = (c as f32 + 0.5) * px - half;
+                *out = if self.in_lungs(x, y) { 1.0 } else { 0.0 };
+            }
+        });
+        img
+    }
+
+    /// Total lesion burden (sum of peak × area), a severity proxy used by
+    /// tests and the dataset builder.
+    pub fn lesion_burden(&self) -> f32 {
+        self.lesions.iter().map(|l| l.peak * l.sigma * l.sigma).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ellipse_containment() {
+        let e = Ellipse { cx: 10.0, cy: 0.0, a: 5.0, b: 2.0, theta: 0.0, hu: 1.0 };
+        assert!(e.contains(10.0, 0.0));
+        assert!(e.contains(14.9, 0.0));
+        assert!(!e.contains(15.1, 0.0));
+        assert!(e.contains(10.0, 1.9));
+        assert!(!e.contains(10.0, 2.1));
+    }
+
+    #[test]
+    fn rotated_ellipse_containment() {
+        let e = Ellipse {
+            cx: 0.0,
+            cy: 0.0,
+            a: 10.0,
+            b: 2.0,
+            theta: std::f32::consts::FRAC_PI_2,
+            hu: 1.0,
+        };
+        // long axis now along y
+        assert!(e.contains(0.0, 9.0));
+        assert!(!e.contains(9.0, 0.0));
+    }
+
+    #[test]
+    fn anatomy_hu_ranges() {
+        let p = ChestPhantom::subject(1, 0.5, None);
+        let img = p.rasterize_hu(128);
+        // corners: air
+        assert!((img.at(&[0, 0]) - HU_AIR).abs() < 1.0);
+        // center of left lung: lung HU (plus texture)
+        let px = 500.0 / 128.0;
+        let to_idx = |x: f32, y: f32| {
+            let c = ((x + 250.0) / px) as usize;
+            let r = ((250.0 - y) / px) as usize;
+            (r, c)
+        };
+        let (r, c) = to_idx(p.lungs[0].cx, p.lungs[0].cy + 40.0);
+        let lung_hu = img.at(&[r, c]);
+        assert!((-950.0..=-700.0).contains(&lung_hu), "lung HU {lung_hu}");
+        // spine is dense
+        let (r, c) = to_idx(0.0, -82.0);
+        let spine_hu = img.at(&[r, c]);
+        assert!(spine_hu > 500.0, "spine HU {spine_hu}");
+    }
+
+    #[test]
+    fn covid_raises_lung_hu() {
+        let healthy = ChestPhantom::subject(7, 0.5, None);
+        let sick = ChestPhantom::subject(7, 0.5, Some(Severity::Severe));
+        let hi = healthy.rasterize_hu(128);
+        let si = sick.rasterize_hu(128);
+        // Mean HU inside the lungs must go up with lesions.
+        let mask = healthy.lung_mask(128);
+        let mean_in = |img: &Tensor| {
+            let mut acc = 0.0f64;
+            let mut cnt = 0usize;
+            for (v, m) in img.data().iter().zip(mask.data()) {
+                if *m > 0.5 {
+                    acc += *v as f64;
+                    cnt += 1;
+                }
+            }
+            acc / cnt as f64
+        };
+        assert!(
+            mean_in(&si) > mean_in(&hi) + 10.0,
+            "sick {} healthy {}",
+            mean_in(&si),
+            mean_in(&hi)
+        );
+        assert!(sick.lesion_burden() > 0.0);
+        assert_eq!(healthy.lesion_burden(), 0.0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = ChestPhantom::subject(3, 0.5, Some(Severity::Moderate)).rasterize_hu(64);
+        let b = ChestPhantom::subject(3, 0.5, Some(Severity::Moderate)).rasterize_hu(64);
+        let c = ChestPhantom::subject(4, 0.5, Some(Severity::Moderate)).rasterize_hu(64);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn lungs_shrink_toward_apex() {
+        let mid = ChestPhantom::subject(5, 0.5, None);
+        let apex = ChestPhantom::subject(5, 0.05, None);
+        let area = |p: &ChestPhantom| {
+            let m = p.lung_mask(96);
+            m.data().iter().sum::<f32>()
+        };
+        assert!(area(&apex) < 0.5 * area(&mid), "apex {} mid {}", area(&apex), area(&mid));
+    }
+
+    #[test]
+    fn lesions_are_inside_lungs() {
+        for seed in 0..10u64 {
+            let p = ChestPhantom::subject(seed, 0.5, Some(Severity::Severe));
+            for l in &p.lesions {
+                // Lesion centers were sampled at <= 0.92 of the lung radii,
+                // so they must be inside the (slightly inflated) lung.
+                let inside = p.lungs.iter().any(|lung| {
+                    let dx = l.cx - lung.cx;
+                    let dy = l.cy - lung.cy;
+                    let (c, s) = (lung.theta.cos(), lung.theta.sin());
+                    let u = dx * c + dy * s;
+                    let v = -dx * s + dy * c;
+                    (u / (lung.a * 1.05)).powi(2) + (v / (lung.b * 1.05)).powi(2) <= 1.0
+                });
+                assert!(inside, "seed {seed}: lesion at ({}, {}) outside lungs", l.cx, l.cy);
+            }
+        }
+    }
+
+    #[test]
+    fn pneumonia_is_unilateral_and_dense() {
+        for seed in 0..8u64 {
+            let p = ChestPhantom::subject_with(seed, 0.5, Some(Pathology::Pneumonia));
+            assert!(!p.lesions.is_empty());
+            // all lesions in the same lung (same sign of cx offset)
+            let sides: Vec<bool> = p.lesions.iter().map(|l| l.cx > 0.0).collect();
+            assert!(sides.iter().all(|&s| s == sides[0]), "seed {seed}: bilateral pneumonia");
+            // denser than typical GGOs
+            assert!(p.lesions.iter().all(|l| l.peak >= 700.0));
+        }
+    }
+
+    #[test]
+    fn nodule_is_small_and_axially_localized() {
+        let mut seen_any = false;
+        for seed in 0..8u64 {
+            let mid = ChestPhantom::subject_with(seed, 0.5, Some(Pathology::Nodule));
+            let apex = ChestPhantom::subject_with(seed, 0.02, Some(Pathology::Nodule));
+            assert!(apex.lesions.is_empty(), "nodule must not span the whole scan");
+            if !mid.lesions.is_empty() {
+                seen_any = true;
+                assert_eq!(mid.lesions.len(), 1);
+                assert!(mid.lesions[0].sigma <= 6.0);
+                assert!(mid.lesions[0].peak >= 900.0);
+            }
+        }
+        assert!(seen_any, "some subject must show the nodule mid-scan");
+    }
+
+    #[test]
+    fn covid_pathology_equals_severity_api() {
+        let a = ChestPhantom::subject(5, 0.5, Some(Severity::Moderate)).rasterize_hu(48);
+        let b = ChestPhantom::subject_with(5, 0.5, Some(Pathology::Covid(Severity::Moderate)))
+            .rasterize_hu(48);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn severity_orders_burden() {
+        // Averaged over subjects, severe > moderate > mild.
+        let avg = |sev: Severity| {
+            (0..20u64)
+                .map(|s| ChestPhantom::subject(s, 0.5, Some(sev)).lesion_burden() as f64)
+                .sum::<f64>()
+                / 20.0
+        };
+        let (m, mo, se) = (avg(Severity::Mild), avg(Severity::Moderate), avg(Severity::Severe));
+        assert!(se > mo && mo > m, "mild {m} moderate {mo} severe {se}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Sinogram container: one row of line integrals per view.
+
+use cc19_tensor::{Tensor, TensorError};
+
+use crate::Result;
+
+/// A stack of projections: shape `(views, detectors)`, values are line
+/// integrals of attenuation (dimensionless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sinogram {
+    data: Tensor,
+}
+
+impl Sinogram {
+    /// Wrap a `(views, detectors)` tensor.
+    pub fn new(data: Tensor) -> Result<Self> {
+        data.shape().expect_rank(2)?;
+        Ok(Sinogram { data })
+    }
+
+    /// All-zero sinogram.
+    pub fn zeros(views: usize, detectors: usize) -> Self {
+        Sinogram { data: Tensor::zeros([views, detectors]) }
+    }
+
+    /// Number of views.
+    pub fn views(&self) -> usize {
+        self.data.dims()[0]
+    }
+
+    /// Number of detector bins.
+    pub fn detectors(&self) -> usize {
+        self.data.dims()[1]
+    }
+
+    /// Underlying tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Mutable underlying tensor.
+    pub fn tensor_mut(&mut self) -> &mut Tensor {
+        &mut self.data
+    }
+
+    /// Consume into the underlying tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.data
+    }
+
+    /// One view as a slice.
+    pub fn view(&self, v: usize) -> &[f32] {
+        let d = self.detectors();
+        &self.data.data()[v * d..(v + 1) * d]
+    }
+
+    /// Line integral at `(view, detector)`.
+    pub fn at(&self, v: usize, d: usize) -> f32 {
+        self.data.at(&[v, d])
+    }
+
+    /// Map every line integral (used by the low-dose noise pipeline).
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.data.data_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise maximum absolute difference (test helper).
+    pub fn max_abs_diff(&self, other: &Sinogram) -> Result<f32> {
+        if self.data.dims() != other.data.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.data.dims().to_vec(),
+                right: other.data.dims().to_vec(),
+            });
+        }
+        self.data.max_abs_diff(&other.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Sinogram::zeros(4, 8);
+        assert_eq!(s.views(), 4);
+        assert_eq!(s.detectors(), 8);
+        assert_eq!(s.view(2).len(), 8);
+        assert!(Sinogram::new(Tensor::zeros([2, 3, 4])).is_err());
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut s = Sinogram::new(Tensor::ones([2, 2])).unwrap();
+        s.map_in_place(|v| v * 3.0);
+        assert!(s.tensor().data().iter().all(|&v| v == 3.0));
+    }
+}

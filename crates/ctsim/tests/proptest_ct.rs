@@ -1,0 +1,127 @@
+//! Property-based tests for the CT physics substrate.
+
+use proptest::prelude::*;
+
+use cc19_ctsim::geometry::ParallelBeamGeometry;
+use cc19_ctsim::lowdose::{apply_poisson_noise, expected_sigma, DoseSettings};
+use cc19_ctsim::phantom::{ChestPhantom, Severity};
+use cc19_ctsim::siddon::{line_integral, project_parallel, Grid};
+use cc19_ctsim::sinogram::Sinogram;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The line integral is linear in the image.
+    #[test]
+    fn line_integral_linear(seed in 0u64..500, alpha in 0.1f32..3.0) {
+        let mut rng = Xorshift::new(seed + 1);
+        let n = 32;
+        let grid = Grid { n, px: 1.0 };
+        let img = rng.uniform_tensor([n, n], 0.0, 0.1);
+        let scaled = cc19_tensor::ops::scale(&img, alpha);
+        let p0 = (rng.uniform(-50.0, -20.0), rng.uniform(-10.0, 10.0));
+        let p1 = (rng.uniform(20.0, 50.0), rng.uniform(-10.0, 10.0));
+        let li = line_integral(img.data(), grid, p0, p1);
+        let li_s = line_integral(scaled.data(), grid, p0, p1);
+        prop_assert!((li * alpha - li_s).abs() < 1e-3 * (1.0 + li.abs()), "{} vs {}", li * alpha, li_s);
+    }
+
+    /// The integral along a ray equals the integral along the reversed ray.
+    #[test]
+    fn line_integral_direction_invariant(seed in 0u64..500) {
+        let mut rng = Xorshift::new(seed + 3);
+        let n = 24;
+        let grid = Grid { n, px: 1.0 };
+        let img = rng.uniform_tensor([n, n], 0.0, 0.1);
+        let p0 = (rng.uniform(-40.0, 40.0), -40.0f32);
+        let p1 = (rng.uniform(-40.0, 40.0), 40.0f32);
+        let fwd = line_integral(img.data(), grid, p0, p1);
+        let bwd = line_integral(img.data(), grid, p1, p0);
+        prop_assert!((fwd - bwd).abs() < 1e-3 * (1.0 + fwd.abs()), "{} vs {}", fwd, bwd);
+    }
+
+    /// Projection mass (sum x pitch) is the same for every view angle.
+    #[test]
+    fn projection_mass_invariant(seed in 0u64..200) {
+        let mut rng = Xorshift::new(seed + 5);
+        let n = 48;
+        let grid = Grid { n, px: 1.0 };
+        // random blob fully inside the FOV
+        let mut img = Tensor::zeros([n, n]);
+        let cx = rng.uniform(-8.0, 8.0);
+        let cy = rng.uniform(-8.0, 8.0);
+        let r = rng.uniform(4.0, 10.0);
+        for row in 0..n {
+            for col in 0..n {
+                let x = (col as f32 + 0.5) - n as f32 / 2.0;
+                let y = n as f32 / 2.0 - (row as f32 + 0.5);
+                if (x - cx).powi(2) + (y - cy).powi(2) < r * r {
+                    img.set(&[row, col], 0.05);
+                }
+            }
+        }
+        let geom = ParallelBeamGeometry::for_image(n, grid.px, 8);
+        let sino = project_parallel(&img, grid, &geom).unwrap();
+        let masses: Vec<f32> =
+            (0..geom.views).map(|v| sino.view(v).iter().sum::<f32>() * geom.det_pitch).collect();
+        let m0 = masses[0];
+        prop_assume!(m0 > 0.0);
+        for m in &masses {
+            prop_assert!((m - m0).abs() / m0 < 0.06, "masses {:?}", masses);
+        }
+    }
+
+    /// Poisson noise is unbiased and its spread grows as the dose falls.
+    #[test]
+    fn poisson_noise_statistics(l in 0.5f32..4.0, seed in 0u64..200) {
+        let sino = Sinogram::new(Tensor::full([16, 256], l)).unwrap();
+        let dose = DoseSettings { blank_scan: 1.0e5, seed };
+        let noisy = apply_poisson_noise(&sino, dose);
+        let vals: Vec<f64> = noisy.tensor().data().iter().map(|&v| v as f64).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let sigma = expected_sigma(l, dose.blank_scan);
+        prop_assert!((mean - l as f64).abs() < 5.0 * sigma / (vals.len() as f64).sqrt() + 1e-3,
+            "bias: mean {} vs l {}", mean, l);
+        prop_assert!((sd - sigma).abs() / sigma < 0.15, "sd {} expected {}", sd, sigma);
+    }
+
+    /// Phantom HU values live in the physical CT range everywhere.
+    #[test]
+    fn phantom_hu_in_range(seed in 0u64..200, z in 0.05f32..0.95) {
+        let p = ChestPhantom::subject(seed, z, Some(Severity::Severe));
+        let img = p.rasterize_hu(48);
+        for &v in img.data() {
+            prop_assert!((-1100.0..=1500.0).contains(&v), "HU {}", v);
+        }
+    }
+
+    /// Lesion burden is monotone in severity on average over slices.
+    #[test]
+    fn severity_monotone_per_subject(seed in 0u64..100) {
+        let avg = |sev: Severity| -> f32 {
+            [0.3f32, 0.5, 0.7]
+                .iter()
+                .map(|&z| ChestPhantom::subject(seed, z, Some(sev)).lesion_burden())
+                .sum::<f32>()
+                / 3.0
+        };
+        // mild <= severe with margin (moderate may interleave per-slice)
+        prop_assert!(avg(Severity::Mild) <= avg(Severity::Severe) * 1.2 + 1.0);
+    }
+
+    /// Lung mask is always inside the body (no lung pixels at the border).
+    #[test]
+    fn lung_mask_interior(seed in 0u64..200) {
+        let p = ChestPhantom::subject(seed, 0.5, None);
+        let mask = p.lung_mask(48);
+        for i in 0..48 {
+            prop_assert_eq!(mask.at(&[0, i]), 0.0);
+            prop_assert_eq!(mask.at(&[47, i]), 0.0);
+            prop_assert_eq!(mask.at(&[i, 0]), 0.0);
+            prop_assert_eq!(mask.at(&[i, 47]), 0.0);
+        }
+    }
+}

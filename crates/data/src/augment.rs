@@ -1,0 +1,127 @@
+//! Training-time augmentation for Classification AI (§3.3.1 of the paper):
+//!
+//! - Gaussian noise with probability 0.75 and variance 0.1;
+//! - contrast adjustment with probability 0.5;
+//! - intensity scale oscillation with magnitude 0.1.
+//!
+//! The paper applies these on the Clara pipeline's normalized intensities;
+//! we do the same on our normalized volumes.
+
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+/// Augmentation configuration (defaults = paper values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Probability of adding Gaussian noise.
+    pub noise_prob: f32,
+    /// Variance of the Gaussian noise.
+    pub noise_var: f32,
+    /// Probability of adjusting contrast.
+    pub contrast_prob: f32,
+    /// Contrast gamma range (log-uniform in `[1/(1+r), 1+r]`).
+    pub contrast_range: f32,
+    /// Intensity scale magnitude: scale drawn from `[1-m, 1+m]`.
+    pub intensity_magnitude: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            noise_prob: 0.75,
+            noise_var: 0.1,
+            contrast_prob: 0.5,
+            contrast_range: 0.3,
+            intensity_magnitude: 0.1,
+        }
+    }
+}
+
+/// Apply the augmentation stack in place. Input is assumed normalized to
+/// roughly `[0, 1]`; outputs are clamped back into `[0, 1]`.
+pub fn augment(volume: &mut Tensor, cfg: AugmentConfig, rng: &mut Xorshift) {
+    // Intensity scale oscillation (always applied, magnitude-bounded).
+    let scale = 1.0 + rng.uniform(-cfg.intensity_magnitude, cfg.intensity_magnitude);
+    for v in volume.data_mut() {
+        *v *= scale;
+    }
+
+    // Contrast adjustment: gamma curve around the midpoint.
+    if rng.next_f32() < cfg.contrast_prob {
+        let gamma = if rng.next_f32() < 0.5 {
+            1.0 + rng.uniform(0.0, cfg.contrast_range)
+        } else {
+            1.0 / (1.0 + rng.uniform(0.0, cfg.contrast_range))
+        };
+        for v in volume.data_mut() {
+            *v = v.clamp(0.0, 1.0).powf(gamma);
+        }
+    }
+
+    // Gaussian noise.
+    if rng.next_f32() < cfg.noise_prob {
+        let std = cfg.noise_var.sqrt();
+        for v in volume.data_mut() {
+            *v += rng.normal_ms(0.0, std);
+        }
+    }
+
+    for v in volume.data_mut() {
+        *v = v.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_stays_in_unit_range() {
+        let mut rng = Xorshift::new(1);
+        for seed in 0..20u64 {
+            let mut r = Xorshift::new(seed);
+            let mut vol = r.uniform_tensor([4, 8, 8], 0.0, 1.0);
+            augment(&mut vol, AugmentConfig::default(), &mut rng);
+            assert!(vol.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn augmentation_changes_the_volume() {
+        let mut rng = Xorshift::new(2);
+        let mut r = Xorshift::new(3);
+        let orig = r.uniform_tensor([4, 8, 8], 0.2, 0.8);
+        let mut vol = orig.clone();
+        augment(&mut vol, AugmentConfig::default(), &mut rng);
+        assert_ne!(orig.data(), vol.data());
+    }
+
+    #[test]
+    fn noise_disabled_when_prob_zero() {
+        let cfg = AugmentConfig {
+            noise_prob: 0.0,
+            contrast_prob: 0.0,
+            intensity_magnitude: 0.0,
+            ..Default::default()
+        };
+        let mut rng = Xorshift::new(4);
+        let mut r = Xorshift::new(5);
+        let orig = r.uniform_tensor([2, 4, 4], 0.2, 0.8);
+        let mut vol = orig.clone();
+        augment(&mut vol, cfg, &mut rng);
+        assert_eq!(orig.data(), vol.data());
+    }
+
+    #[test]
+    fn deterministic_per_rng_state() {
+        let orig = {
+            let mut r = Xorshift::new(6);
+            r.uniform_tensor([2, 4, 4], 0.0, 1.0)
+        };
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        augment(&mut a, AugmentConfig::default(), &mut Xorshift::new(7));
+        augment(&mut b, AugmentConfig::default(), &mut Xorshift::new(7));
+        assert_eq!(a.data(), b.data());
+    }
+}

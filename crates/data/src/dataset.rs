@@ -1,0 +1,223 @@
+//! Assembled datasets with the paper's splits.
+//!
+//! - Enhancement AI (§3.1.2): 5120 slices total — Mayo 2286/300/300
+//!   (train/val/test) and simulated-BIMCV 2816/484/484. We reproduce the
+//!   *proportions* at a configurable total so scaled runs stay tractable.
+//! - Classification AI (§3.3.2, §5.2.2): 305 training/validation volumes;
+//!   the held-out test set has 95 volumes — 36 COVID-positive, 59 healthy.
+
+use rayon::prelude::*;
+
+use cc19_tensor::Tensor;
+
+use crate::lowdose_pairs::{make_pair, EnhancementPair, PairConfig};
+use crate::prep::{filter_catalog, PrepConfig};
+use crate::sources::{DataSource, ScanMeta, SourceCatalog};
+use crate::volume::CtVolume;
+use crate::Result;
+
+/// A train/val/test split of enhancement pairs.
+#[derive(Debug)]
+pub struct EnhancementDataset {
+    /// Training pairs.
+    pub train: Vec<EnhancementPair>,
+    /// Validation pairs.
+    pub val: Vec<EnhancementPair>,
+    /// Held-out test pairs.
+    pub test: Vec<EnhancementPair>,
+}
+
+impl EnhancementDataset {
+    /// Generate with the paper's split proportions at `total` pairs.
+    ///
+    /// Paper totals: 5120 pairs → train 5102/5120 ≈ 0.7, val/test ≈ 0.15
+    /// each (2286+2816 / 300+484 / 300+484). Subjects are drawn from the
+    /// Mayo (healthy) and BIMCV (positive) catalogs like the paper's mix.
+    pub fn generate(total: usize, cfg: PairConfig) -> Result<Self> {
+        let total = total.max(6);
+        let n_train = total * 7 / 10;
+        let n_val = (total - n_train) / 2;
+        let n_test = total - n_train - n_val;
+
+        let mayo = SourceCatalog::generate(DataSource::Mayo, 1);
+        let bimcv = SourceCatalog::generate(DataSource::Bimcv, 1);
+        let (bimcv_ct, _) = filter_catalog(&bimcv.scans, PrepConfig::scaled(1));
+
+        // Interleave subjects from the two sources; slice positions sweep z.
+        let jobs: Vec<(ScanMeta, f32)> = (0..total)
+            .map(|i| {
+                let z = 0.2 + 0.6 * ((i * 37) % 100) as f32 / 100.0;
+                let meta = if i % 2 == 0 {
+                    mayo.scans[(i / 2) % mayo.scans.len()].clone()
+                } else {
+                    bimcv_ct[(i / 2) % bimcv_ct.len()].clone()
+                };
+                (meta, z)
+            })
+            .collect();
+
+        let pairs: Vec<EnhancementPair> = jobs
+            .par_iter()
+            .enumerate()
+            .map(|(i, (meta, z))| {
+                let mut c = cfg;
+                c.dose.seed = cfg.dose.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                make_pair(meta, *z, c)
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut it = pairs.into_iter();
+        let train: Vec<_> = it.by_ref().take(n_train).collect();
+        let val: Vec<_> = it.by_ref().take(n_val).collect();
+        let test: Vec<_> = it.take(n_test).collect();
+        Ok(EnhancementDataset { train, val, test })
+    }
+}
+
+/// One classification example.
+#[derive(Debug, Clone)]
+pub struct ClassificationItem {
+    /// The CT volume (HU), shape `(D, H, W)`.
+    pub volume: CtVolume,
+    /// Ground truth: true = COVID-positive.
+    pub label: bool,
+}
+
+/// Classification dataset with the paper's test composition.
+#[derive(Debug)]
+pub struct ClassificationDataset {
+    /// Training + validation volumes (the paper's 305).
+    pub train: Vec<ClassificationItem>,
+    /// Held-out test volumes (the paper's 95: 36 positive / 59 negative).
+    pub test: Vec<ClassificationItem>,
+}
+
+impl ClassificationDataset {
+    /// Generate at reduced size: `train_total` training volumes (balanced)
+    /// and a test set with the paper's 36:59 positive:negative ratio scaled
+    /// to `test_total`.
+    ///
+    /// `n` and `slices` control the synthesized resolution.
+    pub fn generate(train_total: usize, test_total: usize, n: usize, slices: usize) -> Result<Self> {
+        let midrc = SourceCatalog::generate(DataSource::Midrc, 1);
+        let lidc = SourceCatalog::generate(DataSource::Lidc, 1);
+        let (midrc_ct, _) = filter_catalog(&midrc.scans, PrepConfig::scaled(1));
+        let (lidc_ct, _) = filter_catalog(&lidc.scans, PrepConfig::scaled(1));
+
+        // Paper test ratio: 36 pos / 95 total.
+        let test_pos = (test_total * 36 + 47) / 95;
+        let test_neg = test_total - test_pos;
+        let train_pos = train_total / 2;
+        let train_neg = train_total - train_pos;
+
+        let mut jobs: Vec<(ScanMeta, bool)> = Vec::new();
+        for i in 0..train_pos {
+            jobs.push((midrc_ct[i % midrc_ct.len()].clone(), true));
+        }
+        for i in 0..train_neg {
+            jobs.push((lidc_ct[i % lidc_ct.len()].clone(), false));
+        }
+        // Test subjects must be disjoint from training subjects.
+        for i in 0..test_pos {
+            jobs.push((midrc_ct[(train_pos + i) % midrc_ct.len()].clone(), true));
+        }
+        for i in 0..test_neg {
+            jobs.push((lidc_ct[(train_neg + i) % lidc_ct.len()].clone(), false));
+        }
+
+        let items: Vec<ClassificationItem> = jobs
+            .par_iter()
+            .map(|(meta, label)| {
+                let mut vol = CtVolume::synthesize(meta, n, slices)?;
+                if vol.meta.circular_artifact {
+                    crate::prep::remove_circular_boundary(&mut vol);
+                }
+                Ok(ClassificationItem { volume: vol, label: *label })
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut it = items.into_iter();
+        let train: Vec<_> = it.by_ref().take(train_total).collect();
+        let test: Vec<_> = it.collect();
+        Ok(ClassificationDataset { train, test })
+    }
+
+    /// Test-set composition `(positives, negatives)`.
+    pub fn test_composition(&self) -> (usize, usize) {
+        let pos = self.test.iter().filter(|i| i.label).count();
+        (pos, self.test.len() - pos)
+    }
+}
+
+/// Stack enhancement pairs into `(B, 1, n, n)` batches.
+pub fn batch_pairs(pairs: &[EnhancementPair]) -> Result<(Tensor, Tensor)> {
+    assert!(!pairs.is_empty());
+    let n = pairs[0].low.dims()[0];
+    let b = pairs.len();
+    let mut low = Tensor::zeros([b, 1, n, n]);
+    let mut full = Tensor::zeros([b, 1, n, n]);
+    let plane = n * n;
+    for (i, p) in pairs.iter().enumerate() {
+        low.data_mut()[i * plane..(i + 1) * plane].copy_from_slice(p.low.data());
+        full.data_mut()[i * plane..(i + 1) * plane].copy_from_slice(p.full.data());
+    }
+    Ok((low, full))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enhancement_split_proportions() {
+        let cfg = PairConfig::reduced(32, 1);
+        let ds = EnhancementDataset::generate(20, cfg).unwrap();
+        assert_eq!(ds.train.len(), 14);
+        assert_eq!(ds.val.len(), 3);
+        assert_eq!(ds.test.len(), 3);
+    }
+
+    #[test]
+    fn classification_test_ratio_matches_paper() {
+        let ds = ClassificationDataset::generate(8, 19, 32, 4).unwrap();
+        let (pos, neg) = ds.test_composition();
+        // 19 * 36/95 = 7.2 -> 7 positives, 12 negatives
+        assert_eq!(pos, 7);
+        assert_eq!(neg, 12);
+        assert_eq!(ds.train.len(), 8);
+    }
+
+    #[test]
+    fn classification_volumes_have_artifact_removed() {
+        let ds = ClassificationDataset::generate(2, 3, 32, 2).unwrap();
+        for item in ds.train.iter().chain(&ds.test) {
+            assert!(!item.volume.meta.circular_artifact);
+            // no padding sentinel values survive
+            assert!(item.volume.hu.data().iter().all(|&v| v > -1500.0));
+        }
+    }
+
+    #[test]
+    fn train_and_test_subjects_disjoint() {
+        let ds = ClassificationDataset::generate(6, 6, 32, 2).unwrap();
+        let train_ids: std::collections::HashSet<u64> =
+            ds.train.iter().map(|i| i.volume.meta.id).collect();
+        for t in &ds.test {
+            assert!(
+                !train_ids.contains(&t.volume.meta.id),
+                "subject {} leaks into test",
+                t.volume.meta.id
+            );
+        }
+    }
+
+    #[test]
+    fn batching_stacks_pairs() {
+        let cfg = PairConfig::reduced(32, 2);
+        let ds = EnhancementDataset::generate(6, cfg).unwrap();
+        let (low, full) = batch_pairs(&ds.train[..2]).unwrap();
+        assert_eq!(low.dims(), &[2, 1, 32, 32]);
+        assert_eq!(full.dims(), &[2, 1, 32, 32]);
+        assert_eq!(&low.data()[..32 * 32], ds.train[0].low.data());
+    }
+}

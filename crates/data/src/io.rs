@@ -1,0 +1,186 @@
+//! Volume file I/O: a small binary container for [`CtVolume`] — the
+//! reproduction's stand-in for DICOM series storage, used by the `cc19`
+//! CLI to pass studies between commands.
+//!
+//! Layout (little-endian): magic `CC19VOL1`, then the metadata record,
+//! then `D·H·W` f32 HU voxels.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use cc19_ctsim::phantom::Severity;
+use cc19_tensor::Tensor;
+
+use crate::sources::{DataSource, Modality, ScanMeta};
+use crate::volume::CtVolume;
+
+const MAGIC: &[u8; 8] = b"CC19VOL1";
+
+fn source_code(s: DataSource) -> u8 {
+    match s {
+        DataSource::Mayo => 0,
+        DataSource::Bimcv => 1,
+        DataSource::Midrc => 2,
+        DataSource::Lidc => 3,
+    }
+}
+
+fn source_from(code: u8) -> io::Result<DataSource> {
+    Ok(match code {
+        0 => DataSource::Mayo,
+        1 => DataSource::Bimcv,
+        2 => DataSource::Midrc,
+        3 => DataSource::Lidc,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad source code")),
+    })
+}
+
+fn severity_code(s: Option<Severity>) -> u8 {
+    match s {
+        None => 0,
+        Some(Severity::Mild) => 1,
+        Some(Severity::Moderate) => 2,
+        Some(Severity::Severe) => 3,
+    }
+}
+
+fn severity_from(code: u8) -> io::Result<Option<Severity>> {
+    Ok(match code {
+        0 => None,
+        1 => Some(Severity::Mild),
+        2 => Some(Severity::Moderate),
+        3 => Some(Severity::Severe),
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad severity code")),
+    })
+}
+
+/// Save a volume to a `.cc19v` file.
+pub fn save_volume(vol: &CtVolume, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let d = vol.hu.dims();
+    for &x in &[d[0] as u32, d[1] as u32, d[2] as u32] {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.write_all(&vol.meta.id.to_le_bytes())?;
+    w.write_all(&[
+        source_code(vol.meta.source),
+        u8::from(vol.meta.positive),
+        severity_code(vol.meta.severity),
+        u8::from(vol.meta.circular_artifact),
+        u8::from(vol.meta.has_projections),
+    ])?;
+    for v in vol.hu.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Load a volume written by [`save_volume`].
+pub fn load_volume(path: &Path) -> io::Result<CtVolume> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CC19 volume file"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        r.read_exact(&mut u32buf)?;
+        *d = u32::from_le_bytes(u32buf) as usize;
+    }
+    let voxels = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|v| v.checked_mul(dims[2]))
+        .filter(|&v| v <= (1 << 30))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt dimensions"))?;
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let id = u64::from_le_bytes(u64buf);
+    let mut flags = [0u8; 5];
+    r.read_exact(&mut flags)?;
+    let mut bytes = vec![0u8; voxels * 4];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f32> =
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+    let hu = Tensor::from_vec(dims.to_vec(), data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(CtVolume {
+        hu,
+        meta: ScanMeta {
+            id,
+            source: source_from(flags[0])?,
+            modality: Modality::Ct,
+            positive: flags[1] != 0,
+            severity: severity_from(flags[2])?,
+            slices: dims[0],
+            circular_artifact: flags[3] != 0,
+            has_projections: flags[4] != 0,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cc19_vol_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_voxels_and_meta() {
+        let meta = ScanMeta {
+            id: 4242,
+            source: DataSource::Bimcv,
+            modality: Modality::Ct,
+            positive: true,
+            severity: Some(Severity::Moderate),
+            slices: 4,
+            circular_artifact: true,
+            has_projections: false,
+        };
+        let vol = CtVolume::synthesize(&meta, 32, 4).unwrap();
+        let path = tmp("v.cc19v");
+        save_volume(&vol, &path).unwrap();
+        let loaded = load_volume(&path).unwrap();
+        assert_eq!(loaded.hu.dims(), vol.hu.dims());
+        assert_eq!(loaded.hu.data(), vol.hu.data());
+        assert_eq!(loaded.meta.id, 4242);
+        assert_eq!(loaded.meta.source, DataSource::Bimcv);
+        assert!(loaded.meta.positive);
+        assert_eq!(loaded.meta.severity, Some(Severity::Moderate));
+        assert!(loaded.meta.circular_artifact);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("bad.cc19v");
+        std::fs::write(&path, b"definitely not a volume").unwrap();
+        assert!(load_volume(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let meta = ScanMeta {
+            id: 1,
+            source: DataSource::Lidc,
+            modality: Modality::Ct,
+            positive: false,
+            severity: None,
+            slices: 2,
+            circular_artifact: false,
+            has_projections: false,
+        };
+        let vol = CtVolume::synthesize(&meta, 16, 2).unwrap();
+        let path = tmp("trunc.cc19v");
+        save_volume(&vol, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        assert!(load_volume(&path).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # cc19-data
+//!
+//! Data layer of the ComputeCOVID19+ reproduction.
+//!
+//! The paper trains on four gated clinical archives (Table 1): Mayo Clinic
+//! (8 healthy chest CTs with full/quarter-dose projection data), BIMCV
+//! (X-rays *and* CTs of 34 COVID patients), MIDRC (229 COVID CTs) and LIDC
+//! (1301 healthy CTs). None are redistributable, so this crate synthesizes
+//! *equivalent* archives from `cc19-ctsim` chest phantoms — same modality
+//! mix, label balance, slice-count distributions and per-source artifacts
+//! (the BIMCV/MIDRC circular reconstruction boundary of Fig 5) — and
+//! implements the paper's §2.1 preparation rules on top:
+//!
+//! 1. keep only chest **CT** scans (BIMCV mixes in X-rays);
+//! 2. remove the circular segmentation at the reconstruction boundary;
+//! 3. keep scans with ≥ 128 slices (isotropy for the 3D networks);
+//! 4. HU → `[0,1]` float conversion for Enhancement AI.
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod dataset;
+pub mod io;
+pub mod lowdose_pairs;
+pub mod prep;
+pub mod sources;
+pub mod volume;
+
+pub use sources::{DataSource, ScanMeta, SourceCatalog};
+pub use volume::CtVolume;
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

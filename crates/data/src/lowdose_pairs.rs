@@ -1,0 +1,206 @@
+//! Enhancement-AI training pairs: (low-dose reconstruction, full-dose
+//! target), both normalized to `[0, 1]`.
+//!
+//! This is the paper's §3.1.2 simulation: the full-dose slice is forward
+//! projected (Siddon + Beer's law), Poisson noise at the configured blank
+//! scan factor is applied, and the low-dose image is reconstructed with
+//! FBP. Both fan-beam (the paper's geometry) and parallel-beam (faster,
+//! used for scaled training) acquisitions are supported.
+
+use cc19_ctsim::fbp::{fbp_fan, fbp_parallel};
+use cc19_ctsim::filter::Window;
+use cc19_ctsim::geometry::{FanBeamGeometry, ParallelBeamGeometry};
+use cc19_ctsim::hu;
+use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
+use cc19_ctsim::phantom::ChestPhantom;
+use cc19_ctsim::siddon::{project_fan, project_parallel, Grid};
+use cc19_tensor::Tensor;
+
+use crate::prep::PrepConfig;
+use crate::sources::ScanMeta;
+use crate::Result;
+
+/// Which acquisition geometry to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Beam {
+    /// The paper's fan-beam geometry scaled to the image resolution.
+    Fan,
+    /// Parallel-beam (faster; used for reduced-scale training data).
+    Parallel,
+}
+
+/// Pair-generation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairConfig {
+    /// In-plane resolution (paper: 512).
+    pub n: usize,
+    /// Number of projection views (paper: 720).
+    pub views: usize,
+    /// Dose / noise settings.
+    pub dose: DoseSettings,
+    /// Geometry.
+    pub beam: Beam,
+    /// Reconstruction filter window.
+    pub window: Window,
+    /// Normalization config.
+    pub prep: PrepConfig,
+}
+
+impl PairConfig {
+    /// The paper's full-scale configuration (512×512, 720 fan views,
+    /// b = 1e6).
+    pub fn paper(seed: u64) -> Self {
+        PairConfig {
+            n: 512,
+            views: 720,
+            dose: DoseSettings::paper(seed),
+            beam: Beam::Fan,
+            window: Window::RamLak,
+            prep: PrepConfig::paper(),
+        }
+    }
+
+    /// Reduced configuration for CPU-scale training (see DESIGN.md §5).
+    pub fn reduced(n: usize, seed: u64) -> Self {
+        PairConfig {
+            n,
+            views: (n * 3) / 2,
+            dose: DoseSettings::paper(seed),
+            beam: Beam::Parallel,
+            window: Window::RamLak,
+            prep: PrepConfig::scaled(16),
+        }
+    }
+}
+
+/// One training example for Enhancement AI.
+#[derive(Debug, Clone)]
+pub struct EnhancementPair {
+    /// Low-dose FBP reconstruction, `[0,1]`, shape `(n, n)`.
+    pub low: Tensor,
+    /// Full-dose target, `[0,1]`, shape `(n, n)`.
+    pub full: Tensor,
+    /// Identity of the underlying subject/slice.
+    pub subject: u64,
+}
+
+/// Build the pair for one subject slice.
+///
+/// `z` is the axial position in `[0,1]`; `severity` comes from the scan
+/// metadata (positives carry lesions into the enhancement data exactly as
+/// the BIMCV source did in the paper).
+pub fn make_pair(meta: &ScanMeta, z: f32, cfg: PairConfig) -> Result<EnhancementPair> {
+    let phantom = ChestPhantom::subject(meta.id, z, meta.severity);
+    let hu_img = phantom.rasterize_hu(cfg.n);
+    make_pair_from_hu(&hu_img, meta.id ^ ((z * 1024.0) as u64), cfg)
+}
+
+/// Build a pair from an existing full-dose HU slice (used by Fig 12 and the
+/// end-to-end pipeline so the same image can be degraded and enhanced).
+pub fn make_pair_from_hu(hu_img: &Tensor, seed: u64, cfg: PairConfig) -> Result<EnhancementPair> {
+    let grid = Grid::fov500(cfg.n);
+    let mu_img = hu::image_hu_to_mu(hu_img);
+
+    let low_mu = match cfg.beam {
+        Beam::Fan => {
+            let mut geom = FanBeamGeometry::reduced(cfg.views, cfg.n.max(64) * 2);
+            if cfg.n == 512 && cfg.views == 720 {
+                geom = FanBeamGeometry::paper();
+            }
+            let sino = project_fan(&mu_img, grid, &geom)?;
+            let noisy = apply_poisson_noise(&sino, DoseSettings { seed, ..cfg.dose });
+            fbp_fan(&noisy, &geom, grid, cfg.window)?
+        }
+        Beam::Parallel => {
+            let geom = ParallelBeamGeometry::for_image(cfg.n, grid.px, cfg.views);
+            let sino = project_parallel(&mu_img, grid, &geom)?;
+            let noisy = apply_poisson_noise(&sino, DoseSettings { seed, ..cfg.dose });
+            fbp_parallel(&noisy, &geom, grid, cfg.window)?
+        }
+    };
+
+    let low_hu = hu::image_mu_to_hu(&low_mu);
+    let low = crate::prep::normalize_for_enhancement(&low_hu, cfg.prep);
+    let full = crate::prep::normalize_for_enhancement(hu_img, cfg.prep);
+    Ok(EnhancementPair { low, full, subject: seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{DataSource, Modality};
+    use cc19_ctsim::phantom::Severity;
+    use cc19_nn_free::ms_ssim_free;
+
+    /// Tiny local MS-SSIM-free proxy so this crate does not depend on
+    /// cc19-nn: mean absolute difference.
+    mod cc19_nn_free {
+        use cc19_tensor::Tensor;
+        pub fn ms_ssim_free(a: &Tensor, b: &Tensor) -> f64 {
+            1.0 - cc19_tensor::reduce::mse(a, b).unwrap().sqrt()
+        }
+    }
+
+    fn meta(seed: u64) -> ScanMeta {
+        ScanMeta {
+            id: seed,
+            source: DataSource::Bimcv,
+            modality: Modality::Ct,
+            positive: true,
+            severity: Some(Severity::Moderate),
+            slices: 16,
+            circular_artifact: false,
+            has_projections: false,
+        }
+    }
+
+    #[test]
+    fn pair_shapes_and_range() {
+        let cfg = PairConfig::reduced(64, 1);
+        let pair = make_pair(&meta(5), 0.5, cfg).unwrap();
+        assert_eq!(pair.low.dims(), &[64, 64]);
+        assert_eq!(pair.full.dims(), &[64, 64]);
+        assert!(pair.low.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(pair.full.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn low_dose_is_degraded_but_correlated() {
+        let cfg = PairConfig::reduced(64, 2);
+        let pair = make_pair(&meta(6), 0.5, cfg).unwrap();
+        let m = cc19_tensor::reduce::mse(&pair.low, &pair.full).unwrap();
+        assert!(m > 1e-6, "low-dose must differ from target, mse {m}");
+        assert!(m < 0.05, "low-dose must still resemble target, mse {m}");
+        assert!(ms_ssim_free(&pair.low, &pair.full) > 0.7);
+    }
+
+    #[test]
+    fn lower_dose_gives_worse_reconstruction() {
+        let mut cfg_hi = PairConfig::reduced(64, 3);
+        cfg_hi.dose.blank_scan = 1e6;
+        let mut cfg_lo = cfg_hi;
+        cfg_lo.dose.blank_scan = 2e4;
+        let hi = make_pair(&meta(7), 0.5, cfg_hi).unwrap();
+        let lo = make_pair(&meta(7), 0.5, cfg_lo).unwrap();
+        let m_hi = cc19_tensor::reduce::mse(&hi.low, &hi.full).unwrap();
+        let m_lo = cc19_tensor::reduce::mse(&lo.low, &lo.full).unwrap();
+        assert!(m_lo > m_hi, "lower dose should be noisier: {m_lo} vs {m_hi}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PairConfig::reduced(32, 9);
+        let a = make_pair(&meta(8), 0.25, cfg).unwrap();
+        let b = make_pair(&meta(8), 0.25, cfg).unwrap();
+        assert_eq!(a.low.data(), b.low.data());
+    }
+
+    #[test]
+    fn fan_beam_path_works_at_small_scale() {
+        let mut cfg = PairConfig::reduced(64, 4);
+        cfg.beam = Beam::Fan;
+        let pair = make_pair(&meta(9), 0.5, cfg).unwrap();
+        let m = cc19_tensor::reduce::mse(&pair.low, &pair.full).unwrap();
+        assert!(m < 0.1, "fan-beam reconstruction too far off: {m}");
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's data-preparation pipeline (§2.1):
+//!
+//! 1. retain only chest **CT** studies (BIMCV mixes in X-rays);
+//! 2. remove the circular segmentation at the reconstruction boundary
+//!    (Fig 5) by replacing out-of-circle padding with air HU;
+//! 3. keep studies with at least `min_slices` slices (128 in the paper) so
+//!    the 3D networks see near-isotropic volumes;
+//! 4. convert HU to `[0, 1]` floats for Enhancement AI (§3.1.1).
+
+use cc19_ctsim::hu;
+use cc19_tensor::Tensor;
+
+use crate::sources::{Modality, ScanMeta};
+use crate::volume::{CtVolume, CIRCLE_PADDING_HU};
+
+/// Configuration of the preparation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrepConfig {
+    /// Minimum slice count (paper: 128). Scaled experiments lower this
+    /// proportionally.
+    pub min_slices: usize,
+    /// Enhancement-AI normalization window in HU.
+    pub window: (f32, f32),
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        PrepConfig { min_slices: 128, window: hu::LUNG_WINDOW }
+    }
+}
+
+impl PrepConfig {
+    /// Paper configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Scaled configuration for reduced experiments.
+    pub fn scaled(min_slices: usize) -> Self {
+        PrepConfig { min_slices, window: hu::LUNG_WINDOW }
+    }
+}
+
+/// Outcome of the catalog-level filter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrepReport {
+    /// Studies kept.
+    pub kept: usize,
+    /// Dropped: not a CT.
+    pub dropped_modality: usize,
+    /// Dropped: too few slices.
+    pub dropped_slices: usize,
+}
+
+/// Filter a catalog per rules (1) and (3); artifact removal (2) and
+/// normalization (4) are per-volume, see [`remove_circular_boundary`] and
+/// [`normalize_for_enhancement`].
+pub fn filter_catalog(scans: &[ScanMeta], cfg: PrepConfig) -> (Vec<ScanMeta>, PrepReport) {
+    let mut kept = Vec::new();
+    let mut report = PrepReport::default();
+    for s in scans {
+        if s.modality != Modality::Ct {
+            report.dropped_modality += 1;
+            continue;
+        }
+        if s.slices < cfg.min_slices {
+            report.dropped_slices += 1;
+            continue;
+        }
+        kept.push(s.clone());
+        report.kept += 1;
+    }
+    (kept, report)
+}
+
+/// Rule (2): replace out-of-circle padding values with air HU so the
+/// networks never see the scanner's sentinel values.
+///
+/// Detection is value-based (the padding is far below any anatomical HU),
+/// which also handles partially-padded reconstructions.
+pub fn remove_circular_boundary(vol: &mut CtVolume) {
+    let threshold = (CIRCLE_PADDING_HU + hu::HU_AIR) / 2.0; // -1500
+    for v in vol.hu.data_mut() {
+        if *v < threshold {
+            *v = hu::HU_AIR;
+        }
+    }
+    vol.meta.circular_artifact = false;
+}
+
+/// Rule (4): HU slice -> `[0, 1]` floats over the configured window.
+pub fn normalize_for_enhancement(slice_hu: &Tensor, cfg: PrepConfig) -> Tensor {
+    hu::hu_window_to_unit(slice_hu, cfg.window.0, cfg.window.1)
+}
+
+/// Inverse mapping for display / HU-space metrics.
+pub fn denormalize_from_enhancement(slice_unit: &Tensor, cfg: PrepConfig) -> Tensor {
+    hu::unit_to_hu_window(slice_unit, cfg.window.0, cfg.window.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{DataSource, SourceCatalog};
+
+    #[test]
+    fn bimcv_filtering_drops_xrays_and_thin_stacks() {
+        let cat = SourceCatalog::generate(DataSource::Bimcv, 1);
+        let (kept, report) = filter_catalog(&cat.scans, PrepConfig::paper());
+        assert!(report.dropped_modality > 0, "some X-rays must be dropped");
+        assert!(report.dropped_slices > 0, "some thin stacks must be dropped");
+        assert_eq!(report.kept, kept.len());
+        assert_eq!(report.kept + report.dropped_modality + report.dropped_slices, cat.len());
+        assert!(kept.iter().all(|s| s.modality == Modality::Ct && s.slices >= 128));
+    }
+
+    #[test]
+    fn lidc_loses_only_thin_stacks() {
+        let cat = SourceCatalog::generate(DataSource::Lidc, 1);
+        let (_, report) = filter_catalog(&cat.scans, PrepConfig::paper());
+        assert_eq!(report.dropped_modality, 0);
+        assert!(report.dropped_slices > 0);
+    }
+
+    #[test]
+    fn circular_removal_restores_air() {
+        let cat = SourceCatalog::generate(DataSource::Midrc, 100);
+        let mut vol = CtVolume::synthesize(&cat.scans[0], 64, 4).unwrap();
+        assert_eq!(vol.slice(0).at(&[0, 0]), CIRCLE_PADDING_HU);
+        remove_circular_boundary(&mut vol);
+        assert!((vol.slice(0).at(&[0, 0]) - hu::HU_AIR).abs() < 1e-3);
+        assert!(!vol.meta.circular_artifact);
+        // anatomy left intact
+        assert!(vol.slice(0).at(&[32, 32]) > -1000.0);
+    }
+
+    #[test]
+    fn normalization_roundtrip_within_window() {
+        let cfg = PrepConfig::paper();
+        let img = Tensor::from_vec([3], vec![-900.0, -300.0, 200.0]).unwrap();
+        let u = normalize_for_enhancement(&img, cfg);
+        assert!(u.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = denormalize_from_enhancement(&u, cfg);
+        for (a, b) in back.data().iter().zip(img.data()) {
+            assert!((a - b).abs() < 0.5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_config_lowers_threshold() {
+        let cat = SourceCatalog::generate(DataSource::Bimcv, 1);
+        let (kept_paper, _) = filter_catalog(&cat.scans, PrepConfig::paper());
+        let (kept_scaled, _) = filter_catalog(&cat.scans, PrepConfig::scaled(16));
+        assert!(kept_scaled.len() > kept_paper.len());
+    }
+}

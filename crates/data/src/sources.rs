@@ -1,0 +1,286 @@
+//! The four radiological data sources of Table 1, as synthetic catalogs.
+//!
+//! Each source yields `ScanMeta` records whose statistics mirror the
+//! paper's description; actual pixel data is synthesized lazily by
+//! [`crate::volume::CtVolume::synthesize`].
+
+use cc19_tensor::rng::Xorshift;
+
+use cc19_ctsim::phantom::Severity;
+
+/// Imaging modality of a study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modality {
+    /// 3D computed tomography.
+    Ct,
+    /// Plain 2D radiograph — present in BIMCV, filtered out by data prep.
+    XRay,
+}
+
+/// The four archives of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSource {
+    /// Mayo Clinic: 8 healthy chest CTs with projection data at full and
+    /// quarter dosage.
+    Mayo,
+    /// Medical Imaging Databank of the Valencia Region: 34 COVID-19
+    /// patients, mixed X-ray and CT studies, circular boundary artifact.
+    Bimcv,
+    /// Medical Imaging and Data Resource Center: 229 COVID-19 CTs,
+    /// circular boundary artifact.
+    Midrc,
+    /// Lung Image Database Consortium: 1301 healthy chest CTs.
+    Lidc,
+}
+
+impl DataSource {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataSource::Mayo => "Mayo Clinic",
+            DataSource::Bimcv => "BIMCV",
+            DataSource::Midrc => "MIDRC",
+            DataSource::Lidc => "LIDC",
+        }
+    }
+}
+
+/// Metadata for one study in a catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanMeta {
+    /// Unique id within the catalog (also the synthesis seed).
+    pub id: u64,
+    /// Originating archive.
+    pub source: DataSource,
+    /// CT or X-ray.
+    pub modality: Modality,
+    /// Ground-truth COVID-19 status.
+    pub positive: bool,
+    /// Lesion severity for positives.
+    pub severity: Option<Severity>,
+    /// Number of 2D slices in the study.
+    pub slices: usize,
+    /// Whether the reconstruction has the circular boundary artifact
+    /// (BIMCV / MIDRC, Fig 5 of the paper).
+    pub circular_artifact: bool,
+    /// Whether the archive provides raw projection data (Mayo only).
+    pub has_projections: bool,
+}
+
+/// A deterministic synthetic catalog for one archive.
+#[derive(Debug, Clone)]
+pub struct SourceCatalog {
+    /// Which archive this models.
+    pub source: DataSource,
+    /// The studies.
+    pub scans: Vec<ScanMeta>,
+}
+
+impl SourceCatalog {
+    /// Build a catalog. `scale` divides the paper's study counts so tests
+    /// and scaled experiments stay fast (`scale = 1` reproduces Table 1
+    /// exactly; `scale = 10` gives a 10× smaller archive, minimum 2
+    /// studies).
+    pub fn generate(source: DataSource, scale: usize) -> Self {
+        let scale = scale.max(1);
+        let mut rng = Xorshift::new(match source {
+            DataSource::Mayo => 0xA0_u64 ^ 0x1111,
+            DataSource::Bimcv => 0xB1_u64 ^ 0x2222,
+            DataSource::Midrc => 0x3D_u64 ^ 0x3333,
+            DataSource::Lidc => 0x71_u64 ^ 0x4444,
+        });
+        let n = |paper: usize| (paper / scale).max(2);
+        let mut scans = Vec::new();
+        let mut id = (match source {
+            DataSource::Mayo => 1_000_000u64,
+            DataSource::Bimcv => 2_000_000,
+            DataSource::Midrc => 3_000_000,
+            DataSource::Lidc => 4_000_000,
+        }) + 1;
+
+        let severity_for = |rng: &mut Xorshift| match rng.next_u64() % 3 {
+            0 => Severity::Mild,
+            1 => Severity::Moderate,
+            _ => Severity::Severe,
+        };
+
+        match source {
+            DataSource::Mayo => {
+                // 8 healthy, CT with projection data (full & quarter dose).
+                for _ in 0..n(8) {
+                    scans.push(ScanMeta {
+                        id,
+                        source,
+                        modality: Modality::Ct,
+                        positive: false,
+                        severity: None,
+                        slices: 128 + (rng.next_u64() % 96) as usize,
+                        circular_artifact: false,
+                        has_projections: true,
+                    });
+                    id += 1;
+                }
+            }
+            DataSource::Bimcv => {
+                // 34 COVID patients; roughly half the studies are X-rays
+                // that data prep must discard; some CTs are thin stacks
+                // (< 128 slices) that the slice rule drops.
+                for _ in 0..n(34) {
+                    let is_xray = rng.next_f32() < 0.4;
+                    let slices = if is_xray {
+                        1
+                    } else if rng.next_f32() < 0.25 {
+                        32 + (rng.next_u64() % 64) as usize // thin stack
+                    } else {
+                        128 + (rng.next_u64() % 128) as usize
+                    };
+                    let sev = severity_for(&mut rng);
+                    scans.push(ScanMeta {
+                        id,
+                        source,
+                        modality: if is_xray { Modality::XRay } else { Modality::Ct },
+                        positive: true,
+                        severity: Some(sev),
+                        slices,
+                        circular_artifact: !is_xray,
+                        has_projections: false,
+                    });
+                    id += 1;
+                }
+            }
+            DataSource::Midrc => {
+                // 229 COVID CTs, circular artifact, occasional thin stacks.
+                for _ in 0..n(229) {
+                    let slices = if rng.next_f32() < 0.15 {
+                        64 + (rng.next_u64() % 48) as usize
+                    } else {
+                        128 + (rng.next_u64() % 128) as usize
+                    };
+                    let sev = severity_for(&mut rng);
+                    scans.push(ScanMeta {
+                        id,
+                        source,
+                        modality: Modality::Ct,
+                        positive: true,
+                        severity: Some(sev),
+                        slices,
+                        circular_artifact: true,
+                        has_projections: false,
+                    });
+                    id += 1;
+                }
+            }
+            DataSource::Lidc => {
+                // 1301 healthy CTs, clean reconstructions.
+                for _ in 0..n(1301) {
+                    scans.push(ScanMeta {
+                        id,
+                        source,
+                        modality: Modality::Ct,
+                        positive: false,
+                        severity: None,
+                        slices: 96 + (rng.next_u64() % 160) as usize,
+                        circular_artifact: false,
+                        has_projections: false,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        SourceCatalog { source, scans }
+    }
+
+    /// All four archives at a given scale.
+    pub fn all(scale: usize) -> Vec<SourceCatalog> {
+        [DataSource::Mayo, DataSource::Bimcv, DataSource::Midrc, DataSource::Lidc]
+            .into_iter()
+            .map(|s| SourceCatalog::generate(s, scale))
+            .collect()
+    }
+
+    /// Number of studies.
+    pub fn len(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_counts_match_table1() {
+        assert_eq!(SourceCatalog::generate(DataSource::Mayo, 1).len(), 8);
+        assert_eq!(SourceCatalog::generate(DataSource::Bimcv, 1).len(), 34);
+        assert_eq!(SourceCatalog::generate(DataSource::Midrc, 1).len(), 229);
+        assert_eq!(SourceCatalog::generate(DataSource::Lidc, 1).len(), 1301);
+    }
+
+    #[test]
+    fn labels_match_sources() {
+        for cat in SourceCatalog::all(1) {
+            for s in &cat.scans {
+                match cat.source {
+                    DataSource::Mayo | DataSource::Lidc => {
+                        assert!(!s.positive);
+                        assert!(s.severity.is_none());
+                    }
+                    DataSource::Bimcv | DataSource::Midrc => {
+                        assert!(s.positive);
+                        assert!(s.severity.is_some());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bimcv_mixes_modalities_others_are_ct() {
+        let bimcv = SourceCatalog::generate(DataSource::Bimcv, 1);
+        let xrays = bimcv.scans.iter().filter(|s| s.modality == Modality::XRay).count();
+        assert!(xrays > 0 && xrays < bimcv.len(), "xrays {xrays}");
+        for src in [DataSource::Mayo, DataSource::Midrc, DataSource::Lidc] {
+            let cat = SourceCatalog::generate(src, 1);
+            assert!(cat.scans.iter().all(|s| s.modality == Modality::Ct));
+        }
+    }
+
+    #[test]
+    fn artifacts_and_projections_flags() {
+        let mayo = SourceCatalog::generate(DataSource::Mayo, 1);
+        assert!(mayo.scans.iter().all(|s| s.has_projections && !s.circular_artifact));
+        let midrc = SourceCatalog::generate(DataSource::Midrc, 1);
+        assert!(midrc.scans.iter().all(|s| s.circular_artifact && !s.has_projections));
+    }
+
+    #[test]
+    fn ids_are_globally_unique() {
+        let mut all_ids = std::collections::HashSet::new();
+        for cat in SourceCatalog::all(1) {
+            for s in &cat.scans {
+                assert!(all_ids.insert(s.id), "duplicate id {}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_reduces_counts() {
+        let full = SourceCatalog::generate(DataSource::Lidc, 1);
+        let tenth = SourceCatalog::generate(DataSource::Lidc, 10);
+        assert_eq!(tenth.len(), full.len() / 10);
+        let tiny = SourceCatalog::generate(DataSource::Mayo, 100);
+        assert_eq!(tiny.len(), 2, "minimum floor");
+    }
+
+    #[test]
+    fn deterministic_catalogs() {
+        let a = SourceCatalog::generate(DataSource::Bimcv, 1);
+        let b = SourceCatalog::generate(DataSource::Bimcv, 1);
+        assert_eq!(a.scans, b.scans);
+    }
+}

@@ -1,0 +1,194 @@
+//! 3D CT volumes synthesized from chest phantoms.
+
+use rayon::prelude::*;
+
+use cc19_ctsim::phantom::ChestPhantom;
+use cc19_tensor::{Tensor, TensorError};
+
+use crate::sources::{Modality, ScanMeta};
+use crate::Result;
+
+/// A 3D CT study: `(slices, n, n)` tensor in Hounsfield units plus its
+/// catalog metadata.
+#[derive(Debug, Clone)]
+pub struct CtVolume {
+    /// Voxel data, HU, shape `(D, H, W)`.
+    pub hu: Tensor,
+    /// Catalog record this volume realizes.
+    pub meta: ScanMeta,
+}
+
+/// HU value used to paint the area outside the reconstruction circle in
+/// BIMCV/MIDRC-style studies (Fig 5 of the paper). Real scanners use
+/// -2000/-3024 sentinel values; we use -2000.
+pub const CIRCLE_PADDING_HU: f32 = -2000.0;
+
+impl CtVolume {
+    /// Synthesize the study described by `meta` at `n`×`n` in-plane
+    /// resolution with `slices` slices (overriding `meta.slices` lets the
+    /// scaled experiments shrink the z extent while keeping the catalog
+    /// metadata intact).
+    pub fn synthesize(meta: &ScanMeta, n: usize, slices: usize) -> Result<Self> {
+        if meta.modality == Modality::XRay {
+            return Err(TensorError::Incompatible(
+                "cannot synthesize a CT volume for an X-ray study; data prep should have filtered it"
+                    .into(),
+            ));
+        }
+        let mut hu = Tensor::zeros([slices, n, n]);
+        let plane = n * n;
+        hu.data_mut().par_chunks_mut(plane).enumerate().for_each(|(s, out)| {
+            let z = (s as f32 + 0.5) / slices as f32;
+            let phantom = ChestPhantom::subject(meta.id, z, meta.severity);
+            let img = phantom.rasterize_hu(n);
+            out.copy_from_slice(img.data());
+        });
+        let mut vol = CtVolume { hu, meta: meta.clone() };
+        if meta.circular_artifact {
+            vol.apply_circular_artifact();
+        }
+        Ok(vol)
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> usize {
+        self.hu.dims()[0]
+    }
+
+    /// In-plane extent.
+    pub fn n(&self) -> usize {
+        self.hu.dims()[1]
+    }
+
+    /// One slice as an `(n, n)` tensor (copies).
+    pub fn slice(&self, s: usize) -> Tensor {
+        let n = self.n();
+        let plane = n * n;
+        Tensor::from_vec([n, n], self.hu.data()[s * plane..(s + 1) * plane].to_vec())
+            .expect("slice extraction")
+    }
+
+    /// Paint the region outside the inscribed circle with
+    /// [`CIRCLE_PADDING_HU`] — the artifact BIMCV/MIDRC reconstructions
+    /// carry (Fig 5).
+    pub fn apply_circular_artifact(&mut self) {
+        let n = self.n();
+        let plane = n * n;
+        let c = (n as f32 - 1.0) / 2.0;
+        let r2 = (n as f32 / 2.0) * (n as f32 / 2.0);
+        self.hu.data_mut().par_chunks_mut(plane).for_each(|sl| {
+            for y in 0..n {
+                for x in 0..n {
+                    let dy = y as f32 - c;
+                    let dx = x as f32 - c;
+                    if dy * dy + dx * dx > r2 {
+                        sl[y * n + x] = CIRCLE_PADDING_HU;
+                    }
+                }
+            }
+        });
+        self.meta.circular_artifact = true;
+    }
+
+    /// Ground-truth lung masks, shape `(D, H, W)` with 1 inside lungs.
+    pub fn lung_mask(&self) -> Tensor {
+        let n = self.n();
+        let slices = self.slices();
+        let plane = n * n;
+        let mut mask = Tensor::zeros([slices, n, n]);
+        mask.data_mut().par_chunks_mut(plane).enumerate().for_each(|(s, out)| {
+            let z = (s as f32 + 0.5) / slices as f32;
+            let phantom = ChestPhantom::subject(self.meta.id, z, self.meta.severity);
+            let img = phantom.lung_mask(n);
+            out.copy_from_slice(img.data());
+        });
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{DataSource, Modality, ScanMeta};
+    use cc19_ctsim::phantom::Severity;
+
+    fn meta(positive: bool, circular: bool) -> ScanMeta {
+        ScanMeta {
+            id: 42,
+            source: if positive { DataSource::Midrc } else { DataSource::Lidc },
+            modality: Modality::Ct,
+            positive,
+            severity: if positive { Some(Severity::Moderate) } else { None },
+            slices: 16,
+            circular_artifact: circular,
+            has_projections: false,
+        }
+    }
+
+    #[test]
+    fn synthesize_shapes() {
+        let vol = CtVolume::synthesize(&meta(false, false), 64, 16).unwrap();
+        assert_eq!(vol.hu.dims(), &[16, 64, 64]);
+        assert_eq!(vol.slices(), 16);
+        assert_eq!(vol.n(), 64);
+        let s = vol.slice(8);
+        assert_eq!(s.dims(), &[64, 64]);
+    }
+
+    #[test]
+    fn xray_refused() {
+        let mut m = meta(true, false);
+        m.modality = Modality::XRay;
+        assert!(CtVolume::synthesize(&m, 32, 4).is_err());
+    }
+
+    #[test]
+    fn circular_artifact_paints_corners() {
+        let vol = CtVolume::synthesize(&meta(true, true), 64, 4).unwrap();
+        let s = vol.slice(0);
+        assert_eq!(s.at(&[0, 0]), CIRCLE_PADDING_HU);
+        assert_eq!(s.at(&[63, 63]), CIRCLE_PADDING_HU);
+        // center untouched (some body HU, not padding)
+        assert!(s.at(&[32, 32]) > CIRCLE_PADDING_HU);
+        let clean = CtVolume::synthesize(&meta(true, false), 64, 4).unwrap();
+        assert!(clean.slice(0).at(&[0, 0]) > CIRCLE_PADDING_HU);
+    }
+
+    #[test]
+    fn positive_volume_has_higher_lung_hu() {
+        let pos = CtVolume::synthesize(&meta(true, false), 64, 8).unwrap();
+        let mut m = meta(true, false);
+        m.positive = false;
+        m.severity = None;
+        let neg = CtVolume::synthesize(&m, 64, 8).unwrap();
+        let mask = neg.lung_mask();
+        let mean_lung = |v: &CtVolume| {
+            let mut acc = 0.0f64;
+            let mut cnt = 0usize;
+            for (h, mk) in v.hu.data().iter().zip(mask.data()) {
+                if *mk > 0.5 {
+                    acc += *h as f64;
+                    cnt += 1;
+                }
+            }
+            acc / cnt as f64
+        };
+        assert!(mean_lung(&pos) > mean_lung(&neg));
+    }
+
+    #[test]
+    fn lung_mask_nontrivial_mid_scan() {
+        let vol = CtVolume::synthesize(&meta(false, false), 64, 8).unwrap();
+        let mask = vol.lung_mask();
+        let plane = 64 * 64;
+        let mid: f32 = mask.data()[4 * plane..5 * plane].iter().sum();
+        assert!(mid > 100.0, "mid-scan lung area {mid}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = CtVolume::synthesize(&meta(true, false), 32, 4).unwrap();
+        let b = CtVolume::synthesize(&meta(true, false), 32, 4).unwrap();
+        assert_eq!(a.hu.data(), b.hu.data());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the data layer: catalog filtering, HU
+//! normalization and augmentation invariants.
+
+use proptest::prelude::*;
+
+use cc19_data::augment::{augment, AugmentConfig};
+use cc19_data::prep::{
+    denormalize_from_enhancement, filter_catalog, normalize_for_enhancement, PrepConfig,
+};
+use cc19_data::sources::{DataSource, SourceCatalog};
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filtering always partitions the catalog and never fabricates scans.
+    #[test]
+    fn filter_partitions(scale in 1usize..30, min_slices in 1usize..200) {
+        for src in [DataSource::Mayo, DataSource::Bimcv, DataSource::Midrc, DataSource::Lidc] {
+            let cat = SourceCatalog::generate(src, scale);
+            let cfg = PrepConfig::scaled(min_slices);
+            let (kept, report) = filter_catalog(&cat.scans, cfg);
+            prop_assert_eq!(kept.len(), report.kept);
+            prop_assert_eq!(
+                report.kept + report.dropped_modality + report.dropped_slices,
+                cat.len()
+            );
+            for s in &kept {
+                prop_assert!(s.slices >= min_slices);
+            }
+        }
+    }
+
+    /// Normalization lands in [0,1] and denormalization inverts it inside
+    /// the window.
+    #[test]
+    fn normalization_roundtrip(seed in 0u64..500) {
+        let cfg = PrepConfig::paper();
+        let mut rng = Xorshift::new(seed + 1);
+        // values inside the window only
+        let img = rng.uniform_tensor([24], cfg.window.0, cfg.window.1);
+        let u = normalize_for_enhancement(&img, cfg);
+        prop_assert!(u.data().iter().all(|v| (0.0..=1.0).contains(v)));
+        let back = denormalize_from_enhancement(&u, cfg);
+        prop_assert!(back.all_close(&img, 0.5));
+    }
+
+    /// Values outside the window clamp to the window edges.
+    #[test]
+    fn normalization_clamps(v in -4000.0f32..4000.0) {
+        let cfg = PrepConfig::paper();
+        let img = Tensor::from_vec([1], vec![v]).unwrap();
+        let u = normalize_for_enhancement(&img, cfg).data()[0];
+        if v <= cfg.window.0 {
+            prop_assert_eq!(u, 0.0);
+        } else if v >= cfg.window.1 {
+            prop_assert_eq!(u, 1.0);
+        } else {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// Augmentation always returns values in [0,1] regardless of config.
+    #[test]
+    fn augment_stays_in_unit_range(
+        seed in 0u64..500,
+        noise_var in 0.0f32..0.3,
+        contrast in 0.0f32..0.9,
+        mag in 0.0f32..0.4,
+    ) {
+        let cfg = AugmentConfig {
+            noise_prob: 1.0,
+            noise_var,
+            contrast_prob: 1.0,
+            contrast_range: contrast,
+            intensity_magnitude: mag,
+        };
+        let mut data_rng = Xorshift::new(seed + 2);
+        let mut vol = data_rng.uniform_tensor([2, 6, 6], 0.0, 1.0);
+        let mut aug_rng = Xorshift::new(seed + 3);
+        augment(&mut vol, cfg, &mut aug_rng);
+        prop_assert!(vol.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// Catalog generation is a pure function of (source, scale).
+    #[test]
+    fn catalogs_deterministic(scale in 1usize..20) {
+        let a = SourceCatalog::generate(DataSource::Midrc, scale);
+        let b = SourceCatalog::generate(DataSource::Midrc, scale);
+        prop_assert_eq!(a.scans, b.scans);
+    }
+}

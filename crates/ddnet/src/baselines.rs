@@ -1,0 +1,244 @@
+//! Enhancement baselines the paper's related work compares against
+//! (§6.3): Jin et al. and Chen et al. apply a **U-Net-like CNN** to the
+//! FBP reconstruction. [`UNetLite`] is that comparator — a two-level
+//! encoder/decoder with skip connections and a residual output — used by
+//! the `baselines` harness head-to-head against DDnet on identical
+//! degradations, plus a non-learned Gaussian-smoothing baseline.
+
+use cc19_nn::graph::{Graph, Var};
+use cc19_nn::init::Init;
+use cc19_nn::layers::{BatchNorm, BnForward, Conv2d};
+use cc19_nn::param::ParamStore;
+use cc19_tensor::conv::Conv2dSpec;
+use cc19_tensor::pool::PoolSpec;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+use crate::Result;
+
+/// A small two-level U-Net for image enhancement.
+pub struct UNetLite {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    enc1: Conv2d,
+    bn_e1: BatchNorm,
+    enc2: Conv2d,
+    bn_e2: BatchNorm,
+    mid: Conv2d,
+    bn_mid: BatchNorm,
+    dec2: Conv2d,
+    bn_d2: BatchNorm,
+    dec1: Conv2d,
+    bn_d1: BatchNorm,
+    out: Conv2d,
+}
+
+impl UNetLite {
+    /// Build with `width` base channels.
+    pub fn new(width: usize, seed: u64) -> Self {
+        let mut rng = Xorshift::new(seed);
+        let mut store = ParamStore::new();
+        let init = Init::KaimingLeaky { negative_slope: 0.01 };
+        let spec = Conv2dSpec { stride: 1, padding: 1 };
+        let c = |store: &mut ParamStore, name: &str, cin: usize, cout: usize, rng: &mut Xorshift| {
+            Conv2d::new(store, name, cin, cout, 3, spec, init, rng)
+        };
+        let enc1 = c(&mut store, "unet.enc1", 1, width, &mut rng);
+        let bn_e1 = BatchNorm::new(&mut store, "unet.bn_e1", width);
+        let enc2 = c(&mut store, "unet.enc2", width, 2 * width, &mut rng);
+        let bn_e2 = BatchNorm::new(&mut store, "unet.bn_e2", 2 * width);
+        let mid = c(&mut store, "unet.mid", 2 * width, 2 * width, &mut rng);
+        let bn_mid = BatchNorm::new(&mut store, "unet.bn_mid", 2 * width);
+        let dec2 = c(&mut store, "unet.dec2", 4 * width, width, &mut rng);
+        let bn_d2 = BatchNorm::new(&mut store, "unet.bn_d2", width);
+        let dec1 = c(&mut store, "unet.dec1", 2 * width, width, &mut rng);
+        let bn_d1 = BatchNorm::new(&mut store, "unet.bn_d1", width);
+        let out = Conv2d::new(
+            &mut store,
+            "unet.out",
+            width,
+            1,
+            1,
+            Conv2dSpec { stride: 1, padding: 0 },
+            init,
+            &mut rng,
+        );
+        // residual zero-init (same rationale as DDnet's scaled config)
+        {
+            let mut w = out.weight.borrow_mut();
+            for v in w.value.data_mut() {
+                *v = 0.0;
+            }
+        }
+        UNetLite { store, enc1, bn_e1, enc2, bn_e2, mid, bn_mid, dec2, bn_d2, dec1, bn_d1, out }
+    }
+
+    /// Forward a `(B, 1, H, W)` batch (extents divisible by 4);
+    /// residual output. Inference uses instance statistics in the BN
+    /// layers (same rationale as `DdnetConfig::instance_norm_eval`).
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Result<Var> {
+        let pool = PoolSpec { kernel: 2, stride: 2, padding: 0 };
+        let act = |g: &mut Graph, v: Var| g.leaky_relu(v, 0.01);
+        let bn = if training { BnForward::Train } else { BnForward::InstanceEval };
+
+        let e1 = self.enc1.forward(g, x)?;
+        let e1 = self.bn_e1.forward_with(g, e1, bn)?;
+        let e1 = act(g, e1); // (B, w, H, W)
+
+        let p1 = g.max_pool2d(e1, pool)?;
+        let e2 = self.enc2.forward(g, p1)?;
+        let e2 = self.bn_e2.forward_with(g, e2, bn)?;
+        let e2 = act(g, e2); // (B, 2w, H/2, W/2)
+
+        let p2 = g.max_pool2d(e2, pool)?;
+        let m = self.mid.forward(g, p2)?;
+        let m = self.bn_mid.forward_with(g, m, bn)?;
+        let m = act(g, m); // (B, 2w, H/4, W/4)
+
+        let u2 = g.upsample_bilinear2d(m, 2)?;
+        let cat2 = g.concat_channels(&[u2, e2])?; // 4w
+        let d2 = self.dec2.forward(g, cat2)?;
+        let d2 = self.bn_d2.forward_with(g, d2, bn)?;
+        let d2 = act(g, d2); // w
+
+        let u1 = g.upsample_bilinear2d(d2, 2)?;
+        let cat1 = g.concat_channels(&[u1, e1])?; // 2w
+        let d1 = self.dec1.forward(g, cat1)?;
+        let d1 = self.bn_d1.forward_with(g, d1, bn)?;
+        let d1 = act(g, d1);
+
+        let r = self.out.forward(g, d1)?;
+        g.add(r, x)
+    }
+
+    /// Enhance one `(n, n)` image in `[0,1]`.
+    pub fn enhance(&self, img: &Tensor) -> Result<Tensor> {
+        img.shape().expect_rank(2)?;
+        let (h, w) = (img.dims()[0], img.dims()[1]);
+        let x = img.reshape([1, 1, h, w])?;
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let y = self.forward(&mut g, xv, false)?;
+        g.value(y).reshape([h, w])
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+/// Non-learned baseline: Gaussian smoothing (the "just blur it" denoiser).
+pub fn gaussian_smooth(img: &Tensor, sigma: f32) -> Result<Tensor> {
+    img.shape().expect_rank(2)?;
+    let (h, w) = (img.dims()[0], img.dims()[1]);
+    let radius = (3.0 * sigma).ceil() as usize;
+    let k = 2 * radius + 1;
+    let mut kern = vec![0.0f32; k * k];
+    let mut sum = 0.0f32;
+    for y in 0..k {
+        for x in 0..k {
+            let dy = y as f32 - radius as f32;
+            let dx = x as f32 - radius as f32;
+            let v = (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            kern[y * k + x] = v;
+            sum += v;
+        }
+    }
+    for v in &mut kern {
+        *v /= sum;
+    }
+    let x = img.reshape([1, 1, h, w])?;
+    let kt = Tensor::from_vec([1, 1, k, k], kern)?;
+    let spec = Conv2dSpec { stride: 1, padding: radius };
+    let num = cc19_tensor::conv::conv2d(&x, &kt, None, spec)?;
+    // Renormalize by the in-bounds kernel mass so zero padding does not
+    // darken the borders (and shift the image mean).
+    let ones = Tensor::ones([1, 1, h, w]);
+    let den = cc19_tensor::conv::conv2d(&ones, &kt, None, spec)?;
+    let out = cc19_tensor::ops::div(&num, &den)?;
+    out.reshape([h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_nn::optim::Adam;
+
+    #[test]
+    fn unet_shapes_and_identity_start() {
+        let net = UNetLite::new(4, 1);
+        let mut rng = Xorshift::new(2);
+        let img = rng.uniform_tensor([32, 32], 0.0, 1.0);
+        let out = net.enhance(&img).unwrap();
+        assert_eq!(out.dims(), &[32, 32]);
+        assert!(out.all_close(&img, 1e-4), "zero-init residual starts at identity");
+    }
+
+    #[test]
+    fn unet_learns_denoising() {
+        let net = UNetLite::new(4, 3);
+        let mut opt = Adam::new(2e-3);
+        let mut rng = Xorshift::new(4);
+        // clean = smooth ramp; noisy = +gaussian noise
+        let make = |rng: &mut Xorshift| {
+            let mut clean = Tensor::zeros([32, 32]);
+            let fx = rng.uniform(0.05, 0.2);
+            let fy = rng.uniform(0.05, 0.2);
+            for y in 0..32 {
+                for x in 0..32 {
+                    clean.set(&[y, x], 0.5 + 0.3 * ((x as f32 * fx).sin() * (y as f32 * fy).cos()));
+                }
+            }
+            let mut noisy = clean.clone();
+            for v in noisy.data_mut() {
+                *v += rng.normal_ms(0.0, 0.08);
+            }
+            (noisy, clean)
+        };
+        for _ in 0..30 {
+            let (noisy, clean) = make(&mut rng);
+            let x = noisy.reshape([1, 1, 32, 32]).unwrap();
+            let t = clean.reshape([1, 1, 32, 32]).unwrap();
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            let tv = g.input(t);
+            let y = net.forward(&mut g, xv, true).unwrap();
+            let loss = g.mse_loss(y, tv).unwrap();
+            net.store.zero_grad();
+            g.backward(loss);
+            opt.step(&net.store);
+        }
+        let (noisy, clean) = make(&mut rng);
+        let out = net.enhance(&noisy).unwrap();
+        let before = cc19_tensor::reduce::mse(&noisy, &clean).unwrap();
+        let after = cc19_tensor::reduce::mse(&out, &clean).unwrap();
+        assert!(after < before, "unet should denoise: {after} vs {before}");
+    }
+
+    #[test]
+    fn gaussian_smooth_reduces_noise_preserves_mean() {
+        let mut rng = Xorshift::new(5);
+        let mut img = Tensor::full([32, 32], 0.5);
+        for v in img.data_mut() {
+            *v += rng.normal_ms(0.0, 0.1);
+        }
+        let smooth = gaussian_smooth(&img, 1.0).unwrap();
+        let var_before = cc19_tensor::reduce::variance(&img);
+        let var_after = cc19_tensor::reduce::variance(&smooth);
+        assert!(var_after < var_before / 2.0);
+        // interior mean preserved
+        let m_before = cc19_tensor::reduce::mean(&img);
+        let m_after = cc19_tensor::reduce::mean(&smooth);
+        assert!((m_before - m_after).abs() < 0.02);
+    }
+
+    #[test]
+    fn unet_is_smaller_than_ddnet() {
+        // sanity: the baseline is the lighter model (as in the literature
+        // comparison — DDnet's dense blocks carry more layers)
+        let unet = UNetLite::new(8, 1);
+        let ddnet = crate::Ddnet::new(crate::DdnetConfig::reduced(), 1);
+        assert!(unet.num_params() < ddnet.num_params());
+    }
+}

@@ -1,0 +1,192 @@
+//! Projection-domain enhancement — the paper's §7 future work:
+//!
+//! > "we seek to address this limitation by also using data available
+//! > from the projection domain and combining it with knowledge from
+//! > medical imaging physics to reconstruct even higher-quality CT
+//! > images."
+//!
+//! [`SinogramDenoiser`] is a compact residual CNN that denoises *line
+//! integrals* (the sinogram) before FBP, instead of (or in addition to)
+//! denoising the reconstructed image. The `projection_domain` harness in
+//! `cc19-bench` compares image-domain DDnet, projection-domain denoising,
+//! and the two combined.
+
+use cc19_nn::graph::{Graph, Var};
+use cc19_nn::init::Init;
+use cc19_nn::layers::{BatchNorm, BnForward, Conv2d};
+use cc19_nn::optim::Adam;
+use cc19_nn::param::ParamStore;
+use cc19_tensor::conv::Conv2dSpec;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+use crate::Result;
+
+/// Typical maximum chest line integral; used to normalize sinograms into
+/// a unit-ish range for the network.
+pub const SINO_SCALE: f32 = 10.0;
+
+/// A residual 3-layer CNN over `(views, detectors)` sinograms.
+pub struct SinogramDenoiser {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    conv1: Conv2d,
+    bn1: BatchNorm,
+    conv2: Conv2d,
+    bn2: BatchNorm,
+    conv3: Conv2d,
+}
+
+impl SinogramDenoiser {
+    /// Build with `width` hidden channels. The final layer is
+    /// zero-initialized so the network starts at the identity (same
+    /// rationale as the scaled DDnet config, see EXPERIMENTS.md).
+    pub fn new(width: usize, seed: u64) -> Self {
+        let mut rng = Xorshift::new(seed);
+        let mut store = ParamStore::new();
+        let init = Init::KaimingLeaky { negative_slope: 0.01 };
+        let spec = Conv2dSpec { stride: 1, padding: 2 };
+        let conv1 = Conv2d::new(&mut store, "sino.conv1", 1, width, 5, spec, init, &mut rng);
+        let bn1 = BatchNorm::new(&mut store, "sino.bn1", width);
+        let conv2 = Conv2d::new(&mut store, "sino.conv2", width, width, 5, spec, init, &mut rng);
+        let bn2 = BatchNorm::new(&mut store, "sino.bn2", width);
+        let conv3 = Conv2d::new(
+            &mut store,
+            "sino.conv3",
+            width,
+            1,
+            1,
+            Conv2dSpec { stride: 1, padding: 0 },
+            init,
+            &mut rng,
+        );
+        {
+            let mut w = conv3.weight.borrow_mut();
+            for v in w.value.data_mut() {
+                *v = 0.0;
+            }
+        }
+        SinogramDenoiser { store, conv1, bn1, conv2, bn2, conv3 }
+    }
+
+    /// Forward on a normalized `(B, 1, V, D)` batch; residual output.
+    /// Inference uses instance statistics (restoration-network practice).
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Result<Var> {
+        let bn = if training { BnForward::Train } else { BnForward::InstanceEval };
+        let h = self.conv1.forward(g, x)?;
+        let h = self.bn1.forward_with(g, h, bn)?;
+        let h = g.leaky_relu(h, 0.01);
+        let h = self.conv2.forward(g, h)?;
+        let h = self.bn2.forward_with(g, h, bn)?;
+        let h = g.leaky_relu(h, 0.01);
+        let h = self.conv3.forward(g, h)?;
+        g.add(h, x)
+    }
+
+    /// Denoise one raw `(views, detectors)` sinogram of line integrals.
+    pub fn denoise(&self, sino: &Tensor) -> Result<Tensor> {
+        sino.shape().expect_rank(2)?;
+        let (v, d) = (sino.dims()[0], sino.dims()[1]);
+        let x = cc19_tensor::ops::scale(sino, 1.0 / SINO_SCALE).reshape([1, 1, v, d])?;
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let y = self.forward(&mut g, xv, false)?;
+        let out = cc19_tensor::ops::scale(g.value(y), SINO_SCALE);
+        out.reshape([v, d])
+    }
+
+    /// One MSE training step on raw (noisy, clean) sinogram pairs of equal
+    /// shape; returns the loss.
+    pub fn train_step(&self, noisy: &Tensor, clean: &Tensor, opt: &mut Adam) -> Result<f32> {
+        noisy.shape().expect_same(clean.shape())?;
+        let (v, d) = (noisy.dims()[0], noisy.dims()[1]);
+        let x = cc19_tensor::ops::scale(noisy, 1.0 / SINO_SCALE).reshape([1, 1, v, d])?;
+        let t = cc19_tensor::ops::scale(clean, 1.0 / SINO_SCALE).reshape([1, 1, v, d])?;
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let tv = g.input(t);
+        let y = self.forward(&mut g, xv, true)?;
+        let loss = g.mse_loss(y, tv)?;
+        let l = g.value(loss).item()?;
+        self.store.zero_grad();
+        g.backward(loss);
+        self.store.clip_grad_norm(1.0);
+        opt.step(&self.store);
+        Ok(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
+    use cc19_ctsim::phantom::ChestPhantom;
+    use cc19_ctsim::siddon::{project_parallel, Grid};
+    use cc19_ctsim::geometry::ParallelBeamGeometry;
+    use cc19_ctsim::sinogram::Sinogram;
+
+    fn sino_pair(seed: u64, n: usize) -> (Tensor, Tensor) {
+        let grid = Grid::fov500(n);
+        let phantom = ChestPhantom::subject(seed, 0.5, None);
+        let mu = cc19_ctsim::hu::image_hu_to_mu(&phantom.rasterize_hu(n));
+        let geom = ParallelBeamGeometry::for_image(n, grid.px, n);
+        let clean = project_parallel(&mu, grid, &geom).unwrap();
+        let noisy = apply_poisson_noise(&clean, DoseSettings { blank_scan: 2.0e3, seed });
+        (noisy.into_tensor(), clean.into_tensor())
+    }
+
+    #[test]
+    fn starts_at_identity() {
+        let net = SinogramDenoiser::new(8, 1);
+        let (noisy, _) = sino_pair(3, 32);
+        let out = net.denoise(&noisy).unwrap();
+        assert!(out.all_close(&noisy, 1e-4), "zero-init final layer => identity");
+    }
+
+    #[test]
+    fn training_reduces_sinogram_noise() {
+        let net = SinogramDenoiser::new(8, 2);
+        let mut opt = Adam::new(5e-3);
+        for step in 0..80 {
+            let (noisy, clean) = sino_pair(10 + step % 6, 32);
+            net.train_step(&noisy, &clean, &mut opt).unwrap();
+        }
+        // unseen subject
+        let (noisy, clean) = sino_pair(99, 32);
+        let before = cc19_tensor::reduce::mse(&noisy, &clean).unwrap();
+        let denoised = net.denoise(&noisy).unwrap();
+        let after = cc19_tensor::reduce::mse(&denoised, &clean).unwrap();
+        assert!(after < before, "denoising must help: {after} vs {before}");
+    }
+
+    #[test]
+    fn denoised_sinogram_reconstructs_better() {
+        // end-to-end: denoise projections, then FBP — image MSE improves.
+        use cc19_ctsim::fbp::fbp_parallel;
+        use cc19_ctsim::filter::Window;
+        let net = SinogramDenoiser::new(8, 4);
+        let mut opt = Adam::new(5e-3);
+        for step in 0..80 {
+            let (noisy, clean) = sino_pair(20 + step % 8, 32);
+            net.train_step(&noisy, &clean, &mut opt).unwrap();
+        }
+        let n = 32;
+        let grid = Grid::fov500(n);
+        let phantom = ChestPhantom::subject(200, 0.5, None);
+        let mu = cc19_ctsim::hu::image_hu_to_mu(&phantom.rasterize_hu(n));
+        let geom = ParallelBeamGeometry::for_image(n, grid.px, n);
+        let clean = project_parallel(&mu, grid, &geom).unwrap();
+        let noisy = apply_poisson_noise(&clean, DoseSettings { blank_scan: 2.0e3, seed: 5 });
+
+        let recon_noisy = fbp_parallel(&noisy, &geom, grid, Window::RamLak).unwrap();
+        let denoised = Sinogram::new(net.denoise(noisy.tensor()).unwrap()).unwrap();
+        let recon_denoised = fbp_parallel(&denoised, &geom, grid, Window::RamLak).unwrap();
+
+        let err_noisy = cc19_tensor::reduce::mse(&recon_noisy, &mu).unwrap();
+        let err_denoised = cc19_tensor::reduce::mse(&recon_denoised, &mu).unwrap();
+        assert!(
+            err_denoised < err_noisy,
+            "projection-domain denoising should improve FBP: {err_denoised} vs {err_noisy}"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! All-reduce implementations over crossbeam channels.
+//!
+//! [`ring_allreduce`] is the bandwidth-optimal algorithm gloo/NCCL use:
+//! reduce-scatter (N−1 steps, each rank ends owning the full sum of one
+//! segment) followed by all-gather (N−1 steps distributing the owned
+//! segments). Every rank finishes with the *identical* summed buffer,
+//! which is what keeps DDP replicas synchronized bit-for-bit.
+//!
+//! [`naive_allreduce`] is the parameter-server baseline for the ablation
+//! bench: gather everything to rank 0, reduce there, broadcast back.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Per-rank communication endpoints for a ring of `n` workers.
+pub struct Ring {
+    /// Sender to the next rank (rank + 1 mod n).
+    pub to_next: Sender<Vec<f32>>,
+    /// Receiver from the previous rank.
+    pub from_prev: Receiver<Vec<f32>>,
+}
+
+/// Build the channel ring for `n` ranks.
+pub fn make_ring(n: usize) -> Vec<Ring> {
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    // rank i sends into channel (i+1) % n and receives from channel i
+    let mut rings: Vec<Ring> = Vec::with_capacity(n);
+    // rotate senders left by one
+    let mut senders_rot = senders.clone();
+    senders_rot.rotate_left(1);
+    for (s, r) in senders_rot.into_iter().zip(receivers) {
+        rings.push(Ring { to_next: s, from_prev: r });
+    }
+    rings
+}
+
+fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
+    let base = len / n;
+    let rem = len % n;
+    let start = seg * base + seg.min(rem);
+    let extra = if seg < rem { 1 } else { 0 };
+    (start, start + base + extra)
+}
+
+/// Ring all-reduce (sum) of `buf` across `n` ranks. Call from every rank's
+/// thread with its own `ring` endpoints and `rank` id; all ranks return
+/// with the identical summed buffer.
+pub fn ring_allreduce(buf: &mut [f32], rank: usize, n: usize, ring: &Ring) {
+    if n <= 1 {
+        return;
+    }
+    let len = buf.len();
+
+    // --- reduce-scatter ---
+    // step s: send segment (rank - s), receive and accumulate segment
+    // (rank - s - 1).
+    for s in 0..n - 1 {
+        let send_seg = (rank + n - s) % n;
+        let (lo, hi) = segment_bounds(len, n, send_seg);
+        ring.to_next.send(buf[lo..hi].to_vec()).expect("ring send");
+        let recv_seg = (rank + n - s - 1) % n;
+        let (lo, hi) = segment_bounds(len, n, recv_seg);
+        let incoming = ring.from_prev.recv().expect("ring recv");
+        debug_assert_eq!(incoming.len(), hi - lo);
+        for (b, v) in buf[lo..hi].iter_mut().zip(incoming) {
+            *b += v;
+        }
+    }
+
+    // --- all-gather ---
+    // after reduce-scatter, rank owns the fully-reduced segment
+    // (rank + 1) % n.
+    for s in 0..n - 1 {
+        let send_seg = (rank + 1 + n - s) % n;
+        let (lo, hi) = segment_bounds(len, n, send_seg);
+        ring.to_next.send(buf[lo..hi].to_vec()).expect("ring send");
+        let recv_seg = (rank + n - s) % n;
+        let (lo, hi) = segment_bounds(len, n, recv_seg);
+        let incoming = ring.from_prev.recv().expect("ring recv");
+        debug_assert_eq!(incoming.len(), hi - lo);
+        buf[lo..hi].copy_from_slice(&incoming);
+    }
+}
+
+/// Endpoints for the naive parameter-server reduce.
+pub struct Star {
+    /// Worker -> server channel (all ranks share the sender clone).
+    pub to_server: Sender<(usize, Vec<f32>)>,
+    /// Server -> this worker broadcast channel.
+    pub from_server: Receiver<Vec<f32>>,
+    /// Server side: receives worker buffers (only used by rank 0).
+    pub server_rx: Option<Receiver<(usize, Vec<f32>)>>,
+    /// Server side: broadcast senders to every rank (only rank 0).
+    pub broadcast: Option<Vec<Sender<Vec<f32>>>>,
+}
+
+/// Build star (parameter-server) endpoints for `n` ranks; rank 0 is the
+/// server.
+pub fn make_star(n: usize) -> Vec<Star> {
+    let (up_tx, up_rx) = unbounded();
+    let mut down_tx = Vec::with_capacity(n);
+    let mut down_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        down_tx.push(s);
+        down_rx.push(r);
+    }
+    down_rx
+        .into_iter()
+        .enumerate()
+        .map(|(rank, from_server)| Star {
+            to_server: up_tx.clone(),
+            from_server,
+            server_rx: if rank == 0 { Some(up_rx.clone()) } else { None },
+            broadcast: if rank == 0 { Some(down_tx.clone()) } else { None },
+        })
+        .collect()
+}
+
+/// Naive all-reduce: every rank ships its whole buffer to rank 0, which
+/// sums and broadcasts. `2·(n−1)` full-buffer transfers through one link —
+/// the bandwidth bottleneck the ring avoids.
+pub fn naive_allreduce(buf: &mut [f32], rank: usize, n: usize, star: &Star) {
+    if n <= 1 {
+        return;
+    }
+    if rank == 0 {
+        let rx = star.server_rx.as_ref().expect("rank 0 holds the server receiver");
+        for _ in 0..n - 1 {
+            let (_, incoming) = rx.recv().expect("server recv");
+            for (b, v) in buf.iter_mut().zip(incoming) {
+                *b += v;
+            }
+        }
+        let bcast = star.broadcast.as_ref().expect("rank 0 broadcasts");
+        for (r, tx) in bcast.iter().enumerate() {
+            if r != 0 {
+                tx.send(buf.to_vec()).expect("broadcast");
+            }
+        }
+    } else {
+        star.to_server.send((rank, buf.to_vec())).expect("worker send");
+        let reduced = star.from_server.recv().expect("worker recv");
+        buf.copy_from_slice(&reduced);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ring(n: usize, len: usize) -> Vec<Vec<f32>> {
+        let rings = make_ring(n);
+        let handles: Vec<_> = rings
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ring)| {
+                std::thread::spawn(move || {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (rank * len + i) as f32 * 0.5).collect();
+                    ring_allreduce(&mut buf, rank, n, &ring);
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn ring_computes_global_sum() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for len in [1usize, 5, 16, 33] {
+                let results = run_ring(n, len);
+                // expected sum per element i: sum over ranks of (rank*len+i)*0.5
+                for i in 0..len {
+                    let expect: f32 = (0..n).map(|r| (r * len + i) as f32 * 0.5).sum();
+                    for (rank, buf) in results.iter().enumerate() {
+                        assert!(
+                            (buf[i] - expect).abs() < 1e-4,
+                            "n={n} len={len} rank={rank} i={i}: {} vs {expect}",
+                            buf[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_results_identical_across_ranks() {
+        // bit-identity matters for replica synchronization
+        let results = run_ring(5, 101);
+        for r in 1..5 {
+            assert_eq!(results[0], results[r], "rank {r} differs");
+        }
+    }
+
+    #[test]
+    fn naive_matches_ring() {
+        let n = 4;
+        let len = 37;
+        let stars = make_star(n);
+        let handles: Vec<_> = stars
+            .into_iter()
+            .enumerate()
+            .map(|(rank, star)| {
+                std::thread::spawn(move || {
+                    let mut buf: Vec<f32> = (0..len).map(|i| ((rank + 1) * (i + 1)) as f32).collect();
+                    naive_allreduce(&mut buf, rank, n, &star);
+                    buf
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for i in 0..len {
+            let expect: f32 = (0..n).map(|r| ((r + 1) * (i + 1)) as f32).sum();
+            for buf in &results {
+                assert_eq!(buf[i], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let rings = make_ring(1);
+        let mut buf = vec![1.0f32, 2.0, 3.0];
+        ring_allreduce(&mut buf, 0, 1, &rings[0]);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_bounds_partition() {
+        for len in [10usize, 16, 17, 3] {
+            for n in [2usize, 3, 4] {
+                let mut covered = 0;
+                for seg in 0..n {
+                    let (lo, hi) = segment_bounds(len, n, seg);
+                    assert_eq!(lo, covered, "gap at seg {seg}");
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Performance model of the paper's training cluster (§5.1.2): Virginia
+//! Tech "Infer" nodes, one Nvidia T4 each, gloo over the cluster network.
+//!
+//! Table 3's runtime column is regenerated from this model: an epoch takes
+//! `steps × (compute(local_batch) + allreduce(params))` where compute is
+//! calibrated from the paper's single-node run (15:14:46 for 50 epochs ×
+//! 5102 images) and the all-reduce cost follows the ring model
+//! `2·(N−1)/N · bytes / bw + 2·(N−1) · latency` per step.
+
+/// Interconnect characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-message latency, seconds.
+    pub latency_s: f64,
+    /// Link bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl Interconnect {
+    /// 10 GbE with gloo's TCP overhead — the typical academic-cluster
+    /// setup the paper's sub-linear scaling implies.
+    pub fn gloo_10gbe() -> Self {
+        Interconnect { latency_s: 150e-6, bandwidth_bps: 1.0e9 }
+    }
+
+    /// Ring all-reduce time for `bytes` across `n` ranks: 2(N−1) message
+    /// rounds, each moving `bytes/N` per rank.
+    pub fn ring_allreduce_time(&self, bytes: f64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let rounds = 2.0 * (n as f64 - 1.0);
+        rounds * (self.latency_s + bytes / n as f64 / self.bandwidth_bps)
+    }
+
+    /// Parameter-server all-reduce time: rank 0 receives and then sends
+    /// (N−1) full buffers serially through its single link.
+    pub fn naive_allreduce_time(&self, bytes: f64, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        2.0 * (n as f64 - 1.0) * (self.latency_s + bytes / self.bandwidth_bps)
+    }
+}
+
+/// The cluster model used for Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterModel {
+    /// Seconds one T4 takes for forward+backward+update on ONE image
+    /// (calibrated from the paper's single-node row: 15h14m46s / (50
+    /// epochs × 5102 images) ≈ 0.215 s/image).
+    pub t4_seconds_per_image: f64,
+    /// DDnet parameter count (bytes synchronized per step = 4×params).
+    pub params: usize,
+    /// Training-set size (images per epoch).
+    pub images_per_epoch: usize,
+    /// Interconnect.
+    pub net: Interconnect,
+}
+
+impl ClusterModel {
+    /// The paper's configuration (§3.1.2: 5102 training images; §5.1.2:
+    /// single-node 50 epochs in 15:14:46).
+    pub fn paper() -> Self {
+        let single_node_secs = 15.0 * 3600.0 + 14.0 * 60.0 + 46.0;
+        let images = 2286 + 2816;
+        ClusterModel {
+            t4_seconds_per_image: single_node_secs / (50.0 * images as f64),
+            params: 175_000, // DDnet parameter count (see cc19-ddnet tests)
+            images_per_epoch: images,
+            net: Interconnect::gloo_10gbe(),
+        }
+    }
+
+    /// Predicted wall time (seconds) for `epochs` of training on `nodes`
+    /// nodes with a *global* batch of `batch` images.
+    ///
+    /// Each step processes `batch` images (`batch/nodes` per node in
+    /// parallel) and ends with one gradient all-reduce.
+    pub fn training_time(&self, nodes: usize, batch: usize, epochs: usize) -> f64 {
+        assert!(nodes >= 1 && batch >= 1);
+        let local_batch = (batch as f64 / nodes as f64).ceil();
+        let steps_per_epoch = (self.images_per_epoch as f64 / batch as f64).ceil();
+        let bytes = self.params as f64 * 4.0;
+        let step_time = local_batch * self.t4_seconds_per_image
+            + self.net.ring_allreduce_time(bytes, nodes);
+        epochs as f64 * steps_per_epoch * step_time
+    }
+
+    /// Speedup of a configuration vs the single-node batch-1 run at equal
+    /// epochs.
+    pub fn speedup(&self, nodes: usize, batch: usize) -> f64 {
+        self.training_time(1, 1, 50) / self.training_time(nodes, batch, 50)
+    }
+}
+
+/// Format seconds as the paper's `hh:mm:ss`.
+pub fn hhmmss(seconds: f64) -> String {
+    let s = seconds.round() as u64;
+    format!("{}:{:02}:{:02}", s / 3600, (s % 3600) / 60, s % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_matches_calibration() {
+        let m = ClusterModel::paper();
+        let t = m.training_time(1, 1, 50);
+        let paper = 15.0 * 3600.0 + 14.0 * 60.0 + 46.0;
+        assert!((t - paper).abs() / paper < 0.01, "t {t} vs paper {paper}");
+    }
+
+    #[test]
+    fn table3_shape_four_nodes_batch_8() {
+        // Paper: 4 nodes / batch 8 / 50 epochs -> 2:27:49 (~6.2x speedup).
+        let m = ClusterModel::paper();
+        let t = m.training_time(4, 8, 50);
+        let paper = 2.0 * 3600.0 + 27.0 * 60.0 + 49.0;
+        // model within 2x of the paper's measurement
+        assert!((0.5..2.0).contains(&(t / paper)), "t {t} vs paper {paper}");
+    }
+
+    #[test]
+    fn speedup_is_sublinear_in_nodes() {
+        let m = ClusterModel::paper();
+        // fixed global batch 8: 8 nodes are faster than 4, but not 2x
+        let t4 = m.training_time(4, 8, 50);
+        let t8 = m.training_time(8, 8, 50);
+        assert!(t8 < t4);
+        assert!(t8 > t4 / 2.0, "communication must keep scaling sublinear: {t4} -> {t8}");
+    }
+
+    #[test]
+    fn doubling_epochs_doubles_time() {
+        let m = ClusterModel::paper();
+        let t50 = m.training_time(4, 8, 50);
+        let t100 = m.training_time(4, 8, 100);
+        assert!((t100 / t50 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_batches_cut_sync_overhead() {
+        // 8 nodes, batch 32 vs batch 8: fewer steps, less sync per image.
+        let m = ClusterModel::paper();
+        assert!(m.training_time(8, 32, 50) < m.training_time(8, 8, 50));
+    }
+
+    #[test]
+    fn ring_beats_naive_at_scale() {
+        let net = Interconnect::gloo_10gbe();
+        let bytes = 175_000.0 * 4.0;
+        assert!(net.ring_allreduce_time(bytes, 8) < net.naive_allreduce_time(bytes, 8));
+        assert_eq!(net.ring_allreduce_time(bytes, 1), 0.0);
+    }
+
+    #[test]
+    fn hhmmss_formats() {
+        assert_eq!(hhmmss(15.0 * 3600.0 + 14.0 * 60.0 + 46.0), "15:14:46");
+        assert_eq!(hhmmss(59.4), "0:00:59");
+        assert_eq!(hhmmss(3661.0), "1:01:01");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cc19-dist
+//!
+//! The distributed-training substrate of the ComputeCOVID19+ reproduction.
+//! The paper parallelizes Enhancement-AI training with PyTorch
+//! `DistributedDataParallel` over gloo on up to 8 single-T4 nodes (§4.1),
+//! and studies node-count / batch-size scaling in Table 3.
+//!
+//! This crate provides:
+//!
+//! - [`allreduce`] — a real **ring all-reduce** (reduce-scatter +
+//!   all-gather) over crossbeam channels, plus a naive parameter-server
+//!   reduce for the ablation bench;
+//! - [`trainer`] — a thread-per-node data-parallel DDnet trainer whose
+//!   replicas stay bit-identical through deterministic gradient averaging
+//!   (the DDP execution model);
+//! - [`cluster`] — a performance model of the paper's cluster (per-step
+//!   compute time × communication time from an interconnect model), used
+//!   to regenerate Table 3's runtime column at the paper's scale, since
+//!   this host cannot physically run 8 GPU nodes (DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod allreduce;
+pub mod cluster;
+pub mod trainer;
+
+pub use allreduce::{naive_allreduce, ring_allreduce};
+pub use cluster::{ClusterModel, Interconnect};
+pub use trainer::{train_distributed, DistConfig, DistStats};
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

@@ -1,0 +1,284 @@
+//! Thread-per-node data-parallel DDnet training — the
+//! `DistributedDataParallel` execution model of §4.1:
+//!
+//! - every node holds a full model replica (identical seed ⇒ identical
+//!   init);
+//! - each step, node `r` runs forward/backward on its shard of the global
+//!   batch;
+//! - gradients are summed with a ring all-reduce and averaged;
+//! - every node applies the same Adam step, so replicas stay identical
+//!   (batch-norm running stats are per-replica, as in real DDP).
+
+use std::time::Instant;
+
+use cc19_data::dataset::batch_pairs;
+use cc19_data::lowdose_pairs::EnhancementPair;
+
+use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_nn::graph::Graph;
+use cc19_nn::losses::enhancement_loss;
+use cc19_nn::optim::Adam;
+use cc19_nn::ssim;
+
+use crate::allreduce::{make_ring, ring_allreduce};
+use crate::Result;
+
+/// Distributed-training configuration (one Table 3 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistConfig {
+    /// Number of nodes (worker threads).
+    pub nodes: usize,
+    /// Global batch size (split across nodes).
+    pub batch: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Per-epoch LR decay (paper: 0.8).
+    pub lr_decay: f32,
+    /// MS-SSIM levels in the loss.
+    pub ms_ssim_levels: usize,
+    /// Network configuration.
+    pub net_cfg: DdnetConfig,
+    /// Weight-init seed (shared by all replicas).
+    pub seed: u64,
+}
+
+impl DistConfig {
+    /// Scaled defaults for a Table 3 row.
+    pub fn row(nodes: usize, batch: usize, epochs: usize) -> Self {
+        DistConfig {
+            nodes,
+            batch,
+            epochs,
+            lr: 1e-3,
+            lr_decay: 0.9,
+            ms_ssim_levels: 1,
+            net_cfg: DdnetConfig::tiny(),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a distributed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistStats {
+    /// Measured wall-clock seconds on this host.
+    pub wall_seconds: f64,
+    /// Final validation MS-SSIM (percent, paper convention).
+    pub final_val_ms_ssim: f64,
+    /// Mean training loss per epoch (rank-0 perspective).
+    pub epoch_losses: Vec<f64>,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+}
+
+/// Run data-parallel training; returns the final weight snapshot (shared
+/// by all replicas) and run statistics.
+pub fn train_distributed(
+    train: &[EnhancementPair],
+    val: &[EnhancementPair],
+    cfg: DistConfig,
+) -> Result<(Vec<f32>, DistStats)> {
+    assert!(cfg.nodes >= 1 && cfg.batch >= cfg.nodes, "need at least one image per node");
+    let t0 = Instant::now();
+
+    let rings = make_ring(cfg.nodes);
+    let train_owned: Vec<Vec<Vec<EnhancementPair>>> = shard_steps(train, cfg);
+    debug_assert_eq!(train_owned.len(), cfg.nodes);
+
+    let handles: Vec<_> = rings
+        .into_iter()
+        .zip(train_owned)
+        .enumerate()
+        .map(|(rank, (ring, my_batches))| {
+            let cfg = cfg;
+            std::thread::spawn(move || -> Result<(Vec<f32>, Vec<f64>)> {
+                let net = Ddnet::new(cfg.net_cfg, cfg.seed);
+                let mut opt = Adam::new(cfg.lr);
+                let steps_per_epoch = my_batches.len() / cfg.epochs.max(1);
+                let mut epoch_losses = Vec::new();
+                let mut acc = 0.0f64;
+                let mut in_epoch = 0usize;
+                for (step, local) in my_batches.iter().enumerate() {
+                    let loss = if local.is_empty() {
+                        0.0
+                    } else {
+                        let (low, full) = batch_pairs(local)?;
+                        let mut g = Graph::new();
+                        let x = g.input(low);
+                        let t = g.input(full);
+                        let y = net.forward(&mut g, x, true)?;
+                        let loss = enhancement_loss(&mut g, y, t, cfg.ms_ssim_levels)?;
+                        let l = g.value(loss).item()? as f64;
+                        net.store.zero_grad();
+                        g.backward(loss);
+                        l
+                    };
+                    // gradient all-reduce (sum) then average over nodes
+                    let mut flat = net.store.flat_grads();
+                    ring_allreduce(&mut flat, rank, cfg.nodes, &ring);
+                    let inv = 1.0 / cfg.nodes as f32;
+                    for v in &mut flat {
+                        *v *= inv;
+                    }
+                    net.store.load_flat_grads(&flat)?;
+                    opt.step(&net.store);
+
+                    acc += loss;
+                    in_epoch += 1;
+                    if in_epoch == steps_per_epoch.max(1) {
+                        epoch_losses.push(acc / in_epoch as f64);
+                        acc = 0.0;
+                        in_epoch = 0;
+                        opt.decay_lr(cfg.lr_decay);
+                    }
+                    let _ = step;
+                }
+                Ok((net.store.snapshot(), epoch_losses))
+            })
+        })
+        .collect();
+
+    let mut snapshots = Vec::new();
+    let mut losses0 = Vec::new();
+    for (rank, h) in handles.into_iter().enumerate() {
+        let (snap, losses) = h.join().expect("worker panicked")?;
+        if rank == 0 {
+            losses0 = losses;
+        }
+        snapshots.push(snap);
+    }
+    // All replicas must agree (DDP invariant).
+    for (r, s) in snapshots.iter().enumerate().skip(1) {
+        debug_assert_eq!(s.len(), snapshots[0].len());
+        let max_diff = s
+            .iter()
+            .zip(&snapshots[0])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-5, "replica {r} diverged by {max_diff}");
+    }
+
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Evaluate rank-0 weights on the validation set.
+    let net = Ddnet::new(cfg.net_cfg, cfg.seed);
+    net.store.load_snapshot(&snapshots[0])?;
+    let mut ms = 0.0f64;
+    for p in val {
+        let enhanced = net.enhance(&p.low)?;
+        ms += ssim::ms_ssim_image(&p.full, &enhanced, 1.0)?;
+    }
+    let steps = if cfg.batch == 0 { 0 } else { (train.len() * cfg.epochs).div_ceil(cfg.batch) };
+    Ok((
+        snapshots.into_iter().next().expect("at least one node"),
+        DistStats {
+            wall_seconds: wall,
+            final_val_ms_ssim: 100.0 * ms / val.len().max(1) as f64,
+            epoch_losses: losses0,
+            steps,
+        },
+    ))
+}
+
+/// Pre-compute each node's local mini-batch for every global step across
+/// all epochs (fixed order; the global batch is a contiguous window over
+/// the training set, split contiguously across nodes).
+fn shard_steps(train: &[EnhancementPair], cfg: DistConfig) -> Vec<Vec<Vec<EnhancementPair>>> {
+    let mut per_node: Vec<Vec<Vec<EnhancementPair>>> = vec![Vec::new(); cfg.nodes];
+    for _epoch in 0..cfg.epochs {
+        let mut i = 0;
+        while i < train.len() {
+            let global: Vec<EnhancementPair> =
+                train[i..(i + cfg.batch).min(train.len())].to_vec();
+            let per = global.len().div_ceil(cfg.nodes);
+            for (rank, node_batches) in per_node.iter_mut().enumerate() {
+                let lo = (rank * per).min(global.len());
+                let hi = ((rank + 1) * per).min(global.len());
+                node_batches.push(global[lo..hi].to_vec());
+            }
+            i += cfg.batch;
+        }
+    }
+    per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_data::lowdose_pairs::{make_pair, PairConfig};
+    use cc19_data::sources::{DataSource, Modality, ScanMeta};
+
+    fn pairs(count: usize, n: usize) -> Vec<EnhancementPair> {
+        (0..count)
+            .map(|i| {
+                let meta = ScanMeta {
+                    id: 300 + i as u64,
+                    source: DataSource::Bimcv,
+                    modality: Modality::Ct,
+                    positive: false,
+                    severity: None,
+                    slices: 8,
+                    circular_artifact: false,
+                    has_projections: false,
+                };
+                make_pair(&meta, 0.5, PairConfig::reduced(n, 50 + i as u64)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicas_stay_synchronized_and_loss_falls() {
+        let train = pairs(8, 32);
+        let val = pairs(2, 32);
+        let cfg = DistConfig::row(2, 4, 2);
+        let (weights, stats) = train_distributed(&train, &val, cfg).unwrap();
+        assert!(!weights.is_empty());
+        assert_eq!(stats.epoch_losses.len(), 2);
+        assert!(stats.epoch_losses[1] <= stats.epoch_losses[0] * 1.1);
+        assert!(stats.final_val_ms_ssim > 50.0, "msssim {}", stats.final_val_ms_ssim);
+        assert_eq!(stats.steps, 4);
+    }
+
+    #[test]
+    fn single_node_path_works() {
+        let train = pairs(4, 32);
+        let val = pairs(1, 32);
+        let cfg = DistConfig::row(1, 2, 1);
+        let (_, stats) = train_distributed(&train, &val, cfg).unwrap();
+        assert_eq!(stats.steps, 2);
+        assert!(stats.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn four_nodes_complete() {
+        let train = pairs(8, 32);
+        let val = pairs(1, 32);
+        let cfg = DistConfig::row(4, 8, 1);
+        let (_, stats) = train_distributed(&train, &val, cfg).unwrap();
+        assert_eq!(stats.steps, 1);
+    }
+
+    #[test]
+    fn larger_batch_means_fewer_steps() {
+        let train = pairs(8, 32);
+        let val = pairs(1, 32);
+        let (_, s_small) = train_distributed(&train, &val, DistConfig::row(2, 2, 1)).unwrap();
+        let (_, s_large) = train_distributed(&train, &val, DistConfig::row(2, 8, 1)).unwrap();
+        assert!(s_large.steps < s_small.steps);
+    }
+
+    #[test]
+    fn sharding_covers_all_data() {
+        let train = pairs(5, 32);
+        let cfg = DistConfig::row(2, 4, 1);
+        let shards = shard_steps(&train, cfg);
+        assert_eq!(shards.len(), 2);
+        // both nodes see the same number of steps
+        assert_eq!(shards[0].len(), shards[1].len());
+        let total: usize =
+            shards.iter().map(|n| n.iter().map(|b| b.len()).sum::<usize>()).sum();
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,228 @@
+//! The device catalog — Table 4's platform column, with the published
+//! specs the paper lists (cores, bandwidth, frequency) plus the derived
+//! model parameters.
+
+/// Broad device class, selects model special cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Many-core GPU.
+    Gpu,
+    /// Multi-core CPU.
+    Cpu,
+    /// FPGA with OpenCL-generated pipelines.
+    Fpga,
+}
+
+/// One evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Display name, matching the paper's Table 4.
+    pub name: &'static str,
+    /// Class.
+    pub class: DeviceClass,
+    /// "Number of cores" column (CUDA cores / stream processors / CPU
+    /// cores / compute units).
+    pub cores: u32,
+    /// Peak memory bandwidth, GB/s (Table 4 column).
+    pub mem_bw_gbs: f64,
+    /// Max clock, MHz (Table 4 column).
+    pub freq_mhz: f64,
+    /// Peak f32 throughput, GFLOP/s (cores × 2 FMA × freq for GPUs;
+    /// cores × SIMD width × 2 × freq for the CPU).
+    pub peak_gflops: f64,
+    /// Fraction of peak bandwidth the optimized kernels achieve. The
+    /// paper's kernels mix row-/column-major accesses, "providing little
+    /// opportunity for coalesced memory accesses" (§5.1.3), so this is
+    /// well below 1.
+    pub bw_efficiency: f64,
+    /// Fraction of peak flops achievable.
+    pub flop_efficiency: f64,
+    /// Sustained global atomic / read-modify-write operations per second —
+    /// the bottleneck of the baseline scatter deconvolution.
+    pub atomic_ops_per_sec: f64,
+    /// Fraction of per-tap conv/deconv loads that actually reach DRAM.
+    /// GPUs/CPUs fold cache reuse into `bw_efficiency` (1.0 here); the
+    /// FPGA's dedicated kernels tile inputs into block RAM, so almost no
+    /// tap re-load touches DDR.
+    pub tap_dram_fraction: f64,
+    /// Whether the PyTorch runtime exists for this platform (Table 4 has
+    /// no PyTorch numbers for Vega and the FPGA).
+    pub has_pytorch: bool,
+    /// PyTorch-runtime slowdown vs the hand OpenCL kernels (framework
+    /// overhead: kernel launches, non-fused ops). Calibrated from the
+    /// paper's Table 4 ratios.
+    pub pytorch_overhead: f64,
+}
+
+/// The six platforms of Table 4.
+pub const DEVICES: [Device; 6] = [
+    Device {
+        name: "Nvidia V100 GPU",
+        class: DeviceClass::Gpu,
+        cores: 5120,
+        mem_bw_gbs: 900.0,
+        freq_mhz: 1380.0,
+        peak_gflops: 14130.0, // 5120 * 2 * 1.38 GHz
+        bw_efficiency: 0.80,
+        flop_efficiency: 0.50,
+        atomic_ops_per_sec: 1.5e8,
+        tap_dram_fraction: 1.0,
+        has_pytorch: true,
+        pytorch_overhead: 2.2,
+    },
+    Device {
+        name: "Nvidia P100 GPU",
+        class: DeviceClass::Gpu,
+        cores: 3584,
+        mem_bw_gbs: 732.0,
+        freq_mhz: 1328.0,
+        peak_gflops: 9519.0,
+        bw_efficiency: 0.33,
+        flop_efficiency: 0.40,
+        atomic_ops_per_sec: 6.0e7,
+        tap_dram_fraction: 1.0,
+        has_pytorch: true,
+        pytorch_overhead: 2.9,
+    },
+    Device {
+        name: "AMD Radeon Vega Frontier GPU",
+        class: DeviceClass::Gpu,
+        cores: 4096,
+        mem_bw_gbs: 480.0,
+        freq_mhz: 1600.0,
+        peak_gflops: 13107.0,
+        bw_efficiency: 0.50,
+        flop_efficiency: 0.40,
+        atomic_ops_per_sec: 4.0e7,
+        tap_dram_fraction: 1.0,
+        has_pytorch: false,
+        pytorch_overhead: 0.0,
+    },
+    Device {
+        name: "Nvidia T4 GPU",
+        class: DeviceClass::Gpu,
+        cores: 2560,
+        mem_bw_gbs: 320.0,
+        freq_mhz: 1590.0,
+        peak_gflops: 8141.0,
+        bw_efficiency: 0.55,
+        flop_efficiency: 0.40,
+        atomic_ops_per_sec: 1.5e8,
+        tap_dram_fraction: 1.0,
+        has_pytorch: true,
+        pytorch_overhead: 4.4,
+    },
+    Device {
+        name: "Intel Xeon Gold 6128 CPU",
+        class: DeviceClass::Cpu,
+        cores: 24,
+        mem_bw_gbs: 119.0,
+        freq_mhz: 3400.0,
+        // 24 cores x AVX-512 (16 f32 lanes) x 2 (FMA) x 3.4 GHz, derated
+        // for the non-AVX clock: ~1300 GFLOP/s nominal
+        peak_gflops: 1305.0,
+        bw_efficiency: 0.55,
+        flop_efficiency: 0.15,
+        // CPU caches absorb most of the scatter RMW traffic, so the CPU
+        // baseline is only a few times slower, not hundreds (Table 7).
+        atomic_ops_per_sec: 2.5e9,
+        tap_dram_fraction: 1.0,
+        has_pytorch: true,
+        pytorch_overhead: 3.4,
+    },
+    Device {
+        name: "Intel Arria 10 GX 1150 FPGA",
+        class: DeviceClass::Fpga,
+        cores: 2, // compute units, per the paper's num_compute_units(2)
+        mem_bw_gbs: 3.0, // the paper lists "< 3"
+        freq_mhz: 184.0,
+        // 2 CUs x 2 (mul+add) x 184 MHz = 0.736 GFLOP/s scalar pipelines;
+        // vectorization (x5, deconv only) is applied in the model.
+        peak_gflops: 0.736,
+        bw_efficiency: 0.85,
+        flop_efficiency: 0.95,
+        atomic_ops_per_sec: 3.5e7,
+        tap_dram_fraction: 0.04,
+        has_pytorch: false,
+        pytorch_overhead: 0.0,
+    },
+];
+
+impl Device {
+    /// Find a device by (case-insensitive) substring of its name.
+    pub fn find(needle: &str) -> Option<&'static Device> {
+        let n = needle.to_ascii_lowercase();
+        DEVICES.iter().find(|d| d.name.to_ascii_lowercase().contains(&n))
+    }
+
+    /// Effective memory bandwidth in bytes/s.
+    pub fn effective_bw(&self) -> f64 {
+        self.mem_bw_gbs * 1e9 * self.bw_efficiency
+    }
+
+    /// Effective compute throughput in FLOP/s, with the FPGA's
+    /// deconvolution-vectorization special case exposed via `vector5`.
+    pub fn effective_flops(&self, vector5: bool) -> f64 {
+        let base = self.peak_gflops * 1e9 * self.flop_efficiency;
+        if self.class == DeviceClass::Fpga && vector5 {
+            base * 5.0
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table4_columns() {
+        let v100 = Device::find("V100").unwrap();
+        assert_eq!(v100.cores, 5120);
+        assert_eq!(v100.mem_bw_gbs, 900.0);
+        assert_eq!(v100.freq_mhz, 1380.0);
+        let cpu = Device::find("6128").unwrap();
+        assert_eq!(cpu.cores, 24);
+        assert_eq!(cpu.mem_bw_gbs, 119.0);
+        let fpga = Device::find("Arria").unwrap();
+        assert_eq!(fpga.cores, 2);
+        assert!(fpga.mem_bw_gbs <= 3.0);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_paper_result_ordering() {
+        // §5.1.3: performance tracks memory bandwidth; the catalog must
+        // preserve the paper's effective-bandwidth ordering V100 > P100 >
+        // Vega/T4 > CPU > FPGA (effective, not nominal).
+        let bw = |n: &str| Device::find(n).unwrap().effective_bw();
+        assert!(bw("V100") > bw("P100"));
+        assert!(bw("P100") > bw("T4"));
+        assert!(bw("T4") > bw("6128"));
+        assert!(bw("6128") > bw("Arria"));
+    }
+
+    #[test]
+    fn pytorch_availability_matches_table4_dashes() {
+        assert!(Device::find("V100").unwrap().has_pytorch);
+        assert!(Device::find("T4").unwrap().has_pytorch);
+        assert!(!Device::find("Vega").unwrap().has_pytorch);
+        assert!(!Device::find("Arria").unwrap().has_pytorch);
+    }
+
+    #[test]
+    fn fpga_vectorization_quintuples_flops() {
+        let fpga = Device::find("Arria").unwrap();
+        assert!((fpga.effective_flops(true) / fpga.effective_flops(false) - 5.0).abs() < 1e-9);
+        let gpu = Device::find("V100").unwrap();
+        assert_eq!(gpu.effective_flops(true), gpu.effective_flops(false));
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert!(Device::find("v100").is_some());
+        assert!(Device::find("xeon").is_some());
+        assert!(Device::find("gtx 9000").is_none());
+        assert_eq!(DEVICES.len(), 6);
+    }
+}

@@ -1,0 +1,217 @@
+//! Convolution kernel (stride 1, square filter, zero padding) in the
+//! paper's optimization stages.
+//!
+//! Operates on plain row-major buffers — one image `(Cin, H, W)`, weights
+//! `(Cout, Cin, K, K)` — mirroring the OpenCL kernel signatures.
+
+use rayon::prelude::*;
+
+use crate::OptLevel;
+
+/// Shape of a stride-1 'same'-padded convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+    /// Square filter extent.
+    pub k: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Buffer length of the input.
+    pub fn in_len(&self) -> usize {
+        self.cin * self.h * self.w
+    }
+
+    /// Buffer length of the output (stride 1: spatial size preserved when
+    /// `pad = k/2`).
+    pub fn out_len(&self) -> usize {
+        self.cout * self.out_h() * self.out_w()
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.h + 2 * self.pad - self.k + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.w + 2 * self.pad - self.k + 1
+    }
+}
+
+/// Run the convolution kernel at an optimization level.
+pub fn conv2d(level: OptLevel, input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
+    debug_assert_eq!(input.len(), s.in_len());
+    debug_assert_eq!(weight.len(), s.cout * s.cin * s.k * s.k);
+    debug_assert_eq!(bias.len(), s.cout);
+    match level {
+        OptLevel::Baseline => conv_baseline(input, weight, bias, s),
+        OptLevel::Refactored => conv_baseline(input, weight, bias, s), // REF changes only deconv
+        OptLevel::RefactoredPrefetch => conv_prefetch(input, weight, bias, s, false),
+        OptLevel::RefactoredPrefetchUnrolled => conv_prefetch(input, weight, bias, s, true),
+    }
+}
+
+/// Naive kernel: every bound and index recomputed in the innermost loop,
+/// exactly as a line-by-line OpenCL port would do.
+fn conv_baseline(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let mut out = vec![0.0f32; s.out_len()];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, plane)| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[co];
+                for ci in 0..s.cin {
+                    for ky in 0..s.k {
+                        for kx in 0..s.k {
+                            let iy = oy as isize + ky as isize - s.pad as isize;
+                            let ix = ox as isize + kx as isize - s.pad as isize;
+                            if iy >= 0 && iy < s.h as isize && ix >= 0 && ix < s.w as isize {
+                                acc += input[ci * s.h * s.w + iy as usize * s.w + ix as usize]
+                                    * weight[co * s.cin * s.k * s.k + ci * s.k * s.k + ky * s.k + kx];
+                            }
+                        }
+                    }
+                }
+                plane[oy * ow + ox] = acc;
+            }
+        }
+    });
+    out
+}
+
+/// Prefetched kernel: bounds hoisted, filter rows sliced outside the inner
+/// loop, optional ×5 unrolling for the 5-wide dedicated path.
+fn conv_prefetch(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape, unroll: bool) -> Vec<f32> {
+    let (oh, ow) = (s.out_h(), s.out_w());
+    // prefetch scalar bounds into locals (the paper's PF optimization)
+    let (h, w, k, pad, cin) = (s.h, s.w, s.k, s.pad, s.cin);
+    let hw = h * w;
+    let kk = k * k;
+    let mut out = vec![0.0f32; s.out_len()];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, plane)| {
+        let wbase = &weight[co * cin * kk..(co + 1) * cin * kk];
+        let b = bias[co];
+        for oy in 0..oh {
+            // hoist the valid ky range for this row
+            let ky_lo = pad.saturating_sub(oy);
+            let ky_hi = k.min(h + pad - oy);
+            for ox in 0..ow {
+                let kx_lo = pad.saturating_sub(ox);
+                let kx_hi = k.min(w + pad - ox);
+                let mut acc = b;
+                for ci in 0..cin {
+                    let iplane = &input[ci * hw..(ci + 1) * hw];
+                    let wchan = &wbase[ci * kk..(ci + 1) * kk];
+                    for ky in ky_lo..ky_hi {
+                        let iy = oy + ky - pad;
+                        let irow = &iplane[iy * w..iy * w + w];
+                        let wrow = &wchan[ky * k..(ky + 1) * k];
+                        if unroll && k == 5 && kx_lo == 0 && kx_hi == 5 {
+                            // dedicated fully-unrolled 5-wide path
+                            let ix = ox - pad;
+                            acc += irow[ix] * wrow[0]
+                                + irow[ix + 1] * wrow[1]
+                                + irow[ix + 2] * wrow[2]
+                                + irow[ix + 3] * wrow[3]
+                                + irow[ix + 4] * wrow[4];
+                        } else {
+                            for kx in kx_lo..kx_hi {
+                                acc += irow[ox + kx - pad] * wrow[kx];
+                            }
+                        }
+                    }
+                }
+                plane[oy * ow + ox] = acc;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::conv::{conv2d as ref_conv, Conv2dSpec};
+    use cc19_tensor::rng::Xorshift;
+    use cc19_tensor::Tensor;
+
+    fn reference(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
+        let x = Tensor::from_vec([1, s.cin, s.h, s.w], input.to_vec()).unwrap();
+        let wt = Tensor::from_vec([s.cout, s.cin, s.k, s.k], weight.to_vec()).unwrap();
+        let b = Tensor::from_vec([s.cout], bias.to_vec()).unwrap();
+        ref_conv(&x, &wt, Some(&b), Conv2dSpec { stride: 1, padding: s.pad })
+            .unwrap()
+            .into_vec()
+    }
+
+    fn random_case(seed: u64, s: ConvShape) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = Xorshift::new(seed);
+        let input: Vec<f32> = (0..s.in_len()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let weight: Vec<f32> =
+            (0..s.cout * s.cin * s.k * s.k).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.2, 0.2)).collect();
+        (input, weight, bias)
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_levels_match_reference_5x5() {
+        let s = ConvShape { cin: 3, cout: 4, h: 12, w: 10, k: 5, pad: 2 };
+        let (input, weight, bias) = random_case(1, s);
+        let expect = reference(&input, &weight, &bias, s);
+        for level in OptLevel::ALL {
+            let got = conv2d(level, &input, &weight, &bias, s);
+            assert_close(&got, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_levels_match_reference_1x1_and_7x7() {
+        for (k, pad) in [(1usize, 0usize), (7, 3)] {
+            let s = ConvShape { cin: 2, cout: 3, h: 9, w: 9, k, pad };
+            let (input, weight, bias) = random_case(k as u64, s);
+            let expect = reference(&input, &weight, &bias, s);
+            for level in OptLevel::ALL {
+                let got = conv2d(level, &input, &weight, &bias, s);
+                assert_close(&got, &expect, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_convolution_no_padding() {
+        let s = ConvShape { cin: 1, cout: 1, h: 8, w: 8, k: 3, pad: 0 };
+        let (input, weight, bias) = random_case(9, s);
+        assert_eq!(s.out_h(), 6);
+        let expect = reference(&input, &weight, &bias, s);
+        for level in OptLevel::ALL {
+            assert_close(&conv2d(level, &input, &weight, &bias, s), &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn unrolled_path_exercised_at_larger_size() {
+        // 5x5 with interior large enough that the unrolled path dominates.
+        let s = ConvShape { cin: 2, cout: 2, h: 32, w: 32, k: 5, pad: 2 };
+        let (input, weight, bias) = random_case(5, s);
+        let base = conv2d(OptLevel::Baseline, &input, &weight, &bias, s);
+        let lu = conv2d(OptLevel::RefactoredPrefetchUnrolled, &input, &weight, &bias, s);
+        assert_close(&lu, &base, 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! # cc19-kernels
+//!
+//! Hand-written CPU inference kernels for DDnet, mirroring the paper's
+//! OpenCL kernels (§4.2) and their optimization stages:
+//!
+//! - **Baseline** — the naive kernel translation. Deconvolution is the
+//!   *scatter* formulation: every input element multiplies the whole
+//!   filter and accumulates into the output with recurring global
+//!   loads/stores (the memory-traffic pathology §4.2.1 describes).
+//! - **+REF (refactoring)** — deconvolution rewritten in the *gather* form
+//!   via inverse coefficient mapping: each output element determines the
+//!   input block that affects it and multiply-adds once before a single
+//!   store.
+//! - **+PF (prefetching)** — loop bounds and filter rows hoisted into
+//!   locals outside the inner loops (the OpenCL kernels prefetch sizes
+//!   into private memory; on the CPU this corresponds to hoisting
+//!   bounds-checks and slices out of the hot loop).
+//! - **+LU (loop unrolling)** — the multiply-add loop over the 5-wide
+//!   filter row fully unrolled (factor 5, matching §4.2.2); a *dedicated
+//!   kernel* specialized to the 5×5 filter, like the paper's
+//!   FPGA-dedicated kernels.
+//!
+//! Six kernel types exist, matching Table 6: convolution, deconvolution,
+//! pooling, un-pooling, leaky-ReLU, batch normalization. Every kernel has
+//! an instrumented twin that counts global loads / stores / flops; the
+//! analytic count formulas in [`count`] are validated against those
+//! instrumented kernels in the tests.
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod count;
+pub mod ddnet_exec;
+pub mod deconv;
+pub mod others;
+
+pub use count::{KernelCounts, OpCounts};
+pub use ddnet_exec::{run_ddnet_inference, DdnetShape, KernelTimes};
+
+/// The paper's cumulative optimization stages (Table 7 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Naive kernels; scatter deconvolution.
+    Baseline,
+    /// + refactored (gather) deconvolution.
+    Refactored,
+    /// + bounds/filter prefetching.
+    RefactoredPrefetch,
+    /// + 5× loop unrolling (dedicated 5-wide kernels).
+    RefactoredPrefetchUnrolled,
+}
+
+impl OptLevel {
+    /// All stages in Table 7 order.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::Baseline,
+        OptLevel::Refactored,
+        OptLevel::RefactoredPrefetch,
+        OptLevel::RefactoredPrefetchUnrolled,
+    ];
+
+    /// Column header as in Table 7.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "Baseline",
+            OptLevel::Refactored => "Baseline + REF",
+            OptLevel::RefactoredPrefetch => "Baseline + REF + PF",
+            OptLevel::RefactoredPrefetchUnrolled => "Baseline + REF + PF + LU",
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

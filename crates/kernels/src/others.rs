@@ -1,0 +1,165 @@
+//! The remaining DDnet inference kernels (Table 6's "other kernels"):
+//! max pooling, bilinear un-pooling, leaky-ReLU, inference batch
+//! normalization, and channel concatenation.
+
+use rayon::prelude::*;
+
+/// 3×3 / stride-2 / pad-1 max pooling (DDnet's pooling layer) on a
+/// `(C, H, W)` buffer. Returns `(C, H/2, W/2)` (for even extents).
+pub fn max_pool3x3s2(input: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+    let oh = (h + 2 - 3) / 2 + 1;
+    let ow = (w + 2 - 3) / 2 + 1;
+    let mut out = vec![0.0f32; c * oh * ow];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(ci, plane)| {
+        let ibase = &input[ci * h * w..(ci + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..3usize {
+                    let iy = (oy * 2 + ky) as isize - 1;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..3usize {
+                        let ix = (ox * 2 + kx) as isize - 1;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let v = ibase[iy as usize * w + ix as usize];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                plane[oy * ow + ox] = best;
+            }
+        }
+    });
+    out
+}
+
+/// Bilinear ×2 un-pooling (align_corners = false) on a `(C, H, W)` buffer.
+pub fn unpool_bilinear2x(input: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+    let (oh, ow) = (h * 2, w * 2);
+    let mut out = vec![0.0f32; c * oh * ow];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(ci, plane)| {
+        let ibase = &input[ci * h * w..(ci + 1) * h * w];
+        for oy in 0..oh {
+            let fy = ((oy as f32 + 0.5) * 0.5 - 0.5).max(0.0);
+            let y0 = (fy as usize).min(h - 1);
+            let y1 = (y0 + 1).min(h - 1);
+            let wy = fy - y0 as f32;
+            for ox in 0..ow {
+                let fx = ((ox as f32 + 0.5) * 0.5 - 0.5).max(0.0);
+                let x0 = (fx as usize).min(w - 1);
+                let x1 = (x0 + 1).min(w - 1);
+                let wx = fx - x0 as f32;
+                plane[oy * ow + ox] = ibase[y0 * w + x0] * (1.0 - wy) * (1.0 - wx)
+                    + ibase[y0 * w + x1] * (1.0 - wy) * wx
+                    + ibase[y1 * w + x0] * wy * (1.0 - wx)
+                    + ibase[y1 * w + x1] * wy * wx;
+            }
+        }
+    });
+    out
+}
+
+/// Leaky-ReLU in place.
+pub fn leaky_relu_inplace(buf: &mut [f32], slope: f32) {
+    for v in buf.iter_mut() {
+        if *v < 0.0 {
+            *v *= slope;
+        }
+    }
+}
+
+/// Inference batch normalization: `y = gamma * (x - mean) / sqrt(var+eps)
+/// + beta`, per channel, in place.
+pub fn batch_norm_inplace(
+    buf: &mut [f32],
+    c: usize,
+    plane: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+    eps: f32,
+) {
+    debug_assert_eq!(buf.len(), c * plane);
+    buf.par_chunks_mut(plane).enumerate().for_each(|(ci, chunk)| {
+        let inv = 1.0 / (var[ci] + eps).sqrt();
+        let g = gamma[ci];
+        let b = beta[ci];
+        let m = mean[ci];
+        for v in chunk.iter_mut() {
+            *v = g * (*v - m) * inv + b;
+        }
+    });
+}
+
+/// Channel concatenation of two `(C?, H, W)` buffers.
+pub fn concat_channels(a: &[f32], ca: usize, b: &[f32], cb: usize, plane: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), ca * plane);
+    debug_assert_eq!(b.len(), cb * plane);
+    let mut out = Vec::with_capacity((ca + cb) * plane);
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::pool::{max_pool2d, PoolSpec};
+    use cc19_tensor::resize::upsample_bilinear2d;
+    use cc19_tensor::rng::Xorshift;
+    use cc19_tensor::Tensor;
+
+    #[test]
+    fn max_pool_matches_tensor_reference() {
+        let mut rng = Xorshift::new(1);
+        let (c, h, w) = (3usize, 16usize, 12usize);
+        let input: Vec<f32> = (0..c * h * w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let got = max_pool3x3s2(&input, c, h, w);
+        let x = Tensor::from_vec([1, c, h, w], input).unwrap();
+        let (expect, _) = max_pool2d(&x, PoolSpec::DDNET).unwrap();
+        assert_eq!(got, expect.into_vec());
+    }
+
+    #[test]
+    fn unpool_matches_tensor_reference() {
+        let mut rng = Xorshift::new(2);
+        let (c, h, w) = (2usize, 8usize, 6usize);
+        let input: Vec<f32> = (0..c * h * w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let got = unpool_bilinear2x(&input, c, h, w);
+        let x = Tensor::from_vec([1, c, h, w], input).unwrap();
+        let expect = upsample_bilinear2d(&x, 2).unwrap();
+        let ev = expect.into_vec();
+        assert_eq!(got.len(), ev.len());
+        for (g, e) in got.iter().zip(&ev) {
+            assert!((g - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn leaky_relu_and_bn() {
+        let mut buf = vec![-2.0f32, 3.0];
+        leaky_relu_inplace(&mut buf, 0.1);
+        assert_eq!(buf, vec![-0.2, 3.0]);
+
+        let mut x = vec![1.0f32, 3.0, 10.0, 20.0];
+        batch_norm_inplace(&mut x, 2, 2, &[1.0, 2.0], &[0.0, 1.0], &[2.0, 15.0], &[1.0, 25.0], 0.0);
+        assert!((x[0] + 1.0).abs() < 1e-6);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        assert!((x[2] + 1.0).abs() < 1e-6); // 2*(10-15)/5 + 1 = -1
+        assert!((x[3] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_layout() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0]; // 2ch x 2 plane
+        let b = vec![9.0f32, 8.0]; // 1ch x 2 plane
+        let out = concat_channels(&a, 2, &b, 1, 2);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 9.0, 8.0]);
+    }
+}

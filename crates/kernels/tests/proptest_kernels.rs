@@ -1,0 +1,105 @@
+//! Property-based tests: all kernel optimization stages agree with the
+//! `cc19-tensor` reference implementation on random shapes — the safety
+//! net that lets the optimized kernels be trusted in the benchmarks.
+
+use proptest::prelude::*;
+
+use cc19_kernels::conv::{conv2d, ConvShape};
+use cc19_kernels::deconv::{deconv2d, out_h, out_w};
+use cc19_kernels::OptLevel;
+use cc19_tensor::conv::{conv2d as ref_conv, conv_transpose2d, Conv2dSpec};
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+fn case(
+    seed: u64,
+    s: ConvShape,
+    transpose: bool,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = Xorshift::new(seed.wrapping_mul(31) + 17);
+    let input: Vec<f32> = (0..s.cin * s.h * s.w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let wlen = s.cin * s.cout * s.k * s.k;
+    let weight: Vec<f32> = (0..wlen).map(|_| rng.uniform(-0.5, 0.5)).collect();
+    let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.2, 0.2)).collect();
+    let _ = transpose;
+    (input, weight, bias)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every conv optimization stage equals the reference conv.
+    #[test]
+    fn conv_stages_agree(
+        seed in 0u64..1000,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        h in 5usize..12,
+        w in 5usize..12,
+        kidx in 0usize..3,
+    ) {
+        let (k, pad) = [(1usize, 0usize), (5, 2), (3, 1)][kidx];
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let s = ConvShape { cin, cout, h, w, k, pad };
+        let (input, weight, bias) = case(seed, s, false);
+
+        let x = Tensor::from_vec([1, cin, h, w], input.clone()).unwrap();
+        let wt = Tensor::from_vec([cout, cin, k, k], weight.clone()).unwrap();
+        let b = Tensor::from_vec([cout], bias.clone()).unwrap();
+        let expect = ref_conv(&x, &wt, Some(&b), Conv2dSpec { stride: 1, padding: pad })
+            .unwrap()
+            .into_vec();
+
+        for level in OptLevel::ALL {
+            let got = conv2d(level, &input, &weight, &bias, s);
+            prop_assert_eq!(got.len(), expect.len());
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                prop_assert!((g - e).abs() < 1e-3, "{:?} idx {}: {} vs {}", level, i, g, e);
+            }
+        }
+    }
+
+    /// Every deconv stage — including the atomic scatter baseline — equals
+    /// the reference transposed convolution.
+    #[test]
+    fn deconv_stages_agree(
+        seed in 0u64..1000,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        h in 4usize..10,
+        w in 4usize..10,
+        kidx in 0usize..3,
+    ) {
+        let (k, pad) = [(1usize, 0usize), (5, 2), (3, 1)][kidx];
+        prop_assume!(h + k > 1 + 2 * pad && w + k > 1 + 2 * pad);
+        let s = ConvShape { cin, cout, h, w, k, pad };
+        let (input, weight, bias) = case(seed, s, true);
+
+        let x = Tensor::from_vec([1, cin, h, w], input.clone()).unwrap();
+        let wt = Tensor::from_vec([cin, cout, k, k], weight.clone()).unwrap();
+        let b = Tensor::from_vec([cout], bias.clone()).unwrap();
+        let expect = conv_transpose2d(&x, &wt, Some(&b), Conv2dSpec { stride: 1, padding: pad })
+            .unwrap()
+            .into_vec();
+        prop_assert_eq!(expect.len(), s.cout * out_h(s) * out_w(s));
+
+        for level in OptLevel::ALL {
+            let got = deconv2d(level, &input, &weight, &bias, s);
+            prop_assert_eq!(got.len(), expect.len());
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                prop_assert!((g - e).abs() < 1e-3, "{:?} idx {}: {} vs {}", level, i, g, e);
+            }
+        }
+    }
+
+    /// Analytic op counts scale exactly linearly in spatial area.
+    #[test]
+    fn counts_linear_in_area(h in 2u64..64, w in 2u64..64, c in 1u64..8) {
+        use cc19_kernels::count::conv_layer_counts;
+        let a = conv_layer_counts(h, w, c, c, 5);
+        let b = conv_layer_counts(2 * h, w, c, c, 5);
+        prop_assert_eq!(b.loads, 2 * a.loads);
+        prop_assert_eq!(b.stores, 2 * a.stores);
+        prop_assert_eq!(b.flops, 2 * a.flops);
+    }
+}

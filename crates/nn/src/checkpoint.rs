@@ -1,0 +1,179 @@
+//! Model checkpointing: a small, versioned, dependency-free binary format
+//! for parameter snapshots plus auxiliary buffers (batch-norm running
+//! statistics).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "CC19CKPT"            8 bytes
+//! version u32                  = 1
+//! n_sections u32
+//! per section:
+//!   name_len u32, name bytes (utf-8)
+//!   data_len u32 (f32 count), data bytes (4 * data_len)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CC19CKPT";
+const VERSION: u32 = 1;
+
+/// A named collection of f32 buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    /// `(name, data)` sections, in order.
+    pub sections: Vec<(String, Vec<f32>)>,
+}
+
+impl Checkpoint {
+    /// New empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a section.
+    pub fn push(&mut self, name: impl Into<String>, data: Vec<f32>) {
+        self.sections.push((name.into(), data));
+    }
+
+    /// Find a section by name.
+    pub fn get(&self, name: &str) -> Option<&[f32]> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_slice())
+    }
+
+    /// Serialize to a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
+        for (name, data) in &self.sections {
+            let nb = name.as_bytes();
+            w.write_all(&(nb.len() as u32).to_le_bytes())?;
+            w.write_all(nb)?;
+            w.write_all(&(data.len() as u32).to_le_bytes())?;
+            for v in data {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CC19 checkpoint"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        r.read_exact(&mut u32buf)?;
+        let n = u32::from_le_bytes(u32buf) as usize;
+        // sanity cap: 1e6 sections
+        if n > 1_000_000 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt section count"));
+        }
+        let mut sections = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut u32buf)?;
+            let name_len = u32::from_le_bytes(u32buf) as usize;
+            if name_len > 4096 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt name length"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 section name"))?;
+            r.read_exact(&mut u32buf)?;
+            let len = u32::from_le_bytes(u32buf) as usize;
+            if len > (1usize << 30) {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt data length"));
+            }
+            let mut bytes = vec![0u8; len * 4];
+            r.read_exact(&mut bytes)?;
+            let data: Vec<f32> =
+                bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+            sections.push((name, data));
+        }
+        Ok(Checkpoint { sections })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        Self::read_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cc19_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut c = Checkpoint::new();
+        c.push("params", vec![1.0, -2.5, 3.25]);
+        c.push("bn.mean", vec![0.5]);
+        c.push("bn.var", vec![]);
+        let path = tmp("roundtrip.ckpt");
+        c.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, c);
+        assert_eq!(loaded.get("params").unwrap(), &[1.0, -2.5, 3.25]);
+        assert!(loaded.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"NOTACKPTxxxxxx").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut c = Checkpoint::new();
+        c.push("w", vec![1.0; 64]);
+        let path = tmp("trunc.ckpt");
+        c.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn preserves_section_order_and_duplicates() {
+        let mut c = Checkpoint::new();
+        c.push("a", vec![1.0]);
+        c.push("a", vec![2.0]);
+        let path = tmp("dup.ckpt");
+        c.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.sections.len(), 2);
+        assert_eq!(loaded.sections[0].1, vec![1.0]);
+        assert_eq!(loaded.sections[1].1, vec![2.0]);
+        // get() returns the first
+        assert_eq!(loaded.get("a").unwrap(), &[1.0]);
+    }
+}

@@ -1,0 +1,901 @@
+//! Tape-based define-by-run autograd.
+//!
+//! A [`Graph`] is built fresh for every forward pass. Each op appends a
+//! node holding its output value and (if any input requires grad) a
+//! backward closure that maps the node's output gradient to gradient
+//! contributions for its parents. [`Graph::backward`] walks the tape in
+//! reverse — the tape is already topologically ordered because it is
+//! append-only — and finally routes parameter gradients into their
+//! [`crate::Param`]s.
+
+use cc19_tensor::conv::{
+    conv2d, conv2d_backward, conv3d, conv3d_backward, conv_transpose2d, conv_transpose2d_backward,
+    Conv2dSpec,
+};
+use cc19_tensor::pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, max_pool3d, max_pool3d_backward, PoolSpec,
+};
+use cc19_tensor::resize::{upsample_bilinear2d, upsample_bilinear2d_backward};
+use cc19_tensor::{ops, Tensor, TensorError};
+
+use crate::param::ParamRef;
+use crate::Result;
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Backward closure: `(all node values, grad of this node) -> [(parent id,
+/// grad contribution)]`.
+pub(crate) type BackFn = Box<dyn Fn(&[Tensor], &Tensor) -> Vec<(usize, Tensor)>>;
+
+/// Gradients returned by [`Graph::backward`] for non-parameter vars.
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// Gradient of the loss w.r.t. `var`, if it was computed.
+    ///
+    /// Parameter vars return `None` here — their gradients are routed into
+    /// the `Param` itself.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+}
+
+/// Batch-norm evaluation mode.
+#[derive(Debug, Clone)]
+pub enum BnMode {
+    /// Use batch statistics (training). The op reports the batch mean/var
+    /// so the layer can update its running stats.
+    Train,
+    /// Use the provided running statistics (inference).
+    Eval {
+        /// Per-channel running means.
+        mean: Vec<f32>,
+        /// Per-channel running variances.
+        var: Vec<f32>,
+    },
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    values: Vec<Tensor>,
+    backs: Vec<Option<BackFn>>,
+    requires: Vec<bool>,
+    /// (var id, param) pairs: where to deliver gradients after backward.
+    params: Vec<(usize, ParamRef)>,
+}
+
+impl Graph {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    /// Record a constant / network input (no gradient tracked).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, false, None)
+    }
+
+    /// Record an input that *does* require grad (used by grad-check tests).
+    pub fn input_grad(&mut self, t: Tensor) -> Var {
+        self.push(t, true, None)
+    }
+
+    /// Record a trainable parameter; its gradient will be accumulated into
+    /// the `Param` by [`Graph::backward`].
+    pub fn param(&mut self, p: &ParamRef) -> Var {
+        let t = p.borrow().value.clone();
+        let v = self.push(t, true, None);
+        self.params.push((v.0, p.clone()));
+        v
+    }
+
+    fn push(&mut self, value: Tensor, requires: bool, back: Option<BackFn>) -> Var {
+        self.values.push(value);
+        self.requires.push(requires);
+        self.backs.push(back);
+        Var(self.values.len() - 1)
+    }
+
+    fn any_requires(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|v| self.requires[v.0])
+    }
+
+    /// Record an op: `value` plus a backward closure if any parent needs it.
+    pub(crate) fn record(&mut self, value: Tensor, parents: &[Var], back: BackFn) -> Var {
+        let req = self.any_requires(parents);
+        self.push(value, req, if req { Some(back) } else { None })
+    }
+
+    /// Run reverse-mode autodiff from `loss` (must be scalar-like: the seed
+    /// gradient is all-ones of the loss shape). Returns gradients of
+    /// non-parameter vars; parameter gradients are accumulated into their
+    /// `Param`s.
+    pub fn backward(&mut self, loss: Var) -> Grads {
+        let mut grads: Vec<Option<Tensor>> = (0..self.values.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::ones(self.values[loss.0].shape().clone()));
+
+        for id in (0..=loss.0).rev() {
+            if !self.requires[id] {
+                continue;
+            }
+            let Some(g) = grads[id].take() else { continue };
+            if let Some(back) = &self.backs[id] {
+                for (pid, contrib) in back(&self.values, &g) {
+                    if !self.requires[pid] {
+                        continue;
+                    }
+                    match &mut grads[pid] {
+                        Some(acc) => {
+                            ops::axpy(1.0, &contrib, acc).expect("grad shapes agree");
+                        }
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            grads[id] = Some(g);
+        }
+
+        // Deliver parameter gradients (move them out of the grads table).
+        for (vid, p) in &self.params {
+            if let Some(g) = grads[*vid].take() {
+                p.borrow_mut().accumulate_grad(g);
+            }
+        }
+        Grads { grads }
+    }
+
+    // ----- elementwise ---------------------------------------------------
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::add(&self.values[a.0], &self.values[b.0])?;
+        Ok(self.record(v, &[a, b], Box::new(move |_vals, g| {
+            vec![(a.0, g.clone()), (b.0, g.clone())]
+        })))
+    }
+
+    /// Elementwise subtraction `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::sub(&self.values[a.0], &self.values[b.0])?;
+        Ok(self.record(v, &[a, b], Box::new(move |_vals, g| {
+            vec![(a.0, g.clone()), (b.0, ops::scale(g, -1.0))]
+        })))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::mul(&self.values[a.0], &self.values[b.0])?;
+        Ok(self.record(v, &[a, b], Box::new(move |vals, g| {
+            vec![
+                (a.0, ops::mul(g, &vals[b.0]).expect("shape")),
+                (b.0, ops::mul(g, &vals[a.0]).expect("shape")),
+            ]
+        })))
+    }
+
+    /// Elementwise division `a / b`.
+    pub fn div(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = ops::div(&self.values[a.0], &self.values[b.0])?;
+        Ok(self.record(v, &[a, b], Box::new(move |vals, g| {
+            let ga = ops::div(g, &vals[b.0]).expect("shape");
+            // gb = -g * a / b^2
+            let b2 = ops::square(&vals[b.0]);
+            let gb = ops::scale(&ops::div(&ops::mul(g, &vals[a.0]).expect("shape"), &b2).expect("shape"), -1.0);
+            vec![(a.0, ga), (b.0, gb)]
+        })))
+    }
+
+    /// Multiply by a compile-time scalar.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = ops::scale(&self.values[a.0], c);
+        self.record(v, &[a], Box::new(move |_vals, g| vec![(a.0, ops::scale(g, c))]))
+    }
+
+    /// Add a compile-time scalar.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = ops::add_scalar(&self.values[a.0], c);
+        self.record(v, &[a], Box::new(move |_vals, g| vec![(a.0, g.clone())]))
+    }
+
+    /// Elementwise power with a constant exponent. The base is assumed
+    /// positive (MS-SSIM usage); the backward clamps the base away from
+    /// zero for stability.
+    pub fn pow_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = ops::map(&self.values[a.0], move |x| x.powf(c));
+        self.record(v, &[a], Box::new(move |vals, g| {
+            let d = ops::map(&vals[a.0], move |x| c * x.max(1e-6).powf(c - 1.0));
+            vec![(a.0, ops::mul(g, &d).expect("shape"))]
+        }))
+    }
+
+    /// Leaky-ReLU.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = ops::leaky_relu(&self.values[a.0], slope);
+        self.record(v, &[a], Box::new(move |vals, g| {
+            let mut out = g.clone();
+            for (o, &x) in out.data_mut().iter_mut().zip(vals[a.0].data()) {
+                if x < 0.0 {
+                    *o *= slope;
+                }
+            }
+            vec![(a.0, out)]
+        }))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.leaky_relu(a, 0.0)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = ops::sigmoid(&self.values[a.0]);
+        self.record(v, &[a], Box::new(move |vals, g| {
+            // use the cached output: d sigma = sigma (1 - sigma); recompute from input
+            let s = ops::sigmoid(&vals[a.0]);
+            let d = ops::map(&s, |sv| sv * (1.0 - sv));
+            vec![(a.0, ops::mul(g, &d).expect("shape"))]
+        }))
+    }
+
+    /// Reshape (same element count).
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Result<Var> {
+        let v = self.values[a.0].reshape(dims.to_vec())?;
+        let old_dims = self.values[a.0].dims().to_vec();
+        Ok(self.record(v, &[a], Box::new(move |_vals, g| {
+            vec![(a.0, g.reshape(old_dims.clone()).expect("reshape back"))]
+        })))
+    }
+
+    // ----- reductions / losses -------------------------------------------
+
+    /// Mean over all elements -> scalar var.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let n = self.values[a.0].numel().max(1);
+        let m = cc19_tensor::reduce::mean(&self.values[a.0]) as f32;
+        let shape = self.values[a.0].shape().clone();
+        self.record(Tensor::scalar(m), &[a], Box::new(move |_vals, g| {
+            let gv = g.data()[0] / n as f32;
+            vec![(a.0, Tensor::full(shape.clone(), gv))]
+        }))
+    }
+
+    /// Sum over all elements -> scalar var.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s = cc19_tensor::reduce::sum(&self.values[a.0]) as f32;
+        let shape = self.values[a.0].shape().clone();
+        self.record(Tensor::scalar(s), &[a], Box::new(move |_vals, g| {
+            vec![(a.0, Tensor::full(shape.clone(), g.data()[0]))]
+        }))
+    }
+
+    // ----- structure ------------------------------------------------------
+
+    /// Concatenate along the channel axis (axis 1).
+    pub fn concat_channels(&mut self, vars: &[Var]) -> Result<Var> {
+        if vars.is_empty() {
+            return Err(TensorError::Empty("concat_channels"));
+        }
+        let tensors: Vec<&Tensor> = vars.iter().map(|v| &self.values[v.0]).collect();
+        let out = ops::concat(&tensors, 1)?;
+        let ids: Vec<usize> = vars.iter().map(|v| v.0).collect();
+        let extents: Vec<usize> = vars.iter().map(|v| self.values[v.0].dims()[1]).collect();
+        Ok(self.record(out, vars, Box::new(move |_vals, g| {
+            let parts = ops::split(g, 1, &extents).expect("split matches concat");
+            ids.iter().copied().zip(parts).collect()
+        })))
+    }
+
+    // ----- linear algebra --------------------------------------------------
+
+    /// Fully-connected layer: `x (N,K) @ w (K,M) + b (M)`.
+    pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Result<Var> {
+        let xv = &self.values[x.0];
+        let wv = &self.values[w.0];
+        let mut out = ops::matmul(xv, wv)?;
+        if let Some(bv) = b {
+            let bias = &self.values[bv.0];
+            let m = out.dims()[1];
+            if bias.numel() != m {
+                return Err(TensorError::Incompatible(format!(
+                    "linear bias has {} elements, want {m}",
+                    bias.numel()
+                )));
+            }
+            let bd = bias.data().to_vec();
+            for row in out.data_mut().chunks_mut(m) {
+                for (o, &bb) in row.iter_mut().zip(&bd) {
+                    *o += bb;
+                }
+            }
+        }
+        let parents: Vec<Var> = match b {
+            Some(bv) => vec![x, w, bv],
+            None => vec![x, w],
+        };
+        Ok(self.record(out, &parents, Box::new(move |vals, g| {
+            let xv = &vals[x.0];
+            let wv = &vals[w.0];
+            let wt = ops::transpose2(wv).expect("rank 2");
+            let xt = ops::transpose2(xv).expect("rank 2");
+            let gx = ops::matmul(g, &wt).expect("shape");
+            let gw = ops::matmul(&xt, g).expect("shape");
+            let mut outv = vec![(x.0, gx), (w.0, gw)];
+            if let Some(bv) = b {
+                let m = g.dims()[1];
+                let mut gb = Tensor::zeros([m]);
+                for row in g.data().chunks(m) {
+                    for (acc, &gg) in gb.data_mut().iter_mut().zip(row) {
+                        *acc += gg;
+                    }
+                }
+                outv.push((bv.0, gb));
+            }
+            outv
+        })))
+    }
+
+    // ----- convolutions ----------------------------------------------------
+
+    /// 2D convolution (see [`cc19_tensor::conv::conv2d`]).
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Result<Var> {
+        let out = conv2d(&self.values[x.0], &self.values[w.0], b.map(|bv| &self.values[bv.0]), spec)?;
+        let parents: Vec<Var> = match b {
+            Some(bv) => vec![x, w, bv],
+            None => vec![x, w],
+        };
+        Ok(self.record(out, &parents, Box::new(move |vals, g| {
+            let (gx, gw, gb) =
+                conv2d_backward(&vals[x.0], &vals[w.0], g, spec).expect("consistent shapes");
+            let mut outv = vec![(x.0, gx), (w.0, gw)];
+            if let Some(bv) = b {
+                outv.push((bv.0, gb));
+            }
+            outv
+        })))
+    }
+
+    /// 2D transposed convolution ("deconvolution").
+    pub fn conv_transpose2d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Result<Var> {
+        let out =
+            conv_transpose2d(&self.values[x.0], &self.values[w.0], b.map(|bv| &self.values[bv.0]), spec)?;
+        let parents: Vec<Var> = match b {
+            Some(bv) => vec![x, w, bv],
+            None => vec![x, w],
+        };
+        Ok(self.record(out, &parents, Box::new(move |vals, g| {
+            let (gx, gw, gb) =
+                conv_transpose2d_backward(&vals[x.0], &vals[w.0], g, spec).expect("consistent shapes");
+            let mut outv = vec![(x.0, gx), (w.0, gw)];
+            if let Some(bv) = b {
+                outv.push((bv.0, gb));
+            }
+            outv
+        })))
+    }
+
+    /// 3D convolution.
+    pub fn conv3d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Result<Var> {
+        let out = conv3d(&self.values[x.0], &self.values[w.0], b.map(|bv| &self.values[bv.0]), spec)?;
+        let parents: Vec<Var> = match b {
+            Some(bv) => vec![x, w, bv],
+            None => vec![x, w],
+        };
+        Ok(self.record(out, &parents, Box::new(move |vals, g| {
+            let (gx, gw, gb) =
+                conv3d_backward(&vals[x.0], &vals[w.0], g, spec).expect("consistent shapes");
+            let mut outv = vec![(x.0, gx), (w.0, gw)];
+            if let Some(bv) = b {
+                outv.push((bv.0, gb));
+            }
+            outv
+        })))
+    }
+
+    // ----- pooling / resize --------------------------------------------------
+
+    /// 2D max pooling.
+    pub fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Result<Var> {
+        let (out, arg) = max_pool2d(&self.values[x.0], spec)?;
+        let in_shape = self.values[x.0].dims().to_vec();
+        Ok(self.record(out, &[x], Box::new(move |_vals, g| {
+            vec![(x.0, max_pool2d_backward(&in_shape, &arg, g, spec).expect("shape"))]
+        })))
+    }
+
+    /// 3D max pooling.
+    pub fn max_pool3d(&mut self, x: Var, spec: PoolSpec) -> Result<Var> {
+        let (out, arg) = max_pool3d(&self.values[x.0], spec)?;
+        let in_shape = self.values[x.0].dims().to_vec();
+        Ok(self.record(out, &[x], Box::new(move |_vals, g| {
+            vec![(x.0, max_pool3d_backward(&in_shape, &arg, g, spec).expect("shape"))]
+        })))
+    }
+
+    /// 2D average pooling.
+    pub fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Result<Var> {
+        let out = avg_pool2d(&self.values[x.0], spec)?;
+        let in_shape = self.values[x.0].dims().to_vec();
+        Ok(self.record(out, &[x], Box::new(move |_vals, g| {
+            vec![(x.0, avg_pool2d_backward(&in_shape, g, spec).expect("shape"))]
+        })))
+    }
+
+    /// Global average pool `(N,C,...) -> (N,C)`.
+    pub fn global_avg_pool(&mut self, x: Var) -> Result<Var> {
+        let out = global_avg_pool(&self.values[x.0])?;
+        let in_shape = self.values[x.0].dims().to_vec();
+        Ok(self.record(out, &[x], Box::new(move |_vals, g| {
+            vec![(x.0, global_avg_pool_backward(&in_shape, g).expect("shape"))]
+        })))
+    }
+
+    /// Bilinear ×`scale` un-pooling (DDnet's un-pooling layer).
+    pub fn upsample_bilinear2d(&mut self, x: Var, scale: usize) -> Result<Var> {
+        let out = upsample_bilinear2d(&self.values[x.0], scale)?;
+        let in_shape = self.values[x.0].dims().to_vec();
+        Ok(self.record(out, &[x], Box::new(move |_vals, g| {
+            vec![(x.0, upsample_bilinear2d_backward(&in_shape, g, scale).expect("shape"))]
+        })))
+    }
+
+    // ----- normalization -------------------------------------------------------
+
+    /// Channel-wise batch normalization over a `(N, C, *spatial)` tensor.
+    ///
+    /// Returns `(output, batch_mean, batch_var)`; in `Eval` mode the
+    /// returned statistics are the running ones that were supplied.
+    pub fn batch_norm(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+        mode: BnMode,
+    ) -> Result<(Var, Vec<f32>, Vec<f32>)> {
+        let xv = &self.values[x.0];
+        if xv.shape().rank() < 2 {
+            return Err(TensorError::Incompatible("batch_norm expects rank >= 2".into()));
+        }
+        let dims = xv.dims().to_vec();
+        let (n, c) = (dims[0], dims[1]);
+        let spatial: usize = dims[2..].iter().product();
+        let m = (n * spatial) as f32; // reduction-set size per channel
+        let gv = self.values[gamma.0].clone();
+        let bv = self.values[beta.0].clone();
+        if gv.numel() != c || bv.numel() != c {
+            return Err(TensorError::Incompatible(format!(
+                "batch_norm: gamma/beta must have {c} elements"
+            )));
+        }
+
+        let (mean, var) = match &mode {
+            BnMode::Train => {
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                let xd = xv.data();
+                for ci in 0..c {
+                    let mut acc = 0.0f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for &v in &xd[base..base + spatial] {
+                            acc += v as f64;
+                        }
+                    }
+                    mean[ci] = (acc / m as f64) as f32;
+                }
+                for ci in 0..c {
+                    let mu = mean[ci] as f64;
+                    let mut acc = 0.0f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for &v in &xd[base..base + spatial] {
+                            let d = v as f64 - mu;
+                            acc += d * d;
+                        }
+                    }
+                    var[ci] = (acc / m as f64) as f32;
+                }
+                (mean, var)
+            }
+            BnMode::Eval { mean, var } => {
+                if mean.len() != c || var.len() != c {
+                    return Err(TensorError::Incompatible(format!(
+                        "batch_norm eval stats must have {c} elements"
+                    )));
+                }
+                (mean.clone(), var.clone())
+            }
+        };
+
+        // forward: y = gamma * (x - mean)/sqrt(var+eps) + beta
+        let mut out = Tensor::zeros(dims.clone());
+        {
+            let xd = xv.data();
+            let od = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let inv = 1.0 / (var[ci] + eps).sqrt();
+                    let g = gv.data()[ci];
+                    let b = bv.data()[ci];
+                    let mu = mean[ci];
+                    let base = (ni * c + ci) * spatial;
+                    for i in base..base + spatial {
+                        od[i] = g * (xd[i] - mu) * inv + b;
+                    }
+                }
+            }
+        }
+
+        let mean_c = mean.clone();
+        let var_c = var.clone();
+        let is_train = matches!(mode, BnMode::Train);
+        let out_var = self.record(out, &[x, gamma, beta], Box::new(move |vals, g| {
+            let xd = vals[x.0].data();
+            let gammad = vals[gamma.0].data();
+            let gd = g.data();
+            let mut gx = Tensor::zeros(dims.clone());
+            let mut ggamma = Tensor::zeros([c]);
+            let mut gbeta = Tensor::zeros([c]);
+            let gxd = gx.data_mut();
+
+            for ci in 0..c {
+                let inv = 1.0 / (var_c[ci] + eps).sqrt();
+                let mu = mean_c[ci];
+                // channel sums
+                let mut sum_g = 0.0f64;
+                let mut sum_g_xhat = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * spatial;
+                    for i in base..base + spatial {
+                        let xhat = (xd[i] - mu) * inv;
+                        sum_g += gd[i] as f64;
+                        sum_g_xhat += (gd[i] * xhat) as f64;
+                    }
+                }
+                gbeta.data_mut()[ci] = sum_g as f32;
+                ggamma.data_mut()[ci] = sum_g_xhat as f32;
+                let k = gammad[ci] * inv;
+                if is_train {
+                    let mg = (sum_g / m as f64) as f32;
+                    let mgx = (sum_g_xhat / m as f64) as f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for i in base..base + spatial {
+                            let xhat = (xd[i] - mu) * inv;
+                            gxd[i] = k * (gd[i] - mg - xhat * mgx);
+                        }
+                    }
+                } else {
+                    // eval: statistics are constants
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for i in base..base + spatial {
+                            gxd[i] = k * gd[i];
+                        }
+                    }
+                }
+            }
+            vec![(x.0, gx), (gamma.0, ggamma), (beta.0, gbeta)]
+        }));
+        Ok((out_var, mean, var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use cc19_tensor::rng::Xorshift;
+
+    /// Generic finite-difference gradient check against a scalar loss
+    /// builder. `build` receives the graph and the input var and must
+    /// return the scalar loss var.
+    fn gradcheck(
+        x0: Tensor,
+        tol: f32,
+        build: impl Fn(&mut Graph, Var) -> Var,
+    ) {
+        let mut g = Graph::new();
+        let x = g.input_grad(x0.clone());
+        let loss = build(&mut g, x);
+        assert_eq!(g.value(loss).numel(), 1, "loss must be scalar");
+        let grads = g.backward(loss);
+        let analytic = grads.get(x).expect("input grad").clone();
+
+        let eps = 1e-2f32;
+        let f = |t: &Tensor| -> f32 {
+            let mut g = Graph::new();
+            let x = g.input(t.clone());
+            let loss = build(&mut g, x);
+            g.value(loss).item().unwrap()
+        };
+        let n = x0.numel();
+        let step = (n / 7).max(1);
+        for idx in (0..n).step_by(step) {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs().max(an.abs())),
+                "grad mismatch at {idx}: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        let mut rng = Xorshift::new(1);
+        let x0 = rng.uniform_tensor([2, 3], -1.0, 1.0);
+        gradcheck(x0, 1e-2, |g, x| {
+            let y = g.scale(x, 2.0);
+            let z = g.mul(x, y).unwrap(); // 2x^2
+            let w = g.add(z, x).unwrap(); // 2x^2 + x
+            g.sum(w)
+        });
+    }
+
+    #[test]
+    fn grad_div() {
+        let mut rng = Xorshift::new(2);
+        let x0 = rng.uniform_tensor([6], 0.5, 2.0);
+        gradcheck(x0, 2e-2, |g, x| {
+            let c = g.input(Tensor::full([6], 3.0));
+            let one_plus = g.add_scalar(x, 1.5);
+            let d = g.div(c, one_plus).unwrap();
+            g.sum(d)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        let mut rng = Xorshift::new(3);
+        // keep away from the ReLU kink for finite differences
+        let mut x0 = rng.uniform_tensor([10], -2.0, 2.0);
+        for v in x0.data_mut() {
+            if v.abs() < 0.1 {
+                *v += 0.3;
+            }
+        }
+        gradcheck(x0.clone(), 2e-2, |g, x| {
+            let y = g.leaky_relu(x, 0.1);
+            g.sum(y)
+        });
+        gradcheck(x0, 2e-2, |g, x| {
+            let y = g.sigmoid(x);
+            g.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_pow_scalar() {
+        let mut rng = Xorshift::new(4);
+        let x0 = rng.uniform_tensor([8], 0.5, 2.0);
+        gradcheck(x0, 2e-2, |g, x| {
+            let y = g.pow_scalar(x, 0.3);
+            g.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_mean_vs_sum() {
+        let x0 = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut g = Graph::new();
+        let x = g.input_grad(x0);
+        let m = g.mean(x);
+        let grads = g.backward(m);
+        assert_eq!(grads.get(x).unwrap().data(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn grad_concat_splits_gradient() {
+        let a0 = Tensor::ones([1, 2, 2, 2]);
+        let b0 = Tensor::ones([1, 3, 2, 2]);
+        let mut g = Graph::new();
+        let a = g.input_grad(a0);
+        let b = g.input_grad(b0);
+        let c = g.concat_channels(&[a, b]).unwrap();
+        assert_eq!(g.value(c).dims(), &[1, 5, 2, 2]);
+        let s = g.scale(c, 2.0);
+        let loss = g.sum(s);
+        let grads = g.backward(loss);
+        assert!(grads.get(a).unwrap().data().iter().all(|&v| v == 2.0));
+        assert_eq!(grads.get(a).unwrap().dims(), &[1, 2, 2, 2]);
+        assert_eq!(grads.get(b).unwrap().dims(), &[1, 3, 2, 2]);
+    }
+
+    #[test]
+    fn grad_linear() {
+        let mut rng = Xorshift::new(5);
+        let x0 = rng.uniform_tensor([3, 4], -1.0, 1.0);
+        let w0 = rng.uniform_tensor([4, 2], -1.0, 1.0);
+        let b0 = rng.uniform_tensor([2], -1.0, 1.0);
+        gradcheck(x0, 2e-2, |g, x| {
+            let w = g.input(w0.clone());
+            let b = g.input(b0.clone());
+            let y = g.linear(x, w, Some(b)).unwrap();
+            g.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_conv_and_pool_chain() {
+        let mut rng = Xorshift::new(6);
+        let x0 = rng.uniform_tensor([1, 1, 6, 6], -1.0, 1.0);
+        let w0 = rng.uniform_tensor([2, 1, 3, 3], -0.5, 0.5);
+        gradcheck(x0, 3e-2, |g, x| {
+            let w = g.input(w0.clone());
+            let y = g.conv2d(x, w, None, Conv2dSpec { stride: 1, padding: 1 }).unwrap();
+            let p = g.avg_pool2d(y, PoolSpec { kernel: 2, stride: 2, padding: 0 }).unwrap();
+            g.sum(p)
+        });
+    }
+
+    #[test]
+    fn grad_upsample() {
+        let mut rng = Xorshift::new(7);
+        let x0 = rng.uniform_tensor([1, 2, 3, 3], -1.0, 1.0);
+        gradcheck(x0, 2e-2, |g, x| {
+            let y = g.upsample_bilinear2d(x, 2).unwrap();
+            g.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_batch_norm_train() {
+        let mut rng = Xorshift::new(8);
+        let x0 = rng.uniform_tensor([2, 3, 4, 4], -1.0, 1.0);
+        let g0 = rng.uniform_tensor([3], 0.5, 1.5);
+        let b0 = rng.uniform_tensor([3], -0.5, 0.5);
+        // loss must be nonlinear in y for BN grad to be non-trivial
+        gradcheck(x0, 5e-2, |g, x| {
+            let gamma = g.input(g0.clone());
+            let beta = g.input(b0.clone());
+            let (y, _, _) = g.batch_norm(x, gamma, beta, 1e-5, BnMode::Train).unwrap();
+            let y2 = g.mul(y, y).unwrap();
+            g.sum(y2)
+        });
+    }
+
+    #[test]
+    fn grad_batch_norm_gamma_beta() {
+        let mut rng = Xorshift::new(9);
+        let x0 = rng.uniform_tensor([2, 2, 3, 3], -1.0, 1.0);
+        let g0 = rng.uniform_tensor([2], 0.5, 1.5);
+        let b0 = rng.uniform_tensor([2], -0.5, 0.5);
+
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let gamma = g.input_grad(g0.clone());
+        let beta = g.input_grad(b0.clone());
+        let (y, _, _) = g.batch_norm(x, gamma, beta, 1e-5, BnMode::Train).unwrap();
+        let y2 = g.mul(y, y).unwrap();
+        let loss = g.sum(y2);
+        let grads = g.backward(loss);
+        let ggamma = grads.get(gamma).unwrap().clone();
+        let gbeta = grads.get(beta).unwrap().clone();
+
+        let f = |gv: &Tensor, bv: &Tensor| -> f32 {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let gamma = g.input(gv.clone());
+            let beta = g.input(bv.clone());
+            let (y, _, _) = g.batch_norm(x, gamma, beta, 1e-5, BnMode::Train).unwrap();
+            let y2 = g.mul(y, y).unwrap();
+            let loss = g.sum(y2);
+            g.value(loss).item().unwrap()
+        };
+        let eps = 1e-2;
+        for idx in 0..2 {
+            let mut gp = g0.clone();
+            gp.data_mut()[idx] += eps;
+            let mut gm = g0.clone();
+            gm.data_mut()[idx] -= eps;
+            let fd = (f(&gp, &b0) - f(&gm, &b0)) / (2.0 * eps);
+            assert!((fd - ggamma.data()[idx]).abs() < 0.05 * (1.0 + fd.abs()), "gamma {idx}: {fd} vs {}", ggamma.data()[idx]);
+
+            let mut bp = b0.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = b0.clone();
+            bm.data_mut()[idx] -= eps;
+            let fd = (f(&g0, &bp) - f(&g0, &bm)) / (2.0 * eps);
+            assert!((fd - gbeta.data()[idx]).abs() < 0.05 * (1.0 + fd.abs()), "beta {idx}: {fd} vs {}", gbeta.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut rng = Xorshift::new(10);
+        let x0 = rng.uniform_tensor([4, 2, 8, 8], 3.0, 9.0);
+        let mut g = Graph::new();
+        let x = g.input(x0);
+        let gamma = g.input(Tensor::ones([2]));
+        let beta = g.input(Tensor::zeros([2]));
+        let (y, mean, var) = g.batch_norm(x, gamma, beta, 1e-5, BnMode::Train).unwrap();
+        // reported stats should reflect the input distribution
+        assert!(mean.iter().all(|&m| (3.0..9.0).contains(&m)));
+        assert!(var.iter().all(|&v| v > 0.0));
+        // output should be ~N(0,1) per channel
+        let yv = g.value(y);
+        let m = cc19_tensor::reduce::mean(yv);
+        let v = cc19_tensor::reduce::variance(yv);
+        assert!(m.abs() < 1e-3, "mean {m}");
+        assert!((v - 1.0).abs() < 1e-2, "var {v}");
+    }
+
+    #[test]
+    fn param_grads_routed_to_params() {
+        let w = Param::new("w", Tensor::from_vec([2], vec![1.0, 2.0]).unwrap());
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec([2], vec![3.0, 4.0]).unwrap());
+        let wv = g.param(&w);
+        let y = g.mul(x, wv).unwrap();
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        // param grad lives in the Param, not in Grads
+        assert!(grads.get(wv).is_none());
+        assert_eq!(w.borrow().grad.as_ref().unwrap().data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let w = Param::new("w", Tensor::from_vec([1], vec![2.0]).unwrap());
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            let wv = g.param(&w);
+            let loss = g.sum(wv);
+            g.backward(loss);
+        }
+        assert_eq!(w.borrow().grad.as_ref().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn no_grad_paths_are_pruned() {
+        // A graph whose loss doesn't require grad records no backward work.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones([4]));
+        let y = g.scale(x, 2.0);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).is_none());
+        assert!(grads.get(y).is_none());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_branches() {
+        // loss = sum(x*2) + sum(x*3) => dloss/dx = 5
+        let mut g = Graph::new();
+        let x = g.input_grad(Tensor::ones([3]));
+        let a = g.scale(x, 2.0);
+        let b = g.scale(x, 3.0);
+        let s = g.add(a, b).unwrap();
+        let loss = g.sum(s);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[5.0, 5.0, 5.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Weight initialization.
+//!
+//! The paper initializes all filters with `N(0, 0.01)` (§3.1.1). We also
+//! provide Kaiming-style fan-in scaling, used by the classifier where the
+//! paper-style tiny init would stall training at the reduced scale.
+
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::{Shape, Tensor};
+
+/// Initialization scheme for a parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// The paper's scheme: zero-mean Gaussian with fixed std 0.01.
+    PaperGaussian,
+    /// Gaussian with explicit std.
+    Gaussian(f32),
+    /// Kaiming / He fan-in scaling for leaky-ReLU nets:
+    /// `std = sqrt(2 / ((1 + a^2) * fan_in))`.
+    KaimingLeaky {
+        /// The leaky-ReLU slope the activation uses.
+        negative_slope: f32,
+    },
+    /// All zeros (bias default).
+    Zeros,
+    /// All ones (batch-norm gamma default).
+    Ones,
+}
+
+impl Init {
+    /// Materialize a tensor of the given shape.
+    ///
+    /// `fan_in` is the product of input-channel and kernel extents for conv
+    /// weights (`dims[1..]` for the `(Cout, Cin, K...)` layout), which is
+    /// what [`Init::KaimingLeaky`] uses.
+    pub fn build(&self, shape: impl Into<Shape>, rng: &mut Xorshift) -> Tensor {
+        let shape = shape.into();
+        match self {
+            Init::PaperGaussian => rng.normal_tensor(shape, 0.0, 0.01),
+            Init::Gaussian(std) => rng.normal_tensor(shape, 0.0, *std),
+            Init::KaimingLeaky { negative_slope } => {
+                let fan_in: usize = shape.dims().get(1..).map(|d| d.iter().product()).unwrap_or(1);
+                let fan_in = fan_in.max(1);
+                let std = (2.0 / ((1.0 + negative_slope * negative_slope) * fan_in as f32)).sqrt();
+                rng.normal_tensor(shape, 0.0, std)
+            }
+            Init::Zeros => Tensor::zeros(shape),
+            Init::Ones => Tensor::ones(shape),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::reduce;
+
+    #[test]
+    fn paper_gaussian_std() {
+        let mut rng = Xorshift::new(1);
+        let t = Init::PaperGaussian.build([32, 16, 5, 5], &mut rng);
+        let std = reduce::variance(&t).sqrt();
+        assert!((std - 0.01).abs() < 2e-3, "std {std}");
+        assert!(reduce::mean(&t).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = Xorshift::new(2);
+        let t_small = Init::KaimingLeaky { negative_slope: 0.0 }.build([8, 4, 3, 3], &mut rng);
+        let t_large = Init::KaimingLeaky { negative_slope: 0.0 }.build([8, 64, 3, 3], &mut rng);
+        let s_small = reduce::variance(&t_small).sqrt();
+        let s_large = reduce::variance(&t_large).sqrt();
+        // fan_in 36 vs 576: std ratio should be ~ sqrt(16) = 4
+        let ratio = s_small / s_large;
+        assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let mut rng = Xorshift::new(3);
+        assert!(Init::Zeros.build([4], &mut rng).data().iter().all(|&v| v == 0.0));
+        assert!(Init::Ones.build([4], &mut rng).data().iter().all(|&v| v == 1.0));
+    }
+}

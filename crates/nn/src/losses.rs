@@ -1,0 +1,225 @@
+//! Loss functions.
+//!
+//! - [`Graph::mse_loss`] / [`Graph::l1_loss`] — regression losses;
+//! - [`Graph::bce_with_logits_loss`] — Eq (2) of the paper (Classification
+//!   AI), in the numerically-stable logits form;
+//! - [`enhancement_loss`] — Eq (1) of the paper:
+//!   `L = ||y - f(x)||^2 + 0.1 * (1 - MS-SSIM(y, f(x)))`.
+
+use cc19_tensor::Tensor;
+
+use crate::graph::{Graph, Var};
+use crate::ssim::ms_ssim_graph;
+use crate::Result;
+
+impl Graph {
+    /// Mean-squared-error loss (scalar var).
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Result<Var> {
+        let d = self.sub(pred, target)?;
+        let sq = self.mul(d, d)?;
+        Ok(self.mean(sq))
+    }
+
+    /// Mean-absolute-error loss (scalar var). The gradient at exactly zero
+    /// is taken as zero.
+    pub fn l1_loss(&mut self, pred: Var, target: Var) -> Result<Var> {
+        let d = self.sub(pred, target)?;
+        let v = cc19_tensor::ops::abs(self.value(d));
+        let did = d.0;
+        let a = self.record(v, &[d], Box::new(move |vals, g| {
+            let s = cc19_tensor::ops::map(&vals[did], |x| {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            });
+            vec![(did, cc19_tensor::ops::mul(g, &s).expect("shape"))]
+        }));
+        Ok(self.mean(a))
+    }
+
+    /// Binary cross-entropy over logits (Eq (2) of the paper, stable form):
+    ///
+    /// `loss = mean( max(z,0) - z*y + ln(1 + exp(-|z|)) )`,
+    /// `dloss/dz = (sigmoid(z) - y) / N`.
+    ///
+    /// `targets` is a constant (no gradient is propagated to it).
+    pub fn bce_with_logits_loss(&mut self, logits: Var, targets: Var) -> Result<Var> {
+        let z = self.value(logits);
+        let y = self.value(targets);
+        z.shape().expect_same(y.shape())?;
+        let n = z.numel().max(1) as f32;
+        let mut acc = 0.0f64;
+        for (&zv, &yv) in z.data().iter().zip(y.data()) {
+            acc += (zv.max(0.0) - zv * yv + (1.0 + (-zv.abs()).exp()).ln()) as f64;
+        }
+        let lid = logits.0;
+        let tid = targets.0;
+        Ok(self.record(
+            Tensor::scalar((acc / n as f64) as f32),
+            &[logits],
+            Box::new(move |vals, g| {
+                let gs = g.data()[0] / n;
+                let z = &vals[lid];
+                let y = &vals[tid];
+                let mut dz = Tensor::zeros(z.shape().clone());
+                for ((d, &zv), &yv) in dz.data_mut().iter_mut().zip(z.data()).zip(y.data()) {
+                    let s = 1.0 / (1.0 + (-zv).exp());
+                    *d = gs * (s - yv);
+                }
+                vec![(lid, dz)]
+            }),
+        ))
+    }
+}
+
+/// The paper's Enhancement-AI composite loss, Eq (1):
+///
+/// `L = MSE(target, pred) + 0.1 * (1 - MS-SSIM(target, pred))`
+///
+/// `levels` controls the MS-SSIM pyramid depth (5 in the paper; fewer for
+/// reduced-resolution training — see DESIGN.md §5).
+pub fn enhancement_loss(g: &mut Graph, pred: Var, target: Var, levels: usize) -> Result<Var> {
+    let mse = g.mse_loss(pred, target)?;
+    let msssim = ms_ssim_graph(g, pred, target, levels, 1.0)?;
+    let one_minus = g.scale(msssim, -1.0);
+    let one_minus = g.add_scalar(one_minus, 1.0);
+    let weighted = g.scale(one_minus, 0.1);
+    g.add(mse, weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::rng::Xorshift;
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let p = g.input_grad(Tensor::from_vec([2], vec![1.0, 3.0]).unwrap());
+        let t = g.input(Tensor::from_vec([2], vec![0.0, 0.0]).unwrap());
+        let loss = g.mse_loss(p, t).unwrap();
+        assert!((g.value(loss).item().unwrap() - 5.0).abs() < 1e-6);
+        let grads = g.backward(loss);
+        // d/dp mean((p-t)^2) = 2(p-t)/N
+        assert_eq!(grads.get(p).unwrap().data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn l1_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let p = g.input_grad(Tensor::from_vec([2], vec![2.0, -4.0]).unwrap());
+        let t = g.input(Tensor::zeros([2]));
+        let loss = g.l1_loss(p, t).unwrap();
+        assert!((g.value(loss).item().unwrap() - 3.0).abs() < 1e-6);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(p).unwrap().data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn bce_matches_reference_values() {
+        // z = 0, y = 1 -> ln 2
+        let mut g = Graph::new();
+        let z = g.input(Tensor::scalar(0.0));
+        let y = g.input(Tensor::scalar(1.0));
+        let loss = g.bce_with_logits_loss(z, y).unwrap();
+        assert!((g.value(loss).item().unwrap() - std::f32::consts::LN_2).abs() < 1e-6);
+
+        // confident correct prediction -> near zero
+        let mut g = Graph::new();
+        let z = g.input(Tensor::scalar(10.0));
+        let y = g.input(Tensor::scalar(1.0));
+        let loss = g.bce_with_logits_loss(z, y).unwrap();
+        assert!(g.value(loss).item().unwrap() < 1e-3);
+
+        // confident wrong prediction -> ~|z|
+        let mut g = Graph::new();
+        let z = g.input(Tensor::scalar(-10.0));
+        let y = g.input(Tensor::scalar(1.0));
+        let loss = g.bce_with_logits_loss(z, y).unwrap();
+        assert!((g.value(loss).item().unwrap() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let mut rng = Xorshift::new(1);
+        let z0 = rng.uniform_tensor([5], -2.0, 2.0);
+        let y0 = Tensor::from_vec([5], vec![1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+
+        let mut g = Graph::new();
+        let z = g.input_grad(z0.clone());
+        let y = g.input(y0.clone());
+        let loss = g.bce_with_logits_loss(z, y).unwrap();
+        let grads = g.backward(loss);
+        let analytic = grads.get(z).unwrap().clone();
+
+        let f = |zt: &Tensor| {
+            let mut g = Graph::new();
+            let z = g.input(zt.clone());
+            let y = g.input(y0.clone());
+            let loss = g.bce_with_logits_loss(z, y).unwrap();
+            g.value(loss).item().unwrap()
+        };
+        let eps = 1e-2;
+        for idx in 0..5 {
+            let mut zp = z0.clone();
+            zp.data_mut()[idx] += eps;
+            let mut zm = z0.clone();
+            zm.data_mut()[idx] -= eps;
+            let fd = (f(&zp) - f(&zm)) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data()[idx]).abs() < 1e-3,
+                "idx {idx}: fd {fd} vs {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bce_rejects_shape_mismatch() {
+        let mut g = Graph::new();
+        let z = g.input(Tensor::zeros([2]));
+        let y = g.input(Tensor::zeros([3]));
+        assert!(g.bce_with_logits_loss(z, y).is_err());
+    }
+
+    #[test]
+    fn enhancement_loss_is_zero_for_identical_images() {
+        let mut rng = Xorshift::new(2);
+        let img = rng.uniform_tensor([1, 1, 32, 32], 0.2, 0.8);
+        let mut g = Graph::new();
+        let p = g.input(img.clone());
+        let t = g.input(img);
+        let loss = enhancement_loss(&mut g, p, t, 1).unwrap();
+        assert!(g.value(loss).item().unwrap().abs() < 1e-4);
+    }
+
+    #[test]
+    fn enhancement_loss_increases_with_noise() {
+        let mut rng = Xorshift::new(3);
+        let clean = rng.uniform_tensor([1, 1, 32, 32], 0.2, 0.8);
+        let mut noisy_small = clean.clone();
+        let mut noisy_big = clean.clone();
+        let mut nrng = Xorshift::new(4);
+        for v in noisy_small.data_mut() {
+            *v += nrng.normal_ms(0.0, 0.01);
+        }
+        for v in noisy_big.data_mut() {
+            *v += nrng.normal_ms(0.0, 0.1);
+        }
+        let eval = |a: &Tensor, b: &Tensor| {
+            let mut g = Graph::new();
+            let p = g.input(a.clone());
+            let t = g.input(b.clone());
+            let loss = enhancement_loss(&mut g, p, t, 1).unwrap();
+            g.value(loss).item().unwrap()
+        };
+        let ls = eval(&noisy_small, &clean);
+        let lb = eval(&noisy_big, &clean);
+        assert!(lb > ls, "noisier image should lose more: {lb} vs {ls}");
+        assert!(ls > 0.0);
+    }
+}

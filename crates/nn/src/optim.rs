@@ -1,0 +1,216 @@
+//! Optimizers: Adam (the paper's choice for all three AI tools) and plain
+//! SGD, plus the exponential learning-rate schedule from §3.1.1
+//! (`lr *= 0.8` per epoch).
+
+use std::collections::HashMap;
+
+use cc19_tensor::Tensor;
+
+use crate::param::ParamStore;
+
+/// Adam optimizer (Kingma & Ba), matching the paper's training setup.
+pub struct Adam {
+    /// Current learning rate (mutated by [`Adam::decay_lr`]).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    /// Step counter (for bias correction).
+    t: u64,
+    /// Per-parameter first/second moment buffers, keyed by param index.
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard `beta = (0.9, 0.999)`, `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// The paper's Enhancement-AI setting: `lr = 1e-4` (§3.1.1).
+    pub fn paper_enhancement() -> Self {
+        Adam::new(1e-4)
+    }
+
+    /// The paper's Classification-AI setting: `lr = 1e-6` (§3.3.1).
+    pub fn paper_classification() -> Self {
+        Adam::new(1e-6)
+    }
+
+    /// Number of optimizer steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Exponential LR decay, the paper applies `x0.8` per epoch (§3.1.1).
+    pub fn decay_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    /// Apply one Adam step over all parameters with gradients, then clear
+    /// the gradients.
+    pub fn step(&mut self, store: &ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, p) in store.params().iter().enumerate() {
+            let mut p = p.borrow_mut();
+            let Some(grad) = p.grad.take() else { continue };
+            let m = self
+                .m
+                .entry(idx)
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            let v = self
+                .v
+                .entry(idx)
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            debug_assert_eq!(m.numel(), grad.numel(), "param shape changed between steps");
+
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let pd = p.value.data_mut();
+            for ((pv, (mv, vv)), &g) in
+                pd.iter_mut().zip(md.iter_mut().zip(vd.iter_mut())).zip(grad.data())
+            {
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let mhat = *mv / b1t;
+                let vhat = *vv / b2t;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD with optional momentum (the baseline optimizer for ablations).
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Construct with the given rate and momentum.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: HashMap::new() }
+    }
+
+    /// One SGD step; clears gradients.
+    pub fn step(&mut self, store: &ParamStore) {
+        for (idx, p) in store.params().iter().enumerate() {
+            let mut p = p.borrow_mut();
+            let Some(grad) = p.grad.take() else { continue };
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(idx)
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                let (mu, lr) = (self.momentum, self.lr);
+                let vd = vel.data_mut();
+                let pd = p.value.data_mut();
+                for ((pv, vv), &g) in pd.iter_mut().zip(vd.iter_mut()).zip(grad.data()) {
+                    *vv = mu * *vv + g;
+                    *pv -= lr * *vv;
+                }
+            } else {
+                let lr = self.lr;
+                for (pv, &g) in p.value.data_mut().iter_mut().zip(grad.data()) {
+                    *pv -= lr * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::param::{Param, ParamStore};
+
+    /// Minimize f(w) = (w - 3)^2 with each optimizer.
+    fn quadratic_loss(store: &ParamStore) -> f32 {
+        let p = &store.params()[0];
+        let mut g = Graph::new();
+        let w = g.param(p);
+        let shifted = g.add_scalar(w, -3.0);
+        let sq = g.mul(shifted, shifted).unwrap();
+        let loss = g.sum(sq);
+        let l = g.value(loss).item().unwrap();
+        g.backward(loss);
+        l
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("w", Tensor::zeros([1])));
+        let mut opt = Adam::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            store.zero_grad();
+            last = quadratic_loss(&store);
+            opt.step(&store);
+        }
+        assert!(last < 1e-3, "loss {last}");
+        let w = store.params()[0].borrow().value.data()[0];
+        assert!((w - 3.0).abs() < 0.05, "w {w}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("w", Tensor::zeros([1])));
+        let mut opt = Sgd::new(0.05, 0.9);
+        for _ in 0..200 {
+            store.zero_grad();
+            quadratic_loss(&store);
+            opt.step(&store);
+        }
+        let w = store.params()[0].borrow().value.data()[0];
+        assert!((w - 3.0).abs() < 0.05, "w {w}");
+    }
+
+    #[test]
+    fn lr_decay_multiplies() {
+        let mut opt = Adam::new(1e-4);
+        opt.decay_lr(0.8);
+        opt.decay_lr(0.8);
+        assert!((opt.lr - 6.4e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("w", Tensor::zeros([2])));
+        store.params()[0]
+            .borrow_mut()
+            .accumulate_grad(Tensor::ones([2]));
+        let mut opt = Adam::new(0.1);
+        opt.step(&store);
+        assert!(store.params()[0].borrow().grad.is_none());
+    }
+
+    #[test]
+    fn adam_is_scale_invariant_ish() {
+        // Adam's update magnitude is ~lr regardless of gradient scale.
+        for &scale in &[1.0f32, 1000.0] {
+            let mut store = ParamStore::new();
+            store.register(Param::new("w", Tensor::zeros([1])));
+            store.params()[0]
+                .borrow_mut()
+                .accumulate_grad(Tensor::from_vec([1], vec![scale]).unwrap());
+            let mut opt = Adam::new(0.1);
+            opt.step(&store);
+            let w = store.params()[0].borrow().value.data()[0];
+            assert!((w + 0.1).abs() < 1e-3, "scale {scale}: w {w}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Trainable parameters and the flat parameter store.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cc19_tensor::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+#[derive(Debug)]
+pub struct Param {
+    /// Human-readable name, e.g. `"conv1.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass (`None` until then).
+    pub grad: Option<Tensor>,
+}
+
+impl Param {
+    /// Create a named parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> ParamRef {
+        Rc::new(RefCell::new(Param { name: name.into(), value, grad: None }))
+    }
+
+    /// Zero (drop) the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = None;
+    }
+
+    /// Accumulate a gradient contribution.
+    pub fn accumulate_grad(&mut self, g: Tensor) {
+        match &mut self.grad {
+            Some(acc) => {
+                cc19_tensor::ops::axpy(1.0, &g, acc).expect("grad shape stable");
+            }
+            None => self.grad = Some(g),
+        }
+    }
+}
+
+/// Shared handle to a parameter. Models are built per-thread (the
+/// distributed trainer gives each worker its own replica), so `Rc` is
+/// sufficient and keeps the hot path free of atomics.
+pub type ParamRef = Rc<RefCell<Param>>;
+
+/// An ordered collection of parameters — the unit the optimizer steps over
+/// and the unit serialized for checkpointing / gradient all-reduce.
+#[derive(Default, Debug)]
+pub struct ParamStore {
+    params: Vec<ParamRef>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter and return its handle.
+    pub fn register(&mut self, p: ParamRef) -> ParamRef {
+        self.params.push(p.clone());
+        p
+    }
+
+    /// Extend with all parameters of a sub-module.
+    pub fn extend(&mut self, other: &ParamStore) {
+        self.params.extend(other.params.iter().cloned());
+    }
+
+    /// All parameters, in registration order.
+    pub fn params(&self) -> &[ParamRef] {
+        &self.params
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if no parameters registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.borrow().value.numel()).sum()
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.borrow_mut().zero_grad();
+        }
+    }
+
+    /// Flatten all parameter values into one `Vec<f32>` (checkpoint /
+    /// broadcast format for the distributed trainer).
+    pub fn snapshot(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for p in &self.params {
+            out.extend_from_slice(p.borrow().value.data());
+        }
+        out
+    }
+
+    /// Load a flat snapshot produced by [`ParamStore::snapshot`] on a
+    /// structurally identical model.
+    pub fn load_snapshot(&self, flat: &[f32]) -> crate::Result<()> {
+        let want = self.num_scalars();
+        if flat.len() != want {
+            return Err(cc19_tensor::TensorError::LengthMismatch { expected: want, actual: flat.len() });
+        }
+        let mut off = 0;
+        for p in &self.params {
+            let mut p = p.borrow_mut();
+            let n = p.value.numel();
+            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Flatten all gradients (zeros for params without a gradient) — the
+    /// payload of the distributed all-reduce.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for p in &self.params {
+            let p = p.borrow();
+            match &p.grad {
+                Some(g) => out.extend_from_slice(g.data()),
+                None => out.extend(std::iter::repeat(0.0).take(p.value.numel())),
+            }
+        }
+        out
+    }
+
+    /// Clip the *global* gradient norm to `max_norm` (the standard
+    /// stabilizer for small-batch CNN training): if the L2 norm of all
+    /// gradients together exceeds `max_norm`, every gradient is scaled by
+    /// `max_norm / norm`. Returns the pre-clip norm.
+    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f64;
+        for p in &self.params {
+            if let Some(g) = &p.borrow().grad {
+                sq += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        }
+        let norm = sq.sqrt() as f32;
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &self.params {
+                if let Some(g) = &mut p.borrow_mut().grad {
+                    for v in g.data_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+        }
+        norm
+    }
+
+    /// Overwrite gradients from a flat buffer (inverse of
+    /// [`ParamStore::flat_grads`], used after all-reduce).
+    pub fn load_flat_grads(&self, flat: &[f32]) -> crate::Result<()> {
+        let want = self.num_scalars();
+        if flat.len() != want {
+            return Err(cc19_tensor::TensorError::LengthMismatch { expected: want, actual: flat.len() });
+        }
+        let mut off = 0;
+        for p in &self.params {
+            let mut p = p.borrow_mut();
+            let n = p.value.numel();
+            let g = Tensor::from_vec(p.value.shape().clone(), flat[off..off + n].to_vec())?;
+            p.grad = Some(g);
+            off += n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_count() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("w", Tensor::zeros([2, 3])));
+        store.register(Param::new("b", Tensor::zeros([3])));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 9);
+    }
+
+    #[test]
+    fn grad_accumulates() {
+        let p = Param::new("w", Tensor::zeros([2]));
+        p.borrow_mut().accumulate_grad(Tensor::from_vec([2], vec![1.0, 2.0]).unwrap());
+        p.borrow_mut().accumulate_grad(Tensor::from_vec([2], vec![0.5, 0.5]).unwrap());
+        assert_eq!(p.borrow().grad.as_ref().unwrap().data(), &[1.5, 2.5]);
+        p.borrow_mut().zero_grad();
+        assert!(p.borrow().grad.is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("a", Tensor::from_vec([2], vec![1.0, 2.0]).unwrap()));
+        store.register(Param::new("b", Tensor::from_vec([1], vec![3.0]).unwrap()));
+        let snap = store.snapshot();
+        assert_eq!(snap, vec![1.0, 2.0, 3.0]);
+
+        store.load_snapshot(&[9.0, 8.0, 7.0]).unwrap();
+        assert_eq!(store.params()[0].borrow().value.data(), &[9.0, 8.0]);
+        assert_eq!(store.params()[1].borrow().value.data(), &[7.0]);
+        assert!(store.load_snapshot(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn flat_grads_roundtrip() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("a", Tensor::zeros([2])));
+        store.register(Param::new("b", Tensor::zeros([1])));
+        // No grads yet -> zeros
+        assert_eq!(store.flat_grads(), vec![0.0, 0.0, 0.0]);
+        store.load_flat_grads(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(store.flat_grads(), vec![1.0, 2.0, 3.0]);
+        assert!(store.load_flat_grads(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! (Multi-scale) structural similarity — SSIM and MS-SSIM (Wang et al.
+//! 2004, ref [42] of the paper).
+//!
+//! Two entry points:
+//! - [`ms_ssim_graph`] / [`ssim_graph`]: differentiable, built from graph
+//!   ops (Gaussian-window statistics are computed with `conv2d` against a
+//!   constant kernel), used inside the Eq (1) training loss;
+//! - [`ms_ssim`] / [`ssim`]: plain metric evaluation on tensors, used for
+//!   the Table 3 / Table 8 accuracy columns.
+//!
+//! Conventions follow the reference implementation: 11×11 Gaussian window
+//! with sigma 1.5, valid (un-padded) convolution, `K1 = 0.01`, `K2 = 0.03`,
+//! per-scale weights `[0.0448, 0.2856, 0.3001, 0.2363, 0.1333]`, 2×2
+//! average-pool between scales.
+
+use cc19_tensor::pool::PoolSpec;
+use cc19_tensor::{Tensor, TensorError};
+
+use crate::graph::{Graph, Var};
+use crate::Result;
+
+/// Gaussian window extent.
+pub const WINDOW: usize = 11;
+/// Gaussian sigma.
+pub const SIGMA: f32 = 1.5;
+/// Standard MS-SSIM per-scale weights.
+pub const MS_WEIGHTS: [f32; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// The 11×11 normalized Gaussian window as a `(1,1,11,11)` conv weight.
+pub fn gaussian_window() -> Tensor {
+    let mut w = vec![0.0f32; WINDOW * WINDOW];
+    let c = (WINDOW / 2) as f32;
+    let mut sum = 0.0f32;
+    for y in 0..WINDOW {
+        for x in 0..WINDOW {
+            let dy = y as f32 - c;
+            let dx = x as f32 - c;
+            let v = (-(dx * dx + dy * dy) / (2.0 * SIGMA * SIGMA)).exp();
+            w[y * WINDOW + x] = v;
+            sum += v;
+        }
+    }
+    for v in &mut w {
+        *v /= sum;
+    }
+    Tensor::from_vec([1, 1, WINDOW, WINDOW], w).expect("static shape")
+}
+
+/// Largest MS-SSIM pyramid depth usable for an `h`×`w` image (each scale
+/// halves the extent; the window must still fit at the coarsest scale).
+pub fn max_levels(h: usize, w: usize) -> usize {
+    let mut levels = 0;
+    let (mut h, mut w) = (h, w);
+    while h >= WINDOW && w >= WINDOW && levels < 5 {
+        levels += 1;
+        h /= 2;
+        w /= 2;
+    }
+    levels
+}
+
+fn expect_single_channel(t: &Tensor) -> Result<()> {
+    if t.shape().rank() != 4 || t.dims()[1] != 1 {
+        return Err(TensorError::Incompatible(format!(
+            "SSIM expects (N,1,H,W) images, got {:?}",
+            t.dims()
+        )));
+    }
+    Ok(())
+}
+
+/// Differentiable single-scale SSIM. Returns `(ssim_mean, cs_mean)` scalar
+/// vars. Images must be `(N, 1, H, W)` with extents ≥ 11.
+pub fn ssim_cs_graph(g: &mut Graph, a: Var, b: Var, data_range: f32) -> Result<(Var, Var)> {
+    expect_single_channel(g.value(a))?;
+    expect_single_channel(g.value(b))?;
+    g.value(a).shape().expect_same(g.value(b).shape())?;
+    let dims = g.value(a).dims();
+    if dims[2] < WINDOW || dims[3] < WINDOW {
+        return Err(TensorError::Incompatible(format!(
+            "SSIM window {WINDOW} larger than image {}x{}",
+            dims[2], dims[3]
+        )));
+    }
+
+    let c1 = (0.01 * data_range) * (0.01 * data_range);
+    let c2 = (0.03 * data_range) * (0.03 * data_range);
+    let win = g.input(gaussian_window());
+    let spec = cc19_tensor::conv::Conv2dSpec { stride: 1, padding: 0 };
+
+    let mu_a = g.conv2d(a, win, None, spec)?;
+    let mu_b = g.conv2d(b, win, None, spec)?;
+    let mu_a2 = g.mul(mu_a, mu_a)?;
+    let mu_b2 = g.mul(mu_b, mu_b)?;
+    let mu_ab = g.mul(mu_a, mu_b)?;
+
+    let a2 = g.mul(a, a)?;
+    let b2 = g.mul(b, b)?;
+    let ab = g.mul(a, b)?;
+    let e_a2 = g.conv2d(a2, win, None, spec)?;
+    let e_b2 = g.conv2d(b2, win, None, spec)?;
+    let e_ab = g.conv2d(ab, win, None, spec)?;
+
+    let var_a = g.sub(e_a2, mu_a2)?;
+    let var_b = g.sub(e_b2, mu_b2)?;
+    let cov = g.sub(e_ab, mu_ab)?;
+
+    // cs = (2 cov + C2) / (var_a + var_b + C2)
+    let cov2 = g.scale(cov, 2.0);
+    let cs_num = g.add_scalar(cov2, c2);
+    let var_sum = g.add(var_a, var_b)?;
+    let cs_den = g.add_scalar(var_sum, c2);
+    let cs_map = g.div(cs_num, cs_den)?;
+
+    // luminance = (2 mu_a mu_b + C1) / (mu_a^2 + mu_b^2 + C1)
+    let mu_ab2 = g.scale(mu_ab, 2.0);
+    let l_num = g.add_scalar(mu_ab2, c1);
+    let mu_sum = g.add(mu_a2, mu_b2)?;
+    let l_den = g.add_scalar(mu_sum, c1);
+    let l_map = g.div(l_num, l_den)?;
+
+    let ssim_map = g.mul(l_map, cs_map)?;
+    let ssim_mean = g.mean(ssim_map);
+    let cs_mean = g.mean(cs_map);
+    Ok((ssim_mean, cs_mean))
+}
+
+/// Differentiable single-scale SSIM (scalar var).
+pub fn ssim_graph(g: &mut Graph, a: Var, b: Var, data_range: f32) -> Result<Var> {
+    Ok(ssim_cs_graph(g, a, b, data_range)?.0)
+}
+
+/// Differentiable MS-SSIM with `levels` scales (1–5). Scale weights are the
+/// last `levels` entries of [`MS_WEIGHTS`], renormalized, so that
+/// `levels = 5` matches the standard metric and `levels = 1` degrades to
+/// plain SSIM.
+pub fn ms_ssim_graph(g: &mut Graph, a: Var, b: Var, levels: usize, data_range: f32) -> Result<Var> {
+    if levels == 0 || levels > 5 {
+        return Err(TensorError::Incompatible(format!("MS-SSIM levels must be 1..=5, got {levels}")));
+    }
+    // Renormalize the standard weights over the scales in use.
+    let weights = &MS_WEIGHTS[MS_WEIGHTS.len() - levels..];
+    let wsum: f32 = weights.iter().sum();
+
+    let pool = PoolSpec { kernel: 2, stride: 2, padding: 0 };
+    let mut cur_a = a;
+    let mut cur_b = b;
+    let mut factors: Vec<Var> = Vec::with_capacity(levels);
+    for (i, &w) in weights.iter().enumerate() {
+        let (ssim_mean, cs_mean) = ssim_cs_graph(g, cur_a, cur_b, data_range)?;
+        let base = if i + 1 == levels { ssim_mean } else { cs_mean };
+        // clamp positive before pow (cs can be slightly negative)
+        let clamped = g.relu(base);
+        let stabilized = g.add_scalar(clamped, 1e-6);
+        factors.push(g.pow_scalar(stabilized, w / wsum));
+        if i + 1 != levels {
+            cur_a = g.avg_pool2d(cur_a, pool)?;
+            cur_b = g.avg_pool2d(cur_b, pool)?;
+        }
+    }
+    let mut acc = factors[0];
+    for &f in &factors[1..] {
+        acc = g.mul(acc, f)?;
+    }
+    Ok(acc)
+}
+
+/// SSIM metric on plain tensors `(N,1,H,W)`.
+pub fn ssim(a: &Tensor, b: &Tensor, data_range: f32) -> Result<f64> {
+    let mut g = Graph::new();
+    let av = g.input(a.clone());
+    let bv = g.input(b.clone());
+    let s = ssim_graph(&mut g, av, bv, data_range)?;
+    Ok(g.value(s).item()? as f64)
+}
+
+/// MS-SSIM metric on plain tensors `(N,1,H,W)`; `levels` as in
+/// [`ms_ssim_graph`]. Use [`max_levels`] to pick a feasible depth.
+pub fn ms_ssim(a: &Tensor, b: &Tensor, levels: usize, data_range: f32) -> Result<f64> {
+    let mut g = Graph::new();
+    let av = g.input(a.clone());
+    let bv = g.input(b.clone());
+    let s = ms_ssim_graph(&mut g, av, bv, levels, data_range)?;
+    Ok(g.value(s).item()? as f64)
+}
+
+/// Convenience: MS-SSIM on rank-2 images (adds the `(N,C)` axes and picks
+/// the deepest feasible pyramid).
+pub fn ms_ssim_image(a: &Tensor, b: &Tensor, data_range: f32) -> Result<f64> {
+    a.shape().expect_rank(2)?;
+    let (h, w) = (a.dims()[0], a.dims()[1]);
+    let levels = max_levels(h, w).max(1);
+    let a4 = a.reshape([1, 1, h, w])?;
+    let b4 = b.reshape([1, 1, h, w])?;
+    ms_ssim(&a4, &b4, levels, data_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::rng::Xorshift;
+
+    #[test]
+    fn window_is_normalized_and_symmetric() {
+        let w = gaussian_window();
+        let sum: f32 = w.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        // center is the max
+        let center = w.at(&[0, 0, 5, 5]);
+        assert!(w.data().iter().all(|&v| v <= center));
+        // symmetry
+        assert_eq!(w.at(&[0, 0, 2, 3]), w.at(&[0, 0, 8, 3]));
+        assert_eq!(w.at(&[0, 0, 2, 3]), w.at(&[0, 0, 2, 7]));
+    }
+
+    #[test]
+    fn identical_images_have_unit_ssim() {
+        let mut rng = Xorshift::new(1);
+        let img = rng.uniform_tensor([1, 1, 32, 32], 0.0, 1.0);
+        let s = ssim(&img, &img, 1.0).unwrap();
+        assert!((s - 1.0).abs() < 1e-5, "ssim {s}");
+        let ms = ms_ssim(&img, &img, 2, 1.0).unwrap();
+        assert!((ms - 1.0).abs() < 1e-4, "ms-ssim {ms}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise_level() {
+        let mut rng = Xorshift::new(2);
+        let clean = rng.uniform_tensor([1, 1, 64, 64], 0.3, 0.7);
+        let mut nrng = Xorshift::new(3);
+        let mut noisy1 = clean.clone();
+        for v in noisy1.data_mut() {
+            *v += nrng.normal_ms(0.0, 0.02);
+        }
+        let mut noisy2 = clean.clone();
+        for v in noisy2.data_mut() {
+            *v += nrng.normal_ms(0.0, 0.10);
+        }
+        let s1 = ssim(&noisy1, &clean, 1.0).unwrap();
+        let s2 = ssim(&noisy2, &clean, 1.0).unwrap();
+        assert!(s1 > s2, "{s1} vs {s2}");
+        assert!(s1 < 1.0 && s2 > 0.0);
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let mut rng = Xorshift::new(4);
+        let a = rng.uniform_tensor([1, 1, 32, 32], 0.0, 1.0);
+        let b = rng.uniform_tensor([1, 1, 32, 32], 0.0, 1.0);
+        let sab = ssim(&a, &b, 1.0).unwrap();
+        let sba = ssim(&b, &a, 1.0).unwrap();
+        assert!((sab - sba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssim_in_unit_interval_for_positive_images() {
+        let mut rng = Xorshift::new(5);
+        for seed in 0..5u64 {
+            let mut r2 = Xorshift::new(seed + 10);
+            let a = rng.uniform_tensor([1, 1, 24, 24], 0.0, 1.0);
+            let b = r2.uniform_tensor([1, 1, 24, 24], 0.0, 1.0);
+            let s = ssim(&a, &b, 1.0).unwrap();
+            assert!((-1.0..=1.0).contains(&s), "ssim {s}");
+        }
+    }
+
+    #[test]
+    fn max_levels_logic() {
+        assert_eq!(max_levels(512, 512), 5);
+        assert_eq!(max_levels(176, 176), 5);
+        assert_eq!(max_levels(64, 64), 3);
+        assert_eq!(max_levels(11, 11), 1);
+        assert_eq!(max_levels(10, 512), 0);
+    }
+
+    #[test]
+    fn ms_ssim_levels_must_be_valid() {
+        let img = Tensor::ones([1, 1, 32, 32]);
+        assert!(ms_ssim(&img, &img, 0, 1.0).is_err());
+        assert!(ms_ssim(&img, &img, 6, 1.0).is_err());
+        // 32x32 supports 2 levels (32 -> 16); 3 levels needs 16 >= 11 -> ok too
+        assert!(ms_ssim(&img, &img, 2, 1.0).is_ok());
+    }
+
+    #[test]
+    fn ms_ssim_gradient_flows() {
+        let mut rng = Xorshift::new(6);
+        let target = rng.uniform_tensor([1, 1, 32, 32], 0.2, 0.8);
+        let mut noisy = target.clone();
+        let mut nrng = Xorshift::new(7);
+        for v in noisy.data_mut() {
+            *v += nrng.normal_ms(0.0, 0.05);
+        }
+        let mut g = Graph::new();
+        let p = g.input_grad(noisy);
+        let t = g.input(target);
+        let s = ms_ssim_graph(&mut g, p, t, 2, 1.0).unwrap();
+        // maximize similarity = minimize -s
+        let loss = g.scale(s, -1.0);
+        let grads = g.backward(loss);
+        let gp = grads.get(p).expect("gradient reaches the image");
+        let norm: f32 = gp.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm > 0.0, "zero gradient");
+        assert!(!gp.has_non_finite());
+    }
+
+    #[test]
+    fn gradient_ascent_on_ssim_improves_it() {
+        // A few steps of gradient ascent on SSIM should increase SSIM —
+        // end-to-end sanity of the differentiable path.
+        let mut rng = Xorshift::new(8);
+        let target = rng.uniform_tensor([1, 1, 24, 24], 0.3, 0.7);
+        let mut img = rng.uniform_tensor([1, 1, 24, 24], 0.3, 0.7);
+        let s0 = ssim(&img, &target, 1.0).unwrap();
+        for _ in 0..10 {
+            let mut g = Graph::new();
+            let p = g.input_grad(img.clone());
+            let t = g.input(target.clone());
+            let s = ssim_graph(&mut g, p, t, 1.0).unwrap();
+            let loss = g.scale(s, -1.0);
+            let grads = g.backward(loss);
+            let gp = grads.get(p).unwrap();
+            cc19_tensor::ops::axpy(-50.0, gp, &mut img).unwrap();
+        }
+        let s1 = ssim(&img, &target, 1.0).unwrap();
+        assert!(s1 > s0 + 0.01, "ssim did not improve: {s0} -> {s1}");
+    }
+}

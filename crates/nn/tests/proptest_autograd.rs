@@ -1,0 +1,175 @@
+//! Property-based tests for the autograd engine: gradient linearity,
+//! finite-difference agreement on random op chains, and loss-function
+//! invariants.
+
+use proptest::prelude::*;
+
+use cc19_nn::graph::{Graph, Var};
+use cc19_nn::ssim;
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+
+/// Build a random elementwise chain of ops on the graph, returning a
+/// scalar loss. `ops` selects from a small op alphabet.
+fn random_chain(g: &mut Graph, x: Var, ops: &[u8]) -> Var {
+    let mut h = x;
+    for &op in ops {
+        h = match op % 5 {
+            0 => g.scale(h, 1.3),
+            1 => g.add_scalar(h, 0.7),
+            2 => g.leaky_relu(h, 0.1),
+            3 => {
+                let s = g.scale(h, 0.5);
+                g.add(h, s).unwrap()
+            }
+            _ => g.mul(h, h).unwrap(),
+        };
+    }
+    g.mean(h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Analytic gradients of random op chains match finite differences.
+    #[test]
+    fn random_chain_gradcheck(seed in 0u64..500, ops in proptest::collection::vec(0u8..5, 1..6)) {
+        let mut rng = Xorshift::new(seed + 1);
+        let mut x0 = rng.uniform_tensor([6], -2.0, 2.0);
+        // keep away from the leaky-relu kink
+        for v in x0.data_mut() {
+            if v.abs() < 0.05 { *v += 0.1; }
+        }
+
+        let mut g = Graph::new();
+        let x = g.input_grad(x0.clone());
+        let loss = random_chain(&mut g, x, &ops);
+        let grads = g.backward(loss);
+        let analytic = grads.get(x).unwrap().clone();
+
+        let f = |t: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(t.clone());
+            let loss = random_chain(&mut g, x, &ops);
+            g.value(loss).item().unwrap() as f64
+        };
+        let eps = 2e-2f32;
+        for idx in 0..6 {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * eps as f64);
+            let an = analytic.data()[idx] as f64;
+            // f32 loss values limit finite-difference resolution for deep
+            // chains: skip coordinates where the perturbation effect is
+            // below the loss's float granularity.
+            let loss_scale = f(&x0).abs().max(1.0);
+            if an.abs() * (eps as f64) < 4.0 * loss_scale * f32::EPSILON as f64 {
+                continue;
+            }
+            prop_assert!(
+                (fd - an).abs() <= 5e-2 * (1.0 + fd.abs().max(an.abs())),
+                "idx {}: fd={} analytic={}", idx, fd, an
+            );
+        }
+    }
+
+    /// Backward is linear: grad of (c * loss) = c * grad of loss.
+    #[test]
+    fn backward_scales_linearly(seed in 0u64..500, c in 0.1f32..3.0) {
+        let mut rng = Xorshift::new(seed + 7);
+        let x0 = rng.uniform_tensor([8], -1.0, 1.0);
+
+        let grad_of = |scale: f32| {
+            let mut g = Graph::new();
+            let x = g.input_grad(x0.clone());
+            let y = g.mul(x, x).unwrap();
+            let m = g.mean(y);
+            let loss = g.scale(m, scale);
+            let grads = g.backward(loss);
+            grads.get(x).unwrap().clone()
+        };
+        let g1 = grad_of(1.0);
+        let gc = grad_of(c);
+        for (a, b) in g1.data().iter().zip(gc.data()) {
+            prop_assert!((a * c - b).abs() < 1e-4, "{} vs {}", a * c, b);
+        }
+    }
+
+    /// Gradient accumulation over two backward calls equals the gradient
+    /// of the summed loss.
+    #[test]
+    fn accumulation_equals_sum(seed in 0u64..500) {
+        let mut rng = Xorshift::new(seed + 11);
+        let w0 = rng.uniform_tensor([4], -1.0, 1.0);
+
+        // two separate backward passes, accumulating
+        let p = cc19_nn::param::Param::new("w", w0.clone());
+        for pass in 0..2 {
+            let mut g = Graph::new();
+            let w = g.param(&p);
+            let y = if pass == 0 { g.scale(w, 2.0) } else { g.mul(w, w).unwrap() };
+            let loss = g.sum(y);
+            g.backward(loss);
+        }
+        let acc = p.borrow().grad.as_ref().unwrap().clone();
+
+        // one combined pass
+        let q = cc19_nn::param::Param::new("w", w0);
+        let mut g = Graph::new();
+        let w = g.param(&q);
+        let a = g.scale(w, 2.0);
+        let b = g.mul(w, w).unwrap();
+        let s = g.add(a, b).unwrap();
+        let loss = g.sum(s);
+        g.backward(loss);
+        let combined = q.borrow().grad.as_ref().unwrap().clone();
+
+        prop_assert!(acc.all_close(&combined, 1e-4));
+    }
+
+    /// SSIM is bounded and reaches 1 only at identity.
+    #[test]
+    fn ssim_bounds(seed in 0u64..300) {
+        let mut rng = Xorshift::new(seed + 13);
+        let a = rng.uniform_tensor([1, 1, 16, 16], 0.0, 1.0);
+        let b = rng.uniform_tensor([1, 1, 16, 16], 0.0, 1.0);
+        let s = ssim::ssim(&a, &b, 1.0).unwrap();
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s), "ssim {}", s);
+        let s_self = ssim::ssim(&a, &a, 1.0).unwrap();
+        prop_assert!((s_self - 1.0).abs() < 1e-5);
+        prop_assert!(s <= s_self + 1e-9);
+    }
+
+    /// BCE-with-logits is non-negative and zero only in the confident
+    /// correct limit.
+    #[test]
+    fn bce_nonnegative(z in -10.0f32..10.0, label in proptest::bool::ANY) {
+        let mut g = Graph::new();
+        let zv = g.input(Tensor::scalar(z));
+        let yv = g.input(Tensor::scalar(if label { 1.0 } else { 0.0 }));
+        let loss = g.bce_with_logits_loss(zv, yv).unwrap();
+        let l = g.value(loss).item().unwrap();
+        prop_assert!(l >= -1e-6, "loss {}", l);
+    }
+
+    /// Adam step moves every parameter with a nonzero gradient and leaves
+    /// zero-gradient parameters untouched.
+    #[test]
+    fn adam_touches_only_grad_params(seed in 0u64..300) {
+        use cc19_nn::optim::Adam;
+        use cc19_nn::param::{Param, ParamStore};
+        let mut rng = Xorshift::new(seed + 17);
+        let mut store = ParamStore::new();
+        let moving = store.register(Param::new("a", rng.uniform_tensor([3], -1.0, 1.0)));
+        let frozen = store.register(Param::new("b", rng.uniform_tensor([3], -1.0, 1.0)));
+        let frozen_before = frozen.borrow().value.clone();
+        moving.borrow_mut().accumulate_grad(Tensor::from_vec([3], vec![1.0, -2.0, 3.0]).unwrap());
+        let mut opt = Adam::new(0.01);
+        opt.step(&store);
+        prop_assert!(frozen.borrow().value.all_close(&frozen_before, 0.0));
+        let moved = &moving.borrow().value;
+        prop_assert!(moved.data().iter().all(|v| v.is_finite()));
+    }
+}

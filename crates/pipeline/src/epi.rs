@@ -1,0 +1,198 @@
+//! A two-strain SEIR epidemic model — regenerates the *shape* of the
+//! paper's Figure 2 (confirmed cases per million: a spring-2021 wave
+//! declining under restrictions, then a fourth wave driven by a
+//! more-transmissible variant taking over, as in the UK's Delta wave).
+//!
+//! This is a context figure from the paper's introduction, not an
+//! evaluation result; the model is deliberately simple (deterministic
+//! SEIR, two strains, one non-pharmaceutical-intervention change point).
+
+/// Model parameters for one strain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Strain {
+    /// Basic reproduction number under no restrictions.
+    pub r0: f64,
+    /// When (day index) the strain is seeded.
+    pub seed_day: usize,
+    /// Seeded infectious fraction.
+    pub seed_fraction: f64,
+}
+
+/// Two-strain SEIR configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpiConfig {
+    /// Baseline strain (e.g. Alpha).
+    pub strain_a: Strain,
+    /// Variant strain (e.g. Delta, higher R0).
+    pub strain_b: Strain,
+    /// Mean incubation period, days.
+    pub incubation_days: f64,
+    /// Mean infectious period, days.
+    pub infectious_days: f64,
+    /// Day restrictions are eased.
+    pub reopening_day: usize,
+    /// Transmission multiplier before reopening.
+    pub restriction_factor: f64,
+    /// Simulation length in days.
+    pub days: usize,
+    /// Fraction of infections confirmed by testing.
+    pub ascertainment: f64,
+}
+
+impl EpiConfig {
+    /// A UK-spring-2021-like scenario: Alpha declining under restrictions,
+    /// Delta (higher R0) seeded later, restrictions partially eased —
+    /// produces the two-wave shape of Fig 2.
+    pub fn uk_delta_wave() -> Self {
+        EpiConfig {
+            strain_a: Strain { r0: 1.6, seed_day: 0, seed_fraction: 2e-3 },
+            strain_b: Strain { r0: 6.0, seed_day: 60, seed_fraction: 2e-5 },
+            incubation_days: 3.0,
+            infectious_days: 5.0,
+            reopening_day: 100,
+            restriction_factor: 0.55,
+            days: 240,
+            ascertainment: 0.4,
+        }
+    }
+}
+
+/// Daily output record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayRecord {
+    /// Day index.
+    pub day: usize,
+    /// New confirmed cases per million population.
+    pub cases_per_million: f64,
+    /// Share of strain B among new cases (0..1).
+    pub variant_share: f64,
+}
+
+/// Run the deterministic two-strain SEIR model.
+pub fn simulate(cfg: &EpiConfig) -> Vec<DayRecord> {
+    let sigma = 1.0 / cfg.incubation_days;
+    let gamma = 1.0 / cfg.infectious_days;
+    // state per strain: (E, I); shared susceptible pool
+    let mut s = 1.0f64;
+    let mut e = [0.0f64; 2];
+    let mut i = [0.0f64; 2];
+    let mut out = Vec::with_capacity(cfg.days);
+    let strains = [cfg.strain_a, cfg.strain_b];
+
+    for day in 0..cfg.days {
+        for (k, st) in strains.iter().enumerate() {
+            if day == st.seed_day {
+                i[k] += st.seed_fraction;
+                s = (s - st.seed_fraction).max(0.0);
+            }
+        }
+        let npi = if day < cfg.reopening_day { cfg.restriction_factor } else { 1.0 };
+        let mut new_inf = [0.0f64; 2];
+        for (k, st) in strains.iter().enumerate() {
+            let beta = st.r0 * gamma * npi;
+            new_inf[k] = beta * s * i[k];
+        }
+        let total_new: f64 = new_inf.iter().sum();
+        s = (s - total_new).max(0.0);
+        for k in 0..2 {
+            let e_out = sigma * e[k];
+            e[k] += new_inf[k] - e_out;
+            i[k] += e_out - gamma * i[k];
+        }
+        let confirmed = total_new * cfg.ascertainment * 1e6;
+        let share = if total_new > 0.0 { new_inf[1] / total_new } else { 0.0 };
+        out.push(DayRecord { day, cases_per_million: confirmed, variant_share: share });
+    }
+    out
+}
+
+/// Summary of the simulated epidemic (for tests and the fig2 harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveSummary {
+    /// Peak of the first wave (cases/million/day).
+    pub first_peak: f64,
+    /// Day of the trough between waves.
+    pub trough_day: usize,
+    /// Peak of the second wave.
+    pub second_peak: f64,
+    /// Variant share at the end of the simulation.
+    pub final_variant_share: f64,
+}
+
+/// Locate the two waves in a simulation run: find the day of the global
+/// maximum (the dominant late wave), the trough *before* it, and the
+/// first-wave peak before that trough.
+pub fn summarize(records: &[DayRecord]) -> WaveSummary {
+    let peak_day = records
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cases_per_million.total_cmp(&b.1.cases_per_million))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    // trough between the early wave and the dominant wave
+    let search_end = peak_day.max(1);
+    let trough_day = records[..search_end]
+        .iter()
+        .enumerate()
+        .skip(5) // skip the seeding transient
+        .min_by(|a, b| a.1.cases_per_million.total_cmp(&b.1.cases_per_million))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let first_peak = records[..trough_day.max(1)]
+        .iter()
+        .map(|r| r.cases_per_million)
+        .fold(0.0f64, f64::max);
+    let second_peak = records[trough_day..]
+        .iter()
+        .map(|r| r.cases_per_million)
+        .fold(0.0f64, f64::max);
+    WaveSummary {
+        first_peak,
+        trough_day,
+        second_peak,
+        final_variant_share: records.last().map(|r| r.variant_share).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_waves_with_variant_takeover() {
+        let records = simulate(&EpiConfig::uk_delta_wave());
+        let s = summarize(&records);
+        assert!(s.first_peak > 0.0);
+        assert!(s.second_peak > s.first_peak, "fourth wave should exceed the spring wave: {s:?}");
+        assert!(s.final_variant_share > 0.95, "variant must take over: {}", s.final_variant_share);
+        assert!(s.trough_day > 30 && s.trough_day < 200, "trough at {}", s.trough_day);
+    }
+
+    #[test]
+    fn conservation_and_positivity() {
+        let records = simulate(&EpiConfig::uk_delta_wave());
+        for r in &records {
+            assert!(r.cases_per_million >= 0.0);
+            assert!((0.0..=1.0).contains(&r.variant_share));
+        }
+    }
+
+    #[test]
+    fn no_reopening_means_no_second_wave() {
+        let mut cfg = EpiConfig::uk_delta_wave();
+        cfg.reopening_day = cfg.days + 1; // never reopen
+        cfg.strain_b.r0 = 1.0; // and the variant is not more transmissible
+        let records = simulate(&cfg);
+        let s = summarize(&records);
+        assert!(s.second_peak <= s.first_peak * 1.05, "{s:?}");
+    }
+
+    #[test]
+    fn higher_r0_spreads_faster() {
+        let base = EpiConfig::uk_delta_wave();
+        let mut fast = base.clone();
+        fast.strain_a.r0 = 2.5;
+        let peak = |cfg: &EpiConfig| summarize(&simulate(cfg)).first_peak;
+        assert!(peak(&fast) > peak(&base));
+    }
+}

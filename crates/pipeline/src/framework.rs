@@ -1,0 +1,179 @@
+//! The end-to-end framework object.
+
+use std::time::{Duration, Instant};
+
+use cc19_analysis::classifier::{ClassifierConfig, DenseNet3d};
+use cc19_analysis::segmentation::{apply_mask, LungSegmenter};
+use cc19_data::prep::{denormalize_from_enhancement, normalize_for_enhancement, PrepConfig};
+use cc19_ddnet::trainer::enhance_volume;
+use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_tensor::Tensor;
+
+use crate::Result;
+
+/// One diagnosis report (the pipeline's output for one CT study).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Predicted probability of COVID-19.
+    pub probability: f64,
+    /// Decision at the configured threshold.
+    pub positive: bool,
+    /// Time spent in Enhancement AI.
+    pub t_enhance: Duration,
+    /// Time spent in Segmentation AI.
+    pub t_segment: Duration,
+    /// Time spent in Classification AI.
+    pub t_classify: Duration,
+}
+
+impl Diagnosis {
+    /// Total inference time.
+    pub fn total_time(&self) -> Duration {
+        self.t_enhance + self.t_segment + self.t_classify
+    }
+}
+
+/// The ComputeCOVID19+ pipeline: optional Enhancement AI, Segmentation AI,
+/// Classification AI (paper Fig 3).
+pub struct Framework {
+    /// DDnet enhancer; `None` reproduces the paper's "original CT scans"
+    /// baseline arm (§5.2.2).
+    pub enhancer: Option<Ddnet>,
+    /// Lung segmenter (the pre-trained-model stand-in).
+    pub segmenter: LungSegmenter,
+    /// 3D classifier.
+    pub classifier: DenseNet3d,
+    /// HU normalization window.
+    pub prep: PrepConfig,
+}
+
+impl Framework {
+    /// Untrained framework at reduced scale (useful for wiring tests and
+    /// the quickstart; train the parts via `experiments` for real use).
+    pub fn untrained_reduced(seed: u64) -> Self {
+        Framework {
+            enhancer: Some(Ddnet::new(DdnetConfig::tiny(), seed)),
+            segmenter: LungSegmenter::default(),
+            classifier: DenseNet3d::new(ClassifierConfig::tiny(), seed ^ 0xC1A55),
+            prep: PrepConfig::scaled(1),
+        }
+    }
+
+    /// Preprocess a `(D, H, W)` HU volume into the classifier's input:
+    /// normalize → (enhance) → segment → mask. Returns the normalized,
+    /// masked volume plus stage timings.
+    pub fn preprocess(&self, vol_hu: &Tensor) -> Result<(Tensor, Duration, Duration)> {
+        vol_hu.shape().expect_rank(3)?;
+
+        // Normalize each slice into [0,1] (Enhancement AI's input space).
+        let unit = normalize_for_enhancement(vol_hu, self.prep);
+
+        // Enhancement AI.
+        let (unit, hu_for_seg, t_enhance) = match &self.enhancer {
+            Some(net) => {
+                let t0 = Instant::now();
+                let enhanced = enhance_volume(net, &unit)?;
+                let hu = denormalize_from_enhancement(&enhanced, self.prep);
+                (enhanced, hu, t0.elapsed())
+            }
+            None => (unit, vol_hu.clone(), Duration::ZERO),
+        };
+
+        // Segmentation AI: mask from the (possibly enhanced) HU volume.
+        let t0 = Instant::now();
+        let mask = self.segmenter.segment_volume(&hu_for_seg)?;
+        let masked = apply_mask(&unit, &mask)?;
+        let t_segment = t0.elapsed();
+
+        Ok((masked, t_enhance, t_segment))
+    }
+
+    /// Probability that the study is COVID-positive.
+    pub fn probability(&self, vol_hu: &Tensor) -> Result<f64> {
+        Ok(self.diagnose(vol_hu, 0.5)?.probability)
+    }
+
+    /// Full diagnosis with stage timings.
+    pub fn diagnose(&self, vol_hu: &Tensor, threshold: f64) -> Result<Diagnosis> {
+        let (masked, t_enhance, t_segment) = self.preprocess(vol_hu)?;
+        let t0 = Instant::now();
+        let probability = self.classifier.predict_proba(&masked)?;
+        let t_classify = t0.elapsed();
+        Ok(Diagnosis {
+            probability,
+            positive: probability >= threshold,
+            t_enhance,
+            t_segment,
+            t_classify,
+        })
+    }
+
+    /// Disable Enhancement AI (the paper's baseline arm), returning the
+    /// removed network.
+    pub fn without_enhancement(&mut self) -> Option<Ddnet> {
+        self.enhancer.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_data::sources::{DataSource, Modality, ScanMeta};
+    use cc19_data::volume::CtVolume;
+    use cc19_ctsim::phantom::Severity;
+
+    fn test_volume(positive: bool) -> CtVolume {
+        let meta = ScanMeta {
+            id: 11,
+            source: DataSource::Midrc,
+            modality: Modality::Ct,
+            positive,
+            severity: if positive { Some(Severity::Severe) } else { None },
+            slices: 4,
+            circular_artifact: false,
+            has_projections: false,
+        };
+        CtVolume::synthesize(&meta, 32, 4).unwrap()
+    }
+
+    #[test]
+    fn diagnose_end_to_end() {
+        let fw = Framework::untrained_reduced(1);
+        let vol = test_volume(true);
+        let d = fw.diagnose(&vol.hu, 0.5).unwrap();
+        assert!((0.0..=1.0).contains(&d.probability));
+        assert_eq!(d.positive, d.probability >= 0.5);
+        assert!(d.total_time() >= d.t_enhance);
+    }
+
+    #[test]
+    fn enhancement_arm_is_removable() {
+        let mut fw = Framework::untrained_reduced(2);
+        assert!(fw.enhancer.is_some());
+        let removed = fw.without_enhancement();
+        assert!(removed.is_some());
+        assert!(fw.enhancer.is_none());
+        // still diagnoses
+        let vol = test_volume(false);
+        let d = fw.diagnose(&vol.hu, 0.5).unwrap();
+        assert!((0.0..=1.0).contains(&d.probability));
+        assert_eq!(d.t_enhance, Duration::ZERO);
+    }
+
+    #[test]
+    fn preprocess_masks_background() {
+        let fw = Framework::untrained_reduced(3);
+        let vol = test_volume(false);
+        let (masked, _, _) = fw.preprocess(&vol.hu).unwrap();
+        assert_eq!(masked.dims(), vol.hu.dims());
+        // corners (outside body) must be zeroed by the mask
+        assert_eq!(masked.at(&[0, 0, 0]), 0.0);
+        assert_eq!(masked.at(&[3, 31, 31]), 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        let fw = Framework::untrained_reduced(4);
+        assert!(fw.diagnose(&Tensor::zeros([32, 32]), 0.5).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! # computecovid19
+//!
+//! The ComputeCOVID19+ framework (ICPP '21): a CT-based COVID-19 diagnosis
+//! and monitoring pipeline that chains three AI stages (paper Figs 3–4):
+//!
+//! 1. **Enhancement AI** — DDnet denoises/enhances the (possibly low-dose)
+//!    CT slices (`cc19-ddnet`);
+//! 2. **Segmentation AI** — the lungs are isolated and the binary mask is
+//!    multiplied into the scan (`cc19-analysis::segmentation`);
+//! 3. **Classification AI** — a 3D DenseNet produces the COVID-positive
+//!    probability (`cc19-analysis::classifier`).
+//!
+//! The paper's headline claims are (a) prepending Enhancement AI lifts
+//! classification accuracy from 86% to 91% and AUC from 0.890 to 0.942
+//! (§5.2.3, Fig 13, Table 9), and (b) the whole CT-based workflow turns
+//! diagnosis around in minutes instead of the RT-PCR pipeline's days.
+//! [`experiments`] regenerates (a) at reduced scale; [`turnaround`] models
+//! (b); [`epi`] regenerates the intro's case-curve context figure (Fig 2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use computecovid19::framework::Framework;
+//! use cc19_data::sources::{DataSource, Modality, ScanMeta};
+//! use cc19_data::volume::CtVolume;
+//!
+//! // An untrained framework still runs end-to-end (probabilities are
+//! // uninformative until the networks are trained — see
+//! // `experiments::run_accuracy_experiment`).
+//! let fw = Framework::untrained_reduced(7);
+//! let meta = ScanMeta {
+//!     id: 1, source: DataSource::Lidc, modality: Modality::Ct,
+//!     positive: false, severity: None, slices: 4,
+//!     circular_artifact: false, has_projections: false,
+//! };
+//! let vol = CtVolume::synthesize(&meta, 32, 4).unwrap();
+//! let report = fw.diagnose(&vol.hu, 0.5).unwrap();
+//! assert!((0.0..=1.0).contains(&report.probability));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod epi;
+pub mod experiments;
+pub mod framework;
+pub mod monitoring;
+pub mod turnaround;
+
+pub use framework::{Diagnosis, Framework};
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

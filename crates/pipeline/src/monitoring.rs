@@ -1,0 +1,177 @@
+//! Disease **monitoring** — the second half of the paper's title:
+//! "ComputeCOVID19+ can deliver better and more timely diagnostic
+//! monitoring for progressing COVID-19 patients" (§2).
+//!
+//! Given a longitudinal series of CT studies of one patient, this module
+//! quantifies the lesion burden of each study (the fraction of lung
+//! voxels whose HU is pulled above healthy parenchyma — GGO/consolidation
+//! territory) and classifies the trend.
+
+use cc19_analysis::segmentation::LungSegmenter;
+use cc19_tensor::Tensor;
+
+use crate::Result;
+
+/// Lung-voxel HU above this is lesion territory (healthy parenchyma is
+/// ~-850; GGOs start around -700).
+pub const LESION_HU_THRESHOLD: f32 = -650.0;
+
+/// Quantified involvement of one study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Involvement {
+    /// Number of lung voxels.
+    pub lung_voxels: usize,
+    /// Number of lesion-range lung voxels.
+    pub lesion_voxels: usize,
+    /// Mean HU inside the lungs (rises with disease).
+    pub mean_lung_hu: f64,
+}
+
+impl Involvement {
+    /// Lesion fraction of the lung volume (0..1).
+    pub fn fraction(&self) -> f64 {
+        if self.lung_voxels == 0 {
+            return 0.0;
+        }
+        self.lesion_voxels as f64 / self.lung_voxels as f64
+    }
+}
+
+/// Quantify the lesion burden of one `(D, H, W)` HU volume.
+pub fn quantify(volume_hu: &Tensor, segmenter: &LungSegmenter) -> Result<Involvement> {
+    volume_hu.shape().expect_rank(3)?;
+    let mask = segmenter.segment_volume(volume_hu)?;
+    let mut lung_voxels = 0usize;
+    let mut lesion_voxels = 0usize;
+    let mut hu_acc = 0.0f64;
+    for (&hu, &m) in volume_hu.data().iter().zip(mask.data()) {
+        if m > 0.5 {
+            lung_voxels += 1;
+            hu_acc += hu as f64;
+            if hu > LESION_HU_THRESHOLD {
+                lesion_voxels += 1;
+            }
+        }
+    }
+    Ok(Involvement {
+        lung_voxels,
+        lesion_voxels,
+        mean_lung_hu: if lung_voxels > 0 { hu_acc / lung_voxels as f64 } else { 0.0 },
+    })
+}
+
+/// Direction of a patient's trajectory between two studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trend {
+    /// Lesion fraction fell materially.
+    Improving,
+    /// No material change.
+    Stable,
+    /// Lesion fraction rose materially.
+    Progressing,
+}
+
+/// A longitudinal series of quantified studies.
+#[derive(Debug, Clone, Default)]
+pub struct MonitoringSeries {
+    /// `(label, involvement)` per time point, in acquisition order.
+    pub points: Vec<(String, Involvement)>,
+}
+
+impl MonitoringSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantify and append a study.
+    pub fn add_study(
+        &mut self,
+        label: impl Into<String>,
+        volume_hu: &Tensor,
+        segmenter: &LungSegmenter,
+    ) -> Result<Involvement> {
+        let inv = quantify(volume_hu, segmenter)?;
+        self.points.push((label.into(), inv));
+        Ok(inv)
+    }
+
+    /// Trend between the last two studies. Changes below
+    /// `min_delta` (absolute lesion-fraction change) count as stable.
+    pub fn latest_trend(&self, min_delta: f64) -> Option<Trend> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let prev = self.points[self.points.len() - 2].1.fraction();
+        let last = self.points[self.points.len() - 1].1.fraction();
+        Some(if last > prev + min_delta {
+            Trend::Progressing
+        } else if last < prev - min_delta {
+            Trend::Improving
+        } else {
+            Trend::Stable
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_ctsim::phantom::Severity;
+    use cc19_data::sources::{DataSource, Modality, ScanMeta};
+    use cc19_data::volume::CtVolume;
+
+    fn vol(seed: u64, severity: Option<Severity>) -> Tensor {
+        let meta = ScanMeta {
+            id: seed,
+            source: DataSource::Midrc,
+            modality: Modality::Ct,
+            positive: severity.is_some(),
+            severity,
+            slices: 6,
+            circular_artifact: false,
+            has_projections: false,
+        };
+        CtVolume::synthesize(&meta, 48, 6).unwrap().hu
+    }
+
+    #[test]
+    fn lesion_fraction_tracks_severity() {
+        let seg = LungSegmenter::default();
+        let healthy = quantify(&vol(3, None), &seg).unwrap();
+        let severe = quantify(&vol(3, Some(Severity::Severe)), &seg).unwrap();
+        assert!(healthy.lung_voxels > 0);
+        assert!(
+            severe.fraction() > healthy.fraction() + 0.02,
+            "severe {} vs healthy {}",
+            severe.fraction(),
+            healthy.fraction()
+        );
+        assert!(severe.mean_lung_hu > healthy.mean_lung_hu);
+    }
+
+    #[test]
+    fn series_detects_progression_and_recovery() {
+        let seg = LungSegmenter::default();
+        let mut series = MonitoringSeries::new();
+        assert!(series.latest_trend(0.01).is_none());
+        series.add_study("day 0", &vol(7, Some(Severity::Mild)), &seg).unwrap();
+        series.add_study("day 5", &vol(7, Some(Severity::Severe)), &seg).unwrap();
+        assert_eq!(series.latest_trend(0.01), Some(Trend::Progressing));
+        series.add_study("day 15", &vol(7, Some(Severity::Mild)), &seg).unwrap();
+        assert_eq!(series.latest_trend(0.01), Some(Trend::Improving));
+        series.add_study("day 20", &vol(7, Some(Severity::Mild)), &seg).unwrap();
+        assert_eq!(series.latest_trend(0.01), Some(Trend::Stable));
+        assert_eq!(series.points.len(), 4);
+    }
+
+    #[test]
+    fn empty_lungs_are_handled() {
+        let seg = LungSegmenter::default();
+        // an all-air volume: no lungs found
+        let air = Tensor::full([2, 16, 16], -1000.0);
+        let inv = quantify(&air, &seg).unwrap();
+        assert_eq!(inv.fraction(), 0.0);
+        assert_eq!(inv.lung_voxels, 0);
+    }
+}

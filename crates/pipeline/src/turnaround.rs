@@ -1,0 +1,109 @@
+//! Diagnosis turnaround-time model — the paper's "days to minutes" claim
+//! (§1, §8): RT-PCR takes ≈4 hours of lab time plus multi-day logistics
+//! and has ~67% sensitivity; the CT workflow takes minutes with DDnet
+//! inference under a second.
+
+use std::time::Duration;
+
+/// A diagnostic pathway with its latency budget and sensitivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pathway {
+    /// Display name.
+    pub name: &'static str,
+    /// Stages as `(label, duration)`.
+    pub stages: Vec<(&'static str, Duration)>,
+    /// Clinical sensitivity (true-positive rate).
+    pub sensitivity: f64,
+}
+
+impl Pathway {
+    /// Total turnaround.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// RT-PCR per the paper: sample logistics (collection, packaging,
+    /// delivery — the multi-day part), ~4 h lab test, reporting; 67%
+    /// sensitivity (Kucirka et al., ref [24]).
+    pub fn rt_pcr() -> Self {
+        Pathway {
+            name: "RT-PCR",
+            stages: vec![
+                ("sample collection", Duration::from_secs(15 * 60)),
+                ("packaging & delivery to lab", Duration::from_secs(36 * 3600)),
+                ("RT-PCR test", Duration::from_secs(4 * 3600)),
+                ("result reporting", Duration::from_secs(12 * 3600)),
+            ],
+            sensitivity: 0.67,
+        }
+    }
+
+    /// ComputeCOVID19+ per the paper: a CT scan (on the scanner hospitals
+    /// already have), then the three AI stages; ~5 minutes end-to-end,
+    /// inference < 1 s; 91% sensitivity.
+    pub fn compute_covid19(inference: Duration) -> Self {
+        Pathway {
+            name: "ComputeCOVID19+",
+            stages: vec![
+                ("CT scan acquisition", Duration::from_secs(4 * 60)),
+                ("reconstruction & transfer", Duration::from_secs(50)),
+                ("Enhancement+Segmentation+Classification AI", inference),
+            ],
+            sensitivity: 0.91,
+        }
+    }
+}
+
+/// Turnaround comparison (the numbers behind the abstract's claim).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// RT-PCR total seconds.
+    pub rt_pcr_secs: f64,
+    /// ComputeCOVID19+ total seconds.
+    pub cc19_secs: f64,
+    /// Speedup factor.
+    pub speedup: f64,
+    /// Sensitivity delta (percentage points).
+    pub sensitivity_gain_pp: f64,
+}
+
+/// Compare the two pathways given a measured AI inference time.
+pub fn compare(inference: Duration) -> Comparison {
+    let pcr = Pathway::rt_pcr();
+    let cc = Pathway::compute_covid19(inference);
+    let rt = pcr.total().as_secs_f64();
+    let ct = cc.total().as_secs_f64();
+    Comparison {
+        rt_pcr_secs: rt,
+        cc19_secs: ct,
+        speedup: rt / ct,
+        sensitivity_gain_pp: (cc.sensitivity - pcr.sensitivity) * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_pcr_is_days_cc19_is_minutes() {
+        let pcr = Pathway::rt_pcr();
+        assert!(pcr.total() > Duration::from_secs(24 * 3600), "RT-PCR must span days");
+        let cc = Pathway::compute_covid19(Duration::from_secs(1));
+        assert!(cc.total() < Duration::from_secs(10 * 60), "CC19+ must finish in minutes");
+    }
+
+    #[test]
+    fn headline_numbers() {
+        let c = compare(Duration::from_millis(300));
+        assert!(c.speedup > 100.0, "speedup {}", c.speedup);
+        assert!((c.sensitivity_gain_pp - 24.0).abs() < 1e-9); // 91% - 67%
+    }
+
+    #[test]
+    fn inference_time_is_a_small_fraction() {
+        let cc = Pathway::compute_covid19(Duration::from_secs(1));
+        let inference = cc.stages.last().unwrap().1;
+        assert!(inference.as_secs_f64() / cc.total().as_secs_f64() < 0.01);
+    }
+}

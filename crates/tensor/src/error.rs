@@ -1,0 +1,58 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced at tensor API boundaries.
+///
+/// Internal kernels `debug_assert!` their invariants; anything that can be
+/// triggered by a caller with bad shapes surfaces as one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer length.
+    LengthMismatch {
+        /// Elements the shape implies.
+        expected: usize,
+        /// Elements the buffer holds.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Left operand dims.
+        left: Vec<usize>,
+        /// Right operand dims.
+        right: Vec<usize>,
+    },
+    /// An operation received a tensor of the wrong rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// A dimension-specific constraint was violated (e.g. channel counts
+    /// for convolution, concat axis out of range).
+    Incompatible(String),
+    /// An empty tensor was passed where data is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape implies {expected} elements, buffer has {actual}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got {actual}")
+            }
+            TensorError::Incompatible(msg) => write!(f, "incompatible operands: {msg}"),
+            TensorError::Empty(what) => write!(f, "empty tensor passed to {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

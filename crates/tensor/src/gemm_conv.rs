@@ -1,0 +1,177 @@
+//! GEMM-based convolution (im2col + matrix multiply) — the lowering most
+//! deep-learning frameworks use for convolution, provided as an
+//! alternative to the direct kernels in [`crate::conv`].
+//!
+//! The direct path wins for DDnet's small channel counts on CPU (less
+//! memory traffic); the GEMM path wins as channels grow. The
+//! `gemm_vs_direct` bench in `cc19-bench` measures the crossover — an
+//! ablation of a design choice the paper's OpenCL kernels implicitly make
+//! (they are direct-style kernels).
+
+use crate::conv::Conv2dSpec;
+use crate::{ops, Result, Tensor, TensorError};
+
+/// Lower a `(N, C, H, W)` input into the im2col matrix of shape
+/// `(N * OH * OW, C * K * K)`: each row is the receptive field of one
+/// output position.
+pub fn im2col(input: &Tensor, k: usize, spec: Conv2dSpec) -> Result<Tensor> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::Incompatible("im2col expects rank-4 NCHW input".into()));
+    }
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oh = spec.out_extent(h, k);
+    let ow = spec.out_extent(w, k);
+    let cols = c * k * k;
+    let mut out = Tensor::zeros([n * oh * ow, cols]);
+    let ind = input.data();
+    let od = out.data_mut();
+    let p = spec.padding as isize;
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols;
+                for ci in 0..c {
+                    let ibase = (ni * c + ci) * h * w;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - p;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - p;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                ind[ibase + iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            od[row + ci * k * k + ky * k + kx] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// GEMM-backed convolution, same semantics as [`crate::conv::conv2d`]
+/// (square kernels).
+pub fn conv2d_gemm(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::Incompatible("conv2d_gemm expects rank-4 weight".into()));
+    }
+    let wd = weight.dims();
+    let (cout, cin, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    if kh != kw {
+        return Err(TensorError::Incompatible("conv2d_gemm supports square kernels only".into()));
+    }
+    let d = input.dims();
+    if d[1] != cin {
+        return Err(TensorError::Incompatible(format!(
+            "conv2d_gemm: input has {} channels, weight expects {cin}",
+            d[1]
+        )));
+    }
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+
+    // (N*OH*OW, C*K*K) x (C*K*K, Cout) = (N*OH*OW, Cout)
+    let cols = im2col(input, kh, spec)?;
+    let wmat = weight.reshape([cout, cin * kh * kw])?;
+    let wmat_t = ops::transpose2(&wmat)?;
+    let prod = ops::matmul(&cols, &wmat_t)?;
+
+    // transpose the layout (N*OH*OW, Cout) -> (N, Cout, OH, OW)
+    let mut out = Tensor::zeros([n, cout, oh, ow]);
+    let pd = prod.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for pos in 0..oh * ow {
+            let src = (ni * oh * ow + pos) * cout;
+            for co in 0..cout {
+                od[(ni * cout + co) * oh * ow + pos] = pd[src + co];
+            }
+        }
+    }
+    if let Some(b) = bias {
+        if b.numel() != cout {
+            return Err(TensorError::Incompatible(format!(
+                "conv2d_gemm: bias has {} elements, want {cout}",
+                b.numel()
+            )));
+        }
+        let bd = b.data();
+        for ni in 0..n {
+            for co in 0..cout {
+                let base = (ni * cout + co) * oh * ow;
+                let bb = bd[co];
+                for v in &mut od[base..base + oh * ow] {
+                    *v += bb;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+    use crate::rng::Xorshift;
+
+    #[test]
+    fn im2col_shapes_and_content() {
+        // 1x1x3x3 input, k=2, stride 1, no padding: 4 rows of 4
+        let input = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let cols = im2col(&input, 2, Conv2dSpec { stride: 1, padding: 0 }).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // first receptive field: [1,2,4,5]
+        assert_eq!(&cols.data()[..4], &[1.0, 2.0, 4.0, 5.0]);
+        // last: [5,6,8,9]
+        assert_eq!(&cols.data()[12..], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads(){
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let cols = im2col(&input, 3, Conv2dSpec { stride: 1, padding: 1 }).unwrap();
+        assert_eq!(cols.dims(), &[4, 9]);
+        // top-left output: receptive field has 5 padded zeros, 4 ones
+        let first: f32 = cols.data()[..9].iter().sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn gemm_matches_direct_conv() {
+        let mut rng = Xorshift::new(1);
+        for (stride, padding, k) in [(1usize, 1usize, 3usize), (2, 2, 5), (1, 0, 1)] {
+            let spec = Conv2dSpec { stride, padding };
+            let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+            let wgt = rng.uniform_tensor([4, 3, k, k], -0.5, 0.5);
+            let b = rng.uniform_tensor([4], -0.2, 0.2);
+            let direct = conv2d(&x, &wgt, Some(&b), spec).unwrap();
+            let gemm = conv2d_gemm(&x, &wgt, Some(&b), spec).unwrap();
+            assert_eq!(direct.dims(), gemm.dims());
+            assert!(
+                direct.all_close(&gemm, 1e-4),
+                "mismatch at stride {stride} pad {padding} k {k}: max diff {}",
+                direct.max_abs_diff(&gemm).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_bad_shapes() {
+        let x = Tensor::zeros([1, 2, 4, 4]);
+        let w_bad_cin = Tensor::zeros([4, 3, 3, 3]);
+        assert!(conv2d_gemm(&x, &w_bad_cin, None, Conv2dSpec::default()).is_err());
+        let w_rect = Tensor::zeros([4, 2, 3, 5]);
+        assert!(conv2d_gemm(&x, &w_rect, None, Conv2dSpec::default()).is_err());
+    }
+}

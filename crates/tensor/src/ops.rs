@@ -1,0 +1,427 @@
+//! Elementwise and linear-algebra primitives.
+//!
+//! Elementwise ops run serially below [`PAR_THRESHOLD`] elements and switch
+//! to rayon `par_chunks` above it; the chunk size is fixed so results do not
+//! depend on the worker count.
+
+use rayon::prelude::*;
+
+use crate::{Result, Tensor, TensorError};
+
+/// Below this element count, elementwise kernels run serially (the rayon
+/// fork/join overhead dominates for tiny tensors).
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Fixed chunk length for parallel elementwise traversal.
+const CHUNK: usize = 1 << 12;
+
+#[inline]
+fn zip_map_into(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    if a.len() < PAR_THRESHOLD {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+    } else {
+        out.par_chunks_mut(CHUNK)
+            .zip(a.par_chunks(CHUNK))
+            .zip(b.par_chunks(CHUNK))
+            .for_each(|((o, x), y)| {
+                for ((oo, &xx), &yy) in o.iter_mut().zip(x).zip(y) {
+                    *oo = f(xx, yy);
+                }
+            });
+    }
+}
+
+#[inline]
+fn map_into(a: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), out.len());
+    if a.len() < PAR_THRESHOLD {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = f(x);
+        }
+    } else {
+        out.par_chunks_mut(CHUNK).zip(a.par_chunks(CHUNK)).for_each(|(o, x)| {
+            for (oo, &xx) in o.iter_mut().zip(x) {
+                *oo = f(xx);
+            }
+        });
+    }
+}
+
+macro_rules! binary_op {
+    ($(#[$doc:meta])* $name:ident, $f:expr) => {
+        $(#[$doc])*
+        pub fn $name(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+            a.shape().expect_same(b.shape())?;
+            let mut out = Tensor::zeros(a.shape().clone());
+            zip_map_into(a.data(), b.data(), out.data_mut(), $f);
+            Ok(out)
+        }
+    };
+}
+
+binary_op!(
+    /// Elementwise addition.
+    add, |x, y| x + y);
+binary_op!(
+    /// Elementwise subtraction `a - b`.
+    sub, |x, y| x - y);
+binary_op!(
+    /// Elementwise (Hadamard) product.
+    mul, |x, y| x * y);
+binary_op!(
+    /// Elementwise division `a / b`.
+    div, |x, y| x / y);
+binary_op!(
+    /// Elementwise maximum.
+    maximum, |x, y| x.max(y));
+binary_op!(
+    /// Elementwise minimum.
+    minimum, |x, y| x.min(y));
+
+/// `a + alpha * b`, the axpy-like fused update, in place on `a`.
+pub fn axpy(alpha: f32, b: &Tensor, a: &mut Tensor) -> Result<()> {
+    a.shape().expect_same(b.shape())?;
+    let bd = b.data();
+    let ad = a.data_mut();
+    if ad.len() < PAR_THRESHOLD {
+        for (x, &y) in ad.iter_mut().zip(bd) {
+            *x += alpha * y;
+        }
+    } else {
+        ad.par_chunks_mut(CHUNK).zip(bd.par_chunks(CHUNK)).for_each(|(x, y)| {
+            for (xx, &yy) in x.iter_mut().zip(y) {
+                *xx += alpha * yy;
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Scale by a scalar, producing a new tensor.
+pub fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    let mut out = Tensor::zeros(a.shape().clone());
+    map_into(a.data(), out.data_mut(), |x| x * alpha);
+    out
+}
+
+/// Add a scalar to every element.
+pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    let mut out = Tensor::zeros(a.shape().clone());
+    map_into(a.data(), out.data_mut(), |x| x + c);
+    out
+}
+
+/// Apply an arbitrary unary function elementwise.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = Tensor::zeros(a.shape().clone());
+    map_into(a.data(), out.data_mut(), f);
+    out
+}
+
+/// Leaky-ReLU with the given negative slope.
+pub fn leaky_relu(a: &Tensor, negative_slope: f32) -> Tensor {
+    map(a, move |x| if x >= 0.0 { x } else { negative_slope * x })
+}
+
+/// ReLU.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Elementwise natural exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    map(a, f32::exp)
+}
+
+/// Elementwise natural log.
+pub fn ln(a: &Tensor) -> Tensor {
+    map(a, f32::ln)
+}
+
+/// Elementwise square.
+pub fn square(a: &Tensor) -> Tensor {
+    map(a, |x| x * x)
+}
+
+/// Elementwise square root.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    map(a, f32::sqrt)
+}
+
+/// Elementwise absolute value.
+pub fn abs(a: &Tensor) -> Tensor {
+    map(a, f32::abs)
+}
+
+/// Clamp all elements into `[lo, hi]`.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
+    map(a, move |x| x.clamp(lo, hi))
+}
+
+/// Dense matrix multiply: `a` is `(m, k)`, `b` is `(k, n)`, result `(m, n)`.
+///
+/// Parallelized over rows of `a`; the inner kernel is an `ikj` loop order so
+/// the innermost traversal is contiguous in both `b` and the output.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::Incompatible(format!(
+            "matmul inner dims differ: ({m},{k}) x ({k2},{n})"
+        )));
+    }
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..kk * n + n];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Matrix transpose of a rank-2 tensor.
+pub fn transpose2(a: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = ad[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenate along an axis. All inputs must agree on every other axis.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+    if tensors.is_empty() {
+        return Err(TensorError::Empty("concat"));
+    }
+    let rank = tensors[0].shape().rank();
+    if axis >= rank {
+        return Err(TensorError::Incompatible(format!("concat axis {axis} out of range for rank {rank}")));
+    }
+    let mut out_dims = tensors[0].dims().to_vec();
+    let mut axis_total = 0usize;
+    for t in tensors {
+        if t.shape().rank() != rank {
+            return Err(TensorError::RankMismatch { expected: rank, actual: t.shape().rank() });
+        }
+        for (d, (&a, &b)) in tensors[0].dims().iter().zip(t.dims()).enumerate() {
+            if d != axis && a != b {
+                return Err(TensorError::ShapeMismatch {
+                    left: tensors[0].dims().to_vec(),
+                    right: t.dims().to_vec(),
+                });
+            }
+        }
+        axis_total += t.dims()[axis];
+    }
+    out_dims[axis] = axis_total;
+
+    // Treat each tensor as (outer, slice) where slice = axis_len * inner.
+    let outer: usize = out_dims[..axis].iter().product();
+    let inner: usize = out_dims[axis + 1..].iter().product();
+    let out_slice = axis_total * inner;
+    let mut out = Tensor::zeros(out_dims.clone());
+    let od = out.data_mut();
+    let mut axis_off = 0usize;
+    for t in tensors {
+        let t_axis = t.dims()[axis];
+        let t_slice = t_axis * inner;
+        let td = t.data();
+        for o in 0..outer {
+            let src = &td[o * t_slice..(o + 1) * t_slice];
+            let dst = &mut od[o * out_slice + axis_off * inner..o * out_slice + axis_off * inner + t_slice];
+            dst.copy_from_slice(src);
+        }
+        axis_off += t_axis;
+    }
+    Ok(out)
+}
+
+/// Split along an axis into pieces of the given extents (inverse of
+/// [`concat`]).
+pub fn split(t: &Tensor, axis: usize, extents: &[usize]) -> Result<Vec<Tensor>> {
+    let rank = t.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::Incompatible(format!("split axis {axis} out of range for rank {rank}")));
+    }
+    let total: usize = extents.iter().sum();
+    if total != t.dims()[axis] {
+        return Err(TensorError::Incompatible(format!(
+            "split extents sum to {total}, axis has {}",
+            t.dims()[axis]
+        )));
+    }
+    let outer: usize = t.dims()[..axis].iter().product();
+    let inner: usize = t.dims()[axis + 1..].iter().product();
+    let in_slice = t.dims()[axis] * inner;
+    let td = t.data();
+    let mut parts = Vec::with_capacity(extents.len());
+    let mut axis_off = 0usize;
+    for &e in extents {
+        let mut dims = t.dims().to_vec();
+        dims[axis] = e;
+        let mut part = Tensor::zeros(dims);
+        let pd = part.data_mut();
+        let p_slice = e * inner;
+        for o in 0..outer {
+            let src = &td[o * in_slice + axis_off * inner..o * in_slice + axis_off * inner + p_slice];
+            pd[o * p_slice..(o + 1) * p_slice].copy_from_slice(src);
+        }
+        axis_off += e;
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(dims.to_vec(), v).unwrap()
+    }
+
+    #[test]
+    fn elementwise_basics() {
+        let a = t(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[4], vec![4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(sub(&a, &b).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(div(&a, &b).unwrap().data(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+        assert_eq!(maximum(&a, &b).unwrap().data(), &[4.0, 3.0, 3.0, 4.0]);
+        assert_eq!(minimum(&a, &b).unwrap().data(), &[1.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_rejected() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = t(&[3], vec![1.0, 1.0, 1.0]);
+        let b = t(&[3], vec![1.0, 2.0, 3.0]);
+        axpy(0.5, &b, &mut a).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Large enough to take the parallel path.
+        let n = PAR_THRESHOLD * 2 + 37;
+        let a = Tensor::from_vec([n], (0..n).map(|i| i as f32 * 0.5).collect()).unwrap();
+        let b = Tensor::from_vec([n], (0..n).map(|i| (n - i) as f32 * 0.25).collect()).unwrap();
+        let got = add(&a, &b).unwrap();
+        for i in (0..n).step_by(997) {
+            assert_eq!(got.data()[i], a.data()[i] + b.data()[i]);
+        }
+    }
+
+    #[test]
+    fn activations() {
+        let a = t(&[4], vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu(&a).data(), &[0.0, 0.0, 0.0, 3.0]);
+        assert_eq!(leaky_relu(&a, 0.1).data(), &[-0.2, -0.05, 0.0, 3.0]);
+        let s = sigmoid(&Tensor::scalar(0.0));
+        assert!((s.item().unwrap() - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = t(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i).unwrap().data(), a.data());
+        assert_eq!(matmul(&i, &a).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let at = transpose2(&a).unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(transpose2(&at).unwrap(), a);
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = t(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[1, 2], vec![5.0, 6.0]);
+        let c0 = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.dims(), &[3, 2]);
+        assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+
+        let d = t(&[2, 1], vec![9.0, 10.0]);
+        let c1 = concat(&[&a, &d], 1).unwrap();
+        assert_eq!(c1.dims(), &[2, 3]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_other_axes() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([2, 3]);
+        assert!(concat(&[&a, &b], 0).is_err());
+        assert!(concat(&[&a, &b], 1).is_ok());
+    }
+
+    #[test]
+    fn split_inverts_concat() {
+        let a = t(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let b = t(&[2, 2], (6..10).map(|x| x as f32).collect());
+        let c = concat(&[&a, &b], 1).unwrap();
+        let parts = split(&c, 1, &[3, 2]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn split_rejects_bad_extents() {
+        let a = Tensor::zeros([2, 4]);
+        assert!(split(&a, 1, &[3, 2]).is_err());
+    }
+}

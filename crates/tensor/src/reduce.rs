@@ -1,0 +1,195 @@
+//! Reductions and summary statistics.
+//!
+//! Accumulation happens in `f64` so the results are robust for the large
+//! (512×512×N) CT tensors, then narrowed at the boundary.
+
+use rayon::prelude::*;
+
+use crate::{Result, Tensor, TensorError};
+
+/// Threshold above which reductions go parallel.
+const PAR_THRESHOLD: usize = 1 << 15;
+/// Fixed chunking so parallel sums are reproducible.
+const CHUNK: usize = 1 << 12;
+
+/// Sum of all elements (f64 accumulation).
+pub fn sum(t: &Tensor) -> f64 {
+    let d = t.data();
+    if d.len() < PAR_THRESHOLD {
+        d.iter().map(|&v| v as f64).sum()
+    } else {
+        d.par_chunks(CHUNK).map(|c| c.iter().map(|&v| v as f64).sum::<f64>()).sum()
+    }
+}
+
+/// Mean of all elements.
+pub fn mean(t: &Tensor) -> f64 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    sum(t) / t.numel() as f64
+}
+
+/// Population variance of all elements.
+pub fn variance(t: &Tensor) -> f64 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    let m = mean(t);
+    let d = t.data();
+    let ss: f64 = if d.len() < PAR_THRESHOLD {
+        d.iter().map(|&v| (v as f64 - m) * (v as f64 - m)).sum()
+    } else {
+        d.par_chunks(CHUNK)
+            .map(|c| c.iter().map(|&v| (v as f64 - m) * (v as f64 - m)).sum::<f64>())
+            .sum()
+    };
+    ss / t.numel() as f64
+}
+
+/// Minimum element (NaN-propagating min is avoided; NaNs are ignored).
+pub fn min(t: &Tensor) -> f32 {
+    t.data().iter().copied().filter(|v| !v.is_nan()).fold(f32::INFINITY, f32::min)
+}
+
+/// Maximum element (NaNs ignored).
+pub fn max(t: &Tensor) -> f32 {
+    t.data().iter().copied().filter(|v| !v.is_nan()).fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Dot product of two equally-shaped tensors (f64 accumulation).
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f64> {
+    a.shape().expect_same(b.shape())?;
+    let ad = a.data();
+    let bd = b.data();
+    Ok(if ad.len() < PAR_THRESHOLD {
+        ad.iter().zip(bd).map(|(&x, &y)| x as f64 * y as f64).sum()
+    } else {
+        ad.par_chunks(CHUNK)
+            .zip(bd.par_chunks(CHUNK))
+            .map(|(x, y)| x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum::<f64>())
+            .sum()
+    })
+}
+
+/// Mean squared error between two tensors.
+pub fn mse(a: &Tensor, b: &Tensor) -> Result<f64> {
+    a.shape().expect_same(b.shape())?;
+    let n = a.numel();
+    if n == 0 {
+        return Err(TensorError::Empty("mse"));
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let ss: f64 = if n < PAR_THRESHOLD {
+        ad.iter().zip(bd).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+    } else {
+        ad.par_chunks(CHUNK)
+            .zip(bd.par_chunks(CHUNK))
+            .map(|(x, y)| x.iter().zip(y).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>())
+            .sum()
+    };
+    Ok(ss / n as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(a: &Tensor, b: &Tensor) -> Result<f64> {
+    Ok(mse(a, b)?.sqrt())
+}
+
+/// Peak signal-to-noise ratio, assuming the given dynamic range.
+pub fn psnr(a: &Tensor, b: &Tensor, data_range: f64) -> Result<f64> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (data_range * data_range / m).log10())
+}
+
+/// L2 norm.
+pub fn l2_norm(t: &Tensor) -> f64 {
+    dot(t, t).expect("same tensor").sqrt()
+}
+
+/// Softmax over the last axis of a rank-2 tensor `(N, K)`.
+pub fn softmax_rows(t: &Tensor) -> Result<Tensor> {
+    t.shape().expect_rank(2)?;
+    let (n, k) = (t.dims()[0], t.dims()[1]);
+    let mut out = Tensor::zeros([n, k]);
+    let ind = t.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        let row = &ind[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            od[i * k + j] = e;
+            z += e;
+        }
+        for j in 0..k {
+            od[i * k + j] /= z;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_variance() {
+        let t = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(sum(&t), 10.0);
+        assert_eq!(mean(&t), 2.5);
+        assert_eq!(variance(&t), 1.25);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let n = PAR_THRESHOLD * 2 + 123;
+        let t = Tensor::from_vec([n], (0..n).map(|i| (i % 17) as f32 * 0.125).collect()).unwrap();
+        let serial: f64 = t.data().iter().map(|&v| v as f64).sum();
+        assert!((sum(&t) - serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let t = Tensor::from_vec([4], vec![3.0, f32::NAN, -1.0, 2.0]).unwrap();
+        assert_eq!(min(&t), -1.0);
+        assert_eq!(max(&t), 3.0);
+    }
+
+    #[test]
+    fn mse_and_psnr() {
+        let a = Tensor::zeros([4]);
+        let b = Tensor::from_vec([4], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(mse(&a, &b).unwrap(), 1.0);
+        assert_eq!(psnr(&a, &a, 1.0).unwrap(), f64::INFINITY);
+        // psnr for mse=1, range=1 is 0 dB
+        assert!((psnr(&a, &b, 1.0).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(dot(&a, &a).unwrap(), 9.0);
+        assert_eq!(l2_norm(&a), 3.0);
+    }
+
+    #[test]
+    fn softmax_rows_sane() {
+        let t = Tensor::from_vec([2, 3], vec![0.0, 0.0, 0.0, 1000.0, 0.0, -1000.0]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        // uniform row
+        for j in 0..3 {
+            assert!((s.at(&[0, j]) - 1.0 / 3.0).abs() < 1e-6);
+        }
+        // saturated row, numerically stable
+        assert!((s.at(&[1, 0]) - 1.0).abs() < 1e-6);
+        assert!(s.at(&[1, 2]) < 1e-6);
+        let row_sum: f32 = (0..3).map(|j| s.at(&[1, j])).sum();
+        assert!((row_sum - 1.0).abs() < 1e-6);
+    }
+}

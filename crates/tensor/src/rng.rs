@@ -1,0 +1,196 @@
+//! Deterministic random sampling used across the reproduction.
+//!
+//! Two layers:
+//! - [`Xorshift`] — a tiny, dependency-free generator for tests and weight
+//!   init where we want bit-stable values across platforms;
+//! - samplers (`normal`, `poisson`) implemented on top of any
+//!   `rand::Rng`, because the allowed dependency set includes `rand` but
+//!   not `rand_distr`. The Poisson sampler is what drives the paper's
+//!   low-dose projection noise `P_i ~ Poisson(b_i * e^{-l_i})` (§3.1.2).
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// xorshift64* PRNG: tiny, fast, reproducible, good enough for weight init
+/// and test fixtures (not for cryptography).
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Seeded constructor; a zero seed is remapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        Xorshift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform f32 in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Avoid u1 == 0 (log of zero).
+        let u1 = (self.next_f32()).max(1e-12);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal with given mean / std.
+    pub fn normal_ms(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Tensor of uniform samples.
+    pub fn uniform_tensor(&mut self, shape: impl Into<crate::Shape>, lo: f32, hi: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| self.uniform(lo, hi)).collect();
+        Tensor::from_vec(shape, data).expect("shape/data consistent")
+    }
+
+    /// Tensor of `N(mean, std^2)` samples — the paper initializes all
+    /// filters as `N(0, 0.01^2)` (§3.1.1).
+    pub fn normal_tensor(&mut self, shape: impl Into<crate::Shape>, mean: f32, std: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| self.normal_ms(mean, std)).collect();
+        Tensor::from_vec(shape, data).expect("shape/data consistent")
+    }
+}
+
+/// Standard normal sample from any `rand::Rng` (Box–Muller).
+pub fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-300..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Poisson sample with mean `lambda`.
+///
+/// - `lambda < 30`: Knuth's product-of-uniforms method (exact);
+/// - otherwise: normal approximation `N(lambda, lambda)` rounded and
+///   clamped at zero — with the paper's blank-scan factor `b = 1e6`
+///   photons/ray the relative error of the approximation is < 0.1%.
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson_sample: negative lambda {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Defensive bound: probability of reaching this is ~0.
+            if k > 10_000 {
+                return k;
+            }
+        }
+    } else {
+        let g = normal_sample(rng);
+        let v = lambda + lambda.sqrt() * g;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift::new(123);
+        let mut b = Xorshift::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Xorshift::new(1);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xorshift::new(2);
+        let n = 200_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_tensor_matches_paper_init_stats() {
+        let mut rng = Xorshift::new(3);
+        let t = rng.normal_tensor([64, 64, 5, 5], 0.0, 0.01);
+        let m = crate::reduce::mean(&t);
+        let v = crate::reduce::variance(&t);
+        assert!(m.abs() < 1e-3, "mean {m}");
+        assert!((v.sqrt() - 0.01).abs() < 1e-3, "std {}", v.sqrt());
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let lambda = 4.5;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| poisson_sample(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let lambda = 1.0e6; // the paper's blank scan factor
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson_sample(&mut rng, lambda)).collect();
+        let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() / lambda < 1e-3, "mean {mean}");
+        assert!((var - lambda).abs() / lambda < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+    }
+}

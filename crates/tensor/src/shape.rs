@@ -1,0 +1,144 @@
+//! Shape algebra: small helper over `Vec<usize>` dimension lists.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: an ordered list of dimension extents, row-major.
+///
+/// Rank-0 (scalar) is represented by an empty dimension list and has one
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Construct from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-index into a linear offset.
+    ///
+    /// Debug-asserts that the index is in range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&ix, &dim)) in index.iter().zip(self.0.iter()).enumerate().rev() {
+            debug_assert!(ix < dim, "index {ix} out of range {dim} at axis {i}");
+            let _ = i;
+            off += ix * stride;
+            stride *= dim;
+        }
+        off
+    }
+
+    /// Require this shape to equal `other`.
+    pub fn expect_same(&self, other: &Shape) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch { left: self.0.clone(), right: other.0.clone() })
+        }
+    }
+
+    /// Require a specific rank.
+    pub fn expect_rank(&self, rank: usize) -> Result<()> {
+        if self.rank() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch { expected: rank, actual: self.rank() })
+        }
+    }
+
+    /// Extent along `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        let scalar = Shape::new(&[]);
+        assert_eq!(scalar.rank(), 0);
+        assert_eq!(scalar.numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[7]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    fn expect_same_detects_mismatch() {
+        let a = Shape::new(&[2, 2]);
+        let b = Shape::new(&[2, 3]);
+        assert!(a.expect_same(&b).is_err());
+        assert!(a.expect_same(&a.clone()).is_ok());
+    }
+
+    #[test]
+    fn expect_rank_detects_mismatch() {
+        let a = Shape::new(&[2, 2]);
+        assert!(a.expect_rank(3).is_err());
+        assert!(a.expect_rank(2).is_ok());
+    }
+}

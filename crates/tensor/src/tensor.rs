@@ -1,0 +1,199 @@
+//! The core `Tensor` type: contiguous, row-major, `f32`.
+
+use crate::{Result, Shape, TensorError};
+
+/// A contiguous, row-major `f32` tensor.
+///
+/// All ops in this crate produce fresh contiguous tensors; there are no
+/// views. This trades some memory traffic for simple, auto-vectorizable
+/// kernels and data-race freedom under rayon (see crate docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and a data buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::new(&[]), data: vec![value] }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the backing buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Set element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// The single value of a scalar (or one-element) tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() == 1 {
+            Ok(self.data[0])
+        } else {
+            Err(TensorError::Incompatible(format!(
+                "item() requires exactly one element, tensor has {}",
+                self.data.len()
+            )))
+        }
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.data.len() });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// In-place reshape (no data copy).
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.data.len() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        self.shape.expect_same(&other.shape)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// Assert elementwise closeness within `tol` (test helper).
+    pub fn all_close(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec([2, 2], vec![0.0; 4]).is_ok());
+        assert!(Tensor::from_vec([2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros([2, 3]);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.at(&[1, 2]), 7.5);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.data()[5], 7.5);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.0).item().unwrap(), 3.0);
+        assert!(Tensor::zeros([2]).item().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn close_and_diff() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![1.0, 2.5, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.all_close(&b, 0.5));
+        assert!(!a.all_close(&b, 0.4));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros([2]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+
+use cc19_tensor::conv::{conv2d, conv_transpose2d, Conv2dSpec};
+use cc19_tensor::ops;
+use cc19_tensor::pool::{max_pool2d, PoolSpec};
+use cc19_tensor::resize::upsample_bilinear2d;
+use cc19_tensor::Tensor;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// a + b == b + a, elementwise.
+    #[test]
+    fn add_commutes(data in small_vec(24)) {
+        let a = Tensor::from_vec([4, 6], data[..24].to_vec()).unwrap();
+        let b = Tensor::from_vec([4, 6], data.iter().rev().cloned().collect::<Vec<_>>()).unwrap();
+        let ab = ops::add(&a, &b).unwrap();
+        let ba = ops::add(&b, &a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    /// (a - b) + b == a up to float error.
+    #[test]
+    fn sub_add_roundtrip(data in small_vec(32)) {
+        let a = Tensor::from_vec([32], data.clone()).unwrap();
+        let b = Tensor::from_vec([32], data.iter().map(|v| v * 0.5 - 1.0).collect::<Vec<_>>()).unwrap();
+        let d = ops::sub(&a, &b).unwrap();
+        let back = ops::add(&d, &b).unwrap();
+        prop_assert!(back.all_close(&a, 1e-4));
+    }
+
+    /// scale distributes over add.
+    #[test]
+    fn scale_distributes(data in small_vec(16), c in -3.0f32..3.0) {
+        let a = Tensor::from_vec([16], data[..16].to_vec()).unwrap();
+        let b = Tensor::from_vec([16], data.iter().map(|v| v + 1.0).collect::<Vec<_>>()).unwrap();
+        let lhs = ops::scale(&ops::add(&a, &b).unwrap(), c);
+        let rhs = ops::add(&ops::scale(&a, c), &ops::scale(&b, c)).unwrap();
+        prop_assert!(lhs.all_close(&rhs, 1e-3));
+    }
+
+    /// concat then split returns the original parts.
+    #[test]
+    fn concat_split_roundtrip(c1 in 1usize..4, c2 in 1usize..4, data in small_vec(200)) {
+        let n = 5usize;
+        let a = Tensor::from_vec([1, c1, n, n], data[..c1 * n * n].to_vec()).unwrap();
+        let b = Tensor::from_vec([1, c2, n, n], data[c1 * n * n..(c1 + c2) * n * n].to_vec()).unwrap();
+        let cat = ops::concat(&[&a, &b], 1).unwrap();
+        let parts = ops::split(&cat, 1, &[c1, c2]).unwrap();
+        prop_assert_eq!(parts[0].data(), a.data());
+        prop_assert_eq!(parts[1].data(), b.data());
+    }
+
+    /// matmul with identity is identity.
+    #[test]
+    fn matmul_identity(rows in 1usize..5, data in small_vec(25)) {
+        let a = Tensor::from_vec([rows, 5], data[..rows * 5].to_vec()).unwrap();
+        let mut id = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            id.set(&[i, i], 1.0);
+        }
+        let out = ops::matmul(&a, &id).unwrap();
+        prop_assert!(out.all_close(&a, 1e-5));
+    }
+
+    /// transpose is an involution.
+    #[test]
+    fn transpose_involution(r in 1usize..6, c in 1usize..6, seed in 0u64..1000) {
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed + 1);
+        let a = rng.uniform_tensor([r, c], -5.0, 5.0);
+        let att = ops::transpose2(&ops::transpose2(&a).unwrap()).unwrap();
+        prop_assert_eq!(att.data(), a.data());
+    }
+
+    /// convolution is linear in the input: conv(a*x) == a*conv(x).
+    #[test]
+    fn conv_is_linear(seed in 0u64..1000, alpha in -2.0f32..2.0) {
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed * 7 + 1);
+        let x = rng.uniform_tensor([1, 2, 6, 6], -1.0, 1.0);
+        let w = rng.uniform_tensor([3, 2, 3, 3], -1.0, 1.0);
+        let spec = Conv2dSpec { stride: 1, padding: 1 };
+        let lhs = conv2d(&ops::scale(&x, alpha), &w, None, spec).unwrap();
+        let rhs = ops::scale(&conv2d(&x, &w, None, spec).unwrap(), alpha);
+        prop_assert!(lhs.all_close(&rhs, 1e-3));
+    }
+
+    /// <conv(x), y> == <x, conv_transpose(y)> — adjointness for random
+    /// shapes, strides and paddings.
+    #[test]
+    fn conv_adjointness(
+        seed in 0u64..500,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        k in 1usize..4,
+    ) {
+        // keep shapes valid: padded input must fit the kernel
+        let n = 6usize;
+        prop_assume!(n + 2 * padding >= k);
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed * 13 + 5);
+        let spec = Conv2dSpec { stride, padding };
+        let x = rng.uniform_tensor([1, 2, n, n], -1.0, 1.0);
+        let wt = rng.uniform_tensor([2, 3, k, k], -1.0, 1.0);
+        let oh = spec.transposed_out_extent(n, k);
+        let y = rng.uniform_tensor([1, 3, oh, oh], -1.0, 1.0);
+
+        let tx = conv_transpose2d(&x, &wt, None, spec).unwrap();
+        let cy = conv2d(&y, &wt, None, spec).unwrap();
+        let lhs: f64 = tx.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = cy.data().iter().zip(x.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// max-pool output values are drawn from the input.
+    #[test]
+    fn max_pool_values_come_from_input(seed in 0u64..1000) {
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed + 3);
+        let x = rng.uniform_tensor([1, 2, 8, 8], -5.0, 5.0);
+        let (out, arg) = max_pool2d(&x, PoolSpec::DDNET).unwrap();
+        for (plane, (&v, &a)) in out.data().iter().zip(&arg).enumerate().map(|(i, p)| (i / 16, p)) {
+            let src = x.data()[plane * 64 + a as usize];
+            prop_assert_eq!(v, src);
+        }
+        // and the max of the output equals the max of the input interior
+        prop_assert!(cc19_tensor::reduce::max(&out) <= cc19_tensor::reduce::max(&x) + 1e-6);
+    }
+
+    /// bilinear upsample stays within the input's value hull.
+    #[test]
+    fn upsample_respects_hull(seed in 0u64..1000) {
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed + 9);
+        let x = rng.uniform_tensor([1, 1, 5, 5], -3.0, 3.0);
+        let up = upsample_bilinear2d(&x, 2).unwrap();
+        let (lo, hi) = (cc19_tensor::reduce::min(&x), cc19_tensor::reduce::max(&x));
+        prop_assert!(cc19_tensor::reduce::min(&up) >= lo - 1e-5);
+        prop_assert!(cc19_tensor::reduce::max(&up) <= hi + 1e-5);
+    }
+
+    /// mse(a, a) == 0, mse symmetric, psnr infinite iff identical.
+    #[test]
+    fn mse_properties(data in small_vec(16)) {
+        let a = Tensor::from_vec([16], data.clone()).unwrap();
+        let b = Tensor::from_vec([16], data.iter().map(|v| v + 0.5).collect::<Vec<_>>()).unwrap();
+        prop_assert_eq!(cc19_tensor::reduce::mse(&a, &a).unwrap(), 0.0);
+        let ab = cc19_tensor::reduce::mse(&a, &b).unwrap();
+        let ba = cc19_tensor::reduce::mse(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((ab - 0.25).abs() < 1e-5);
+    }
+}

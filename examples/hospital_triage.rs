@@ -1,0 +1,58 @@
+//! Hospital triage scenario: a day's worth of incoming chest CT studies
+//! is screened by the pipeline; the report ranks patients by predicted
+//! probability — the paper's "diagnosis and monitoring" use case.
+//!
+//! ```text
+//! cargo run --release -p computecovid19 --example hospital_triage
+//! ```
+
+use cc19_ctsim::phantom::Severity;
+use cc19_data::prep::{filter_catalog, PrepConfig};
+use cc19_data::sources::{DataSource, SourceCatalog};
+use cc19_data::volume::CtVolume;
+use computecovid19::framework::Framework;
+
+fn main() {
+    // Intake: a mixed batch drawn from the BIMCV-like (positive) and
+    // LIDC-like (healthy) archives, including studies the §2.1 data prep
+    // must reject (X-rays, thin stacks).
+    let bimcv = SourceCatalog::generate(DataSource::Bimcv, 4);
+    let lidc = SourceCatalog::generate(DataSource::Lidc, 200);
+    let mut intake = bimcv.scans.clone();
+    intake.extend(lidc.scans.iter().cloned());
+    println!("intake: {} studies ({} BIMCV-like, {} LIDC-like)", intake.len(), bimcv.len(), lidc.len());
+
+    // Data preparation (paper §2.1).
+    let (usable, report) = filter_catalog(&intake, PrepConfig::scaled(8));
+    println!(
+        "data prep: kept {} | dropped {} non-CT, {} thin stacks",
+        report.kept, report.dropped_modality, report.dropped_slices
+    );
+
+    let framework = Framework::untrained_reduced(99);
+    let mut results: Vec<(u64, bool, f64, Option<Severity>)> = Vec::new();
+    for meta in usable.iter().take(8) {
+        let mut vol = CtVolume::synthesize(meta, 48, 8).expect("synthesize");
+        if vol.meta.circular_artifact {
+            cc19_data::prep::remove_circular_boundary(&mut vol);
+        }
+        let d = framework.diagnose(&vol.hu, 0.5).expect("diagnose");
+        results.push((meta.id, meta.positive, d.probability, meta.severity));
+    }
+
+    // Triage: highest predicted probability first.
+    results.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!("\n--- triage queue (highest risk first) ---");
+    println!("{:<12} {:<12} {:<12} {:<10}", "study", "p(COVID)", "ground truth", "severity");
+    for (id, truth, p, sev) in &results {
+        println!(
+            "{:<12} {:<12.3} {:<12} {:<10}",
+            id,
+            p,
+            if *truth { "positive" } else { "healthy" },
+            sev.map(|s| format!("{s:?}")).unwrap_or_else(|| "-".into())
+        );
+    }
+    println!("\n(untrained networks: probabilities are uninformative here — run the");
+    println!(" table9_fig13 harness for the trained-pipeline accuracy experiment)");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: diagnose one synthetic CT study with the ComputeCOVID19+
+//! pipeline.
+//!
+//! ```text
+//! cargo run --release -p computecovid19 --example quickstart
+//! ```
+//!
+//! This wires the three AI stages together end-to-end (Enhancement →
+//! Segmentation → Classification) on an untrained reduced framework — the
+//! goal is to show the public API surface; see `low_dose_workflow` and the
+//! `cc19-bench` harnesses for *trained* pipelines.
+
+use cc19_data::sources::{DataSource, Modality, ScanMeta};
+use cc19_data::volume::CtVolume;
+use cc19_ctsim::phantom::Severity;
+use computecovid19::framework::Framework;
+use computecovid19::turnaround;
+
+fn main() {
+    // 1. Obtain a CT study. Real deployments read a scanner's output; the
+    //    reproduction synthesizes one from the chest-phantom data source.
+    let meta = ScanMeta {
+        id: 1234,
+        source: DataSource::Midrc,
+        modality: Modality::Ct,
+        positive: true,
+        severity: Some(Severity::Moderate),
+        slices: 8,
+        circular_artifact: true, // BIMCV/MIDRC-style reconstruction circle
+        has_projections: false,
+    };
+    let mut volume = CtVolume::synthesize(&meta, 64, 8).expect("synthesize study");
+    println!("synthesized study {}: {}x{}x{} voxels", meta.id, volume.slices(), volume.n(), volume.n());
+
+    // 2. Data preparation (paper §2.1): remove the circular boundary.
+    cc19_data::prep::remove_circular_boundary(&mut volume);
+    println!("data prep: circular reconstruction boundary removed");
+
+    // 3. Build the framework and diagnose.
+    let framework = Framework::untrained_reduced(42);
+    let report = framework.diagnose(&volume.hu, 0.5).expect("diagnose");
+
+    println!("\n--- diagnosis report ---");
+    println!("COVID-19 probability : {:.3}", report.probability);
+    println!("decision @ 0.5       : {}", if report.positive { "POSITIVE" } else { "negative" });
+    println!("enhancement time     : {:?}", report.t_enhance);
+    println!("segmentation time    : {:?}", report.t_segment);
+    println!("classification time  : {:?}", report.t_classify);
+
+    // 4. The turnaround story (paper §1): CT minutes vs RT-PCR days.
+    let cmp = turnaround::compare(report.total_time());
+    println!("\n--- turnaround vs RT-PCR ---");
+    println!("RT-PCR pathway       : {:.1} hours", cmp.rt_pcr_secs / 3600.0);
+    println!("ComputeCOVID19+      : {:.1} minutes", cmp.cc19_secs / 60.0);
+    println!("speedup              : {:.0}x", cmp.speedup);
+    println!("sensitivity gain     : +{:.0} percentage points", cmp.sensitivity_gain_pp);
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the extension experiments.
+# Usage: scripts/run_all_experiments.sh [--full]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:---quick}"
+BINS=(table2 table3 table4 table5 table6 table7 table8 table9_fig13 table10 \
+      fig2 fig8 fig11 fig12 sec511 dose_sweep projection_domain other_maladies baselines)
+
+mkdir -p results
+for bin in "${BINS[@]}"; do
+    echo
+    echo "================================================================"
+    echo ">>> $bin $SCALE"
+    echo "================================================================"
+    cargo run --release -p cc19-bench --bin "$bin" -- "$SCALE" 2>&1 | tee "results/${bin}.log"
+done
+echo
+echo "All experiment outputs are under results/."

@@ -1,0 +1,79 @@
+//! End-to-end test of the `cc19` CLI binary: simulate → save container →
+//! train a tiny enhancer → enhance → diagnose from the saved container.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cc19() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cc19"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cc19_cli_e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_save_and_diagnose_roundtrip() {
+    let dir = workdir("diag");
+    let vol = dir.join("study.cc19v");
+
+    let out = cc19()
+        .args(["simulate", "--seed", "3", "--n", "32", "--slices", "4", "--positive"])
+        .args(["--out"])
+        .arg(dir.join("pgms"))
+        .args(["--save"])
+        .arg(&vol)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(vol.exists());
+    assert!(dir.join("pgms/slice_000.pgm").exists());
+
+    let out = cc19()
+        .args(["diagnose", "--input"])
+        .arg(&vol)
+        .output()
+        .expect("run diagnose");
+    assert!(out.status.success(), "diagnose failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p(COVID-19)"), "missing probability line: {stdout}");
+    assert!(stdout.contains("ground truth: positive"), "meta lost in container: {stdout}");
+}
+
+#[test]
+fn train_and_enhance_flow() {
+    let dir = workdir("train");
+    let ckpt = dir.join("ddnet.ckpt");
+
+    let out = cc19()
+        .args(["train-enhancer", "--pairs", "6", "--epochs", "2", "--n", "32"])
+        .args(["--out"])
+        .arg(&ckpt)
+        .output()
+        .expect("run train-enhancer");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists());
+
+    let out = cc19()
+        .args(["enhance", "--seed", "4", "--n", "32", "--model"])
+        .arg(&ckpt)
+        .args(["--out"])
+        .arg(dir.join("panels"))
+        .output()
+        .expect("run enhance");
+    assert!(out.status.success(), "enhance failed: {}", String::from_utf8_lossy(&out.stderr));
+    for f in ["lowdose.pgm", "enhanced.pgm", "target.pgm"] {
+        assert!(dir.join("panels").join(f).exists(), "missing {f}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cc19().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "no usage text: {err}");
+}

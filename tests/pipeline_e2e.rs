@@ -1,0 +1,65 @@
+//! End-to-end trained-pipeline test: a miniature version of the Table 9 /
+//! Fig 13 experiment. Asserts the *mechanism* (training works, both arms
+//! produce sane scores, enhancement does not hurt) with loose bounds so
+//! the test is robust; the harness binaries report the full-size numbers.
+
+use computecovid19::experiments::{run_accuracy_experiment, AccuracyConfig};
+
+#[test]
+fn miniature_accuracy_experiment() {
+    let cfg = AccuracyConfig {
+        n: 32,
+        slices: 4,
+        train_volumes: 10,
+        test_volumes: 8,
+        enh_pairs: 8,
+        ddnet_epochs: 6,
+        class_epochs: 15,
+        blank_scan: 3.0e4,
+        views: 16,
+        seed: 7,
+    };
+    let out = run_accuracy_experiment(cfg).unwrap();
+
+    // training happened and losses are finite & decreasing-ish
+    assert_eq!(out.enh_train_stats.len(), 6);
+    assert!(out.enh_train_stats.iter().all(|s| s.train_loss.is_finite()));
+    assert!(
+        out.enh_train_stats.last().unwrap().train_loss < out.enh_train_stats[0].train_loss,
+        "enhancement loss should fall"
+    );
+    assert_eq!(out.class_train_stats.len(), 15);
+    assert!(
+        out.class_train_stats.last().unwrap().train_loss
+            < out.class_train_stats[0].train_loss * 1.05,
+        "classifier loss should not rise"
+    );
+
+    // Table 8 mechanism: enhancement must improve image quality on the
+    // sparse-view/low-dose test pairs
+    assert!(
+        out.table8_enhanced.mse < out.table8_raw.mse,
+        "enhanced mse {} vs raw {}",
+        out.table8_enhanced.mse,
+        out.table8_raw.mse
+    );
+    assert!(out.table8_enhanced.ms_ssim > out.table8_raw.ms_ssim);
+
+    // both arms produce probabilities for every test volume
+    assert_eq!(out.scores_original.len(), out.labels.len());
+    assert_eq!(out.scores_enhanced.len(), out.labels.len());
+    assert!(out
+        .scores_original
+        .iter()
+        .chain(&out.scores_enhanced)
+        .all(|p| (0.0..=1.0).contains(p)));
+
+    // the headline direction: enhancement must not hurt AUC materially
+    // (at full harness scale it improves it; tiny test sets are noisy)
+    let auc_orig = out.auc(&out.scores_original);
+    let auc_enh = out.auc(&out.scores_enhanced);
+    assert!(
+        auc_enh >= auc_orig - 0.15,
+        "enhancement badly hurt AUC: {auc_orig} -> {auc_enh}"
+    );
+}
