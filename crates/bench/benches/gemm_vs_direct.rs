@@ -1,11 +1,15 @@
 //! Direct convolution vs im2col+GEMM lowering across channel widths —
-//! the framework-internals ablation (see `cc19-tensor::gemm_conv`).
+//! the framework-internals ablation (see `cc19-tensor::gemm_conv`),
+//! plus a sweep of `ConvBackend::Auto` against both forced backends to
+//! confirm the dispatch heuristic tracks the faster side at every width.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cc19_tensor::conv::{conv2d, Conv2dSpec};
+use cc19_tensor::conv_backend::conv2d_dispatch;
 use cc19_tensor::gemm_conv::conv2d_gemm;
 use cc19_tensor::rng::Xorshift;
+use cc19_tensor::ConvBackend;
 
 fn bench_gemm_vs_direct(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_lowering_64x64_5x5");
@@ -25,9 +29,56 @@ fn bench_gemm_vs_direct(c: &mut Criterion) {
     group.finish();
 }
 
+/// `Auto` against the forced backends across the crossover region.
+/// `Auto` should sit on top of whichever forced line is lower: direct at
+/// 4 channels (reduction 100), GEMM at 16+ (reduction ≥ 400).
+fn bench_backend_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_backend_64x64_5x5");
+    let spec = Conv2dSpec { stride: 1, padding: 2 };
+    for ch in [4usize, 16, 64] {
+        let mut rng = Xorshift::new(100 + ch as u64);
+        let x = rng.uniform_tensor([1, ch, 64, 64], -1.0, 1.0);
+        let w = rng.uniform_tensor([ch, ch, 5, 5], -0.5, 0.5);
+        let b = rng.uniform_tensor([ch], -0.1, 0.1);
+        for (name, backend) in [
+            ("auto", ConvBackend::Auto),
+            ("direct", ConvBackend::Direct),
+            ("gemm", ConvBackend::Gemm),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, ch), &ch, |bch, _| {
+                bch.iter(|| conv2d_dispatch(backend, &x, &w, Some(&b), spec).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Small-shape end of the crossover: 3×3 kernels on small grids with
+/// few channels, where im2col/packing overhead is a large fraction of
+/// the work and the direct kernels can still win. These points anchor
+/// the low side of `ConvBackend::prefers_gemm`.
+fn bench_backend_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_backend_small_3x3");
+    let spec = Conv2dSpec { stride: 1, padding: 1 };
+    for (ch, img) in [(1usize, 8usize), (1, 32), (2, 16), (4, 32)] {
+        let mut rng = Xorshift::new(200 + (ch * img) as u64);
+        let x = rng.uniform_tensor([1, ch, img, img], -1.0, 1.0);
+        let w = rng.uniform_tensor([ch, ch, 3, 3], -0.5, 0.5);
+        let id = format!("{ch}ch_{img}px");
+        for (name, backend) in
+            [("direct", ConvBackend::Direct), ("gemm", ConvBackend::Gemm)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, &id), &ch, |bch, _| {
+                bch.iter(|| conv2d_dispatch(backend, &x, &w, None, spec).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm_vs_direct
+    targets = bench_gemm_vs_direct, bench_backend_dispatch, bench_backend_small
 }
 criterion_main!(benches);

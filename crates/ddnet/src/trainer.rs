@@ -9,6 +9,7 @@ use cc19_data::dataset::batch_pairs;
 use cc19_data::lowdose_pairs::EnhancementPair;
 use cc19_nn::graph::Graph;
 use cc19_nn::losses::enhancement_loss;
+use cc19_nn::ConvBackend;
 use cc19_nn::optim::Adam;
 use cc19_nn::ssim;
 use cc19_tensor::Tensor;
@@ -32,6 +33,10 @@ pub struct TrainConfig {
     /// Global gradient-norm clip (stabilizes the small-batch scaled runs;
     /// `None` disables).
     pub grad_clip: Option<f32>,
+    /// Convolution backend for every graph the trainer builds (forward
+    /// and backward). `Auto` picks per layer shape; `CC19_CONV_BACKEND`
+    /// overrides at runtime.
+    pub conv_backend: ConvBackend,
 }
 
 impl TrainConfig {
@@ -44,6 +49,7 @@ impl TrainConfig {
             batch_size: 1,
             ms_ssim_levels: 5,
             grad_clip: None,
+            conv_backend: ConvBackend::Auto,
         }
     }
 
@@ -56,6 +62,7 @@ impl TrainConfig {
             batch_size: 1,
             ms_ssim_levels: 1,
             grad_clip: Some(1.0),
+            conv_backend: ConvBackend::Auto,
         }
     }
 }
@@ -101,7 +108,7 @@ pub fn train_enhancement(
         let mut batches = 0usize;
         for chunk in train.chunks(cfg.batch_size) {
             let (low, full) = batch_pairs(chunk)?;
-            let mut g = Graph::new();
+            let mut g = Graph::with_conv_backend(cfg.conv_backend);
             let x = g.input(low);
             let t = g.input(full);
             let y = net.forward(&mut g, x, true)?;
@@ -139,7 +146,7 @@ fn validate(net: &Ddnet, val: &[EnhancementPair], cfg: TrainConfig) -> Result<(f
         let (h, w) = (p.low.dims()[0], p.low.dims()[1]);
         let low = p.low.reshape([1, 1, h, w])?;
         let full = p.full.reshape([1, 1, h, w])?;
-        let mut g = Graph::new();
+        let mut g = Graph::with_conv_backend(cfg.conv_backend);
         let x = g.input(low);
         let t = g.input(full);
         let y = net.forward(&mut g, x, false)?;
@@ -230,7 +237,15 @@ mod tests {
         let train = pairs(6, 32);
         let val = pairs(2, 32);
         let net = Ddnet::new(DdnetConfig::tiny(), 42);
-        let cfg = TrainConfig { epochs: 4, lr: 2e-3, lr_decay: 0.9, batch_size: 2, ms_ssim_levels: 1, grad_clip: Some(1.0) };
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 2e-3,
+            lr_decay: 0.9,
+            batch_size: 2,
+            ms_ssim_levels: 1,
+            grad_clip: Some(1.0),
+            conv_backend: ConvBackend::Auto,
+        };
 
         let (raw0, enh0) = evaluate_pairs(&net, &val).unwrap();
         let stats = train_enhancement(&net, &train, &val, cfg).unwrap();

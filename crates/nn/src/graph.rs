@@ -8,9 +8,10 @@
 //! append-only — and finally routes parameter gradients into their
 //! [`crate::Param`]s.
 
-use cc19_tensor::conv::{
-    conv2d, conv2d_backward, conv3d, conv3d_backward, conv_transpose2d, conv_transpose2d_backward,
-    Conv2dSpec,
+use cc19_tensor::conv::{conv3d, conv3d_backward, Conv2dSpec};
+use cc19_tensor::conv_backend::{
+    conv2d_backward_dispatch, conv2d_dispatch, conv_transpose2d_backward_dispatch,
+    conv_transpose2d_dispatch, ConvBackend,
 };
 use cc19_tensor::pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
@@ -69,12 +70,32 @@ pub struct Graph {
     requires: Vec<bool>,
     /// (var id, param) pairs: where to deliver gradients after backward.
     params: Vec<(usize, ParamRef)>,
+    /// Convolution backend used by conv2d / conv_transpose2d nodes
+    /// (forward *and* their backward closures). Defaults to
+    /// [`ConvBackend::Auto`]; overridable per graph or globally via the
+    /// `CC19_CONV_BACKEND` env var.
+    conv_backend: ConvBackend,
 }
 
 impl Graph {
     /// Fresh empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh tape with an explicit convolution backend.
+    pub fn with_conv_backend(backend: ConvBackend) -> Self {
+        Graph { conv_backend: backend, ..Self::default() }
+    }
+
+    /// Change the convolution backend for ops recorded after this call.
+    pub fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.conv_backend = backend;
+    }
+
+    /// The convolution backend new conv nodes will use.
+    pub fn conv_backend(&self) -> ConvBackend {
+        self.conv_backend
     }
 
     /// Number of nodes recorded so far.
@@ -359,16 +380,24 @@ impl Graph {
 
     // ----- convolutions ----------------------------------------------------
 
-    /// 2D convolution (see [`cc19_tensor::conv::conv2d`]).
+    /// 2D convolution (see [`cc19_tensor::conv::conv2d`]), dispatched
+    /// through the graph's [`ConvBackend`].
     pub fn conv2d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Result<Var> {
-        let out = conv2d(&self.values[x.0], &self.values[w.0], b.map(|bv| &self.values[bv.0]), spec)?;
+        let backend = self.conv_backend;
+        let out = conv2d_dispatch(
+            backend,
+            &self.values[x.0],
+            &self.values[w.0],
+            b.map(|bv| &self.values[bv.0]),
+            spec,
+        )?;
         let parents: Vec<Var> = match b {
             Some(bv) => vec![x, w, bv],
             None => vec![x, w],
         };
         Ok(self.record(out, &parents, Box::new(move |vals, g| {
-            let (gx, gw, gb) =
-                conv2d_backward(&vals[x.0], &vals[w.0], g, spec).expect("consistent shapes");
+            let (gx, gw, gb) = conv2d_backward_dispatch(backend, &vals[x.0], &vals[w.0], g, spec)
+                .expect("consistent shapes");
             let mut outv = vec![(x.0, gx), (w.0, gw)];
             if let Some(bv) = b {
                 outv.push((bv.0, gb));
@@ -377,17 +406,25 @@ impl Graph {
         })))
     }
 
-    /// 2D transposed convolution ("deconvolution").
+    /// 2D transposed convolution ("deconvolution"), dispatched through
+    /// the graph's [`ConvBackend`].
     pub fn conv_transpose2d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Result<Var> {
-        let out =
-            conv_transpose2d(&self.values[x.0], &self.values[w.0], b.map(|bv| &self.values[bv.0]), spec)?;
+        let backend = self.conv_backend;
+        let out = conv_transpose2d_dispatch(
+            backend,
+            &self.values[x.0],
+            &self.values[w.0],
+            b.map(|bv| &self.values[bv.0]),
+            spec,
+        )?;
         let parents: Vec<Var> = match b {
             Some(bv) => vec![x, w, bv],
             None => vec![x, w],
         };
         Ok(self.record(out, &parents, Box::new(move |vals, g| {
             let (gx, gw, gb) =
-                conv_transpose2d_backward(&vals[x.0], &vals[w.0], g, spec).expect("consistent shapes");
+                conv_transpose2d_backward_dispatch(backend, &vals[x.0], &vals[w.0], g, spec)
+                    .expect("consistent shapes");
             let mut outv = vec![(x.0, gx), (w.0, gw)];
             if let Some(bv) = b {
                 outv.push((bv.0, gb));

@@ -20,6 +20,7 @@ pub mod optim;
 pub mod param;
 pub mod ssim;
 
+pub use cc19_tensor::conv_backend::ConvBackend;
 pub use graph::{Graph, Var};
 pub use param::{Param, ParamRef, ParamStore};
 

@@ -1,19 +1,47 @@
-//! GEMM-based convolution (im2col + matrix multiply) — the lowering most
-//! deep-learning frameworks use for convolution, provided as an
-//! alternative to the direct kernels in [`crate::conv`].
+//! GEMM-based convolution: im2col/col2im lowering onto the blocked
+//! SGEMM engine in [`crate::gemm`], forward **and** backward, plus the
+//! transposed convolution. This is the lowering most deep-learning
+//! frameworks use; the direct kernels in [`crate::conv`] are the
+//! alternative.
 //!
-//! The direct path wins for DDnet's small channel counts on CPU (less
-//! memory traffic); the GEMM path wins as channels grow. The
-//! `gemm_vs_direct` bench in `cc19-bench` measures the crossover — an
-//! ablation of a design choice the paper's OpenCL kernels implicitly make
-//! (they are direct-style kernels).
+//! The trade-off: the direct path wins for small channel counts (its
+//! working set stays in cache and im2col's `C*K*K`-fold input blow-up
+//! buys nothing), while the GEMM path wins as `C*K*K` grows because all
+//! FLOPs then flow through the register-tiled, packed SGEMM instead of
+//! short strided dot products. `ConvBackend::Auto` in `cc19-nn` picks a
+//! side per shape; the `gemm_vs_direct` bench in `cc19-bench` measures
+//! the crossover.
+//!
+//! Layout conventions (identical to [`crate::conv`]):
+//!
+//! * conv2d weight `(Cout, Cin, K, K)`; transposed-conv weight
+//!   `(Cin, Cout, K, K)`;
+//! * im2col matrix: `(N*OH*OW, Cin*K*K)` — one row per output position;
+//! * every GEMM against a transposed operand goes through
+//!   [`crate::gemm::matmul_tn`] / [`crate::gemm::matmul_nt`], so no
+//!   transpose is ever materialized.
+//!
+//! The backward pass is two GEMMs plus one col2im:
+//!
+//! ```text
+//! grad_rows = relayout(grad_out)            // (N*OH*OW, Cout)
+//! gw = grad_rows^T x cols                   // (Cout, Cin*K*K)
+//! gx = col2im(grad_rows x wmat)             // via gather, parallel-safe
+//! ```
+//!
+//! and `conv_transpose2d_gemm` reuses `col2im` for its *forward* pass —
+//! transposed convolution is exactly the adjoint of the conv2d
+//! input-gradient, with `im2col(grad)` showing up in its backward.
+
+use rayon::prelude::*;
 
 use crate::conv::Conv2dSpec;
-use crate::{ops, Result, Tensor, TensorError};
+use crate::gemm::{matmul, matmul_nt, matmul_tn};
+use crate::{Result, Tensor, TensorError};
 
 /// Lower a `(N, C, H, W)` input into the im2col matrix of shape
 /// `(N * OH * OW, C * K * K)`: each row is the receptive field of one
-/// output position.
+/// output position. Parallel over output rows (disjoint output slices).
 pub fn im2col(input: &Tensor, k: usize, spec: Conv2dSpec) -> Result<Tensor> {
     if input.shape().rank() != 4 {
         return Err(TensorError::Incompatible("im2col expects rank-4 NCHW input".into()));
@@ -24,37 +52,186 @@ pub fn im2col(input: &Tensor, k: usize, spec: Conv2dSpec) -> Result<Tensor> {
     let ow = spec.out_extent(w, k);
     let cols = c * k * k;
     let mut out = Tensor::zeros([n * oh * ow, cols]);
+    if n * oh * ow == 0 || cols == 0 {
+        return Ok(out);
+    }
     let ind = input.data();
-    let od = out.data_mut();
     let p = spec.padding as isize;
 
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols;
-                for ci in 0..c {
-                    let ibase = (ni * c + ci) * h * w;
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - p;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - p;
-                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                ind[ibase + iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
-                            od[row + ci * k * k + ky * k + kx] = v;
-                        }
-                    }
+    out.data_mut().par_chunks_mut(cols).enumerate().for_each(|(row_idx, row)| {
+        let ox = row_idx % ow;
+        let oy = (row_idx / ow) % oh;
+        let ni = row_idx / (oh * ow);
+        for ci in 0..c {
+            let ibase = (ni * c + ci) * h * w;
+            for ky in 0..k {
+                let iy = (oy * spec.stride + ky) as isize - p;
+                let dst = &mut row[ci * k * k + ky * k..ci * k * k + ky * k + k];
+                if iy < 0 || iy >= h as isize {
+                    dst.fill(0.0);
+                    continue;
+                }
+                let src_row = &ind[ibase + iy as usize * w..ibase + iy as usize * w + w];
+                for (kx, o) in dst.iter_mut().enumerate() {
+                    let ix = (ox * spec.stride + kx) as isize - p;
+                    *o = if ix >= 0 && ix < w as isize { src_row[ix as usize] } else { 0.0 };
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
+/// Inverse lowering: scatter-add an im2col-shaped matrix
+/// `(N*OH*OW, C*K*K)` back onto a `(N, C, H, W)` image, where
+/// `OH = spec.out_extent(h, k)` etc.
+///
+/// Written in *gather* form — each input pixel sums every
+/// `(oy, ox, ky, kx)` combination that covers it — so output pixels are
+/// written exactly once and the loop parallelizes over `(n, c)` planes
+/// with no scatter races or atomics.
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    cols.shape().expect_rank(2)?;
+    let oh = spec.out_extent(h, k);
+    let ow = spec.out_extent(w, k);
+    let ckk = c * k * k;
+    if cols.dims() != [n * oh * ow, ckk] {
+        return Err(TensorError::Incompatible(format!(
+            "col2im: cols shape {:?} inconsistent with (n={n}, c={c}, h={h}, w={w}, k={k}, {spec:?})",
+            cols.dims()
+        )));
+    }
+    let mut out = Tensor::zeros([n, c, h, w]);
+    if out.numel() == 0 {
+        return Ok(out);
+    }
+    let cd = cols.data();
+    let s = spec.stride;
+    let p = spec.padding;
+    out.data_mut().par_chunks_mut(h * w).enumerate().for_each(|(plane, od)| {
+        let ci = plane % c;
+        let ni = plane / c;
+        for iy in 0..h {
+            for ix in 0..w {
+                let mut acc = 0.0f32;
+                for ky in 0..k {
+                    // oy * s + ky - p == iy  =>  oy = (iy + p - ky) / s
+                    let ty = iy + p;
+                    if ty < ky || (ty - ky) % s != 0 {
+                        continue;
+                    }
+                    let oy = (ty - ky) / s;
+                    if oy >= oh {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let tx = ix + p;
+                        if tx < kx || (tx - kx) % s != 0 {
+                            continue;
+                        }
+                        let ox = (tx - kx) / s;
+                        if ox >= ow {
+                            continue;
+                        }
+                        let row = ((ni * oh + oy) * ow + ox) * ckk;
+                        acc += cd[row + ci * k * k + ky * k + kx];
+                    }
+                }
+                od[iy * w + ix] = acc;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Re-layout `(N, C, H, W)` into row-major `(N*H*W, C)` — the GEMM-side
+/// view where each spatial position is a row.
+fn nchw_to_rows(t: &Tensor) -> Result<Tensor> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::Incompatible("nchw_to_rows expects rank-4 input".into()));
+    }
+    let d = t.dims();
+    let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+    let mut out = Tensor::zeros([n * hw, c]);
+    let td = t.data();
+    out.data_mut().par_chunks_mut(c).enumerate().for_each(|(row_idx, row)| {
+        let pos = row_idx % hw;
+        let ni = row_idx / hw;
+        for (ci, o) in row.iter_mut().enumerate() {
+            *o = td[(ni * c + ci) * hw + pos];
+        }
+    });
+    Ok(out)
+}
+
+/// Inverse of [`nchw_to_rows`]: `(N*H*W, C)` rows back to `(N, C, H, W)`.
+fn rows_to_nchw(rows: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Tensor> {
+    let hw = h * w;
+    if rows.dims() != [n * hw, c] {
+        return Err(TensorError::Incompatible(format!(
+            "rows_to_nchw: rows shape {:?} inconsistent with ({n}, {c}, {h}, {w})",
+            rows.dims()
+        )));
+    }
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let rd = rows.data();
+    out.data_mut().par_chunks_mut(hw).enumerate().for_each(|(plane, od)| {
+        let ci = plane % c;
+        let ni = plane / c;
+        for (pos, o) in od.iter_mut().enumerate() {
+            *o = rd[(ni * hw + pos) * c + ci];
+        }
+    });
+    Ok(out)
+}
+
+/// Add a per-channel bias in place on an NCHW tensor.
+fn add_bias_nchw(out: &mut Tensor, bias: &Tensor, cout: usize) -> Result<()> {
+    if bias.numel() != cout {
+        return Err(TensorError::Incompatible(format!(
+            "bias has {} elements, want {cout}",
+            bias.numel()
+        )));
+    }
+    let d = out.dims();
+    let hw = d[2] * d[3];
+    let bd = bias.data().to_vec();
+    out.data_mut().par_chunks_mut(hw).enumerate().for_each(|(plane, od)| {
+        let bb = bd[plane % cout];
+        for v in od {
+            *v += bb;
+        }
+    });
+    Ok(())
+}
+
+/// Per-output-channel sum of an NCHW gradient (the bias gradient).
+fn channel_sums(grad_out: &Tensor, cout: usize) -> Tensor {
+    let d = grad_out.dims();
+    let (n, hw) = (d[0], d[2] * d[3]);
+    let gd = grad_out.data();
+    let mut gb = Tensor::zeros([cout]);
+    let gbd = gb.data_mut();
+    for ni in 0..n {
+        for co in 0..cout {
+            let base = (ni * cout + co) * hw;
+            gbd[co] += gd[base..base + hw].iter().sum::<f32>();
+        }
+    }
+    gb
+}
+
 /// GEMM-backed convolution, same semantics as [`crate::conv::conv2d`]
-/// (square kernels).
+/// (square kernels): `im2col` then one `(N*OH*OW, C*K*K) x (C*K*K, Cout)`
+/// product against the reshaped weight.
 pub fn conv2d_gemm(
     input: &Tensor,
     weight: &Tensor,
@@ -80,49 +257,170 @@ pub fn conv2d_gemm(
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
 
-    // (N*OH*OW, C*K*K) x (C*K*K, Cout) = (N*OH*OW, Cout)
+    // (N*OH*OW, C*K*K) x (Cout, C*K*K)^T = (N*OH*OW, Cout); the weight
+    // transpose is folded into GEMM packing, not materialized.
     let cols = im2col(input, kh, spec)?;
     let wmat = weight.reshape([cout, cin * kh * kw])?;
-    let wmat_t = ops::transpose2(&wmat)?;
-    let prod = ops::matmul(&cols, &wmat_t)?;
+    let prod = matmul_nt(&cols, &wmat)?;
 
-    // transpose the layout (N*OH*OW, Cout) -> (N, Cout, OH, OW)
-    let mut out = Tensor::zeros([n, cout, oh, ow]);
-    let pd = prod.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for pos in 0..oh * ow {
-            let src = (ni * oh * ow + pos) * cout;
-            for co in 0..cout {
-                od[(ni * cout + co) * oh * ow + pos] = pd[src + co];
-            }
-        }
-    }
+    let mut out = rows_to_nchw(&prod, n, cout, oh, ow)?;
     if let Some(b) = bias {
-        if b.numel() != cout {
-            return Err(TensorError::Incompatible(format!(
-                "conv2d_gemm: bias has {} elements, want {cout}",
-                b.numel()
-            )));
-        }
-        let bd = b.data();
-        for ni in 0..n {
-            for co in 0..cout {
-                let base = (ni * cout + co) * oh * ow;
-                let bb = bd[co];
-                for v in &mut od[base..base + oh * ow] {
-                    *v += bb;
-                }
-            }
-        }
+        add_bias_nchw(&mut out, b, cout)?;
     }
     Ok(out)
+}
+
+/// Backward pass of [`conv2d_gemm`]; returns
+/// `(grad_input, grad_weight, grad_bias)`, matching
+/// [`crate::conv::conv2d_backward`].
+///
+/// Both gradients are single GEMMs over the same im2col matrix the
+/// forward pass uses:
+/// `gw = grad_rows^T x cols` and `gx = col2im(grad_rows x wmat)`.
+pub fn conv2d_gemm_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let wd = weight.dims();
+    let (cout, cin, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    if kh != kw {
+        return Err(TensorError::Incompatible(
+            "conv2d_gemm_backward supports square kernels only".into(),
+        ));
+    }
+    let d = input.dims();
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    let god = grad_out.dims();
+    if god != [n, cout, oh, ow] {
+        return Err(TensorError::Incompatible(format!(
+            "conv2d_gemm_backward: grad_out shape {god:?} inconsistent with input {:?} / weight {wd:?}",
+            input.dims()
+        )));
+    }
+
+    let grad_rows = nchw_to_rows(grad_out)?; // (N*OH*OW, Cout)
+    let cols = im2col(input, kh, spec)?; // (N*OH*OW, Cin*K*K)
+
+    // grad_weight: (Cout, N*OH*OW) x (N*OH*OW, Cin*K*K).
+    let gw_mat = matmul_tn(&grad_rows, &cols)?;
+    let gw = gw_mat.reshape([cout, cin, kh, kw])?;
+
+    // grad_input: spread (N*OH*OW, Cout) x (Cout, Cin*K*K) back onto the
+    // input grid.
+    let wmat = weight.reshape([cout, cin * kh * kw])?;
+    let gcols = matmul(&grad_rows, &wmat)?;
+    let gx = col2im(&gcols, n, cin, h, w, kh, spec)?;
+
+    let gb = channel_sums(grad_out, cout);
+    Ok((gx, gw, gb))
+}
+
+/// GEMM-backed transposed convolution, same semantics as
+/// [`crate::conv::conv_transpose2d`] (weight `(Cin, Cout, K, K)`).
+///
+/// The transposed convolution *is* the adjoint of the conv2d
+/// input-gradient, so its forward pass is the `gx` path of
+/// [`conv2d_gemm_backward`] run with the roles swapped: one GEMM
+/// `(N*H*W, Cin) x (Cin, Cout*K*K)` followed by `col2im` onto the
+/// up-sampled output grid.
+pub fn conv_transpose2d_gemm(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    if input.shape().rank() != 4 || weight.shape().rank() != 4 {
+        return Err(TensorError::Incompatible(
+            "conv_transpose2d_gemm expects rank-4 input and weight".into(),
+        ));
+    }
+    let wd = weight.dims();
+    let (cin_w, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    if kh != kw {
+        return Err(TensorError::Incompatible(
+            "conv_transpose2d_gemm supports square kernels only".into(),
+        ));
+    }
+    let d = input.dims();
+    let (n, cin, h, w) = (d[0], d[1], d[2], d[3]);
+    if cin != cin_w {
+        return Err(TensorError::Incompatible(format!(
+            "conv_transpose2d_gemm: input has {cin} channels, weight expects {cin_w}"
+        )));
+    }
+    let oht = spec.transposed_out_extent(h, kh);
+    let owt = spec.transposed_out_extent(w, kw);
+
+    let rows = nchw_to_rows(input)?; // (N*H*W, Cin)
+    let wmat = weight.reshape([cin, cout * kh * kw])?;
+    let gcols = matmul(&rows, &wmat)?; // (N*H*W, Cout*K*K)
+    // The conv geometry linking the two grids: the *output* (oht, owt)
+    // plays the input role, and spec.out_extent(oht, k) == h exactly.
+    let mut out = col2im(&gcols, n, cout, oht, owt, kh, spec)?;
+    if let Some(b) = bias {
+        add_bias_nchw(&mut out, b, cout)?;
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`conv_transpose2d_gemm`]; returns
+/// `(grad_input, grad_weight, grad_bias)`, matching
+/// [`crate::conv::conv_transpose2d_backward`].
+///
+/// By adjointness the roles flip once more: `im2col(grad_out)` is the
+/// shared matrix, `gx = im2col(grad) x wmat^T` and
+/// `gw = x_rows^T x im2col(grad)`.
+pub fn conv_transpose2d_gemm_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let wd = weight.dims();
+    let (cin, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    if kh != kw {
+        return Err(TensorError::Incompatible(
+            "conv_transpose2d_gemm_backward supports square kernels only".into(),
+        ));
+    }
+    let d = input.dims();
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let oht = spec.transposed_out_extent(h, kh);
+    let owt = spec.transposed_out_extent(w, kw);
+    if grad_out.dims() != [n, cout, oht, owt] {
+        return Err(TensorError::Incompatible(format!(
+            "conv_transpose2d_gemm_backward: grad_out shape {:?} inconsistent with input {:?} / weight {wd:?}",
+            grad_out.dims(),
+            input.dims()
+        )));
+    }
+
+    // (N*H*W, Cout*K*K): receptive fields of grad_out seen from the
+    // input grid (out_extent(oht, k) == h).
+    let cols_g = im2col(grad_out, kh, spec)?;
+    let wmat = weight.reshape([cin, cout * kh * kw])?;
+
+    // grad_input: (N*H*W, Cout*K*K) x (Cin, Cout*K*K)^T.
+    let gx_rows = matmul_nt(&cols_g, &wmat)?;
+    let gx = rows_to_nchw(&gx_rows, n, cin, h, w)?;
+
+    // grad_weight: (Cin, N*H*W) x (N*H*W, Cout*K*K).
+    let x_rows = nchw_to_rows(input)?;
+    let gw_mat = matmul_tn(&x_rows, &cols_g)?;
+    let gw = gw_mat.reshape([cin, cout, kh, kw])?;
+
+    let gb = channel_sums(grad_out, cout);
+    Ok((gx, gw, gb))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conv::conv2d;
+    use crate::conv::{conv2d, conv2d_backward, conv_transpose2d, conv_transpose2d_backward};
     use crate::rng::Xorshift;
 
     #[test]
@@ -138,13 +436,37 @@ mod tests {
     }
 
     #[test]
-    fn im2col_zero_pads(){
+    fn im2col_zero_pads() {
         let input = Tensor::ones([1, 1, 2, 2]);
         let cols = im2col(&input, 3, Conv2dSpec { stride: 1, padding: 1 }).unwrap();
         assert_eq!(cols.dims(), &[4, 9]);
         // top-left output: receptive field has 5 padded zeros, 4 ones
         let first: f32 = cols.data()[..9].iter().sum();
         assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property, checked over stride/padding combinations.
+        let mut rng = Xorshift::new(5);
+        for (stride, padding, k) in [(1usize, 0usize, 3usize), (2, 1, 3), (1, 2, 5), (3, 1, 2)] {
+            let spec = Conv2dSpec { stride, padding };
+            let (n, c, h, w) = (2, 3, 7, 6);
+            if h + 2 * padding < k || w + 2 * padding < k {
+                continue;
+            }
+            let x = rng.uniform_tensor([n, c, h, w], -1.0, 1.0);
+            let cols_shape = im2col(&x, k, spec).unwrap();
+            let y = rng.uniform_tensor(cols_shape.dims().to_vec(), -1.0, 1.0);
+            let lhs: f32 = cols_shape.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+            let back = col2im(&y, n, c, h, w, k, spec).unwrap();
+            let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+            assert!(
+                (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+                "adjoint mismatch at stride {stride} pad {padding} k {k}: {lhs} vs {rhs}"
+            );
+        }
     }
 
     #[test]
@@ -167,11 +489,84 @@ mod tests {
     }
 
     #[test]
+    fn gemm_backward_matches_direct_backward() {
+        let mut rng = Xorshift::new(2);
+        for (stride, padding, k) in [(1usize, 1usize, 3usize), (2, 2, 5), (1, 0, 1), (2, 0, 2)] {
+            let spec = Conv2dSpec { stride, padding };
+            let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+            let wgt = rng.uniform_tensor([4, 3, k, k], -0.5, 0.5);
+            let oh = spec.out_extent(8, k);
+            let grad = rng.uniform_tensor([2, 4, oh, oh], -1.0, 1.0);
+            let (gx_d, gw_d, gb_d) = conv2d_backward(&x, &wgt, &grad, spec).unwrap();
+            let (gx_g, gw_g, gb_g) = conv2d_gemm_backward(&x, &wgt, &grad, spec).unwrap();
+            assert!(
+                gx_d.all_close(&gx_g, 1e-3),
+                "gx mismatch at stride {stride} pad {padding} k {k}: {}",
+                gx_d.max_abs_diff(&gx_g).unwrap()
+            );
+            assert!(
+                gw_d.all_close(&gw_g, 1e-3),
+                "gw mismatch at stride {stride} pad {padding} k {k}: {}",
+                gw_d.max_abs_diff(&gw_g).unwrap()
+            );
+            assert!(gb_d.all_close(&gb_g, 1e-3), "gb mismatch at stride {stride} pad {padding} k {k}");
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_matches_direct_transpose() {
+        let mut rng = Xorshift::new(3);
+        for (stride, padding, k) in [(1usize, 0usize, 3usize), (2, 1, 3), (2, 0, 2), (1, 1, 5)] {
+            let spec = Conv2dSpec { stride, padding };
+            let x = rng.uniform_tensor([2, 4, 5, 6], -1.0, 1.0);
+            let wgt = rng.uniform_tensor([4, 3, k, k], -0.5, 0.5); // (Cin, Cout, K, K)
+            let b = rng.uniform_tensor([3], -0.2, 0.2);
+            let direct = conv_transpose2d(&x, &wgt, Some(&b), spec).unwrap();
+            let gemm = conv_transpose2d_gemm(&x, &wgt, Some(&b), spec).unwrap();
+            assert_eq!(direct.dims(), gemm.dims());
+            assert!(
+                direct.all_close(&gemm, 1e-3),
+                "mismatch at stride {stride} pad {padding} k {k}: {}",
+                direct.max_abs_diff(&gemm).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_backward_matches_direct() {
+        let mut rng = Xorshift::new(4);
+        for (stride, padding, k) in [(1usize, 0usize, 3usize), (2, 1, 3), (2, 0, 2)] {
+            let spec = Conv2dSpec { stride, padding };
+            let x = rng.uniform_tensor([2, 4, 5, 5], -1.0, 1.0);
+            let wgt = rng.uniform_tensor([4, 3, k, k], -0.5, 0.5);
+            let oht = spec.transposed_out_extent(5, k);
+            let grad = rng.uniform_tensor([2, 3, oht, oht], -1.0, 1.0);
+            let (gx_d, gw_d, gb_d) = conv_transpose2d_backward(&x, &wgt, &grad, spec).unwrap();
+            let (gx_g, gw_g, gb_g) =
+                conv_transpose2d_gemm_backward(&x, &wgt, &grad, spec).unwrap();
+            assert!(
+                gx_d.all_close(&gx_g, 1e-3),
+                "gx mismatch at stride {stride} pad {padding} k {k}: {}",
+                gx_d.max_abs_diff(&gx_g).unwrap()
+            );
+            assert!(
+                gw_d.all_close(&gw_g, 1e-3),
+                "gw mismatch at stride {stride} pad {padding} k {k}: {}",
+                gw_d.max_abs_diff(&gw_g).unwrap()
+            );
+            assert!(gb_d.all_close(&gb_g, 1e-3), "gb mismatch at stride {stride} pad {padding} k {k}");
+        }
+    }
+
+    #[test]
     fn gemm_rejects_bad_shapes() {
         let x = Tensor::zeros([1, 2, 4, 4]);
         let w_bad_cin = Tensor::zeros([4, 3, 3, 3]);
         assert!(conv2d_gemm(&x, &w_bad_cin, None, Conv2dSpec::default()).is_err());
         let w_rect = Tensor::zeros([4, 2, 3, 5]);
         assert!(conv2d_gemm(&x, &w_rect, None, Conv2dSpec::default()).is_err());
+        let w_ok = Tensor::zeros([4, 2, 3, 3]);
+        let bad_grad = Tensor::zeros([1, 4, 9, 9]);
+        assert!(conv2d_gemm_backward(&x, &w_ok, &bad_grad, Conv2dSpec::default()).is_err());
     }
 }

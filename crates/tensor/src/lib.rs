@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod conv_backend;
 pub mod error;
+pub mod gemm;
 pub mod gemm_conv;
 pub mod ops;
 pub mod pool;
@@ -28,6 +30,7 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
+pub use conv_backend::ConvBackend;
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

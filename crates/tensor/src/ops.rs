@@ -169,48 +169,46 @@ pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
 
 /// Dense matrix multiply: `a` is `(m, k)`, `b` is `(k, n)`, result `(m, n)`.
 ///
-/// Parallelized over rows of `a`; the inner kernel is an `ikj` loop order so
-/// the innermost traversal is contiguous in both `b` and the output.
+/// Delegates to the blocked, packed engine in [`crate::gemm`]. The old
+/// in-place ikj kernel that lived here skipped work when `a[i][k] == 0.0`;
+/// that branch is gone on purpose — a data-dependent branch in the
+/// innermost loop blocks auto-vectorization and mispredicts on dense
+/// data, costing far more than the multiplies it saves (see the
+/// `crate::gemm` module docs for the full rationale).
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.shape().expect_rank(2)?;
-    b.shape().expect_rank(2)?;
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::Incompatible(format!(
-            "matmul inner dims differ: ({m},{k}) x ({k2},{n})"
-        )));
-    }
-    let mut out = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-        for kk in 0..k {
-            let aik = ad[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..kk * n + n];
-            for (o, &bv) in row.iter_mut().zip(brow) {
-                *o += aik * bv;
-            }
-        }
-    });
-    Ok(out)
+    crate::gemm::matmul(a, b)
 }
 
 /// Matrix transpose of a rank-2 tensor.
+///
+/// Cache-blocked: walks `TB x TB` tiles so both the strided reads and the
+/// contiguous writes stay within a tile that fits in L1, instead of
+/// striding through the whole source per output row. Parallel over
+/// output row blocks (disjoint contiguous chunks).
 pub fn transpose2(a: &Tensor) -> Result<Tensor> {
+    /// Tile edge: `TB*TB` f32 = 4 KiB, two tiles fit in L1 comfortably.
+    const TB: usize = 32;
     a.shape().expect_rank(2)?;
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let mut out = Tensor::zeros([n, m]);
-    let ad = a.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        for j in 0..n {
-            od[j * m + i] = ad[i * n + j];
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let ad = a.data();
+    out.data_mut().par_chunks_mut(TB * m).enumerate().for_each(|(jb, chunk)| {
+        let j0 = jb * TB;
+        let jlen = chunk.len() / m;
+        for i0 in (0..m).step_by(TB) {
+            let ilen = (m - i0).min(TB);
+            for dj in 0..jlen {
+                let row = &mut chunk[dj * m + i0..dj * m + i0 + ilen];
+                let j = j0 + dj;
+                for (di, o) in row.iter_mut().enumerate() {
+                    *o = ad[(i0 + di) * n + j];
+                }
+            }
+        }
+    });
     Ok(out)
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (ROADMAP.md): release build + full test suite.
+# Usage: scripts/tier1.sh
+# Exits 0 with "TIER-1 PASS" iff both steps succeed.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "=== tier-1: cargo build --release ==="
+if ! cargo build --release; then
+    echo "tier-1: BUILD FAILED"
+    status=1
+fi
+
+echo
+echo "=== tier-1: cargo test -q ==="
+if [ "$status" -eq 0 ]; then
+    if ! cargo test -q; then
+        echo "tier-1: TESTS FAILED"
+        status=1
+    fi
+fi
+
+echo
+if [ "$status" -eq 0 ]; then
+    echo "TIER-1 PASS"
+else
+    echo "TIER-1 FAIL"
+fi
+exit "$status"

@@ -1,0 +1,289 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! this workspace uses. Unlike the other shims in `third_party/`, this
+//! one does real work: it warms up, times `sample_size` samples of each
+//! benchmark, and prints mean / min / max wall-clock per iteration in a
+//! greppable one-line format:
+//!
+//! ```text
+//! bench: group/name  mean 12.345 ms  min 12.001 ms  max 13.210 ms  (10 samples x 4 iters)
+//! ```
+//!
+//! It lacks criterion's statistics (outlier rejection, regressions,
+//! HTML reports) but produces stable relative numbers, which is all the
+//! `results/` tables in this repo rely on. Knobs:
+//!
+//! * `CC19_BENCH_QUICK=1` — clamp to 3 samples for smoke runs,
+//! * CLI args from `cargo bench` (`--bench`, filters) are accepted and
+//!   used as a substring filter on `group/name` when present.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant folding of benchmark
+/// inputs/outputs (best-effort, like `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; recorded and echoed, not used in math.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `samples` samples after a warmup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: aim for samples of at least ~50 ms or a
+        // single iteration, whichever is longer.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        self.iters_per_sample = iters;
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(t.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Collection of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Record a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the target measurement time (accepted for API parity;
+    /// the shim keys sample length off a fixed 50 ms target instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Flush the group (printing happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            results: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        if b.results.is_empty() {
+            println!("bench: {full}  (no measurements: closure never called Bencher::iter)");
+            return;
+        }
+        let mean = b.results.iter().sum::<Duration>() / b.results.len() as u32;
+        let min = b.results.iter().min().unwrap();
+        let max = b.results.iter().max().unwrap();
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  thrpt {:.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  thrpt {:.3} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench: {full}  mean {}  min {}  max {}{tp}  ({} samples x {} iters)",
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            b.results.len(),
+            b.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark driver (builder + group factory).
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CC19_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        // `cargo bench` invokes the harness with flags like `--bench`
+        // plus an optional name filter; keep the first non-flag arg.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: if quick { 3 } else { 10 }, filter }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        let quick = std::env::var("CC19_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        self.sample_size = if quick { n.min(3).max(2) } else { n.max(2) };
+        self
+    }
+
+    /// Accepted for API parity; see `BenchmarkGroup::measurement_time`.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Mirror of criterion's `criterion_group!`: bundles target functions
+/// with a shared `Criterion` configuration into one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`: emits `fn main` running the
+/// given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

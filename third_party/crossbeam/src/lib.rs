@@ -1,0 +1,146 @@
+//! Offline shim for the subset of [crossbeam](https://docs.rs/crossbeam)
+//! this workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! The build container has no crates.io access (see
+//! `third_party/README.md`). The one property callers need beyond
+//! `std::sync::mpsc` is that `Receiver` is `Clone` (multiple consumers
+//! share one queue), so this shim implements a small MPMC queue with a
+//! `Mutex<VecDeque>` + `Condvar`. Blocking `recv` returns `Err` once all
+//! senders are dropped and the queue is drained, matching crossbeam's
+//! disconnect semantics.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by `send` when every `Receiver` has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by `recv` when the channel is empty and every
+    /// `Sender` has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel; clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they can observe disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; never blocks (unbounded queue).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.items.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value is available or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking pop; `None` if the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::unbounded;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn disconnect_unblocks_recv() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(7).unwrap();
+            drop(tx);
+            let got = h.join().unwrap();
+            assert!(got == 7 || rx.try_recv() == Some(7));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline shim for the subset of [rand](https://docs.rs/rand) this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods `gen::<f32/f64>()` / `gen_range(a..b)`.
+//!
+//! The build container has no crates.io access (see
+//! `third_party/README.md`). The workspace only relies on rand for
+//! *seeded, deterministic* sampling — never for stream-compatibility with
+//! upstream rand — so an xorshift64* core with splitmix64 seeding
+//! preserves every property the callers need (determinism per seed,
+//! uniformity) while being a few dozen lines.
+
+use core::ops::Range;
+
+/// Core random source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from `[0, 1)` (floats) — used by
+/// `Rng::gen`.
+pub trait Standard01: Sized {
+    /// Map a raw u64 to a uniform sample of `Self`.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard01 for f64 {
+    #[inline]
+    fn from_u64(raw: u64) -> f64 {
+        // 53 high bits -> [0, 1)
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard01 for f32 {
+    #[inline]
+    fn from_u64(raw: u64) -> f32 {
+        (raw >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Types usable with `Rng::gen_range(a..b)`.
+pub trait SampleRange: Sized {
+    /// Uniform sample from `[range.start, range.end)`.
+    fn sample(rng_raw: u64, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample(raw: u64, r: Range<f64>) -> f64 {
+        r.start + (r.end - r.start) * f64::from_u64(raw)
+    }
+}
+
+impl SampleRange for f32 {
+    #[inline]
+    fn sample(raw: u64, r: Range<f32>) -> f32 {
+        r.start + (r.end - r.start) * f32::from_u64(raw)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample(raw: u64, r: Range<$t>) -> $t {
+                let span = (r.end - r.start) as u64;
+                assert!(span > 0, "gen_range called with empty range");
+                r.start + (raw % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The user-facing extension trait (auto-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` (floats: `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform sample from a half-open range.
+    #[inline]
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic seeding (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNGs.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64* generator seeded via splitmix64.
+    ///
+    /// NOT stream-compatible with upstream rand's `StdRng` (ChaCha12) —
+    /// callers in this workspace only require per-seed determinism.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scramble so small/equal-ish seeds diverge.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            StdRng { state: if z == 0 { 0x9E3779B97F4A7C15 } else { z } }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = r.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&v));
+            let i: usize = r.gen_range(5..8);
+            assert!((5..8).contains(&i));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mean: f64 = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

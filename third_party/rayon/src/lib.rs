@@ -1,0 +1,90 @@
+//! Serial shim for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so external dependencies
+//! are vendored as minimal API-compatible stand-ins (see
+//! `third_party/README.md`). Rayon's data-parallel iterators have
+//! well-defined sequential semantics — every `par_*` entry point here
+//! returns the corresponding *standard-library* iterator, so `.zip()`,
+//! `.enumerate()`, `.map()`, `.for_each()`, reductions etc. all behave
+//! identically to rayon's, just on one thread. On the single-core CI
+//! machines this repo targets, that is also what real rayon would do.
+//!
+//! Swapping the real crate back in requires only restoring the
+//! `[workspace.dependencies]` entry — call sites are unchanged.
+
+/// Drop-in for `rayon::prelude::*`: extension traits providing the
+/// `par_*` methods on slices, `Vec`, and anything `IntoIterator`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_chunks` / `par_iter` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Serial stand-in for rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T>;
+    /// Serial stand-in for rayon's `par_iter` on slices.
+    fn par_iter(&self) -> core::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+    #[inline]
+    fn par_iter(&self) -> core::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_chunks_mut` / `par_iter_mut` on exclusive slices.
+pub trait ParallelSliceMut<T> {
+    /// Serial stand-in for rayon's `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T>;
+    /// Serial stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    #[inline]
+    fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Serial stand-in for rayon's `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Two-way fork-join; runs both closures sequentially here.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads the "pool" would use (always 1 in the shim).
+#[inline]
+pub fn current_num_threads() -> usize {
+    1
+}
