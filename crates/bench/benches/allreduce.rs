@@ -10,10 +10,10 @@ fn run_ring(n: usize, len: usize) {
     let handles: Vec<_> = rings
         .into_iter()
         .enumerate()
-        .map(|(rank, ring)| {
+        .map(|(rank, mut ring)| {
             std::thread::spawn(move || {
                 let mut buf = vec![rank as f32; len];
-                ring_allreduce(&mut buf, rank, n, &ring);
+                ring_allreduce(&mut buf, &mut ring).unwrap();
                 buf[0]
             })
         })
@@ -28,10 +28,11 @@ fn run_naive(n: usize, len: usize) {
     let handles: Vec<_> = stars
         .into_iter()
         .enumerate()
-        .map(|(rank, star)| {
+        .map(|(rank, mut star)| {
             std::thread::spawn(move || {
                 let mut buf = vec![rank as f32; len];
-                naive_allreduce(&mut buf, rank, n, &star);
+                let _ = rank;
+                naive_allreduce(&mut buf, &mut star).unwrap();
                 buf[0]
             })
         })

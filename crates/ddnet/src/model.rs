@@ -412,8 +412,10 @@ impl Ddnet {
         ]
     }
 
-    /// Save weights + batch-norm running statistics to a checkpoint file.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+    /// Capture weights + batch-norm running statistics as checkpoint
+    /// sections (the trainer-state checkpoints in `cc19-dist` embed these
+    /// alongside optimizer state).
+    pub fn to_checkpoint(&self) -> cc19_nn::checkpoint::Checkpoint {
         let mut ck = cc19_nn::checkpoint::Checkpoint::new();
         ck.push("ddnet.config", self.config_fingerprint());
         ck.push("ddnet.params", self.store.snapshot());
@@ -421,13 +423,18 @@ impl Ddnet {
             ck.push(format!("ddnet.bn{i}.mean"), bn.running_mean());
             ck.push(format!("ddnet.bn{i}.var"), bn.running_var());
         }
-        ck.save(path)
+        ck
     }
 
-    /// Load weights + batch-norm statistics saved by [`Ddnet::save`] into
-    /// this (structurally identical) network.
-    pub fn load(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let ck = cc19_nn::checkpoint::Checkpoint::load(path)?;
+    /// Save weights + batch-norm running statistics to a checkpoint file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.to_checkpoint().save(path)
+    }
+
+    /// Restore weights + batch-norm statistics from checkpoint sections
+    /// produced by [`Ddnet::to_checkpoint`] on a structurally identical
+    /// network.
+    pub fn load_checkpoint(&self, ck: &cc19_nn::checkpoint::Checkpoint) -> std::io::Result<()> {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let cfg = ck.get("ddnet.config").ok_or_else(|| bad("missing config section"))?;
         if cfg != self.config_fingerprint() {
@@ -446,6 +453,13 @@ impl Ddnet {
             bn.set_running_stats(mean.to_vec(), var.to_vec());
         }
         Ok(())
+    }
+
+    /// Load weights + batch-norm statistics saved by [`Ddnet::save`] into
+    /// this (structurally identical) network.
+    pub fn load(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let ck = cc19_nn::checkpoint::Checkpoint::load(path)?;
+        self.load_checkpoint(&ck)
     }
 
     /// The architecture audit table for an `n`×`n` input — compare with

@@ -113,12 +113,19 @@ pub fn train_enhancement(
             let t = g.input(full);
             let y = net.forward(&mut g, x, true)?;
             let loss = enhancement_loss(&mut g, y, t, cfg.ms_ssim_levels)?;
-            loss_acc += g.value(loss).item()? as f64;
+            let loss_val = g.value(loss).item()? as f64;
+            loss_acc += loss_val;
             batches += 1;
             net.store.zero_grad();
             g.backward(loss);
             if let Some(clip) = cfg.grad_clip {
                 net.store.clip_grad_norm(clip);
+            }
+            // Non-finite guard: a NaN/Inf loss or gradient would poison
+            // the weights permanently, so drop the step instead.
+            if !loss_val.is_finite() || !net.store.grads_all_finite() {
+                net.store.zero_grad();
+                continue;
             }
             opt.step(&net.store);
         }

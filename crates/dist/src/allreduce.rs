@@ -1,4 +1,4 @@
-//! All-reduce implementations over crossbeam channels.
+//! All-reduce implementations over the fault-tolerant transport.
 //!
 //! [`ring_allreduce`] is the bandwidth-optimal algorithm gloo/NCCL use:
 //! reduce-scatter (N−1 steps, each rank ends owning the full sum of one
@@ -8,38 +8,20 @@
 //!
 //! [`naive_allreduce`] is the parameter-server baseline for the ablation
 //! bench: gather everything to rank 0, reduce there, broadcast back.
+//!
+//! Both run over sequence-numbered, CRC-checked frames with timeout +
+//! retransmit recovery (see [`crate::transport`]), and return `Result`
+//! instead of panicking: a dead rank surfaces as
+//! [`Error::RankDead`](crate::Error::RankDead), which the trainer
+//! recovers from by rebuilding the ring and retrying from saved
+//! gradients.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::Error;
+use crate::transport::{RingTransport, StarTransport};
 
-/// Per-rank communication endpoints for a ring of `n` workers.
-pub struct Ring {
-    /// Sender to the next rank (rank + 1 mod n).
-    pub to_next: Sender<Vec<f32>>,
-    /// Receiver from the previous rank.
-    pub from_prev: Receiver<Vec<f32>>,
-}
+pub use crate::transport::{make_ring, make_ring_with, make_star, make_star_with};
 
-/// Build the channel ring for `n` ranks.
-pub fn make_ring(n: usize) -> Vec<Ring> {
-    let mut senders = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (s, r) = unbounded();
-        senders.push(s);
-        receivers.push(r);
-    }
-    // rank i sends into channel (i+1) % n and receives from channel i
-    let mut rings: Vec<Ring> = Vec::with_capacity(n);
-    // rotate senders left by one
-    let mut senders_rot = senders.clone();
-    senders_rot.rotate_left(1);
-    for (s, r) in senders_rot.into_iter().zip(receivers) {
-        rings.push(Ring { to_next: s, from_prev: r });
-    }
-    rings
-}
-
-fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
+pub(crate) fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
     let base = len / n;
     let rem = len % n;
     let start = seg * base + seg.min(rem);
@@ -47,12 +29,18 @@ fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
     (start, start + base + extra)
 }
 
-/// Ring all-reduce (sum) of `buf` across `n` ranks. Call from every rank's
-/// thread with its own `ring` endpoints and `rank` id; all ranks return
-/// with the identical summed buffer.
-pub fn ring_allreduce(buf: &mut [f32], rank: usize, n: usize, ring: &Ring) {
+/// Ring all-reduce (sum) of `buf` across the transport's current live
+/// ring. Call from every live rank's thread; all ranks return with the
+/// identical summed buffer.
+///
+/// On error the buffer is left partially reduced — callers that want to
+/// retry (after [`RingTransport::recover`]) must restart from a saved
+/// copy of their local contribution.
+pub fn ring_allreduce(buf: &mut [f32], ring: &mut RingTransport) -> Result<(), Error> {
+    let n = ring.live();
+    let rank = ring.pos();
     if n <= 1 {
-        return;
+        return Ok(());
     }
     let len = buf.len();
 
@@ -62,10 +50,10 @@ pub fn ring_allreduce(buf: &mut [f32], rank: usize, n: usize, ring: &Ring) {
     for s in 0..n - 1 {
         let send_seg = (rank + n - s) % n;
         let (lo, hi) = segment_bounds(len, n, send_seg);
-        ring.to_next.send(buf[lo..hi].to_vec()).expect("ring send");
+        ring.send_next(&buf[lo..hi])?;
         let recv_seg = (rank + n - s - 1) % n;
         let (lo, hi) = segment_bounds(len, n, recv_seg);
-        let incoming = ring.from_prev.recv().expect("ring recv");
+        let incoming = ring.recv_prev()?;
         debug_assert_eq!(incoming.len(), hi - lo);
         for (b, v) in buf[lo..hi].iter_mut().zip(incoming) {
             *b += v;
@@ -78,97 +66,90 @@ pub fn ring_allreduce(buf: &mut [f32], rank: usize, n: usize, ring: &Ring) {
     for s in 0..n - 1 {
         let send_seg = (rank + 1 + n - s) % n;
         let (lo, hi) = segment_bounds(len, n, send_seg);
-        ring.to_next.send(buf[lo..hi].to_vec()).expect("ring send");
+        ring.send_next(&buf[lo..hi])?;
         let recv_seg = (rank + n - s) % n;
         let (lo, hi) = segment_bounds(len, n, recv_seg);
-        let incoming = ring.from_prev.recv().expect("ring recv");
+        let incoming = ring.recv_prev()?;
         debug_assert_eq!(incoming.len(), hi - lo);
         buf[lo..hi].copy_from_slice(&incoming);
     }
+    Ok(())
 }
 
-/// Endpoints for the naive parameter-server reduce.
-pub struct Star {
-    /// Worker -> server channel (all ranks share the sender clone).
-    pub to_server: Sender<(usize, Vec<f32>)>,
-    /// Server -> this worker broadcast channel.
-    pub from_server: Receiver<Vec<f32>>,
-    /// Server side: receives worker buffers (only used by rank 0).
-    pub server_rx: Option<Receiver<(usize, Vec<f32>)>>,
-    /// Server side: broadcast senders to every rank (only rank 0).
-    pub broadcast: Option<Vec<Sender<Vec<f32>>>>,
-}
-
-/// Build star (parameter-server) endpoints for `n` ranks; rank 0 is the
-/// server.
-pub fn make_star(n: usize) -> Vec<Star> {
-    let (up_tx, up_rx) = unbounded();
-    let mut down_tx = Vec::with_capacity(n);
-    let mut down_rx = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (s, r) = unbounded();
-        down_tx.push(s);
-        down_rx.push(r);
+/// Ring all-reduce with bounded recovery: on a recoverable fault (a rank
+/// died and the ring was rebuilt) the reduce restarts from the caller's
+/// original contribution, up to `max_recoveries` times. Returns the
+/// number of recoveries performed.
+pub fn ring_allreduce_resilient(
+    buf: &mut [f32],
+    ring: &mut RingTransport,
+    max_recoveries: usize,
+) -> Result<usize, Error> {
+    let original = buf.to_vec();
+    let mut recoveries = 0;
+    loop {
+        match ring_allreduce(buf, ring) {
+            Ok(()) => return Ok(recoveries),
+            Err(e) => {
+                if recoveries >= max_recoveries {
+                    return Err(e);
+                }
+                ring.recover(&e)?;
+                recoveries += 1;
+                buf.copy_from_slice(&original);
+            }
+        }
     }
-    down_rx
-        .into_iter()
-        .enumerate()
-        .map(|(rank, from_server)| Star {
-            to_server: up_tx.clone(),
-            from_server,
-            server_rx: if rank == 0 { Some(up_rx.clone()) } else { None },
-            broadcast: if rank == 0 { Some(down_tx.clone()) } else { None },
-        })
-        .collect()
 }
 
 /// Naive all-reduce: every rank ships its whole buffer to rank 0, which
 /// sums and broadcasts. `2·(n−1)` full-buffer transfers through one link —
 /// the bandwidth bottleneck the ring avoids.
-pub fn naive_allreduce(buf: &mut [f32], rank: usize, n: usize, star: &Star) {
+pub fn naive_allreduce(buf: &mut [f32], star: &mut StarTransport) -> Result<(), Error> {
+    let n = star.n();
     if n <= 1 {
-        return;
+        return Ok(());
     }
-    if rank == 0 {
-        let rx = star.server_rx.as_ref().expect("rank 0 holds the server receiver");
-        for _ in 0..n - 1 {
-            let (_, incoming) = rx.recv().expect("server recv");
+    if star.rank() == 0 {
+        for (_, incoming) in star.server_gather()? {
             for (b, v) in buf.iter_mut().zip(incoming) {
                 *b += v;
             }
         }
-        let bcast = star.broadcast.as_ref().expect("rank 0 broadcasts");
-        for (r, tx) in bcast.iter().enumerate() {
-            if r != 0 {
-                tx.send(buf.to_vec()).expect("broadcast");
-            }
-        }
+        star.server_broadcast(buf)?;
     } else {
-        star.to_server.send((rank, buf.to_vec())).expect("worker send");
-        let reduced = star.from_server.recv().expect("worker recv");
+        star.send_to_server(buf)?;
+        let reduced = star.recv_from_server()?;
         buf.copy_from_slice(&reduced);
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultPlan};
+    use crate::transport::TimeoutCfg;
 
-    fn run_ring(n: usize, len: usize) -> Vec<Vec<f32>> {
-        let rings = make_ring(n);
+    pub(crate) fn run_ring_with(n: usize, len: usize, faults: FaultPlan) -> Vec<Vec<f32>> {
+        let (_cluster, rings) = make_ring_with(n, faults, TimeoutCfg::fast());
         let handles: Vec<_> = rings
             .into_iter()
             .enumerate()
-            .map(|(rank, ring)| {
+            .map(|(rank, mut ring)| {
                 std::thread::spawn(move || {
                     let mut buf: Vec<f32> =
                         (0..len).map(|i| (rank * len + i) as f32 * 0.5).collect();
-                    ring_allreduce(&mut buf, rank, n, &ring);
+                    ring_allreduce(&mut buf, &mut ring).unwrap();
                     buf
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn run_ring(n: usize, len: usize) -> Vec<Vec<f32>> {
+        run_ring_with(n, len, FaultPlan::none())
     }
 
     #[test]
@@ -201,6 +182,38 @@ mod tests {
     }
 
     #[test]
+    fn ring_survives_message_faults_bit_identically() {
+        // Drops, delays, duplicates, and corruption recover exactly: the
+        // faulty run must produce the same bits as the clean run.
+        let clean = run_ring(4, 57);
+        let cfg = FaultConfig {
+            p_drop: 0.15,
+            p_delay: 0.1,
+            delay_ms_max: 2,
+            p_duplicate: 0.15,
+            p_corrupt: 0.1,
+            kill: None,
+        };
+        let noisy = run_ring_with(4, 57, FaultPlan::seeded(1234, cfg));
+        assert_eq!(clean, noisy);
+    }
+
+    #[test]
+    fn ring_len_smaller_than_ranks() {
+        // len < n leaves some segments empty; zero-length messages must
+        // still flow.
+        for (n, len) in [(4usize, 2usize), (5, 0), (3, 1)] {
+            let results = run_ring(n, len);
+            for i in 0..len {
+                let expect: f32 = (0..n).map(|r| (r * len + i) as f32 * 0.5).sum();
+                for buf in &results {
+                    assert!((buf[i] - expect).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn naive_matches_ring() {
         let n = 4;
         let len = 37;
@@ -208,10 +221,10 @@ mod tests {
         let handles: Vec<_> = stars
             .into_iter()
             .enumerate()
-            .map(|(rank, star)| {
+            .map(|(rank, mut star)| {
                 std::thread::spawn(move || {
                     let mut buf: Vec<f32> = (0..len).map(|i| ((rank + 1) * (i + 1)) as f32).collect();
-                    naive_allreduce(&mut buf, rank, n, &star);
+                    naive_allreduce(&mut buf, &mut star).unwrap();
                     buf
                 })
             })
@@ -227,9 +240,9 @@ mod tests {
 
     #[test]
     fn single_rank_is_identity() {
-        let rings = make_ring(1);
+        let mut rings = make_ring(1);
         let mut buf = vec![1.0f32, 2.0, 3.0];
-        ring_allreduce(&mut buf, 0, 1, &rings[0]);
+        ring_allreduce(&mut buf, &mut rings[0]).unwrap();
         assert_eq!(buf, vec![1.0, 2.0, 3.0]);
     }
 

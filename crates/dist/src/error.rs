@@ -1,0 +1,113 @@
+//! Typed errors for the distributed-training substrate.
+//!
+//! Every failure mode a caller may want to degrade on is a distinct
+//! variant — transport timeouts, detected rank death, replica divergence,
+//! worker panics — instead of the bare `panic!`/`expect` calls the first
+//! version of this crate used.
+
+use std::fmt;
+
+use cc19_tensor::TensorError;
+
+/// Errors surfaced by the distributed trainer and transport layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A tensor-level failure (shape mismatch etc.) inside a worker.
+    Tensor(TensorError),
+    /// A receive exceeded its retry budget while every peer still looked
+    /// alive — the transport cannot distinguish extreme slowness from
+    /// livelock, so it gives up deterministically.
+    Timeout {
+        /// Rank that timed out.
+        rank: usize,
+        /// Rank it was waiting on.
+        peer: usize,
+        /// Operation label (e.g. `"ring recv"`).
+        op: &'static str,
+    },
+    /// A peer stopped heartbeating and was declared dead. Recoverable:
+    /// the trainer rebuilds the ring around it.
+    RankDead {
+        /// The rank declared dead.
+        rank: usize,
+    },
+    /// Fewer than one rank remains alive — nothing left to train on.
+    AllRanksDead,
+    /// The DDP invariant broke: replicas no longer hold identical weights.
+    ReplicaDiverged {
+        /// Rank whose snapshot diverged from rank 0's.
+        rank: usize,
+        /// Largest absolute element-wise difference observed.
+        max_diff: f32,
+    },
+    /// A worker thread panicked (bug, not a simulated fault).
+    WorkerPanicked {
+        /// The rank whose thread panicked.
+        rank: usize,
+    },
+    /// A checkpoint could not be written, read, or validated.
+    Checkpoint(String),
+    /// The run configuration is unusable (e.g. batch < nodes).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Timeout { rank, peer, op } => {
+                write!(f, "rank {rank}: {op} from rank {peer} exceeded its retry budget")
+            }
+            Error::RankDead { rank } => write!(f, "rank {rank} declared dead"),
+            Error::AllRanksDead => write!(f, "no live ranks remain"),
+            Error::ReplicaDiverged { rank, max_diff } => {
+                write!(f, "replica {rank} diverged from rank 0 by {max_diff}")
+            }
+            Error::WorkerPanicked { rank } => write!(f, "worker thread for rank {rank} panicked"),
+            Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for Error {
+    fn from(e: TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Checkpoint(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Timeout { rank: 2, peer: 1, op: "ring recv" };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("rank 1"));
+        let e = Error::ReplicaDiverged { rank: 3, max_diff: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::LengthMismatch { expected: 4, actual: 2 };
+        let e: Error = te.clone().into();
+        assert_eq!(e, Error::Tensor(te));
+    }
+}

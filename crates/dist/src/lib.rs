@@ -7,12 +7,16 @@
 //!
 //! This crate provides:
 //!
+//! - [`transport`] — sequence-numbered, CRC-framed point-to-point links
+//!   with timeout/retransmit recovery, heartbeat failure detection, and a
+//!   deterministic fault injector ([`fault`]) for chaos testing;
 //! - [`allreduce`] — a real **ring all-reduce** (reduce-scatter +
-//!   all-gather) over crossbeam channels, plus a naive parameter-server
-//!   reduce for the ablation bench;
+//!   all-gather) over the fault-tolerant transport, plus a naive
+//!   parameter-server reduce for the ablation bench;
 //! - [`trainer`] — a thread-per-node data-parallel DDnet trainer whose
 //!   replicas stay bit-identical through deterministic gradient averaging
-//!   (the DDP execution model);
+//!   (the DDP execution model), degrades gracefully when a rank dies, and
+//!   checkpoints/resumes full trainer state;
 //! - [`cluster`] — a performance model of the paper's cluster (per-step
 //!   compute time × communication time from an interconnect model), used
 //!   to regenerate Table 3's runtime column at the paper's scale, since
@@ -22,11 +26,19 @@
 
 pub mod allreduce;
 pub mod cluster;
+pub mod error;
+pub mod fault;
 pub mod trainer;
+pub mod transport;
 
-pub use allreduce::{naive_allreduce, ring_allreduce};
+pub use allreduce::{naive_allreduce, ring_allreduce, ring_allreduce_resilient};
 pub use cluster::{ClusterModel, Interconnect};
-pub use trainer::{train_distributed, DistConfig, DistStats};
+pub use error::Error;
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
+pub use trainer::{
+    train_distributed, train_distributed_ft, CheckpointCfg, DistConfig, DistStats, FtOptions,
+};
+pub use transport::{RingTransport, StarTransport, TimeoutCfg};
 
 /// Crate-wide result alias.
-pub type Result<T> = cc19_tensor::Result<T>;
+pub type Result<T> = std::result::Result<T, Error>;

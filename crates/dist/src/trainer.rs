@@ -1,26 +1,41 @@
 //! Thread-per-node data-parallel DDnet training — the
-//! `DistributedDataParallel` execution model of §4.1:
+//! `DistributedDataParallel` execution model of §4.1, hardened for the
+//! fault model of DESIGN.md §9:
 //!
 //! - every node holds a full model replica (identical seed ⇒ identical
 //!   init);
 //! - each step, node `r` runs forward/backward on its shard of the global
 //!   batch;
-//! - gradients are summed with a ring all-reduce and averaged;
-//! - every node applies the same Adam step, so replicas stay identical
-//!   (batch-norm running stats are per-replica, as in real DDP).
+//! - gradients are summed with a fault-tolerant ring all-reduce and
+//!   averaged over the *live* rank count;
+//! - a 1-element "step valid" flag rides the same all-reduce, so a
+//!   non-finite loss or gradient on any replica makes **every** replica
+//!   skip that optimizer step (instead of silently poisoning them all);
+//! - if a rank dies, the survivors agree on the corpse via heartbeats,
+//!   rebuild the ring, and continue with rescaled gradient averaging;
+//! - rank 0 periodically checkpoints full trainer state (weights, Adam
+//!   moments, LR, step counter) and a run can resume from the latest
+//!   snapshot with a continuation that is bit-identical to an
+//!   uninterrupted run.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cc19_data::dataset::batch_pairs;
 use cc19_data::lowdose_pairs::EnhancementPair;
 
 use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_nn::checkpoint::Checkpoint;
 use cc19_nn::graph::Graph;
 use cc19_nn::losses::enhancement_loss;
-use cc19_nn::optim::Adam;
+use cc19_nn::optim::{Adam, AdamState};
 use cc19_nn::ssim;
 
-use crate::allreduce::{make_ring, ring_allreduce};
+use crate::allreduce::{make_ring_with, ring_allreduce_resilient};
+use crate::error::Error;
+use crate::fault::FaultPlan;
+use crate::transport::{RingTransport, TimeoutCfg};
 use crate::Result;
 
 /// Distributed-training configuration (one Table 3 row).
@@ -38,6 +53,8 @@ pub struct DistConfig {
     pub lr_decay: f32,
     /// MS-SSIM levels in the loss.
     pub ms_ssim_levels: usize,
+    /// Optional global gradient-norm clip applied before the all-reduce.
+    pub grad_clip: Option<f32>,
     /// Network configuration.
     pub net_cfg: DdnetConfig,
     /// Weight-init seed (shared by all replicas).
@@ -54,9 +71,55 @@ impl DistConfig {
             lr: 1e-3,
             lr_decay: 0.9,
             ms_ssim_levels: 1,
+            grad_clip: None,
             net_cfg: DdnetConfig::tiny(),
             seed: 42,
         }
+    }
+}
+
+/// Periodic trainer-state checkpointing (rank 0 writes, any rank reads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointCfg {
+    /// Directory for snapshots (`latest.ckpt` inside it).
+    pub dir: PathBuf,
+    /// Write a snapshot every this many optimizer steps.
+    pub every_steps: usize,
+    /// Load `latest.ckpt` at startup if present and fast-forward to its
+    /// step counter.
+    pub resume: bool,
+    /// Test/ops hook: exit cleanly after this many global steps, as if
+    /// the job were preempted at a step boundary.
+    pub stop_after_step: Option<usize>,
+}
+
+impl CheckpointCfg {
+    /// Checkpoint every `every_steps` into `dir`, resuming when possible.
+    pub fn new(dir: impl Into<PathBuf>, every_steps: usize) -> Self {
+        CheckpointCfg { dir: dir.into(), every_steps, resume: true, stop_after_step: None }
+    }
+
+    /// Path of the rolling snapshot.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.ckpt")
+    }
+}
+
+/// Fault-tolerance options for a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtOptions {
+    /// Injected transport faults (chaos testing); `FaultPlan::none()` for
+    /// production behaviour.
+    pub faults: FaultPlan,
+    /// Transport timeout/retry policy.
+    pub timeouts: TimeoutCfg,
+    /// Optional periodic checkpoint/resume.
+    pub checkpoint: Option<CheckpointCfg>,
+}
+
+impl Default for FtOptions {
+    fn default() -> Self {
+        FtOptions { faults: FaultPlan::none(), timeouts: TimeoutCfg::default(), checkpoint: None }
     }
 }
 
@@ -67,119 +130,363 @@ pub struct DistStats {
     pub wall_seconds: f64,
     /// Final validation MS-SSIM (percent, paper convention).
     pub final_val_ms_ssim: f64,
-    /// Mean training loss per epoch (rank-0 perspective).
+    /// Mean training loss per epoch (rank-0 perspective; every epoch is
+    /// flushed, including a trailing partial one).
     pub epoch_losses: Vec<f64>,
-    /// Number of optimizer steps taken.
+    /// Number of optimizer-step opportunities this run executed (resumed
+    /// runs exclude fast-forwarded steps).
     pub steps: usize,
+    /// Steps vetoed by the non-finite guard (every live replica skipped
+    /// them together).
+    pub skipped_steps: usize,
+    /// Ranks that died (killed or evicted) during the run.
+    pub dead_ranks: Vec<usize>,
+    /// Ring rebuilds + all-reduce restarts performed.
+    pub recoveries: usize,
+    /// Global step this run resumed from (0 for a fresh run).
+    pub resumed_from_step: usize,
+    /// Set when `stop_after_step` ended the run early.
+    pub stopped_at_step: Option<usize>,
 }
 
-/// Run data-parallel training; returns the final weight snapshot (shared
-/// by all replicas) and run statistics.
+/// What one worker thread produced.
+enum Outcome {
+    /// Ran to completion (or the configured stop point).
+    Done {
+        snapshot: Vec<f32>,
+        epoch_losses: Vec<f64>,
+        skipped: usize,
+        recoveries: usize,
+        executed: usize,
+        stopped_at: Option<usize>,
+    },
+    /// Killed by the fault plan at a step boundary (simulated crash).
+    Killed,
+    /// Declared dead by the survivors (heartbeat false positive); the
+    /// rank bows out so the cluster stays consistent.
+    Evicted,
+}
+
+/// Run data-parallel training with default fault-tolerance options (no
+/// injected faults, no checkpointing); returns the final weight snapshot
+/// (shared by all replicas) and run statistics.
 pub fn train_distributed(
     train: &[EnhancementPair],
     val: &[EnhancementPair],
     cfg: DistConfig,
 ) -> Result<(Vec<f32>, DistStats)> {
-    assert!(cfg.nodes >= 1 && cfg.batch >= cfg.nodes, "need at least one image per node");
-    let t0 = Instant::now();
+    train_distributed_ft(train, val, cfg, FtOptions::default())
+}
 
-    let rings = make_ring(cfg.nodes);
+/// Run data-parallel training under an explicit fault model, with
+/// optional checkpoint/resume.
+pub fn train_distributed_ft(
+    train: &[EnhancementPair],
+    val: &[EnhancementPair],
+    cfg: DistConfig,
+    opts: FtOptions,
+) -> Result<(Vec<f32>, DistStats)> {
+    if cfg.nodes < 1 || cfg.batch < cfg.nodes {
+        return Err(Error::InvalidConfig(format!(
+            "need at least one image per node (nodes={}, batch={})",
+            cfg.nodes, cfg.batch
+        )));
+    }
+    let t0 = Instant::now();
+    let steps_per_epoch = if train.is_empty() { 0 } else { train.len().div_ceil(cfg.batch) };
+    let total_steps = steps_per_epoch * cfg.epochs;
+
+    // Resume: load the snapshot once, share it with every worker.
+    let resume_ck: Option<Arc<Checkpoint>> = match &opts.checkpoint {
+        Some(ck_cfg) if ck_cfg.resume && ck_cfg.latest_path().exists() => {
+            Some(Arc::new(Checkpoint::load(&ck_cfg.latest_path())?))
+        }
+        _ => None,
+    };
+    let start_step = resume_ck
+        .as_ref()
+        .and_then(|ck| ck.get_u64("dist.step"))
+        .unwrap_or(0)
+        .min(total_steps as u64) as usize;
+
+    let (_cluster, transports) = make_ring_with(cfg.nodes, opts.faults, opts.timeouts);
     let train_owned: Vec<Vec<Vec<EnhancementPair>>> = shard_steps(train, cfg);
     debug_assert_eq!(train_owned.len(), cfg.nodes);
 
-    let handles: Vec<_> = rings
+    let handles: Vec<_> = transports
         .into_iter()
         .zip(train_owned)
         .enumerate()
         .map(|(rank, (ring, my_batches))| {
             let cfg = cfg;
-            std::thread::spawn(move || -> Result<(Vec<f32>, Vec<f64>)> {
-                let net = Ddnet::new(cfg.net_cfg, cfg.seed);
-                let mut opt = Adam::new(cfg.lr);
-                let steps_per_epoch = my_batches.len() / cfg.epochs.max(1);
-                let mut epoch_losses = Vec::new();
-                let mut acc = 0.0f64;
-                let mut in_epoch = 0usize;
-                for (step, local) in my_batches.iter().enumerate() {
-                    let loss = if local.is_empty() {
-                        0.0
-                    } else {
-                        let (low, full) = batch_pairs(local)?;
-                        let mut g = Graph::new();
-                        let x = g.input(low);
-                        let t = g.input(full);
-                        let y = net.forward(&mut g, x, true)?;
-                        let loss = enhancement_loss(&mut g, y, t, cfg.ms_ssim_levels)?;
-                        let l = g.value(loss).item()? as f64;
-                        net.store.zero_grad();
-                        g.backward(loss);
-                        l
-                    };
-                    // gradient all-reduce (sum) then average over nodes
-                    let mut flat = net.store.flat_grads();
-                    ring_allreduce(&mut flat, rank, cfg.nodes, &ring);
-                    let inv = 1.0 / cfg.nodes as f32;
-                    for v in &mut flat {
-                        *v *= inv;
-                    }
-                    net.store.load_flat_grads(&flat)?;
-                    opt.step(&net.store);
-
-                    acc += loss;
-                    in_epoch += 1;
-                    if in_epoch == steps_per_epoch.max(1) {
-                        epoch_losses.push(acc / in_epoch as f64);
-                        acc = 0.0;
-                        in_epoch = 0;
-                        opt.decay_lr(cfg.lr_decay);
-                    }
-                    let _ = step;
-                }
-                Ok((net.store.snapshot(), epoch_losses))
+            let ck_cfg = opts.checkpoint.clone();
+            let resume_ck = resume_ck.clone();
+            std::thread::spawn(move || {
+                run_worker(rank, ring, my_batches, cfg, steps_per_epoch, start_step, ck_cfg, resume_ck)
             })
         })
         .collect();
 
-    let mut snapshots = Vec::new();
-    let mut losses0 = Vec::new();
+    let mut finished: Vec<(usize, Vec<f32>, Vec<f64>)> = Vec::new();
+    let mut dead_ranks = Vec::new();
+    let mut skipped_steps = 0;
+    let mut recoveries = 0;
+    let mut executed = 0;
+    let mut stopped_at = None;
     for (rank, h) in handles.into_iter().enumerate() {
-        let (snap, losses) = h.join().expect("worker panicked")?;
-        if rank == 0 {
-            losses0 = losses;
+        let outcome = h.join().map_err(|_| Error::WorkerPanicked { rank })??;
+        match outcome {
+            Outcome::Done { snapshot, epoch_losses, skipped, recoveries: r, executed: e, stopped_at: s } => {
+                skipped_steps = skipped_steps.max(skipped);
+                recoveries = recoveries.max(r);
+                executed = executed.max(e);
+                if s.is_some() {
+                    stopped_at = s;
+                }
+                finished.push((rank, snapshot, epoch_losses));
+            }
+            Outcome::Killed | Outcome::Evicted => dead_ranks.push(rank),
         }
-        snapshots.push(snap);
     }
-    // All replicas must agree (DDP invariant).
-    for (r, s) in snapshots.iter().enumerate().skip(1) {
-        debug_assert_eq!(s.len(), snapshots[0].len());
-        let max_diff = s
+    let Some((_, first_snapshot, losses0)) = finished.first() else {
+        return Err(Error::AllRanksDead);
+    };
+    // All surviving replicas must agree (DDP invariant) — a violation is
+    // a typed error now, so callers can fall back to single-node training
+    // instead of aborting the process.
+    for (rank, snap, _) in finished.iter().skip(1) {
+        if snap.len() != first_snapshot.len() {
+            return Err(Error::ReplicaDiverged { rank: *rank, max_diff: f32::INFINITY });
+        }
+        let max_diff = snap
             .iter()
-            .zip(&snapshots[0])
+            .zip(first_snapshot.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff < 1e-5, "replica {r} diverged by {max_diff}");
+        if !(max_diff < 1e-5) {
+            return Err(Error::ReplicaDiverged { rank: *rank, max_diff });
+        }
     }
 
     let wall = t0.elapsed().as_secs_f64();
 
-    // Evaluate rank-0 weights on the validation set.
+    // Evaluate the agreed weights on the validation set.
     let net = Ddnet::new(cfg.net_cfg, cfg.seed);
-    net.store.load_snapshot(&snapshots[0])?;
+    net.store.load_snapshot(first_snapshot)?;
     let mut ms = 0.0f64;
     for p in val {
         let enhanced = net.enhance(&p.low)?;
         ms += ssim::ms_ssim_image(&p.full, &enhanced, 1.0)?;
     }
-    let steps = if cfg.batch == 0 { 0 } else { (train.len() * cfg.epochs).div_ceil(cfg.batch) };
+    let losses0 = losses0.clone();
+    let snapshot = finished.into_iter().next().map(|(_, s, _)| s).expect("nonempty");
     Ok((
-        snapshots.into_iter().next().expect("at least one node"),
+        snapshot,
         DistStats {
             wall_seconds: wall,
             final_val_ms_ssim: 100.0 * ms / val.len().max(1) as f64,
             epoch_losses: losses0,
-            steps,
+            steps: executed,
+            skipped_steps,
+            dead_ranks,
+            recoveries,
+            resumed_from_step: start_step,
+            stopped_at_step: stopped_at,
         },
     ))
+}
+
+/// The per-rank training loop.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    rank: usize,
+    mut ring: RingTransport,
+    my_batches: Vec<Vec<EnhancementPair>>,
+    cfg: DistConfig,
+    steps_per_epoch: usize,
+    start_step: usize,
+    ck_cfg: Option<CheckpointCfg>,
+    resume_ck: Option<Arc<Checkpoint>>,
+) -> Result<Outcome> {
+    let net = Ddnet::new(cfg.net_cfg, cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut epoch_losses: Vec<f64> = Vec::new();
+    let mut acc = 0.0f64;
+    let mut in_epoch = 0usize;
+    let mut skipped = 0usize;
+    let mut recoveries = 0usize;
+    let mut executed = 0usize;
+
+    if let Some(ck) = &resume_ck {
+        restore_worker_state(ck, &net, &mut opt, &mut epoch_losses, &mut acc, &mut in_epoch, &mut skipped)?;
+    }
+
+    for epoch in 0..cfg.epochs {
+        let epoch_first = epoch * steps_per_epoch;
+        if epoch_first + steps_per_epoch <= start_step {
+            continue; // fully fast-forwarded epoch; its LR decay is baked
+                      // into the checkpointed learning rate
+        }
+        for k in 0..steps_per_epoch {
+            let step = epoch_first + k;
+            if step < start_step {
+                continue;
+            }
+            if let Some(stop) = ck_cfg.as_ref().and_then(|c| c.stop_after_step) {
+                if step >= stop {
+                    return Ok(Outcome::Done {
+                        snapshot: net.store.snapshot(),
+                        epoch_losses,
+                        skipped,
+                        recoveries,
+                        executed,
+                        stopped_at: Some(step),
+                    });
+                }
+            }
+            if ring.faults().kill_step(rank) == Some(step) {
+                return Ok(Outcome::Killed);
+            }
+            ring.beat();
+
+            let local = &my_batches[step];
+            let loss = if local.is_empty() {
+                net.store.zero_grad();
+                0.0
+            } else {
+                let (low, full) = batch_pairs(local)?;
+                let mut g = Graph::new();
+                let x = g.input(low);
+                let t = g.input(full);
+                let y = net.forward(&mut g, x, true)?;
+                let loss = enhancement_loss(&mut g, y, t, cfg.ms_ssim_levels)?;
+                let l = g.value(loss).item()? as f64;
+                net.store.zero_grad();
+                g.backward(loss);
+                l
+            };
+            ring.beat();
+            if let Some(clip) = cfg.grad_clip {
+                net.store.clip_grad_norm(clip);
+            }
+
+            // Gradient all-reduce (sum), with the step-validity flag as a
+            // trailing element so all live ranks agree on whether to
+            // apply or skip this step.
+            let finite = loss.is_finite() && net.store.grads_all_finite();
+            let mut flat = net.store.flat_grads();
+            flat.push(if finite { 1.0 } else { 0.0 });
+            match ring_allreduce_resilient(&mut flat, &mut ring, cfg.nodes) {
+                Ok(r) => recoveries += r,
+                Err(Error::RankDead { rank: dead }) if dead == rank => {
+                    return Ok(Outcome::Evicted);
+                }
+                Err(e) => return Err(e),
+            }
+            let live = ring.live();
+            let flag_sum = flat.pop().expect("flag element");
+            executed += 1;
+            if flag_sum >= live as f32 - 0.5 {
+                // Average over the *live* rank count: after a rank death
+                // the gradient scale follows the survivors.
+                let inv = 1.0 / live as f32;
+                for v in &mut flat {
+                    *v *= inv;
+                }
+                net.store.load_flat_grads(&flat)?;
+                opt.step(&net.store);
+            } else {
+                // Some replica saw a non-finite loss/gradient; the summed
+                // buffer is unusable, so every replica skips in lockstep.
+                skipped += 1;
+                net.store.zero_grad();
+            }
+
+            acc += loss;
+            in_epoch += 1;
+            if k == steps_per_epoch - 1 {
+                // End of epoch — flush (trailing partial epochs included)
+                // and decay before any checkpoint at this boundary, so a
+                // resumed LR matches the uninterrupted schedule.
+                epoch_losses.push(acc / in_epoch.max(1) as f64);
+                acc = 0.0;
+                in_epoch = 0;
+                opt.decay_lr(cfg.lr_decay);
+            }
+            if rank == 0 {
+                if let Some(c) = &ck_cfg {
+                    if c.every_steps > 0 && (step + 1) % c.every_steps == 0 {
+                        write_checkpoint(c, &net, &opt, step + 1, &epoch_losses, acc, in_epoch, skipped)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Outcome::Done {
+        snapshot: net.store.snapshot(),
+        epoch_losses,
+        skipped,
+        recoveries,
+        executed,
+        stopped_at: None,
+    })
+}
+
+/// Serialize full trainer state (model + optimizer + counters) and write
+/// it atomically to `latest.ckpt`.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    c: &CheckpointCfg,
+    net: &Ddnet,
+    opt: &Adam,
+    next_step: usize,
+    epoch_losses: &[f64],
+    acc: f64,
+    in_epoch: usize,
+    skipped: usize,
+) -> Result<()> {
+    std::fs::create_dir_all(&c.dir)?;
+    let mut ck = net.to_checkpoint();
+    let st = opt.export_state(&net.store);
+    ck.push_u64("dist.step", next_step as u64);
+    ck.push_u64("dist.adam.t", st.t);
+    ck.push_scalar("dist.adam.lr", st.lr);
+    ck.push("dist.adam.m", st.m);
+    ck.push("dist.adam.v", st.v);
+    ck.push("dist.epoch_losses", epoch_losses.iter().map(|&l| l as f32).collect());
+    ck.push_scalar("dist.epoch_acc", acc as f32);
+    ck.push_u64("dist.epoch_count", in_epoch as u64);
+    ck.push_u64("dist.skipped", skipped as u64);
+    ck.save(&c.latest_path())?;
+    Ok(())
+}
+
+/// Restore worker state from a trainer checkpoint written by
+/// [`write_checkpoint`].
+fn restore_worker_state(
+    ck: &Checkpoint,
+    net: &Ddnet,
+    opt: &mut Adam,
+    epoch_losses: &mut Vec<f64>,
+    acc: &mut f64,
+    in_epoch: &mut usize,
+    skipped: &mut usize,
+) -> Result<()> {
+    let missing = |what: &str| Error::Checkpoint(format!("missing section {what}"));
+    net.load_checkpoint(ck)?;
+    let state = AdamState {
+        t: ck.get_u64("dist.adam.t").ok_or_else(|| missing("dist.adam.t"))?,
+        lr: ck.get_scalar("dist.adam.lr").ok_or_else(|| missing("dist.adam.lr"))?,
+        m: ck.get("dist.adam.m").ok_or_else(|| missing("dist.adam.m"))?.to_vec(),
+        v: ck.get("dist.adam.v").ok_or_else(|| missing("dist.adam.v"))?.to_vec(),
+    };
+    opt.load_state(&net.store, &state)?;
+    *epoch_losses =
+        ck.get("dist.epoch_losses").unwrap_or(&[]).iter().map(|&l| l as f64).collect();
+    *acc = ck.get_scalar("dist.epoch_acc").unwrap_or(0.0) as f64;
+    *in_epoch = ck.get_u64("dist.epoch_count").unwrap_or(0) as usize;
+    *skipped = ck.get_u64("dist.skipped").unwrap_or(0) as usize;
+    Ok(())
 }
 
 /// Pre-compute each node's local mini-batch for every global step across
@@ -239,6 +546,8 @@ mod tests {
         assert!(stats.epoch_losses[1] <= stats.epoch_losses[0] * 1.1);
         assert!(stats.final_val_ms_ssim > 50.0, "msssim {}", stats.final_val_ms_ssim);
         assert_eq!(stats.steps, 4);
+        assert_eq!(stats.skipped_steps, 0);
+        assert!(stats.dead_ranks.is_empty());
     }
 
     #[test]
@@ -280,5 +589,46 @@ mod tests {
         let total: usize =
             shards.iter().map(|n| n.iter().map(|b| b.len()).sum::<usize>()).sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn partial_epochs_are_flushed_and_decayed() {
+        // Regression: train.len() not divisible by batch — the trailing
+        // short step must still count toward its epoch and each epoch must
+        // flush exactly once (the old accounting dropped trailing steps
+        // whenever step counts and epochs drifted apart).
+        let train = pairs(5, 32); // batch 2 -> 3 steps/epoch, last is partial
+        let val = pairs(1, 32);
+        let cfg = DistConfig::row(2, 2, 3);
+        let (_, stats) = train_distributed(&train, &val, cfg).unwrap();
+        assert_eq!(stats.steps, 9, "3 epochs x ceil(5/2) steps");
+        assert_eq!(stats.epoch_losses.len(), 3, "every epoch flushed: {:?}", stats.epoch_losses);
+        for l in &stats.epoch_losses {
+            assert!(l.is_finite() && *l > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let train = pairs(2, 32);
+        let err = train_distributed(&train, &[], DistConfig::row(4, 2, 1)).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn grad_clip_bounds_update_magnitude() {
+        let train = pairs(4, 32);
+        let val = pairs(1, 32);
+        let mut cfg = DistConfig::row(2, 2, 1);
+        cfg.grad_clip = Some(0.5);
+        let (w_clipped, stats) = train_distributed(&train, &val, cfg).unwrap();
+        assert_eq!(stats.skipped_steps, 0);
+        assert!(!w_clipped.is_empty());
+        // Clipped and unclipped runs should differ (the clip is active for
+        // fresh nets with lr 1e-3) but both stay finite.
+        cfg.grad_clip = None;
+        let (w_free, _) = train_distributed(&train, &val, cfg).unwrap();
+        assert!(w_clipped.iter().all(|v| v.is_finite()));
+        assert!(w_free.iter().all(|v| v.is_finite()));
     }
 }

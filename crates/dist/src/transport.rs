@@ -1,0 +1,859 @@
+//! Fault-tolerant transport over the crossbeam channel fabric.
+//!
+//! The first version of this crate wired raw `Vec<f32>` buffers straight
+//! through channels; one dropped message deadlocked the ring. This module
+//! interposes a reliability layer modelled on TCP-over-lossy-wire:
+//!
+//! - every frame carries a **sequence number** and a **CRC-32** of its
+//!   payload, so duplicates and reorders are detected and discarded, and
+//!   corrupted payloads are rejected instead of averaged into gradients;
+//! - the sender keeps each outbound payload in a **retransmit buffer**
+//!   shared with the receiver; when a receive times out (the injected
+//!   "wire" dropped, delayed, or corrupted the frame), the receiver pulls
+//!   the authoritative copy from that buffer after an exponential-backoff
+//!   wait — the in-process analogue of a NACK/retransmit round trip;
+//! - every transport operation updates a per-rank **heartbeat**; a
+//!   receive that exhausts its retry budget consults the heartbeats, and
+//!   only a rank that has been silent past the liveness threshold is
+//!   declared dead ([`Error::RankDead`]);
+//! - on a death verdict the first detector **rebuilds the ring** among
+//!   survivors under the cluster lock and bumps the membership
+//!   generation; every other survivor adopts the new endpoints from its
+//!   own error path and the all-reduce restarts from the callers' saved
+//!   gradients.
+//!
+//! Fault injection ([`crate::fault::FaultPlan`]) happens on the wire side
+//! only: the retransmit buffer always holds the good copy, which is what
+//! makes recovery exact — a chaos run (without kills) finishes with
+//! weights bit-identical to a fault-free run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use cc19_nn::checkpoint::crc32;
+
+use crate::error::Error;
+use crate::fault::{FaultKind, FaultPlan};
+
+/// One message on a link: sequence-numbered, checksummed payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Sender's global rank.
+    pub src: usize,
+    /// Per-directed-link sequence number.
+    pub seq: u64,
+    /// CRC-32 of the *original* payload bytes (a corrupt fault flips bits
+    /// in the wire copy only, so the mismatch is detectable).
+    pub crc: u32,
+    /// The payload as sent (possibly corrupted in flight).
+    pub payload: Vec<f32>,
+}
+
+fn payload_crc(payload: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(payload.len() * 4);
+    for v in payload {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+/// Sender-side reliability buffer, shared with the receiver of the link.
+type Slot = Arc<Mutex<HashMap<u64, Vec<f32>>>>;
+
+/// Timeout/retry policy for one transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutCfg {
+    /// First receive timeout; doubled per retry up to [`Self::max_backoff`].
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Retries before the liveness oracle is consulted.
+    pub retries: u32,
+    /// Heartbeat staleness threshold for declaring a rank dead.
+    pub liveness: Duration,
+    /// Absolute per-receive budget; exceeding it with all peers alive is
+    /// a fatal [`Error::Timeout`].
+    pub hard_cap: Duration,
+}
+
+impl Default for TimeoutCfg {
+    fn default() -> Self {
+        TimeoutCfg {
+            base: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            retries: 6,
+            liveness: Duration::from_secs(10),
+            hard_cap: Duration::from_secs(30),
+        }
+    }
+}
+
+impl TimeoutCfg {
+    /// A tight policy for tests. The liveness threshold still has to
+    /// comfortably exceed a worst-case compute step under CPU contention:
+    /// a slow-but-alive peer that blows it gets falsely evicted, which is
+    /// exactly the mistake the heartbeat oracle exists to avoid. Death by
+    /// dropped endpoints (the common case) is detected instantly via
+    /// channel disconnect regardless of this threshold.
+    pub fn fast() -> Self {
+        TimeoutCfg {
+            base: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            retries: 4,
+            liveness: Duration::from_secs(3),
+            hard_cap: Duration::from_secs(12),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster membership + heartbeats
+// ---------------------------------------------------------------------------
+
+/// Per-rank endpoints for one ring generation.
+struct Endpoints {
+    /// Position within the live ring (0..live).
+    pos: usize,
+    /// Live rank count for this generation.
+    live: usize,
+    /// Global rank of the next live rank.
+    next_rank: usize,
+    /// Global rank of the previous live rank.
+    prev_rank: usize,
+    to_next: Sender<Frame>,
+    next_slot: Slot,
+    from_prev: Receiver<Frame>,
+    prev_slot: Slot,
+}
+
+struct MembershipInner {
+    generation: u64,
+    alive: Vec<bool>,
+    /// Freshly built endpoints per global rank, taken by each survivor
+    /// when it adopts the new generation.
+    pending: Vec<Option<Endpoints>>,
+}
+
+/// Shared cluster state: liveness heartbeats plus ring membership.
+pub struct Cluster {
+    epoch: Instant,
+    hb: Vec<AtomicU64>,
+    inner: Mutex<MembershipInner>,
+}
+
+impl Cluster {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Cluster {
+            epoch: Instant::now(),
+            hb: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            inner: Mutex::new(MembershipInner {
+                generation: 0,
+                alive: vec![true; n],
+                pending: (0..n).map(|_| None).collect(),
+            }),
+        })
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Record activity for `rank`.
+    pub fn beat(&self, rank: usize) {
+        self.hb[rank].store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// Ranks currently believed alive.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        inner.alive.iter().enumerate().filter(|(_, a)| **a).map(|(r, _)| r).collect()
+    }
+
+    /// The stalest allegedly-alive rank (excluding `me`) whose heartbeat
+    /// exceeds `liveness`, if any.
+    fn stale_rank(&self, me: usize, liveness: Duration) -> Option<usize> {
+        let now = self.now_ms();
+        let thresh = liveness.as_millis() as u64;
+        let inner = self.inner.lock().unwrap();
+        let mut worst: Option<(usize, u64)> = None;
+        for (r, alive) in inner.alive.iter().enumerate() {
+            if !alive || r == me {
+                continue;
+            }
+            let age = now.saturating_sub(self.hb[r].load(Ordering::Relaxed));
+            if age > thresh && worst.map(|(_, w)| age > w).unwrap_or(true) {
+                worst = Some((r, age));
+            }
+        }
+        worst.map(|(r, _)| r)
+    }
+}
+
+/// Build ring links (channel + retransmit slot per directed edge) for the
+/// given ordered membership. Returns per-member endpoints.
+fn build_ring_endpoints(members: &[usize]) -> Vec<Endpoints> {
+    let m = members.len();
+    let links: Vec<(Sender<Frame>, Receiver<Frame>, Slot)> = (0..m)
+        .map(|_| {
+            let (tx, rx) = unbounded();
+            (tx, rx, Arc::new(Mutex::new(HashMap::new())))
+        })
+        .collect();
+    // link i carries traffic from members[i] to members[(i+1) % m]
+    (0..m)
+        .map(|i| {
+            let prev_link = (i + m - 1) % m;
+            Endpoints {
+                pos: i,
+                live: m,
+                next_rank: members[(i + 1) % m],
+                prev_rank: members[prev_link],
+                to_next: links[i].0.clone(),
+                next_slot: links[i].2.clone(),
+                from_prev: links[prev_link].1.clone(),
+                prev_slot: links[prev_link].2.clone(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ring transport
+// ---------------------------------------------------------------------------
+
+/// One rank's fault-tolerant view of the ring.
+pub struct RingTransport {
+    rank: usize,
+    cluster: Arc<Cluster>,
+    ep: Endpoints,
+    generation: u64,
+    send_seq: u64,
+    recv_seq: u64,
+    stash: HashMap<u64, Vec<f32>>,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+}
+
+/// Build a fault-free ring of `n` transports with default timeouts.
+pub fn make_ring(n: usize) -> Vec<RingTransport> {
+    make_ring_with(n, FaultPlan::none(), TimeoutCfg::default()).1
+}
+
+/// Build a ring with an explicit fault plan and timeout policy. The
+/// returned [`Cluster`] is shared by every transport (membership +
+/// heartbeats).
+pub fn make_ring_with(
+    n: usize,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+) -> (Arc<Cluster>, Vec<RingTransport>) {
+    let cluster = Cluster::new(n);
+    let members: Vec<usize> = (0..n).collect();
+    let transports = build_ring_endpoints(&members)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ep)| RingTransport {
+            rank,
+            cluster: cluster.clone(),
+            ep,
+            generation: 0,
+            send_seq: 0,
+            recv_seq: 0,
+            stash: HashMap::new(),
+            faults,
+            t,
+        })
+        .collect();
+    (cluster, transports)
+}
+
+impl RingTransport {
+    /// This rank's global id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Position within the current live ring.
+    pub fn pos(&self) -> usize {
+        self.ep.pos
+    }
+
+    /// Live rank count in the current generation.
+    pub fn live(&self) -> usize {
+        self.ep.live
+    }
+
+    /// Current membership generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record that this rank is alive (call during long compute phases so
+    /// slow progress is not mistaken for death).
+    pub fn beat(&self) {
+        self.cluster.beat(self.rank);
+    }
+
+    /// The fault plan this transport injects (shared by all ranks).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Send `payload` to the next rank in the ring. Never blocks; the
+    /// payload is retained in the retransmit buffer until the receiver
+    /// has consumed past it.
+    pub fn send_next(&mut self, payload: &[f32]) -> Result<(), Error> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.beat();
+        // Reliability layer: buffer the authoritative copy first.
+        self.ep.next_slot.lock().unwrap().insert(seq, payload.to_vec());
+        let crc = payload_crc(payload);
+        let actions = self.faults.decide(self.rank, self.ep.next_rank, seq, self.generation);
+        if actions.contains(&FaultKind::Drop) {
+            return Ok(());
+        }
+        let mut wire = payload.to_vec();
+        let mut duplicate = false;
+        for a in &actions {
+            match a {
+                FaultKind::Delay(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+                FaultKind::Corrupt => {
+                    if let Some(v) = wire.first_mut() {
+                        *v = f32::from_bits(v.to_bits() ^ 0x0040_0000);
+                    }
+                }
+                FaultKind::Duplicate => duplicate = true,
+                FaultKind::Drop => unreachable!(),
+            }
+        }
+        let frame = Frame { src: self.rank, seq, crc, payload: wire };
+        if duplicate {
+            let _ = self.ep.to_next.send(frame.clone());
+        }
+        let _ = self.ep.to_next.send(frame);
+        Ok(())
+    }
+
+    /// Receive the next in-sequence payload from the previous rank,
+    /// retrying through injected faults. Errors are recoverable via
+    /// [`RingTransport::recover`] when they name a dead rank.
+    pub fn recv_prev(&mut self) -> Result<Vec<f32>, Error> {
+        self.beat();
+        let want = self.recv_seq;
+        if let Some(p) = self.stash.remove(&want) {
+            return Ok(self.deliver(p));
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            if start.elapsed() > self.t.hard_cap {
+                return Err(Error::Timeout { rank: self.rank, peer: self.ep.prev_rank, op: "ring recv" });
+            }
+            let backoff = self
+                .t
+                .base
+                .checked_mul(1u32 << attempt.min(4))
+                .unwrap_or(self.t.max_backoff)
+                .min(self.t.max_backoff);
+            match self.ep.from_prev.recv_timeout(backoff) {
+                Ok(frame) => {
+                    self.beat();
+                    if frame.seq < want {
+                        // Duplicate (or late original after a slot fetch) —
+                        // already consumed, discard.
+                        continue;
+                    }
+                    if payload_crc(&frame.payload) != frame.crc {
+                        // Corrupted on the wire; the retransmit buffer has
+                        // the good copy, fall through to the timeout path.
+                        attempt += 1;
+                        continue;
+                    }
+                    if frame.seq > want {
+                        // The wire reordered ahead of a lost frame; stash
+                        // and keep waiting for `want`.
+                        self.stash.insert(frame.seq, frame.payload);
+                        continue;
+                    }
+                    return Ok(self.deliver(frame.payload));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // NACK/retransmit round trip: pull from the sender's
+                    // reliability buffer if it already sent `want`.
+                    let buffered = self.ep.prev_slot.lock().unwrap().get(&want).cloned();
+                    if let Some(p) = buffered {
+                        return Ok(self.deliver(p));
+                    }
+                    self.beat();
+                    attempt += 1;
+                    if attempt >= self.t.retries {
+                        if let Some(dead) = self.cluster.stale_rank(self.rank, self.t.liveness) {
+                            return Err(Error::RankDead { rank: dead });
+                        }
+                        // Everyone still alive: keep waiting (bounded by
+                        // the hard cap) without growing the backoff.
+                        attempt = self.t.retries;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The predecessor dropped its endpoints: it either
+                    // died or moved to a newer ring generation. Drain the
+                    // buffer one last time, then report it dead; recover()
+                    // sorts out which case it was.
+                    let buffered = self.ep.prev_slot.lock().unwrap().get(&want).cloned();
+                    if let Some(p) = buffered {
+                        return Ok(self.deliver(p));
+                    }
+                    return Err(Error::RankDead { rank: self.ep.prev_rank });
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, payload: Vec<f32>) -> Vec<f32> {
+        let consumed = self.recv_seq;
+        self.recv_seq += 1;
+        // Prune the sender's buffer up to what we consumed.
+        self.ep.prev_slot.lock().unwrap().retain(|&s, _| s > consumed);
+        payload
+    }
+
+    /// Attempt to recover from a transport error. Returns `Ok(())` when
+    /// the ring has been rebuilt (or a newer generation adopted) and the
+    /// caller should retry its collective from saved inputs; returns the
+    /// error (or a fatal one) otherwise.
+    pub fn recover(&mut self, err: &Error) -> Result<(), Error> {
+        let dead_hint = match err {
+            Error::RankDead { rank } => Some(*rank),
+            Error::Timeout { .. } => None,
+            other => return Err(other.clone()),
+        };
+        let mut inner = self.cluster.inner.lock().unwrap();
+        if inner.generation > self.generation {
+            // Someone already rebuilt; adopt our new endpoints.
+            let gen = inner.generation;
+            return match inner.pending[self.rank].take() {
+                Some(ep) => {
+                    drop(inner);
+                    self.adopt(ep, gen);
+                    Ok(())
+                }
+                // No endpoints were built for us: the detectors declared
+                // *us* dead (false positive under extreme slowness). Bow
+                // out; the survivors continue without this rank.
+                None => Err(Error::RankDead { rank: self.rank }),
+            };
+        }
+        let Some(dead) = dead_hint else {
+            // Hard timeout with every peer still heartbeating — fatal.
+            return Err(err.clone());
+        };
+        if !inner.alive[dead] {
+            // Stale report for an already-buried rank in our generation;
+            // nothing to do but retry.
+            return Ok(());
+        }
+        inner.alive[dead] = false;
+        let survivors: Vec<usize> =
+            inner.alive.iter().enumerate().filter(|(_, a)| **a).map(|(r, _)| r).collect();
+        if survivors.is_empty() {
+            return Err(Error::AllRanksDead);
+        }
+        inner.generation += 1;
+        let gen = inner.generation;
+        let eps = build_ring_endpoints(&survivors);
+        for slot in inner.pending.iter_mut() {
+            *slot = None;
+        }
+        for (member, ep) in survivors.iter().zip(eps) {
+            inner.pending[*member] = Some(ep);
+        }
+        let mine = inner.pending[self.rank]
+            .take()
+            .ok_or(Error::RankDead { rank: self.rank })?;
+        drop(inner);
+        self.adopt(mine, gen);
+        Ok(())
+    }
+
+    fn adopt(&mut self, ep: Endpoints, generation: u64) {
+        self.ep = ep; // drops the old endpoints, waking stalled peers
+        self.generation = generation;
+        self.send_seq = 0;
+        self.recv_seq = 0;
+        self.stash.clear();
+        self.beat();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Star (parameter-server) transport
+// ---------------------------------------------------------------------------
+
+/// One rank's endpoints for the naive parameter-server reduce. Rank 0 is
+/// the server. Fault-tolerant to message faults (drop/delay/dup/corrupt)
+/// but not to rank death — the ring path is the production one.
+pub struct StarTransport {
+    rank: usize,
+    n: usize,
+    up_tx: Sender<Frame>,
+    up_slot: Slot,
+    down_rx: Receiver<Frame>,
+    down_slot: Slot,
+    /// Server side (rank 0 only): shared uplink receiver, per-worker
+    /// uplink slots, per-worker downlinks.
+    server: Option<StarServer>,
+    send_seq: u64,
+    recv_seq: u64,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+}
+
+struct StarServer {
+    up_rx: Receiver<Frame>,
+    up_slots: Vec<Slot>,
+    down: Vec<(Sender<Frame>, Slot)>,
+    /// Next expected uplink seq per worker.
+    expect: Vec<u64>,
+    /// Downlink send seq per worker.
+    down_seq: Vec<u64>,
+}
+
+/// Build fault-free star endpoints with default timeouts.
+pub fn make_star(n: usize) -> Vec<StarTransport> {
+    make_star_with(n, FaultPlan::none(), TimeoutCfg::default())
+}
+
+/// Build star endpoints with an explicit fault plan and timeout policy.
+pub fn make_star_with(n: usize, faults: FaultPlan, t: TimeoutCfg) -> Vec<StarTransport> {
+    let (up_tx, up_rx) = unbounded();
+    let up_slots: Vec<Slot> = (0..n).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect();
+    let down: Vec<(Sender<Frame>, Receiver<Frame>, Slot)> = (0..n)
+        .map(|_| {
+            let (tx, rx) = unbounded();
+            (tx, rx, Arc::new(Mutex::new(HashMap::new())))
+        })
+        .collect();
+    (0..n)
+        .map(|rank| StarTransport {
+            rank,
+            n,
+            up_tx: up_tx.clone(),
+            up_slot: up_slots[rank].clone(),
+            down_rx: down[rank].1.clone(),
+            down_slot: down[rank].2.clone(),
+            server: (rank == 0).then(|| StarServer {
+                up_rx: up_rx.clone(),
+                up_slots: up_slots.clone(),
+                down: down.iter().map(|(tx, _, slot)| (tx.clone(), slot.clone())).collect(),
+                expect: vec![0; n],
+                down_seq: vec![0; n],
+            }),
+            send_seq: 0,
+            recv_seq: 0,
+            faults,
+            t,
+        })
+        .collect()
+}
+
+impl StarTransport {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn inject_and_send(
+        faults: &FaultPlan,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        payload: &[f32],
+        slot: &Slot,
+        tx: &Sender<Frame>,
+    ) {
+        slot.lock().unwrap().insert(seq, payload.to_vec());
+        let crc = payload_crc(payload);
+        let actions = faults.decide(src, dst, seq, 0);
+        if actions.contains(&FaultKind::Drop) {
+            return;
+        }
+        let mut wire = payload.to_vec();
+        let mut duplicate = false;
+        for a in &actions {
+            match a {
+                FaultKind::Delay(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+                FaultKind::Corrupt => {
+                    if let Some(v) = wire.first_mut() {
+                        *v = f32::from_bits(v.to_bits() ^ 0x0040_0000);
+                    }
+                }
+                FaultKind::Duplicate => duplicate = true,
+                FaultKind::Drop => unreachable!(),
+            }
+        }
+        let frame = Frame { src, seq, crc, payload: wire };
+        if duplicate {
+            let _ = tx.send(frame.clone());
+        }
+        let _ = tx.send(frame);
+    }
+
+    /// Worker: ship the buffer up to the server.
+    pub fn send_to_server(&mut self, payload: &[f32]) -> Result<(), Error> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        Self::inject_and_send(&self.faults, self.rank, 0, seq, payload, &self.up_slot, &self.up_tx);
+        Ok(())
+    }
+
+    /// Worker: receive the reduced buffer from the server.
+    pub fn recv_from_server(&mut self) -> Result<Vec<f32>, Error> {
+        let want = self.recv_seq;
+        let got = recv_link(&self.down_rx, &self.down_slot, want, &self.t, self.rank, 0)?;
+        self.recv_seq += 1;
+        self.down_slot.lock().unwrap().retain(|&s, _| s > want);
+        Ok(got)
+    }
+
+    /// Server (rank 0): gather one in-sequence buffer from every worker.
+    /// Returns `(worker_rank, payload)` pairs in arrival order.
+    pub fn server_gather(&mut self) -> Result<Vec<(usize, Vec<f32>)>, Error> {
+        let n = self.n;
+        let t = self.t;
+        let me = self.rank;
+        let srv = self.server.as_mut().expect("server_gather on worker rank");
+        let mut got: Vec<Option<Vec<f32>>> = vec![None; n];
+        let mut missing = n - 1;
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        while missing > 0 {
+            if start.elapsed() > t.hard_cap {
+                let peer = got.iter().enumerate().skip(1).find(|(_, g)| g.is_none()).map(|(r, _)| r);
+                return Err(Error::Timeout { rank: me, peer: peer.unwrap_or(0), op: "star gather" });
+            }
+            let backoff = t.base.checked_mul(1u32 << attempt.min(4)).unwrap_or(t.max_backoff).min(t.max_backoff);
+            match srv.up_rx.recv_timeout(backoff) {
+                Ok(frame) => {
+                    let src = frame.src;
+                    if src == 0 || src >= n || frame.seq < srv.expect[src] || got[src].is_some() {
+                        continue; // duplicate or stale
+                    }
+                    if frame.seq > srv.expect[src] || payload_crc(&frame.payload) != frame.crc {
+                        attempt += 1;
+                        continue; // reordered-ahead or corrupt: slot has it
+                    }
+                    got[src] = Some(frame.payload);
+                    srv.expect[src] += 1;
+                    missing -= 1;
+                }
+                Err(_) => {
+                    // Sweep retransmit buffers for everything still missing.
+                    for (src, g) in got.iter_mut().enumerate().skip(1) {
+                        if g.is_some() {
+                            continue;
+                        }
+                        let want = srv.expect[src];
+                        if let Some(p) = srv.up_slots[src].lock().unwrap().get(&want).cloned() {
+                            *g = Some(p);
+                            srv.expect[src] += 1;
+                            missing -= 1;
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+        for (src, slot) in srv.up_slots.iter().enumerate() {
+            slot.lock().unwrap().retain(|&s, _| s >= srv.expect[src]);
+        }
+        Ok(got
+            .into_iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(r, g)| g.map(|p| (r, p)))
+            .collect())
+    }
+
+    /// Server (rank 0): broadcast the reduced buffer to every worker.
+    pub fn server_broadcast(&mut self, payload: &[f32]) -> Result<(), Error> {
+        let faults = self.faults;
+        let me = self.rank;
+        let srv = self.server.as_mut().expect("server_broadcast on worker rank");
+        for (dst, (tx, slot)) in srv.down.iter().enumerate() {
+            if dst == 0 {
+                continue;
+            }
+            let seq = srv.down_seq[dst];
+            srv.down_seq[dst] += 1;
+            Self::inject_and_send(&faults, me, dst, seq, payload, slot, tx);
+        }
+        Ok(())
+    }
+}
+
+/// Shared receive loop for a single star link.
+fn recv_link(
+    rx: &Receiver<Frame>,
+    slot: &Slot,
+    want: u64,
+    t: &TimeoutCfg,
+    me: usize,
+    peer: usize,
+) -> Result<Vec<f32>, Error> {
+    let start = Instant::now();
+    let mut attempt: u32 = 0;
+    loop {
+        if start.elapsed() > t.hard_cap {
+            return Err(Error::Timeout { rank: me, peer, op: "star recv" });
+        }
+        let backoff = t.base.checked_mul(1u32 << attempt.min(4)).unwrap_or(t.max_backoff).min(t.max_backoff);
+        match rx.recv_timeout(backoff) {
+            Ok(frame) => {
+                if frame.seq != want || payload_crc(&frame.payload) != frame.crc {
+                    if frame.seq >= want {
+                        attempt += 1;
+                    }
+                    continue;
+                }
+                return Ok(frame.payload);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(p) = slot.lock().unwrap().get(&want).cloned() {
+                    return Ok(p);
+                }
+                attempt += 1;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if let Some(p) = slot.lock().unwrap().get(&want).cloned() {
+                    return Ok(p);
+                }
+                return Err(Error::RankDead { rank: peer });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    #[test]
+    fn frames_roundtrip_in_order() {
+        let (_c, mut tps) = make_ring_with(2, FaultPlan::none(), TimeoutCfg::fast());
+        let mut b = tps.pop().unwrap(); // rank 1
+        let mut a = tps.pop().unwrap(); // rank 0
+        a.send_next(&[1.0, 2.0]).unwrap();
+        a.send_next(&[3.0]).unwrap();
+        assert_eq!(b.recv_prev().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(b.recv_prev().unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn dropped_frames_recover_from_retransmit_buffer() {
+        let cfg = FaultConfig { p_drop: 1.0, ..FaultConfig::clean() };
+        let (_c, mut tps) = make_ring_with(2, FaultPlan::seeded(3, cfg), TimeoutCfg::fast());
+        let mut b = tps.pop().unwrap();
+        let mut a = tps.pop().unwrap();
+        a.send_next(&[9.0, 8.0]).unwrap();
+        assert_eq!(b.recv_prev().unwrap(), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_and_recovered() {
+        let cfg = FaultConfig { p_corrupt: 1.0, ..FaultConfig::clean() };
+        let (_c, mut tps) = make_ring_with(2, FaultPlan::seeded(3, cfg), TimeoutCfg::fast());
+        let mut b = tps.pop().unwrap();
+        let mut a = tps.pop().unwrap();
+        a.send_next(&[5.0; 16]).unwrap();
+        // The wire copy is corrupted; the delivered payload must be exact.
+        assert_eq!(b.recv_prev().unwrap(), vec![5.0; 16]);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let cfg = FaultConfig { p_duplicate: 1.0, ..FaultConfig::clean() };
+        let (_c, mut tps) = make_ring_with(2, FaultPlan::seeded(3, cfg), TimeoutCfg::fast());
+        let mut b = tps.pop().unwrap();
+        let mut a = tps.pop().unwrap();
+        a.send_next(&[1.0]).unwrap();
+        a.send_next(&[2.0]).unwrap();
+        assert_eq!(b.recv_prev().unwrap(), vec![1.0]);
+        assert_eq!(b.recv_prev().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn dead_sender_is_detected_and_ring_rebuilds() {
+        let (cluster, mut tps) = make_ring_with(3, FaultPlan::none(), TimeoutCfg::fast());
+        let t2 = tps.pop().unwrap();
+        let mut t1 = tps.pop().unwrap();
+        let mut t0 = tps.pop().unwrap();
+        // Rank 2 dies silently; its endpoints drop, so its direct
+        // successor (rank 0, whose `from_prev` is rank 2's link) sees the
+        // disconnect and names the right corpse.
+        drop(t2);
+        let err = t0.recv_prev().unwrap_err();
+        assert_eq!(err, Error::RankDead { rank: 2 });
+        t0.recover(&err).unwrap();
+        assert_eq!(t0.live(), 2);
+        assert_eq!(cluster.live_ranks(), vec![0, 1]);
+        // Rank 0's adoption dropped its old endpoints, so rank 1 wakes
+        // with a disconnect of its own and adopts the rebuilt ring.
+        let err1 = t1.recv_prev().unwrap_err();
+        assert!(matches!(err1, Error::RankDead { .. }), "{err1:?}");
+        t1.recover(&err1).unwrap();
+        assert_eq!(t1.live(), 2);
+        assert_eq!(t0.generation(), t1.generation());
+        // The 2-ring works: 0 -> 1 and 1 -> 0.
+        t0.send_next(&[7.0]).unwrap();
+        assert_eq!(t1.recv_prev().unwrap(), vec![7.0]);
+        t1.send_next(&[8.0]).unwrap();
+        assert_eq!(t0.recv_prev().unwrap(), vec![8.0]);
+    }
+
+    #[test]
+    fn star_survives_full_fault_mix() {
+        let cfg = FaultConfig {
+            p_drop: 0.3,
+            p_delay: 0.2,
+            delay_ms_max: 2,
+            p_duplicate: 0.3,
+            p_corrupt: 0.2,
+            kill: None,
+        };
+        let mut tps = make_star_with(3, FaultPlan::seeded(11, cfg), TimeoutCfg::fast());
+        let mut t2 = tps.pop().unwrap();
+        let mut t1 = tps.pop().unwrap();
+        let mut t0 = tps.pop().unwrap();
+        let h1 = std::thread::spawn(move || {
+            t1.send_to_server(&[1.0, 1.0]).unwrap();
+            t1.recv_from_server().unwrap()
+        });
+        let h2 = std::thread::spawn(move || {
+            t2.send_to_server(&[2.0, 2.0]).unwrap();
+            t2.recv_from_server().unwrap()
+        });
+        let gathered = t0.server_gather().unwrap();
+        assert_eq!(gathered.len(), 2);
+        let mut sum = vec![0.5, 0.5];
+        for (_, p) in &gathered {
+            for (s, v) in sum.iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        t0.server_broadcast(&sum).unwrap();
+        assert_eq!(h1.join().unwrap(), vec![3.5, 3.5]);
+        assert_eq!(h2.join().unwrap(), vec![3.5, 3.5]);
+    }
+}

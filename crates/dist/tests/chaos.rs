@@ -1,0 +1,204 @@
+//! Chaos suite: the fault-tolerance guarantees of DESIGN.md §9, checked
+//! end-to-end.
+//!
+//! - property tests pin the ring all-reduce to a reference sum over
+//!   random rank counts and buffer lengths (including `len < n` and
+//!   zero-length buffers), with and without injected message faults;
+//! - training under a seeded drop/delay/duplicate/corrupt mix must
+//!   produce **bit-identical** final weights to the fault-free run
+//!   (message faults recover exactly — the reliability layer hides them);
+//! - killing a rank mid-run must degrade gracefully: survivors agree on
+//!   the corpse, rebuild the ring, and finish with synchronized replicas;
+//! - interrupting at a step boundary and resuming from the latest
+//!   checkpoint must be bit-identical to never having stopped.
+//!
+//! `CC19_FAULT_SEED` pins the injected-fault seed (tier1.sh exports it)
+//! so a failing run reproduces exactly.
+
+use proptest::prelude::*;
+
+use cc19_data::lowdose_pairs::{make_pair, EnhancementPair, PairConfig};
+use cc19_data::sources::{DataSource, Modality, ScanMeta};
+use cc19_dist::allreduce::make_ring_with;
+use cc19_dist::trainer::{train_distributed_ft, CheckpointCfg, DistConfig, FtOptions};
+use cc19_dist::transport::TimeoutCfg;
+use cc19_dist::{ring_allreduce, FaultConfig, FaultPlan};
+
+fn run_ring(n: usize, len: usize, faults: FaultPlan) -> Vec<Vec<f32>> {
+    let (_cluster, rings) = make_ring_with(n, faults, TimeoutCfg::fast());
+    let handles: Vec<_> = rings
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut ring)| {
+            std::thread::spawn(move || {
+                let mut buf: Vec<f32> =
+                    (0..len).map(|i| ((rank * 31 + i * 7) % 13) as f32 - 6.0).collect();
+                ring_allreduce(&mut buf, &mut ring).unwrap();
+                buf
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn reference_sum(n: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (0..n).map(|rank| ((rank * 31 + i * 7) % 13) as f32 - 6.0).sum())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ring all-reduce equals the reference elementwise sum on every rank
+    /// for arbitrary rank counts and buffer lengths — including buffers
+    /// shorter than the ring (empty segments) and zero-length buffers.
+    #[test]
+    fn ring_matches_reference_sum(n in 1usize..6, len in 0usize..40) {
+        let expect = reference_sum(n, len);
+        for (rank, buf) in run_ring(n, len, FaultPlan::none()).iter().enumerate() {
+            for i in 0..len {
+                prop_assert!(
+                    (buf[i] - expect[i]).abs() < 1e-4,
+                    "n={} len={} rank={} i={}: {} vs {}", n, len, rank, i, buf[i], expect[i]
+                );
+            }
+        }
+    }
+
+    /// Under a seeded mix of drops, delays, duplicates and corruption the
+    /// reliability layer recovers *exactly*: results are bit-identical to
+    /// the clean run.
+    #[test]
+    fn ring_under_faults_is_bit_identical_to_clean(
+        n in 2usize..5,
+        len in 0usize..32,
+        fault_seed in 0u64..1_000,
+    ) {
+        let clean = run_ring(n, len, FaultPlan::none());
+        let noisy = run_ring(n, len, FaultPlan::seeded(fault_seed, FaultConfig::noisy()));
+        prop_assert_eq!(clean, noisy);
+    }
+}
+
+fn pairs(count: usize, n: usize) -> Vec<EnhancementPair> {
+    (0..count)
+        .map(|i| {
+            let meta = ScanMeta {
+                id: 700 + i as u64,
+                source: DataSource::Bimcv,
+                modality: Modality::Ct,
+                positive: false,
+                severity: None,
+                slices: 8,
+                circular_artifact: false,
+                has_projections: false,
+            };
+            make_pair(&meta, 0.5, PairConfig::reduced(n, 90 + i as u64)).unwrap()
+        })
+        .collect()
+}
+
+fn fast_opts(faults: FaultPlan) -> FtOptions {
+    FtOptions { faults, timeouts: TimeoutCfg::fast(), checkpoint: None }
+}
+
+/// Message-level chaos (no kill) must not change the training result at
+/// all: every dropped/corrupted frame is retransmitted verbatim, so the
+/// gradient stream — and therefore the weight trajectory — is exact.
+#[test]
+fn training_under_message_chaos_matches_fault_free() {
+    let train = pairs(6, 32);
+    let val = pairs(1, 32);
+    let cfg = DistConfig::row(3, 3, 2);
+
+    let (clean_w, clean_stats) =
+        train_distributed_ft(&train, &val, cfg, fast_opts(FaultPlan::none())).unwrap();
+    let faults = FaultPlan::from_env(1234, FaultConfig::noisy());
+    let (noisy_w, noisy_stats) =
+        train_distributed_ft(&train, &val, cfg, fast_opts(faults)).unwrap();
+
+    assert_eq!(clean_w, noisy_w, "message faults must recover bit-exactly (seed {})", faults.seed());
+    assert_eq!(clean_stats.steps, noisy_stats.steps);
+    assert!(noisy_stats.dead_ranks.is_empty());
+}
+
+/// The full chaos mix — drops, delays, duplicates, corruption, *and* one
+/// rank kill: survivors detect the death, rebuild the ring, rescale the
+/// gradient average, and finish with synchronized replicas whose quality
+/// is within tolerance of the fault-free run (the dead rank's shard is
+/// lost, so exact bit-identity is not expected here).
+#[test]
+fn rank_kill_under_chaos_degrades_gracefully() {
+    let train = pairs(6, 32);
+    let val = pairs(2, 32);
+    let cfg = DistConfig::row(3, 3, 3);
+
+    let (_, clean_stats) =
+        train_distributed_ft(&train, &val, cfg, fast_opts(FaultPlan::none())).unwrap();
+
+    let chaos = FaultConfig { kill: Some((1, 2)), ..FaultConfig::noisy() };
+    let faults = FaultPlan::from_env(7, chaos);
+    let (weights, stats) = train_distributed_ft(&train, &val, cfg, fast_opts(faults)).unwrap();
+
+    assert_eq!(stats.dead_ranks, vec![1], "seed {}", faults.seed());
+    assert!(stats.recoveries >= 1, "survivors must have rebuilt the ring: {stats:?}");
+    assert_eq!(stats.steps, 6, "survivors run all 3 epochs x 2 steps");
+    assert!(weights.iter().all(|v| v.is_finite()));
+    assert!(
+        (stats.final_val_ms_ssim - clean_stats.final_val_ms_ssim).abs() < 10.0,
+        "degraded run quality {} should stay within tolerance of fault-free {}",
+        stats.final_val_ms_ssim,
+        clean_stats.final_val_ms_ssim
+    );
+}
+
+/// Stop at a step boundary, then resume from the latest checkpoint: the
+/// continuation must be bit-identical to an uninterrupted run (weights,
+/// Adam moments, LR schedule, and epoch accounting all restored).
+#[test]
+fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+    let train = pairs(5, 32); // batch 2 -> 3 steps/epoch, trailing partial step
+    let val = pairs(1, 32);
+    let cfg = DistConfig::row(2, 2, 2);
+    let dir = std::env::temp_dir().join("cc19_dist_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (uninterrupted_w, full_stats) =
+        train_distributed_ft(&train, &val, cfg, fast_opts(FaultPlan::none())).unwrap();
+    assert_eq!(full_stats.steps, 6);
+
+    // Interrupted run: snapshot every step, "preempted" before step 4.
+    let mut ck = CheckpointCfg::new(&dir, 1);
+    ck.stop_after_step = Some(4);
+    let opts = FtOptions {
+        faults: FaultPlan::none(),
+        timeouts: TimeoutCfg::fast(),
+        checkpoint: Some(ck.clone()),
+    };
+    let (_, stopped) = train_distributed_ft(&train, &val, cfg, opts).unwrap();
+    assert_eq!(stopped.stopped_at_step, Some(4));
+    assert!(ck.latest_path().exists());
+
+    // Resume: picks up latest.ckpt, fast-forwards to step 4, finishes.
+    ck.stop_after_step = None;
+    let opts = FtOptions {
+        faults: FaultPlan::none(),
+        timeouts: TimeoutCfg::fast(),
+        checkpoint: Some(ck),
+    };
+    let (resumed_w, resumed_stats) = train_distributed_ft(&train, &val, cfg, opts).unwrap();
+    assert_eq!(resumed_stats.resumed_from_step, 4);
+    assert_eq!(resumed_stats.steps, 2, "only the remaining steps execute");
+    assert_eq!(
+        resumed_stats.epoch_losses.len(),
+        full_stats.epoch_losses.len(),
+        "restored epoch accounting flushes the same epochs"
+    );
+
+    assert_eq!(
+        uninterrupted_w, resumed_w,
+        "resume must continue the exact weight trajectory"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,24 +1,98 @@
 //! Model checkpointing: a small, versioned, dependency-free binary format
 //! for parameter snapshots plus auxiliary buffers (batch-norm running
-//! statistics).
+//! statistics, optimizer moments, trainer counters).
 //!
 //! Layout (little-endian):
 //!
 //! ```text
 //! magic  "CC19CKPT"            8 bytes
-//! version u32                  = 1
+//! version u32                  = 2 (1 still readable)
 //! n_sections u32
 //! per section:
 //!   name_len u32, name bytes (utf-8)
 //!   data_len u32 (f32 count), data bytes (4 * data_len)
+//! crc32 u32                    (v2 only: IEEE CRC-32 of everything after
+//!                               the version word)
 //! ```
+//!
+//! Version history:
+//!
+//! - **v1** — sections only, no integrity check.
+//! - **v2** — identical section encoding plus a trailing CRC-32 so a
+//!   truncated or bit-flipped file is rejected instead of silently loading
+//!   garbage weights. v1 files remain loadable (no checksum verified).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"CC19CKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — shared by the checkpoint
+// format and the distributed transport's payload framing.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC-32 (IEEE) accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Finalized checksum.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
 
 /// A named collection of f32 buffers.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,29 +112,84 @@ impl Checkpoint {
         self.sections.push((name.into(), data));
     }
 
+    /// Append a single-value section.
+    pub fn push_scalar(&mut self, name: impl Into<String>, value: f32) {
+        self.push(name, vec![value]);
+    }
+
+    /// Append a `u64` counter section, bit-cast into two f32 lanes so the
+    /// round trip is exact (a plain `as f32` would lose precision past
+    /// 2^24 steps).
+    pub fn push_u64(&mut self, name: impl Into<String>, value: u64) {
+        let lo = f32::from_bits((value & 0xFFFF_FFFF) as u32);
+        let hi = f32::from_bits((value >> 32) as u32);
+        self.push(name, vec![lo, hi]);
+    }
+
     /// Find a section by name.
     pub fn get(&self, name: &str) -> Option<&[f32]> {
         self.sections.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_slice())
     }
 
-    /// Serialize to a writer.
+    /// Read back a single-value section.
+    pub fn get_scalar(&self, name: &str) -> Option<f32> {
+        match self.get(name) {
+            Some([v]) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Read back a counter stored with [`Checkpoint::push_u64`].
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some([lo, hi]) => Some((lo.to_bits() as u64) | ((hi.to_bits() as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Encode the section region (count + sections) — the byte span the
+    /// v2 checksum covers.
+    fn encode_body(&self) -> Vec<u8> {
+        let total: usize = self
+            .sections
+            .iter()
+            .map(|(n, d)| 8 + n.len() + 4 * d.len())
+            .sum();
+        let mut body = Vec::with_capacity(4 + total);
+        body.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, data) in &self.sections {
+            let nb = name.as_bytes();
+            body.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+            body.extend_from_slice(nb);
+            body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            for v in data {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        body
+    }
+
+    /// Serialize to a writer (current version, with checksum).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.sections.len() as u32).to_le_bytes())?;
-        for (name, data) in &self.sections {
-            let nb = name.as_bytes();
-            w.write_all(&(nb.len() as u32).to_le_bytes())?;
-            w.write_all(nb)?;
-            w.write_all(&(data.len() as u32).to_le_bytes())?;
-            for v in data {
-                w.write_all(&v.to_le_bytes())?;
-            }
-        }
+        let body = self.encode_body();
+        w.write_all(&body)?;
+        w.write_all(&crc32(&body).to_le_bytes())?;
         Ok(())
     }
 
-    /// Deserialize from a reader.
+    /// Serialize in the legacy v1 layout (no checksum). Exists so tests
+    /// and migration tooling can produce old-format files.
+    pub fn write_to_v1(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&self.encode_body())?;
+        Ok(())
+    }
+
+    /// Deserialize from a reader. Accepts v1 (no checksum) and v2
+    /// (trailing CRC-32, verified).
     pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -70,47 +199,71 @@ impl Checkpoint {
         let mut u32buf = [0u8; 4];
         r.read_exact(&mut u32buf)?;
         let version = u32::from_le_bytes(u32buf);
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported checkpoint version {version}"),
             ));
         }
-        r.read_exact(&mut u32buf)?;
-        let n = u32::from_le_bytes(u32buf) as usize;
+        let mut crc = Crc32::new();
+        let read_u32 = |r: &mut dyn Read, crc: &mut Crc32| -> io::Result<u32> {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            crc.update(&b);
+            Ok(u32::from_le_bytes(b))
+        };
+        let n = read_u32(r, &mut crc)? as usize;
         // sanity cap: 1e6 sections
         if n > 1_000_000 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt section count"));
         }
         let mut sections = Vec::with_capacity(n);
         for _ in 0..n {
-            r.read_exact(&mut u32buf)?;
-            let name_len = u32::from_le_bytes(u32buf) as usize;
+            let name_len = read_u32(r, &mut crc)? as usize;
             if name_len > 4096 {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt name length"));
             }
             let mut name = vec![0u8; name_len];
             r.read_exact(&mut name)?;
+            crc.update(&name);
             let name = String::from_utf8(name)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 section name"))?;
-            r.read_exact(&mut u32buf)?;
-            let len = u32::from_le_bytes(u32buf) as usize;
+            let len = read_u32(r, &mut crc)? as usize;
             if len > (1usize << 30) {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt data length"));
             }
             let mut bytes = vec![0u8; len * 4];
             r.read_exact(&mut bytes)?;
+            crc.update(&bytes);
             let data: Vec<f32> =
                 bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
             sections.push((name, data));
         }
+        if version >= 2 {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            let stored = u32::from_le_bytes(b);
+            let computed = crc.finish();
+            if stored != computed {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+                ));
+            }
+        }
         Ok(Checkpoint { sections })
     }
 
-    /// Save to a file.
+    /// Save to a file. Writes to a temporary sibling first and renames, so
+    /// a crash mid-write never leaves a truncated checkpoint at `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        self.write_to(&mut w)
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            self.write_to(&mut w)?;
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
     /// Load from a file.
@@ -163,6 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bitflip() {
+        let mut c = Checkpoint::new();
+        c.push("w", vec![0.25; 64]);
+        let path = tmp("bitflip.ckpt");
+        c.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn reads_legacy_v1_files() {
+        let mut c = Checkpoint::new();
+        c.push("w", vec![1.5, -2.0]);
+        c.push("b", vec![0.0]);
+        let path = tmp("legacy_v1.ckpt");
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        c.write_to_v1(&mut w).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, c);
+    }
+
+    #[test]
     fn preserves_section_order_and_duplicates() {
         let mut c = Checkpoint::new();
         c.push("a", vec![1.0]);
@@ -175,5 +356,29 @@ mod tests {
         assert_eq!(loaded.sections[1].1, vec![2.0]);
         // get() returns the first
         assert_eq!(loaded.get("a").unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn u64_roundtrip_is_exact() {
+        let mut c = Checkpoint::new();
+        for (i, v) in [0u64, 1, (1 << 24) + 1, u64::MAX - 7].iter().enumerate() {
+            c.push_u64(format!("t{i}"), *v);
+        }
+        c.push_scalar("lr", 3.25e-4);
+        let path = tmp("u64.ckpt");
+        c.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.get_u64("t0"), Some(0));
+        assert_eq!(loaded.get_u64("t1"), Some(1));
+        assert_eq!(loaded.get_u64("t2"), Some((1 << 24) + 1));
+        assert_eq!(loaded.get_u64("t3"), Some(u64::MAX - 7));
+        assert_eq!(loaded.get_scalar("lr"), Some(3.25e-4));
+        assert_eq!(loaded.get_scalar("missing"), None);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -51,6 +51,57 @@ impl Adam {
         self.lr *= factor;
     }
 
+    /// Export the full optimizer state for checkpointing: the step
+    /// counter, current learning rate, and the first/second moment
+    /// buffers flattened in `store` parameter order (zeros for parameters
+    /// the optimizer has not touched yet, matching the lazy
+    /// initialization in [`Adam::step`]).
+    pub fn export_state(&self, store: &ParamStore) -> AdamState {
+        let total = store.num_scalars();
+        let mut m = Vec::with_capacity(total);
+        let mut v = Vec::with_capacity(total);
+        for (idx, p) in store.params().iter().enumerate() {
+            let n = p.borrow().value.numel();
+            match self.m.get(&idx) {
+                Some(t) => m.extend_from_slice(t.data()),
+                None => m.extend(std::iter::repeat(0.0).take(n)),
+            }
+            match self.v.get(&idx) {
+                Some(t) => v.extend_from_slice(t.data()),
+                None => v.extend(std::iter::repeat(0.0).take(n)),
+            }
+        }
+        AdamState { t: self.t, lr: self.lr, m, v }
+    }
+
+    /// Restore state exported by [`Adam::export_state`] on a structurally
+    /// identical parameter store. The continuation is bit-identical to an
+    /// uninterrupted run: moment buffers, bias-correction step, and
+    /// learning rate all resume exactly.
+    pub fn load_state(&mut self, store: &ParamStore, state: &AdamState) -> crate::Result<()> {
+        let want = store.num_scalars();
+        if state.m.len() != want {
+            return Err(cc19_tensor::TensorError::LengthMismatch { expected: want, actual: state.m.len() });
+        }
+        if state.v.len() != want {
+            return Err(cc19_tensor::TensorError::LengthMismatch { expected: want, actual: state.v.len() });
+        }
+        self.t = state.t;
+        self.lr = state.lr;
+        self.m.clear();
+        self.v.clear();
+        let mut off = 0;
+        for (idx, p) in store.params().iter().enumerate() {
+            let p = p.borrow();
+            let n = p.value.numel();
+            let shape = p.value.shape().clone();
+            self.m.insert(idx, Tensor::from_vec(shape.clone(), state.m[off..off + n].to_vec())?);
+            self.v.insert(idx, Tensor::from_vec(shape, state.v[off..off + n].to_vec())?);
+            off += n;
+        }
+        Ok(())
+    }
+
     /// Apply one Adam step over all parameters with gradients, then clear
     /// the gradients.
     pub fn step(&mut self, store: &ParamStore) {
@@ -85,6 +136,20 @@ impl Adam {
             }
         }
     }
+}
+
+/// Serializable Adam state (see [`Adam::export_state`]): moments are flat
+/// `f32` buffers in parameter-store order, ready for checkpoint sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Step counter (bias correction).
+    pub t: u64,
+    /// Learning rate at export time (after any decay).
+    pub lr: f32,
+    /// Flattened first moments.
+    pub m: Vec<f32>,
+    /// Flattened second moments.
+    pub v: Vec<f32>,
 }
 
 /// Plain SGD with optional momentum (the baseline optimizer for ablations).
@@ -196,6 +261,45 @@ mod tests {
         let mut opt = Adam::new(0.1);
         opt.step(&store);
         assert!(store.params()[0].borrow().grad.is_none());
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        // Train A for 10 steps; snapshot optimizer + params at step 5 into
+        // a fresh (store, Adam) pair B and continue both — weights must
+        // match bit-for-bit at every remaining step.
+        let mut store_a = ParamStore::new();
+        store_a.register(Param::new("w", Tensor::zeros([1])));
+        let mut opt_a = Adam::new(0.1);
+        for _ in 0..5 {
+            store_a.zero_grad();
+            quadratic_loss(&store_a);
+            opt_a.step(&store_a);
+        }
+        let mut store_b = ParamStore::new();
+        store_b.register(Param::new("w", Tensor::zeros([1])));
+        store_b.load_snapshot(&store_a.snapshot()).unwrap();
+        let mut opt_b = Adam::new(999.0); // wrong lr, must be overwritten
+        opt_b.load_state(&store_b, &opt_a.export_state(&store_a)).unwrap();
+        assert_eq!(opt_b.steps(), 5);
+        for _ in 0..5 {
+            store_a.zero_grad();
+            quadratic_loss(&store_a);
+            opt_a.step(&store_a);
+            store_b.zero_grad();
+            quadratic_loss(&store_b);
+            opt_b.step(&store_b);
+            assert_eq!(store_a.snapshot(), store_b.snapshot());
+        }
+    }
+
+    #[test]
+    fn adam_load_state_rejects_wrong_size() {
+        let mut store = ParamStore::new();
+        store.register(Param::new("w", Tensor::zeros([3])));
+        let mut opt = Adam::new(0.1);
+        let bad = AdamState { t: 1, lr: 0.1, m: vec![0.0; 2], v: vec![0.0; 3] };
+        assert!(opt.load_state(&store, &bad).is_err());
     }
 
     #[test]

@@ -160,6 +160,17 @@ impl ParamStore {
         norm
     }
 
+    /// True iff every accumulated gradient value is finite (no NaN/Inf).
+    /// The trainers use this to veto an optimizer step that would poison
+    /// the weights — in the distributed trainer the verdict is all-reduced
+    /// so every replica skips (or applies) the same step.
+    pub fn grads_all_finite(&self) -> bool {
+        self.params.iter().all(|p| match &p.borrow().grad {
+            Some(g) => g.data().iter().all(|v| v.is_finite()),
+            None => true,
+        })
+    }
+
     /// Overwrite gradients from a flat buffer (inverse of
     /// [`ParamStore::flat_grads`], used after all-reduce).
     pub fn load_flat_grads(&self, flat: &[f32]) -> crate::Result<()> {

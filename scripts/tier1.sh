@@ -23,6 +23,18 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
+echo "=== tier-1: distributed chaos suite (CC19_FAULT_SEED pinned) ==="
+# Pin the fault-injection seed so a chaos failure reproduces exactly
+# (DESIGN.md §9); the suite re-runs under faults the same ring/trainer
+# paths the plain tests cover fault-free.
+if [ "$status" -eq 0 ]; then
+    if ! CC19_FAULT_SEED="${CC19_FAULT_SEED:-1234}" cargo test -q -p cc19-dist --test chaos; then
+        echo "tier-1: CHAOS SUITE FAILED (CC19_FAULT_SEED=${CC19_FAULT_SEED:-1234})"
+        status=1
+    fi
+fi
+
+echo
 if [ "$status" -eq 0 ]; then
     echo "TIER-1 PASS"
 else

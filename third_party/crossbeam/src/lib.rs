@@ -33,6 +33,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// The channel is empty and every `Sender` has been dropped.
+        Disconnected,
+    }
+
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -97,6 +106,37 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.shared.queue.lock().unwrap().items.pop_front()
         }
+
+        /// Block until a value is available, every sender is gone, or
+        /// `timeout` elapses — crossbeam's `recv_timeout` semantics.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) =
+                    self.shared.ready.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if res.timed_out() && st.items.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
     }
 
     /// Create an unbounded MPMC channel.
@@ -130,6 +170,18 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv().unwrap(), 1);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            use super::RecvTimeoutError;
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::time::Duration::from_millis(10);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Timeout));
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(t), Ok(5));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Disconnected));
         }
 
         #[test]
