@@ -209,6 +209,14 @@ pub fn apply_mask(data: &Tensor, mask: &Tensor) -> Result<Tensor> {
     cc19_tensor::ops::mul(data, mask)
 }
 
+/// [`apply_mask`] into an existing same-shape tensor (bit-identical —
+/// same elementwise kernel — without the per-study allocation; used by
+/// the batch-serving path).
+pub fn apply_mask_into(data: &Tensor, mask: &Tensor, dst: &mut Tensor) -> Result<()> {
+    data.shape().expect_same(mask.shape())?;
+    cc19_tensor::ops::mul_to(data, mask, dst)
+}
+
 /// Dice similarity coefficient between two binary masks (values > 0.5 are
 /// foreground).
 pub fn dice(a: &Tensor, b: &Tensor) -> Result<f64> {

@@ -39,15 +39,45 @@ pub fn image_mu_to_hu(img: &Tensor) -> Tensor {
 /// integer overflow, §3.1.1). Standard lung-window default is
 /// `[-1000, 400]` HU.
 pub fn hu_window_to_unit(img: &Tensor, lo: f32, hi: f32) -> Tensor {
-    debug_assert!(hi > lo);
-    let scale = 1.0 / (hi - lo);
-    cc19_tensor::ops::map(img, move |v| ((v - lo) * scale).clamp(0.0, 1.0))
+    cc19_tensor::ops::map(img, window_fwd(lo, hi))
+}
+
+/// [`hu_window_to_unit`] into an existing same-shape tensor (shared
+/// closure + shared kernel, so the values are bit-identical; used by the
+/// serving path to reuse volume buffers across studies).
+pub fn hu_window_to_unit_into(
+    img: &Tensor,
+    lo: f32,
+    hi: f32,
+    dst: &mut Tensor,
+) -> cc19_tensor::Result<()> {
+    cc19_tensor::ops::map_to(img, dst, window_fwd(lo, hi))
 }
 
 /// Inverse of [`hu_window_to_unit`] (values that were clamped cannot be
 /// recovered).
 pub fn unit_to_hu_window(img: &Tensor, lo: f32, hi: f32) -> Tensor {
-    cc19_tensor::ops::map(img, move |v| lo + v * (hi - lo))
+    cc19_tensor::ops::map(img, window_inv(lo, hi))
+}
+
+/// [`unit_to_hu_window`] into an existing same-shape tensor.
+pub fn unit_to_hu_window_into(
+    img: &Tensor,
+    lo: f32,
+    hi: f32,
+    dst: &mut Tensor,
+) -> cc19_tensor::Result<()> {
+    cc19_tensor::ops::map_to(img, dst, window_inv(lo, hi))
+}
+
+fn window_fwd(lo: f32, hi: f32) -> impl Fn(f32) -> f32 {
+    debug_assert!(hi > lo);
+    let scale = 1.0 / (hi - lo);
+    move |v| ((v - lo) * scale).clamp(0.0, 1.0)
+}
+
+fn window_inv(lo: f32, hi: f32) -> impl Fn(f32) -> f32 {
+    move |v| lo + v * (hi - lo)
 }
 
 /// The default Enhancement-AI window.

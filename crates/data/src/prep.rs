@@ -93,9 +93,28 @@ pub fn normalize_for_enhancement(slice_hu: &Tensor, cfg: PrepConfig) -> Tensor {
     hu::hu_window_to_unit(slice_hu, cfg.window.0, cfg.window.1)
 }
 
+/// [`normalize_for_enhancement`] into an existing same-shape tensor
+/// (bit-identical; the batch-serving buffer-reuse path).
+pub fn normalize_for_enhancement_into(
+    slice_hu: &Tensor,
+    cfg: PrepConfig,
+    dst: &mut Tensor,
+) -> cc19_tensor::Result<()> {
+    hu::hu_window_to_unit_into(slice_hu, cfg.window.0, cfg.window.1, dst)
+}
+
 /// Inverse mapping for display / HU-space metrics.
 pub fn denormalize_from_enhancement(slice_unit: &Tensor, cfg: PrepConfig) -> Tensor {
     hu::unit_to_hu_window(slice_unit, cfg.window.0, cfg.window.1)
+}
+
+/// [`denormalize_from_enhancement`] into an existing same-shape tensor.
+pub fn denormalize_from_enhancement_into(
+    slice_unit: &Tensor,
+    cfg: PrepConfig,
+    dst: &mut Tensor,
+) -> cc19_tensor::Result<()> {
+    hu::unit_to_hu_window_into(slice_unit, cfg.window.0, cfg.window.1, dst)
 }
 
 #[cfg(test)]

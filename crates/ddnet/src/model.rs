@@ -5,6 +5,7 @@ use cc19_nn::init::Init;
 use cc19_nn::layers::{BatchNorm, BnForward, Conv2d, ConvTranspose2d};
 use cc19_nn::param::ParamStore;
 use cc19_tensor::conv::Conv2dSpec;
+use cc19_tensor::conv_backend::ConvBackend;
 use cc19_tensor::pool::PoolSpec;
 use cc19_tensor::rng::Xorshift;
 use cc19_tensor::{Tensor, TensorError};
@@ -364,6 +365,29 @@ impl Ddnet {
         let xv = g.input(x);
         let y = self.forward(&mut g, xv, false)?;
         g.value(y).reshape([h, w])
+    }
+
+    /// Enhance a `(B, H, W)` stack of slices in **one** batched forward
+    /// pass — the GEMM-friendly path the serving batcher feeds: the conv
+    /// lowerings see `B×OH×OW` output rows instead of `OH×OW`, so packing
+    /// and tiling amortize across slices.
+    ///
+    /// The backend must be pinned explicitly: under [`ConvBackend::Auto`]
+    /// the shape-aware dispatch keys on the *batched* output-position
+    /// count, so small slices can legitimately resolve to a different
+    /// backend than [`Ddnet::enhance`] would pick per slice — making the
+    /// stacked result not bit-identical to the per-slice loop. With a
+    /// forced `Direct` or `Gemm` backend, every sample in the batch is an
+    /// independent row range of the same kernel and the outputs match the
+    /// per-slice path bit for bit (tested in `trainer`).
+    pub fn enhance_stack(&self, stack: &Tensor, backend: ConvBackend) -> Result<Tensor> {
+        stack.shape().expect_rank(3)?;
+        let (b, h, w) = (stack.dims()[0], stack.dims()[1], stack.dims()[2]);
+        let x = stack.reshape([b, 1, h, w])?;
+        let mut g = Graph::with_conv_backend(backend);
+        let xv = g.input(x);
+        let y = self.forward(&mut g, xv, false)?;
+        g.value(y).reshape([b, h, w])
     }
 
     /// Number of *convolution* layers (paper: 37) — 7×7 stem + 2 per dense

@@ -201,16 +201,46 @@ pub fn evaluate_pairs(net: &Ddnet, pairs: &[EnhancementPair]) -> Result<(Enhance
 
 /// Apply the network slice-by-slice to a `(D, H, W)` volume in `[0,1]`.
 pub fn enhance_volume(net: &Ddnet, volume: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(volume.shape().clone());
+    enhance_volume_into(net, volume, &mut out)?;
+    Ok(out)
+}
+
+/// [`enhance_volume`] into an existing same-shape tensor, reusing one
+/// slice staging buffer across slices. Bit-identical to the allocating
+/// form (same per-slice forward); this is the buffer-reuse hook the
+/// batch-serving path threads through `Scratch`.
+pub fn enhance_volume_into(net: &Ddnet, volume: &Tensor, out: &mut Tensor) -> Result<()> {
     volume.shape().expect_rank(3)?;
+    volume.shape().expect_same(out.shape())?;
     let (d, h, w) = (volume.dims()[0], volume.dims()[1], volume.dims()[2]);
     let plane = h * w;
-    let mut out = Tensor::zeros([d, h, w]);
+    let mut stage = vec![0.0f32; plane];
     for s in 0..d {
-        let slice = Tensor::from_vec([h, w], volume.data()[s * plane..(s + 1) * plane].to_vec())?;
+        stage.copy_from_slice(&volume.data()[s * plane..(s + 1) * plane]);
+        let slice = Tensor::from_vec([h, w], stage)?;
         let enh = net.enhance(&slice)?;
         out.data_mut()[s * plane..(s + 1) * plane].copy_from_slice(enh.data());
+        stage = slice.into_vec();
     }
-    Ok(out)
+    Ok(())
+}
+
+/// [`enhance_volume_into`] with all `D` slices coalesced into **one**
+/// batched forward under a pinned conv backend — the GEMM-friendly
+/// serving path (see [`Ddnet::enhance_stack`] for the bit-identity
+/// caveat that makes the backend pin mandatory).
+pub fn enhance_volume_stacked_into(
+    net: &Ddnet,
+    volume: &Tensor,
+    backend: ConvBackend,
+    out: &mut Tensor,
+) -> Result<()> {
+    volume.shape().expect_rank(3)?;
+    volume.shape().expect_same(out.shape())?;
+    let enh = net.enhance_stack(volume, backend)?;
+    out.data_mut().copy_from_slice(enh.data());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -292,5 +322,48 @@ mod tests {
         let s1 = Tensor::from_vec([32, 32], vol.data()[1024..2048].to_vec()).unwrap();
         let e1 = net.enhance(&s1).unwrap();
         assert_eq!(&out.data()[1024..2048], e1.data());
+    }
+
+    #[test]
+    fn enhance_volume_into_matches_allocating_form() {
+        let net = Ddnet::new(DdnetConfig::tiny(), 4);
+        let mut rng = cc19_tensor::rng::Xorshift::new(5);
+        let vol = rng.uniform_tensor([4, 16, 16], 0.0, 1.0);
+        let fresh = enhance_volume(&net, &vol).unwrap();
+        // A dirty reused buffer must be fully overwritten.
+        let mut reused = Tensor::full([4, 16, 16], f32::NAN);
+        enhance_volume_into(&net, &vol, &mut reused).unwrap();
+        assert_eq!(fresh.data(), reused.data());
+    }
+
+    #[test]
+    fn enhance_stack_is_batch_invariant_under_pinned_backend() {
+        use cc19_tensor::conv_backend::ConvBackend;
+        let net = Ddnet::new(DdnetConfig::tiny(), 6);
+        let mut rng = cc19_tensor::rng::Xorshift::new(7);
+        let stack = rng.uniform_tensor([3, 16, 16], 0.0, 1.0);
+        let plane = 16 * 16;
+        // With the backend pinned, every sample in the batched forward is
+        // an independent row range of the same kernel, so the stacked
+        // result must match the one-slice-at-a-time result bit for bit.
+        // (Under Auto the dispatch keys on B*OH*OW and may legitimately
+        // flip backends between the two shapes — see Ddnet::enhance_stack.)
+        for backend in [ConvBackend::Direct, ConvBackend::Gemm] {
+            let batched = net.enhance_stack(&stack, backend).unwrap();
+            assert_eq!(batched.dims(), &[3, 16, 16]);
+            for s in 0..3 {
+                let one = Tensor::from_vec(
+                    [1, 16, 16],
+                    stack.data()[s * plane..(s + 1) * plane].to_vec(),
+                )
+                .unwrap();
+                let e = net.enhance_stack(&one, backend).unwrap();
+                assert_eq!(
+                    &batched.data()[s * plane..(s + 1) * plane],
+                    e.data(),
+                    "slice {s} differs under {backend:?}"
+                );
+            }
+        }
     }
 }

@@ -28,6 +28,7 @@ pub mod allreduce;
 pub mod cluster;
 pub mod error;
 pub mod fault;
+pub mod framing;
 pub mod trainer;
 pub mod transport;
 
@@ -35,6 +36,7 @@ pub use allreduce::{naive_allreduce, ring_allreduce, ring_allreduce_resilient};
 pub use cluster::{ClusterModel, Interconnect};
 pub use error::Error;
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
+pub use framing::WireFrame;
 pub use trainer::{
     train_distributed, train_distributed_ft, CheckpointCfg, DistConfig, DistStats, FtOptions,
 };

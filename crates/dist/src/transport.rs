@@ -34,10 +34,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-use cc19_nn::checkpoint::crc32;
-
 use crate::error::Error;
 use crate::fault::{FaultKind, FaultPlan};
+use crate::framing::crc32_f32s as payload_crc;
 
 /// One message on a link: sequence-numbered, checksummed payload.
 #[derive(Debug, Clone)]
@@ -51,14 +50,6 @@ pub struct Frame {
     pub crc: u32,
     /// The payload as sent (possibly corrupted in flight).
     pub payload: Vec<f32>,
-}
-
-fn payload_crc(payload: &[f32]) -> u32 {
-    let mut bytes = Vec::with_capacity(payload.len() * 4);
-    for v in payload {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    crc32(&bytes)
 }
 
 /// Sender-side reliability buffer, shared with the receiver of the link.

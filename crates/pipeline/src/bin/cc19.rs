@@ -255,8 +255,8 @@ fn cmd_diagnose(args: &Args) -> Result<(), String> {
     println!("  p(COVID-19) = {:.4}", d.probability);
     println!("  decision @ {threshold}: {}", if d.positive { "POSITIVE" } else { "negative" });
     println!(
-        "  stage times: enhance {:?}, segment {:?}, classify {:?}",
-        d.t_enhance, d.t_segment, d.t_classify
+        "  stage times: enhance {:?}, segment {:?}, classify {:?} (total incl. masking {:?})",
+        d.t_enhance, d.t_segment, d.t_classify, d.total_time()
     );
     Ok(())
 }

@@ -1,12 +1,28 @@
 //! The end-to-end framework object.
+//!
+//! Since PR 3 the pipeline is decomposed into three explicit stages —
+//! [`Framework::run_enhance`] → [`Framework::run_segment`] →
+//! [`Framework::run_classify`] — so the serving layer (`cc19-serve`) can
+//! pipeline them across worker threads (stage N of study A overlapping
+//! stage N−1 of study B). [`Framework::diagnose`] chains the three
+//! stages in place and is a thin wrapper over
+//! [`Framework::diagnose_batch`]; the batch form threads a [`Scratch`]
+//! buffer pool through the stages so intermediate volume-sized tensors
+//! are reused across studies instead of reallocated per call (all the
+//! `_into` kernels it relies on are bit-identical to their allocating
+//! forms, so a batch of one equals a single call bit for bit — tested
+//! below).
 
 use std::time::{Duration, Instant};
 
 use cc19_analysis::classifier::{ClassifierConfig, DenseNet3d};
-use cc19_analysis::segmentation::{apply_mask, LungSegmenter};
-use cc19_data::prep::{denormalize_from_enhancement, normalize_for_enhancement, PrepConfig};
-use cc19_ddnet::trainer::enhance_volume;
+use cc19_analysis::segmentation::{apply_mask_into, LungSegmenter};
+use cc19_data::prep::{
+    denormalize_from_enhancement_into, normalize_for_enhancement_into, PrepConfig,
+};
+use cc19_ddnet::trainer::{enhance_volume_into, enhance_volume_stacked_into};
 use cc19_ddnet::{Ddnet, DdnetConfig};
+use cc19_tensor::conv_backend::ConvBackend;
 use cc19_tensor::Tensor;
 
 use crate::Result;
@@ -18,19 +34,126 @@ pub struct Diagnosis {
     pub probability: f64,
     /// Decision at the configured threshold.
     pub positive: bool,
+    /// Time the study spent queued before its first stage started
+    /// (zero for direct `diagnose` calls; filled in by the serving
+    /// layer's broker).
+    pub t_queue: Duration,
     /// Time spent in Enhancement AI.
     pub t_enhance: Duration,
-    /// Time spent in Segmentation AI.
+    /// Time spent in Segmentation AI (mask *inference*; applying the
+    /// mask is accounted in [`Diagnosis::t_total`]).
     pub t_segment: Duration,
     /// Time spent in Classification AI.
     pub t_classify: Duration,
+    /// Wall-clock from the start of preprocessing to the end of
+    /// classification — includes normalization, segmentation-mask
+    /// application, and (in the pipelined serving path) inter-stage
+    /// hand-off, none of which the three stage timers cover.
+    pub t_total: Duration,
 }
 
 impl Diagnosis {
-    /// Total inference time.
+    /// Total processing time. This is the wall-clock [`Self::t_total`],
+    /// which includes segmentation mask application and normalization —
+    /// the sum of the three stage timers alone undercounts whenever the
+    /// masking cost is nonzero. Queue wait ([`Self::t_queue`]) is *not*
+    /// included; add it for end-to-end study turnaround.
     pub fn total_time(&self) -> Duration {
-        self.t_enhance + self.t_segment + self.t_classify
+        self.t_total
     }
+
+    /// Attach the queue wait measured by a serving layer.
+    pub fn with_queue_time(mut self, t_queue: Duration) -> Self {
+        self.t_queue = t_queue;
+        self
+    }
+}
+
+/// Reusable pool of volume-sized buffers threaded through the stage
+/// methods. One `Scratch` per worker (or per batch) eliminates the
+/// per-study intermediate allocations: normalized input, enhanced
+/// output, HU copy for segmentation, and the masked classifier input
+/// all draw from and return to the pool.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+/// Cap on pooled buffers — enough for the four volume-sized
+/// intermediates of one in-flight study plus slack for a stage handing
+/// buffers back while the next study is drawn.
+const SCRATCH_POOL_CAP: usize = 8;
+
+impl Scratch {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently pooled (observability for tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A tensor of the given shape backed by a recycled buffer when one
+    /// is available. Contents are zeroed; every stage fully overwrites
+    /// what it takes.
+    fn take(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, 0.0);
+                Tensor::from_vec(dims.to_vec(), v).expect("scratch buffer sized to dims")
+            }
+            None => Tensor::zeros(dims.to_vec()),
+        }
+    }
+
+    /// Return a tensor's backing buffer to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        if self.pool.len() < SCRATCH_POOL_CAP {
+            self.pool.push(t.into_vec());
+        }
+    }
+}
+
+/// How the enhancement stage batches slices (see [`Ddnet::enhance_stack`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnhanceMode {
+    /// One forward pass per slice — the reference path; bit-identical
+    /// across batch compositions and the default everywhere.
+    #[default]
+    PerSlice,
+    /// All `D` slices of a study in one batched forward under a pinned
+    /// conv backend. GEMM-friendly (the conv lowering sees `D×OH×OW`
+    /// output rows), but only bit-identical to `PerSlice` when direct
+    /// calls pin the same backend — under `Auto` the dispatch may
+    /// resolve differently for the batched shape.
+    Stacked(ConvBackend),
+}
+
+/// Output of the enhancement stage (input to segmentation).
+#[derive(Debug)]
+pub struct Enhanced {
+    /// Enhanced (or passthrough-normalized) volume in `[0,1]`.
+    pub unit: Tensor,
+    /// HU-space volume the segmenter should mask from.
+    hu_for_seg: Tensor,
+    /// Enhancement-AI time.
+    pub t_enhance: Duration,
+    /// When preprocessing for this study began (drives `t_total`).
+    started: Instant,
+}
+
+/// Output of the segmentation stage (input to classification).
+#[derive(Debug)]
+pub struct Segmented {
+    /// Masked, normalized volume — the classifier's input.
+    pub masked: Tensor,
+    t_enhance: Duration,
+    t_segment: Duration,
+    started: Instant,
 }
 
 /// The ComputeCOVID19+ pipeline: optional Enhancement AI, Segmentation AI,
@@ -59,33 +182,101 @@ impl Framework {
         }
     }
 
+    // -- stage methods (the serving layer pipelines these across threads) --
+
+    /// Stage 1: normalize a `(D, H, W)` HU volume and run Enhancement AI.
+    pub fn run_enhance(&self, vol_hu: &Tensor, scratch: &mut Scratch) -> Result<Enhanced> {
+        self.run_enhance_with(vol_hu, scratch, EnhanceMode::PerSlice)
+    }
+
+    /// [`Framework::run_enhance`] with an explicit slice-batching mode.
+    pub fn run_enhance_with(
+        &self,
+        vol_hu: &Tensor,
+        scratch: &mut Scratch,
+        mode: EnhanceMode,
+    ) -> Result<Enhanced> {
+        vol_hu.shape().expect_rank(3)?;
+        let started = Instant::now();
+        let dims = vol_hu.dims().to_vec();
+
+        // Normalize each slice into [0,1] (Enhancement AI's input space).
+        let mut unit = scratch.take(&dims);
+        normalize_for_enhancement_into(vol_hu, self.prep, &mut unit)?;
+
+        match &self.enhancer {
+            Some(net) => {
+                let t0 = Instant::now();
+                let mut enhanced = scratch.take(&dims);
+                match mode {
+                    EnhanceMode::PerSlice => enhance_volume_into(net, &unit, &mut enhanced)?,
+                    EnhanceMode::Stacked(backend) => {
+                        enhance_volume_stacked_into(net, &unit, backend, &mut enhanced)?
+                    }
+                }
+                let mut hu_for_seg = scratch.take(&dims);
+                denormalize_from_enhancement_into(&enhanced, self.prep, &mut hu_for_seg)?;
+                let t_enhance = t0.elapsed();
+                scratch.recycle(unit);
+                Ok(Enhanced { unit: enhanced, hu_for_seg, t_enhance, started })
+            }
+            None => {
+                let mut hu_for_seg = scratch.take(&dims);
+                hu_for_seg.data_mut().copy_from_slice(vol_hu.data());
+                Ok(Enhanced { unit, hu_for_seg, t_enhance: Duration::ZERO, started })
+            }
+        }
+    }
+
+    /// Stage 2: segment the lungs and apply the mask.
+    pub fn run_segment(&self, enh: Enhanced, scratch: &mut Scratch) -> Result<Segmented> {
+        let Enhanced { unit, hu_for_seg, t_enhance, started } = enh;
+        let t0 = Instant::now();
+        let mask = self.segmenter.segment_volume(&hu_for_seg)?;
+        let t_segment = t0.elapsed();
+        // Mask application is deliberately *outside* the t_segment
+        // window; its cost lands in t_total (see Diagnosis::total_time).
+        let mut masked = scratch.take(unit.dims());
+        apply_mask_into(&unit, &mask, &mut masked)?;
+        scratch.recycle(unit);
+        scratch.recycle(hu_for_seg);
+        scratch.recycle(mask);
+        Ok(Segmented { masked, t_enhance, t_segment, started })
+    }
+
+    /// Stage 3: classify and assemble the report.
+    pub fn run_classify(
+        &self,
+        seg: Segmented,
+        threshold: f64,
+        scratch: &mut Scratch,
+    ) -> Result<Diagnosis> {
+        let Segmented { masked, t_enhance, t_segment, started } = seg;
+        let t0 = Instant::now();
+        let probability = self.classifier.predict_proba(&masked)?;
+        let t_classify = t0.elapsed();
+        scratch.recycle(masked);
+        Ok(Diagnosis {
+            probability,
+            positive: probability >= threshold,
+            t_queue: Duration::ZERO,
+            t_enhance,
+            t_segment,
+            t_classify,
+            t_total: started.elapsed(),
+        })
+    }
+
+    // -- convenience entry points --
+
     /// Preprocess a `(D, H, W)` HU volume into the classifier's input:
     /// normalize → (enhance) → segment → mask. Returns the normalized,
     /// masked volume plus stage timings.
     pub fn preprocess(&self, vol_hu: &Tensor) -> Result<(Tensor, Duration, Duration)> {
-        vol_hu.shape().expect_rank(3)?;
-
-        // Normalize each slice into [0,1] (Enhancement AI's input space).
-        let unit = normalize_for_enhancement(vol_hu, self.prep);
-
-        // Enhancement AI.
-        let (unit, hu_for_seg, t_enhance) = match &self.enhancer {
-            Some(net) => {
-                let t0 = Instant::now();
-                let enhanced = enhance_volume(net, &unit)?;
-                let hu = denormalize_from_enhancement(&enhanced, self.prep);
-                (enhanced, hu, t0.elapsed())
-            }
-            None => (unit, vol_hu.clone(), Duration::ZERO),
-        };
-
-        // Segmentation AI: mask from the (possibly enhanced) HU volume.
-        let t0 = Instant::now();
-        let mask = self.segmenter.segment_volume(&hu_for_seg)?;
-        let masked = apply_mask(&unit, &mask)?;
-        let t_segment = t0.elapsed();
-
-        Ok((masked, t_enhance, t_segment))
+        let mut scratch = Scratch::new();
+        let enh = self.run_enhance(vol_hu, &mut scratch)?;
+        let seg = self.run_segment(enh, &mut scratch)?;
+        Ok((seg.masked, seg.t_enhance, seg.t_segment))
     }
 
     /// Probability that the study is COVID-positive.
@@ -93,19 +284,28 @@ impl Framework {
         Ok(self.diagnose(vol_hu, 0.5)?.probability)
     }
 
-    /// Full diagnosis with stage timings.
+    /// Full diagnosis with stage timings — a thin wrapper over
+    /// [`Framework::diagnose_batch`] with a batch of one.
     pub fn diagnose(&self, vol_hu: &Tensor, threshold: f64) -> Result<Diagnosis> {
-        let (masked, t_enhance, t_segment) = self.preprocess(vol_hu)?;
-        let t0 = Instant::now();
-        let probability = self.classifier.predict_proba(&masked)?;
-        let t_classify = t0.elapsed();
-        Ok(Diagnosis {
-            probability,
-            positive: probability >= threshold,
-            t_enhance,
-            t_segment,
-            t_classify,
-        })
+        let mut reports = self.diagnose_batch(std::slice::from_ref(vol_hu), threshold)?;
+        Ok(reports.pop().expect("batch of 1 yields 1 report"))
+    }
+
+    /// Diagnose a batch of studies, reusing intermediate volume buffers
+    /// across studies via one shared [`Scratch`] pool (after the first
+    /// study, the per-study volume-sized allocations are recycled
+    /// rather than reallocated). Reports are returned in input order
+    /// and are bit-identical to per-study [`Framework::diagnose`] calls.
+    pub fn diagnose_batch(&self, vols_hu: &[Tensor], threshold: f64) -> Result<Vec<Diagnosis>> {
+        let mut scratch = Scratch::new();
+        vols_hu
+            .iter()
+            .map(|vol| {
+                let enh = self.run_enhance(vol, &mut scratch)?;
+                let seg = self.run_segment(enh, &mut scratch)?;
+                self.run_classify(seg, threshold, &mut scratch)
+            })
+            .collect()
     }
 
     /// Disable Enhancement AI (the paper's baseline arm), returning the
@@ -118,9 +318,9 @@ impl Framework {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc19_ctsim::phantom::Severity;
     use cc19_data::sources::{DataSource, Modality, ScanMeta};
     use cc19_data::volume::CtVolume;
-    use cc19_ctsim::phantom::Severity;
 
     fn test_volume(positive: bool) -> CtVolume {
         let meta = ScanMeta {
@@ -136,6 +336,20 @@ mod tests {
         CtVolume::synthesize(&meta, 32, 4).unwrap()
     }
 
+    fn test_volume_seeded(id: u64) -> CtVolume {
+        let meta = ScanMeta {
+            id,
+            source: DataSource::Midrc,
+            modality: Modality::Ct,
+            positive: id % 2 == 0,
+            severity: if id % 2 == 0 { Some(Severity::Moderate) } else { None },
+            slices: 4,
+            circular_artifact: false,
+            has_projections: false,
+        };
+        CtVolume::synthesize(&meta, 32, 4).unwrap()
+    }
+
     #[test]
     fn diagnose_end_to_end() {
         let fw = Framework::untrained_reduced(1);
@@ -144,6 +358,9 @@ mod tests {
         assert!((0.0..=1.0).contains(&d.probability));
         assert_eq!(d.positive, d.probability >= 0.5);
         assert!(d.total_time() >= d.t_enhance);
+        // t_total is a wall clock over all three stages plus masking.
+        assert!(d.t_total >= d.t_enhance + d.t_segment + d.t_classify);
+        assert_eq!(d.t_queue, Duration::ZERO);
     }
 
     #[test]
@@ -175,5 +392,57 @@ mod tests {
     fn rejects_wrong_rank() {
         let fw = Framework::untrained_reduced(4);
         assert!(fw.diagnose(&Tensor::zeros([32, 32]), 0.5).is_err());
+    }
+
+    #[test]
+    fn batch_of_one_is_bit_identical_to_single_call() {
+        let fw = Framework::untrained_reduced(5);
+        let vol = test_volume(true);
+        let single = fw.diagnose(&vol.hu, 0.5).unwrap();
+        let batch = fw.diagnose_batch(std::slice::from_ref(&vol.hu), 0.5).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].probability.to_bits(), single.probability.to_bits());
+        assert_eq!(batch[0].positive, single.positive);
+    }
+
+    #[test]
+    fn batch_scratch_reuse_does_not_change_bits() {
+        let fw = Framework::untrained_reduced(6);
+        let vols: Vec<Tensor> =
+            (0..3).map(|i| test_volume_seeded(20 + i).hu).collect();
+        let batch = fw.diagnose_batch(&vols, 0.5).unwrap();
+        assert_eq!(batch.len(), 3);
+        // Every study in the batch — including those served from
+        // recycled buffers — must match its standalone diagnosis.
+        for (vol, b) in vols.iter().zip(&batch) {
+            let single = fw.diagnose(vol, 0.5).unwrap();
+            assert_eq!(b.probability.to_bits(), single.probability.to_bits());
+            assert_eq!(b.positive, single.positive);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let fw = Framework::untrained_reduced(7);
+        let vol = test_volume(true);
+        let mut scratch = Scratch::new();
+        let enh = fw.run_enhance(&vol.hu, &mut scratch).unwrap();
+        let seg = fw.run_segment(enh, &mut scratch).unwrap();
+        let _ = fw.run_classify(seg, 0.5, &mut scratch).unwrap();
+        // enhance recycles 1 (pre-enhance unit), segment recycles 3
+        // (unit, hu_for_seg, mask), classify recycles 1 (masked).
+        assert!(scratch.pooled() >= 4, "pooled: {}", scratch.pooled());
+    }
+
+    #[test]
+    fn staged_calls_match_diagnose() {
+        let fw = Framework::untrained_reduced(8);
+        let vol = test_volume(false);
+        let mut scratch = Scratch::new();
+        let enh = fw.run_enhance(&vol.hu, &mut scratch).unwrap();
+        let seg = fw.run_segment(enh, &mut scratch).unwrap();
+        let staged = fw.run_classify(seg, 0.5, &mut scratch).unwrap();
+        let direct = fw.diagnose(&vol.hu, 0.5).unwrap();
+        assert_eq!(staged.probability.to_bits(), direct.probability.to_bits());
     }
 }

@@ -1,0 +1,84 @@
+//! Dynamic-batching policy and the worker start gate.
+//!
+//! The batcher is the serving layer's latency/throughput knob (the same
+//! control Triton exposes as *max batch size* + *max queue delay*): a
+//! dispatch takes whatever is queued, but if fewer than `max_batch`
+//! studies are waiting it holds the batch open up to `max_delay` so
+//! near-simultaneous arrivals coalesce into one GEMM-friendly unit of
+//! work. `max_delay = 0` degenerates to take-what's-there batching;
+//! a large `max_delay` maximizes batch occupancy at the cost of p50.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Coalescing policy for one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Largest batch a single dispatch may carry.
+    pub max_batch: usize,
+    /// How long a non-full batch waits for stragglers.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 8, max_delay: Duration::from_millis(2) }
+    }
+}
+
+/// A start gate for worker pipelines: a paused server queues admissions
+/// but dispatches nothing until resumed. This makes batching
+/// deterministic in tests (queue 64 requests, open the gate, observe
+/// full batches) and mirrors a warm-standby deployment.
+#[derive(Debug, Default)]
+pub(crate) struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new(open: bool) -> Self {
+        Gate { open: Mutex::new(open), cv: Condvar::new() }
+    }
+
+    /// Block until the gate is open.
+    pub(crate) fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    /// Open the gate and wake all waiters.
+    pub(crate) fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gate_blocks_until_opened() {
+        let gate = Arc::new(Gate::new(false));
+        let g = Arc::clone(&gate);
+        let h = std::thread::spawn(move || {
+            g.wait_open();
+            42
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "worker must hold at the gate");
+        gate.open();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = BatchPolicy::default();
+        assert!(p.max_batch >= 2);
+        assert!(p.max_delay > Duration::ZERO);
+    }
+}

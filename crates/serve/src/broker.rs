@@ -1,0 +1,346 @@
+//! Request broker: bounded admission, priority classes, deadline-aware
+//! scheduling, and batch-forming dispatch.
+//!
+//! Admission control is *synchronous backpressure*: a submission either
+//! enters the bounded queue or gets a typed [`Rejected`] right away —
+//! the queue can never grow without bound, and clients learn about
+//! overload at the edge instead of via timeouts. Dispatch drains
+//! strictly by class (`stat` → `urgent` → `routine`; priorities never
+//! invert) and earliest-deadline-first within a class, with dispatch
+//! batching delegated to the [`BatchPolicy`] coalescing window.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+
+use crate::batcher::BatchPolicy;
+use crate::metrics::ServeMetrics;
+use crate::request::{Priority, Rejected, ServeRequest, ServeResponse};
+
+/// Broker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerCfg {
+    /// Maximum queued (admitted, not yet dispatched) requests.
+    pub queue_bound: usize,
+    /// Estimated minimum per-study service time, used to reject
+    /// impossible deadlines at admission. `Duration::ZERO` disables the
+    /// screen.
+    pub est_service: Duration,
+}
+
+impl Default for BrokerCfg {
+    fn default() -> Self {
+        BrokerCfg { queue_bound: 64, est_service: Duration::ZERO }
+    }
+}
+
+/// One admitted, not-yet-dispatched study — the unit the dispatcher
+/// hands to a worker pipeline. Public so harnesses (the broker property
+/// tests, custom worker loops) can drive the broker directly.
+pub struct Job {
+    /// Admission id (monotone; doubles as the FIFO tiebreak within a class).
+    pub id: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Absolute deadline, if the client set a budget.
+    pub deadline: Option<Instant>,
+    /// The study.
+    pub volume: cc19_tensor::Tensor,
+    /// Admission timestamp (queue-wait accounting).
+    pub submitted: Instant,
+    /// Exactly-once reply channel.
+    pub reply: Sender<ServeResponse>,
+}
+
+struct Inner {
+    /// Per-class queues, index = `Priority::class()`, each kept sorted
+    /// by (deadline, id) — EDF with FIFO tiebreak; no-deadline jobs sort
+    /// after all deadlined ones.
+    classes: [Vec<Job>; 3],
+    depth: usize,
+    closed: bool,
+    next_id: u64,
+}
+
+/// The admission queue + dispatcher shared by clients and worker
+/// pipelines.
+pub struct Broker {
+    cfg: BrokerCfg,
+    inner: Mutex<Inner>,
+    arrived: Condvar,
+    metrics: ServeMetrics,
+}
+
+fn edf_key(j: &Job) -> (bool, Option<Instant>, u64) {
+    (j.deadline.is_none(), j.deadline, j.id)
+}
+
+impl Broker {
+    /// New broker reporting into `metrics`.
+    pub fn new(cfg: BrokerCfg, metrics: ServeMetrics) -> Self {
+        Broker {
+            cfg,
+            inner: Mutex::new(Inner {
+                classes: [Vec::new(), Vec::new(), Vec::new()],
+                depth: 0,
+                closed: false,
+                next_id: 0,
+            }),
+            arrived: Condvar::new(),
+            metrics,
+        }
+    }
+
+    /// Current queue depth (admitted, not yet dispatched).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().depth
+    }
+
+    /// Admit a request or reject it synchronously. On success returns
+    /// the admission id; the reply channel will receive exactly one
+    /// [`ServeResponse`] for it.
+    pub fn submit(
+        &self,
+        req: ServeRequest,
+        reply: Sender<ServeResponse>,
+    ) -> Result<u64, Rejected> {
+        let dims = req.volume.dims();
+        if dims.len() != 3 || dims.iter().any(|&d| d == 0) {
+            let why = Rejected::Invalid(format!("expected non-empty (D,H,W) volume, got {dims:?}"));
+            self.metrics.on_reject(&why);
+            return Err(why);
+        }
+        if let Some(budget) = req.deadline {
+            if budget < self.cfg.est_service {
+                let why = Rejected::DeadlineImpossible {
+                    deadline: budget,
+                    est_service: self.cfg.est_service,
+                };
+                self.metrics.on_reject(&why);
+                return Err(why);
+            }
+        }
+        let now = Instant::now();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            drop(inner);
+            let why = Rejected::ShuttingDown;
+            self.metrics.on_reject(&why);
+            return Err(why);
+        }
+        if inner.depth >= self.cfg.queue_bound {
+            let why = Rejected::QueueFull { depth: inner.depth, bound: self.cfg.queue_bound };
+            drop(inner);
+            self.metrics.on_reject(&why);
+            return Err(why);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Job {
+            id,
+            priority: req.priority,
+            deadline: req.deadline.map(|b| now + b),
+            volume: req.volume,
+            submitted: now,
+            reply,
+        };
+        let class = &mut inner.classes[req.priority.class()];
+        let pos = class.partition_point(|j| edf_key(j) <= edf_key(&job));
+        class.insert(pos, job);
+        inner.depth += 1;
+        let depth = inner.depth;
+        drop(inner);
+        self.metrics.on_accept(depth);
+        self.arrived.notify_one();
+        Ok(id)
+    }
+
+    /// Block until work is available, coalesce per `policy`, and return
+    /// the next batch in strict priority order. Returns `None` once the
+    /// broker is closed **and** drained (graceful shutdown: queued work
+    /// is still served after [`Broker::close`]).
+    pub fn pop_batch(&self, policy: BatchPolicy) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            // Wait for the first job (or closed+empty).
+            loop {
+                if inner.depth > 0 {
+                    break;
+                }
+                if inner.closed {
+                    return None;
+                }
+                inner = self.arrived.wait(inner).unwrap();
+            }
+            // Coalescing window: give the batch max_delay to fill up to
+            // max_batch (the latency/throughput knob). A closed broker
+            // skips the wait — drain as fast as possible. The waits
+            // release the lock, so a concurrent pipeline may steal the
+            // queued work; an empty drain below just loops back.
+            let window_start = Instant::now();
+            while inner.depth < policy.max_batch && !inner.closed {
+                let elapsed = window_start.elapsed();
+                if elapsed >= policy.max_delay {
+                    break;
+                }
+                let (guard, timed_out) =
+                    self.arrived.wait_timeout(inner, policy.max_delay - elapsed).unwrap();
+                inner = guard;
+                if timed_out.timed_out() {
+                    break;
+                }
+            }
+            // Drain strictly by class; within a class the queue is
+            // already EDF-sorted. Highest class first means priorities
+            // never invert at dispatch.
+            let mut batch = Vec::new();
+            for class in inner.classes.iter_mut() {
+                while batch.len() < policy.max_batch && !class.is_empty() {
+                    batch.push(class.remove(0));
+                }
+                if batch.len() >= policy.max_batch {
+                    break;
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            inner.depth -= batch.len();
+            if inner.depth > 0 {
+                // Leftover work: wake another pipeline immediately.
+                self.arrived.notify_one();
+            }
+            drop(inner);
+            self.metrics.on_batch(batch.len());
+            return Some(batch);
+        }
+    }
+
+    /// Stop admitting; wake all dispatchers so they can drain and exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc19_tensor::Tensor;
+    use crossbeam::channel::unbounded;
+
+    fn req(priority: Priority, deadline: Option<Duration>) -> ServeRequest {
+        ServeRequest { volume: Tensor::zeros([2, 4, 4]), priority, deadline }
+    }
+
+    fn broker(bound: usize) -> Broker {
+        Broker::new(
+            BrokerCfg { queue_bound: bound, est_service: Duration::from_millis(5) },
+            ServeMetrics::new(),
+        )
+    }
+
+    fn instant_policy(max_batch: usize) -> BatchPolicy {
+        BatchPolicy { max_batch, max_delay: Duration::ZERO }
+    }
+
+    #[test]
+    fn queue_full_is_typed_and_bound_is_respected() {
+        let b = broker(2);
+        let (tx, _rx) = unbounded();
+        b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        let err = b.submit(req(Priority::Stat, None), tx).unwrap_err();
+        assert_eq!(err, Rejected::QueueFull { depth: 2, bound: 2 });
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected_at_admission() {
+        let b = broker(8);
+        let (tx, _rx) = unbounded();
+        let err =
+            b.submit(req(Priority::Stat, Some(Duration::from_millis(1))), tx).unwrap_err();
+        assert!(matches!(err, Rejected::DeadlineImpossible { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_volume_is_rejected() {
+        let b = broker(8);
+        let (tx, _rx) = unbounded();
+        let bad = ServeRequest {
+            volume: Tensor::zeros([4, 4]),
+            priority: Priority::Routine,
+            deadline: None,
+        };
+        assert!(matches!(b.submit(bad, tx).unwrap_err(), Rejected::Invalid(_)));
+    }
+
+    #[test]
+    fn dispatch_order_is_class_then_edf_then_fifo() {
+        let b = broker(16);
+        let (tx, _rx) = unbounded();
+        let r0 = b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        let u_late =
+            b.submit(req(Priority::Urgent, Some(Duration::from_secs(60))), tx.clone()).unwrap();
+        let u_soon =
+            b.submit(req(Priority::Urgent, Some(Duration::from_secs(1))), tx.clone()).unwrap();
+        let s0 = b.submit(req(Priority::Stat, None), tx.clone()).unwrap();
+        let u_none = b.submit(req(Priority::Urgent, None), tx).unwrap();
+        let batch = b.pop_batch(instant_policy(16)).unwrap();
+        let order: Vec<u64> = batch.iter().map(|j| j.id).collect();
+        // stat first, then urgent EDF (1s before 60s before no-deadline),
+        // routine last.
+        assert_eq!(order, vec![s0, u_soon, u_late, u_none, r0]);
+    }
+
+    #[test]
+    fn max_batch_truncates_without_priority_inversion() {
+        let b = broker(16);
+        let (tx, _rx) = unbounded();
+        for _ in 0..3 {
+            b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        }
+        for _ in 0..2 {
+            b.submit(req(Priority::Stat, None), tx.clone()).unwrap();
+        }
+        let batch = b.pop_batch(instant_policy(3)).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            batch.iter().filter(|j| j.priority == Priority::Stat).count(),
+            2,
+            "all stat work dispatches before any routine"
+        );
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let b = broker(8);
+        let (tx, _rx) = unbounded();
+        b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        b.close();
+        assert_eq!(b.submit(req(Priority::Stat, None), tx).unwrap_err(), Rejected::ShuttingDown);
+        let batch = b.pop_batch(instant_policy(4)).unwrap();
+        assert_eq!(batch.len(), 1, "queued work is served during drain");
+        assert!(b.pop_batch(instant_policy(4)).is_none());
+    }
+
+    #[test]
+    fn coalescing_window_batches_late_arrivals() {
+        use std::sync::Arc;
+        let b = Arc::new(broker(8));
+        let (tx, _rx) = unbounded();
+        b.submit(req(Priority::Routine, None), tx.clone()).unwrap();
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            b2.submit(req(Priority::Routine, None), tx).unwrap();
+        });
+        let policy = BatchPolicy { max_batch: 2, max_delay: Duration::from_millis(500) };
+        let batch = b.pop_batch(policy).unwrap();
+        h.join().unwrap();
+        assert_eq!(batch.len(), 2, "second arrival joined within the delay window");
+    }
+}

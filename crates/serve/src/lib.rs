@@ -1,0 +1,54 @@
+//! # cc19-serve
+//!
+//! The serving subsystem of the ComputeCOVID19+ reproduction: the layer
+//! that turns one-volume-at-a-time [`computecovid19::Framework`] calls
+//! into a concurrent diagnosis *service* (the paper's headline claim is
+//! clinical turnaround — §5, Table 3 — and the ROADMAP north star is
+//! heavy multi-user traffic).
+//!
+//! Architecture (DESIGN.md §10):
+//!
+//! ```text
+//! clients ──▶ broker (bounded admission, stat/urgent/routine classes,
+//!         │           EDF within class, typed backpressure)
+//!         │      │
+//!         │      ▼  dynamic batcher (max-batch / max-delay coalescing)
+//!         │   worker pipelines × P:
+//!         │      enhance thread ─▶ segment thread ─▶ classify thread
+//!         │      (stage N of study A overlaps stage N−1 of study B)
+//!         │      ▼
+//!         ◀── replies (exactly once per accepted request) + metrics
+//! ```
+//!
+//! - [`broker`] — bounded admission queue with priority classes and
+//!   deadline-aware scheduling; over-capacity submissions get a typed
+//!   [`Rejected`] instead of unbounded queue growth.
+//! - [`batcher`] — the max-batch / max-delay coalescing policy (the
+//!   Triton-style latency/throughput knob) and the pause gate used for
+//!   deterministic tests.
+//! - [`worker`] — warm pool of `Framework` replicas; each pipeline runs
+//!   the three stages on separate threads connected by channels,
+//!   threading a `Scratch` buffer pool through each stage.
+//! - [`server`] — ties the pieces together; in-process [`Client`].
+//! - [`wire`] — TCP front end over `std::net::TcpStream`, framed with
+//!   the CRC framing reused from [`cc19_dist::framing`].
+//! - [`metrics`] — per-stage latency histograms, queue depth, batch-size
+//!   distribution, reject counters, p50/p95/p99; dumps CSV under
+//!   `results/`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod broker;
+pub mod metrics;
+pub mod request;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use batcher::BatchPolicy;
+pub use broker::{Broker, BrokerCfg, Job};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use request::{Priority, Rejected, ServeRequest, ServeResponse};
+pub use server::{Client, PendingDiagnosis, Server, ServerCfg};
+pub use wire::{serve_on, TcpServeClient};

@@ -1,0 +1,258 @@
+//! Serve-side metrics: per-stage latency histograms, queue depth,
+//! batch-size distribution, reject counters, and quantiles, dumped as a
+//! `section,name,value` CSV into `results/`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use computecovid19::Diagnosis;
+
+use crate::request::Rejected;
+
+/// Exact-sample latency recorder (serving workloads here are bounded, so
+/// storing samples and computing nearest-rank quantiles beats bucketing
+/// error; a production swap to HDR buckets only touches this type).
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples_ms: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one latency in milliseconds.
+    pub fn record_ms(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Nearest-rank quantile (`q` in `[0,1]`) in milliseconds; 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Arithmetic mean in milliseconds; 0 when empty.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    /// Largest sample in milliseconds; 0 when empty.
+    pub fn max_ms(&self) -> f64 {
+        self.samples_ms.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    accepted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: BTreeMap<&'static str, u64>,
+    deadline_missed: u64,
+    batch_sizes: BTreeMap<usize, u64>,
+    depth_max: usize,
+    h_queue: Histogram,
+    h_enhance: Histogram,
+    h_segment: Histogram,
+    h_classify: Histogram,
+    h_total: Histogram,
+}
+
+/// Shared, thread-safe metrics sink for one server.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Point-in-time copy of the counters a test or bench typically asserts
+/// on (histograms are exported via the CSV).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests answered with a diagnosis.
+    pub completed: u64,
+    /// Requests answered with a stage error.
+    pub failed: u64,
+    /// Total rejections across reasons.
+    pub rejected: u64,
+    /// Completions that blew their deadline.
+    pub deadline_missed: u64,
+    /// Largest queue depth observed at any admission.
+    pub depth_max: usize,
+    /// Largest dispatched batch.
+    pub max_batch: usize,
+    /// Number of dispatched batches.
+    pub batches: u64,
+}
+
+impl ServeMetrics {
+    /// Fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_accept(&self, depth_after: usize) {
+        let mut m = self.inner.lock().unwrap();
+        m.accepted += 1;
+        m.depth_max = m.depth_max.max(depth_after);
+    }
+
+    pub(crate) fn on_reject(&self, why: &Rejected) {
+        *self.inner.lock().unwrap().rejected.entry(why.label()).or_insert(0) += 1;
+    }
+
+    pub(crate) fn on_batch(&self, size: usize) {
+        *self.inner.lock().unwrap().batch_sizes.entry(size).or_insert(0) += 1;
+    }
+
+    pub(crate) fn on_complete(&self, d: &Diagnosis, missed_deadline: bool) {
+        let mut m = self.inner.lock().unwrap();
+        m.completed += 1;
+        if missed_deadline {
+            m.deadline_missed += 1;
+        }
+        m.h_queue.record_ms(d.t_queue.as_secs_f64() * 1e3);
+        m.h_enhance.record_ms(d.t_enhance.as_secs_f64() * 1e3);
+        m.h_segment.record_ms(d.t_segment.as_secs_f64() * 1e3);
+        m.h_classify.record_ms(d.t_classify.as_secs_f64() * 1e3);
+        m.h_total.record_ms(d.t_total.as_secs_f64() * 1e3);
+    }
+
+    pub(crate) fn on_failure(&self) {
+        self.inner.lock().unwrap().failed += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            accepted: m.accepted,
+            completed: m.completed,
+            failed: m.failed,
+            rejected: m.rejected.values().sum(),
+            deadline_missed: m.deadline_missed,
+            depth_max: m.depth_max,
+            max_batch: m.batch_sizes.keys().next_back().copied().unwrap_or(0),
+            batches: m.batch_sizes.values().sum(),
+        }
+    }
+
+    /// p50/p95/p99 of end-to-end processing latency in milliseconds.
+    pub fn total_latency_quantiles_ms(&self) -> (f64, f64, f64) {
+        let m = self.inner.lock().unwrap();
+        (m.h_total.quantile_ms(0.50), m.h_total.quantile_ms(0.95), m.h_total.quantile_ms(0.99))
+    }
+
+    /// Render the full `section,name,value` CSV.
+    pub fn to_csv(&self) -> String {
+        let m = self.inner.lock().unwrap();
+        let mut out = String::from("section,name,value\n");
+        let counter = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("counter,{name},{v}\n"));
+        };
+        counter(&mut out, "accepted", m.accepted);
+        counter(&mut out, "completed", m.completed);
+        counter(&mut out, "failed", m.failed);
+        for label in ["queue_full", "deadline_impossible", "invalid", "shutting_down"] {
+            counter(
+                &mut out,
+                &format!("rejected_{label}"),
+                m.rejected.get(label).copied().unwrap_or(0),
+            );
+        }
+        counter(&mut out, "deadline_missed", m.deadline_missed);
+        out.push_str(&format!("gauge,queue_depth_max,{}\n", m.depth_max));
+        for (size, n) in &m.batch_sizes {
+            out.push_str(&format!("batch_size,{size},{n}\n"));
+        }
+        for (stage, h) in [
+            ("queue", &m.h_queue),
+            ("enhance", &m.h_enhance),
+            ("segment", &m.h_segment),
+            ("classify", &m.h_classify),
+            ("total", &m.h_total),
+        ] {
+            out.push_str(&format!("stage_ms,{stage}_count,{}\n", h.count()));
+            out.push_str(&format!("stage_ms,{stage}_mean,{:.4}\n", h.mean_ms()));
+            out.push_str(&format!("stage_ms,{stage}_p50,{:.4}\n", h.quantile_ms(0.50)));
+            out.push_str(&format!("stage_ms,{stage}_p95,{:.4}\n", h.quantile_ms(0.95)));
+            out.push_str(&format!("stage_ms,{stage}_p99,{:.4}\n", h.quantile_ms(0.99)));
+            out.push_str(&format!("stage_ms,{stage}_max,{:.4}\n", h.max_ms()));
+        }
+        out
+    }
+
+    /// Write the CSV to `path` (parent directory must exist).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake_diagnosis(total_ms: u64) -> Diagnosis {
+        Diagnosis {
+            probability: 0.5,
+            positive: true,
+            t_queue: Duration::from_millis(1),
+            t_enhance: Duration::from_millis(2),
+            t_segment: Duration::from_millis(3),
+            t_classify: Duration::from_millis(4),
+            t_total: Duration::from_millis(total_ms),
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record_ms(v as f64);
+        }
+        assert_eq!(h.quantile_ms(0.50), 50.0);
+        assert_eq!(h.quantile_ms(0.95), 95.0);
+        assert_eq!(h.quantile_ms(0.99), 99.0);
+        assert_eq!(h.max_ms(), 100.0);
+    }
+
+    #[test]
+    fn csv_has_three_columns_everywhere_and_roundtrips_counters() {
+        let m = ServeMetrics::new();
+        m.on_accept(3);
+        m.on_batch(2);
+        m.on_batch(2);
+        m.on_reject(&Rejected::QueueFull { depth: 4, bound: 4 });
+        m.on_complete(&fake_diagnosis(10), false);
+        let csv = m.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("section,name,value"));
+        for line in lines {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 3, "bad row: {line}");
+            fields[2].parse::<f64>().unwrap_or_else(|_| panic!("non-numeric value: {line}"));
+        }
+        assert!(csv.contains("counter,accepted,1\n"));
+        assert!(csv.contains("counter,rejected_queue_full,1\n"));
+        assert!(csv.contains("batch_size,2,2\n"));
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.max_batch, 2);
+        assert_eq!(snap.batches, 2);
+    }
+}

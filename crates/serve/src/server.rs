@@ -1,0 +1,234 @@
+//! The server: broker + batcher + worker pipelines + metrics, with an
+//! in-process [`Client`] handle.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+
+use computecovid19::framework::{EnhanceMode, Framework};
+
+use crate::batcher::{BatchPolicy, Gate};
+use crate::broker::{Broker, BrokerCfg};
+use crate::metrics::ServeMetrics;
+use crate::request::{Rejected, ServeRequest, ServeResponse};
+use crate::worker::{spawn_pipeline, FrameworkFactory};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCfg {
+    /// Bounded admission-queue capacity.
+    pub queue_bound: usize,
+    /// Estimated minimum service time for deadline admission screening
+    /// (`ZERO` disables the screen).
+    pub est_service: Duration,
+    /// Dynamic-batching policy.
+    pub batch: BatchPolicy,
+    /// Number of three-stage worker pipelines.
+    pub pipelines: usize,
+    /// Positive-decision threshold passed to classification.
+    pub threshold: f64,
+    /// Slice-batching mode for the enhancement stage (see
+    /// [`EnhanceMode`]; keep the default for bit-reproducibility with
+    /// direct `diagnose` calls).
+    pub enhance_mode: EnhanceMode,
+    /// Start with the dispatch gate closed; admissions queue up until
+    /// [`Server::resume`] — deterministic-batching test hook and
+    /// warm-standby mode.
+    pub start_paused: bool,
+}
+
+impl Default for ServerCfg {
+    fn default() -> Self {
+        ServerCfg {
+            queue_bound: 64,
+            est_service: Duration::ZERO,
+            batch: BatchPolicy::default(),
+            pipelines: 1,
+            threshold: 0.5,
+            enhance_mode: EnhanceMode::PerSlice,
+            start_paused: false,
+        }
+    }
+}
+
+/// A running diagnosis service.
+pub struct Server {
+    broker: Arc<Broker>,
+    gate: Arc<Gate>,
+    metrics: ServeMetrics,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server whose worker threads each build a warm
+    /// [`Framework`] replica via `factory`. The factory must be
+    /// deterministic (same replica every call) for the service to be
+    /// bit-reproducible across pipelines.
+    pub fn start<F>(cfg: ServerCfg, factory: F) -> Server
+    where
+        F: Fn() -> Framework + Send + Sync + 'static,
+    {
+        assert!(cfg.pipelines >= 1, "need at least one worker pipeline");
+        assert!(cfg.batch.max_batch >= 1, "max_batch must be at least 1");
+        let metrics = ServeMetrics::new();
+        let broker = Arc::new(Broker::new(
+            BrokerCfg { queue_bound: cfg.queue_bound, est_service: cfg.est_service },
+            metrics.clone(),
+        ));
+        let gate = Arc::new(Gate::new(!cfg.start_paused));
+        let factory: FrameworkFactory = Arc::new(factory);
+        let mut handles = Vec::new();
+        for i in 0..cfg.pipelines {
+            handles.extend(spawn_pipeline(
+                i,
+                Arc::clone(&broker),
+                Arc::clone(&gate),
+                cfg.batch,
+                Arc::clone(&factory),
+                cfg.threshold,
+                cfg.enhance_mode,
+                metrics.clone(),
+            ));
+        }
+        Server { broker, gate, metrics, handles }
+    }
+
+    /// In-process client handle (cheap to clone, usable from any thread).
+    pub fn client(&self) -> Client {
+        Client { broker: Arc::clone(&self.broker) }
+    }
+
+    /// Open the dispatch gate of a `start_paused` server.
+    pub fn resume(&self) {
+        self.gate.open();
+    }
+
+    /// Live metrics handle.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.broker.depth()
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything already
+    /// queued, join the workers, and return the final metrics.
+    pub fn shutdown(self) -> ServeMetrics {
+        self.broker.close();
+        self.gate.open(); // a paused server must still drain
+        for h in self.handles {
+            let _ = h.join();
+        }
+        self.metrics
+    }
+}
+
+/// In-process submission handle.
+#[derive(Clone)]
+pub struct Client {
+    broker: Arc<Broker>,
+}
+
+impl Client {
+    /// Submit a study. Returns a [`PendingDiagnosis`] on admission or a
+    /// typed [`Rejected`] immediately.
+    pub fn submit(&self, req: ServeRequest) -> Result<PendingDiagnosis, Rejected> {
+        let (tx, rx) = unbounded();
+        let id = self.broker.submit(req, tx)?;
+        Ok(PendingDiagnosis { id, rx })
+    }
+}
+
+/// An admitted request's future response (exactly one will arrive).
+#[derive(Debug)]
+pub struct PendingDiagnosis {
+    id: u64,
+    rx: Receiver<ServeResponse>,
+}
+
+impl PendingDiagnosis {
+    /// The admission id the response will carry.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives. `None` only if the server was
+    /// torn down without draining (workers panicked).
+    pub fn wait(self) -> Option<ServeResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// [`PendingDiagnosis::wait`] with a timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ServeResponse, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use cc19_tensor::Tensor;
+
+    fn tiny_volume(seed: u64) -> Tensor {
+        let mut rng = cc19_tensor::rng::Xorshift::new(seed);
+        rng.uniform_tensor([4, 32, 32], -1000.0, 400.0)
+    }
+
+    fn tiny_server(cfg: ServerCfg) -> Server {
+        Server::start(cfg, || Framework::untrained_reduced(42))
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = tiny_server(ServerCfg::default());
+        let client = server.client();
+        let pending = client
+            .submit(ServeRequest {
+                volume: tiny_volume(1),
+                priority: Priority::Stat,
+                deadline: None,
+            })
+            .unwrap();
+        let resp = pending.wait().unwrap();
+        let d = resp.result.unwrap();
+        assert!((0.0..=1.0).contains(&d.probability));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.snapshot().completed, 1);
+    }
+
+    #[test]
+    fn paused_server_queues_then_drains_on_shutdown() {
+        let mut cfg = ServerCfg::default();
+        cfg.start_paused = true;
+        let server = tiny_server(cfg);
+        let client = server.client();
+        let pendings: Vec<_> = (0..3)
+            .map(|i| client.submit(ServeRequest::routine(tiny_volume(i))).unwrap())
+            .collect();
+        assert_eq!(server.queue_depth(), 3, "paused server holds admissions");
+        // shutdown opens the gate and drains — every accepted request
+        // is still answered.
+        let metrics = server.shutdown();
+        for p in pendings {
+            assert!(p.wait().unwrap().result.is_ok());
+        }
+        assert_eq!(metrics.snapshot().completed, 3);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let server = tiny_server(ServerCfg::default());
+        let client = server.client();
+        let metrics = server.shutdown();
+        assert_eq!(
+            client.submit(ServeRequest::routine(tiny_volume(9))).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        assert_eq!(metrics.snapshot().rejected, 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! TCP front end over the CRC-framed wire protocol from
+//! [`cc19_dist::framing`] (one shared framing layer for training traffic
+//! and serving traffic — same magic, same integrity guarantee).
+//!
+//! One frame per message; the server echoes the request frame's `seq` in
+//! its response, so a client can pipeline requests over one connection
+//! and match answers. Frame kinds:
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | [`KIND_REQUEST`] | client → server | `[priority u8][has_deadline u8][deadline_micros u64][d u32][h u32][w u32][f32-LE × d·h·w]` |
+//! | [`KIND_RESPONSE_OK`] | server → client | `[id u64][probability f64-bits u64][positive u8][t_queue..t_total nanos u64 × 5]` |
+//! | [`KIND_RESPONSE_REJECT`] | server → client | structured [`Rejected`] (see [`encode_reject`]) |
+//! | [`KIND_RESPONSE_FAIL`] | server → client | `[id u64][utf-8 error]` |
+//!
+//! The probability crosses the wire as raw `f64` bits, so the remote
+//! answer is *bit-identical* to the in-process one — the serving
+//! acceptance criterion holds across the TCP boundary too.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cc19_dist::framing::WireFrame;
+use cc19_tensor::Tensor;
+use computecovid19::Diagnosis;
+
+use crate::request::{Priority, Rejected, ServeRequest};
+use crate::server::Client;
+
+/// Client → server diagnosis request.
+pub const KIND_REQUEST: u8 = 1;
+/// Server → client accepted-and-diagnosed response.
+pub const KIND_RESPONSE_OK: u8 = 2;
+/// Server → client synchronous admission rejection.
+pub const KIND_RESPONSE_REJECT: u8 = 3;
+/// Server → client stage-failure response (accepted but errored).
+pub const KIND_RESPONSE_FAIL: u8 = 4;
+
+/// Outcome of one remote diagnosis call, mirroring the in-process
+/// `submit` + `wait` pair.
+pub type WireOutcome = Result<(u64, Diagnosis), Rejected>;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let b = *self.0.first().ok_or_else(|| invalid("truncated payload"))?;
+        self.0 = &self.0[1..];
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(invalid("truncated payload"));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn rest_utf8(&mut self) -> io::Result<String> {
+        let s = std::str::from_utf8(self.0).map_err(|_| invalid("non-UTF-8 message"))?.to_owned();
+        self.0 = &[];
+        Ok(s)
+    }
+}
+
+/// Encode a [`ServeRequest`] payload.
+pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
+    let dims = req.volume.dims();
+    let mut out = Vec::with_capacity(2 + 8 + 12 + req.volume.data().len() * 4);
+    out.push(req.priority.code());
+    out.push(req.deadline.is_some() as u8);
+    out.extend_from_slice(&req.deadline.unwrap_or(Duration::ZERO).as_micros().to_le_bytes()[..8]);
+    for i in 0..3 {
+        out.extend_from_slice(&(*dims.get(i).unwrap_or(&0) as u32).to_le_bytes());
+    }
+    for v in req.volume.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a [`ServeRequest`] payload.
+pub fn decode_request(payload: &[u8]) -> io::Result<ServeRequest> {
+    let mut c = Cursor(payload);
+    let priority =
+        Priority::from_code(c.u8()?).ok_or_else(|| invalid("unknown priority code"))?;
+    let has_deadline = c.u8()? != 0;
+    let micros = c.u64()?;
+    let deadline = has_deadline.then(|| Duration::from_micros(micros));
+    let (d, h, w) = (c.u32()? as usize, c.u32()? as usize, c.u32()? as usize);
+    let n = d
+        .checked_mul(h)
+        .and_then(|v| v.checked_mul(w))
+        .ok_or_else(|| invalid("volume extent overflow"))?;
+    let raw = c.take(n * 4)?;
+    let data: Vec<f32> =
+        raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect();
+    let volume = Tensor::from_vec([d, h, w], data).map_err(|e| invalid(e.to_string()))?;
+    Ok(ServeRequest { volume, priority, deadline })
+}
+
+/// Encode an OK response payload.
+pub fn encode_ok(id: u64, d: &Diagnosis) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 1 + 40);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&d.probability.to_bits().to_le_bytes());
+    out.push(d.positive as u8);
+    for t in [d.t_queue, d.t_enhance, d.t_segment, d.t_classify, d.t_total] {
+        out.extend_from_slice(&(t.as_nanos() as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Decode an OK response payload.
+pub fn decode_ok(payload: &[u8]) -> io::Result<(u64, Diagnosis)> {
+    let mut c = Cursor(payload);
+    let id = c.u64()?;
+    let probability = f64::from_bits(c.u64()?);
+    let positive = c.u8()? != 0;
+    let mut times = [Duration::ZERO; 5];
+    for t in &mut times {
+        *t = Duration::from_nanos(c.u64()?);
+    }
+    Ok((
+        id,
+        Diagnosis {
+            probability,
+            positive,
+            t_queue: times[0],
+            t_enhance: times[1],
+            t_segment: times[2],
+            t_classify: times[3],
+            t_total: times[4],
+        },
+    ))
+}
+
+/// Encode a [`Rejected`] payload (structured, so the client reconstructs
+/// the exact rejection, not just a message).
+pub fn encode_reject(why: &Rejected) -> Vec<u8> {
+    let mut out = vec![why.code()];
+    match why {
+        Rejected::QueueFull { depth, bound } => {
+            out.extend_from_slice(&(*depth as u64).to_le_bytes());
+            out.extend_from_slice(&(*bound as u64).to_le_bytes());
+        }
+        Rejected::DeadlineImpossible { deadline, est_service } => {
+            out.extend_from_slice(&(deadline.as_nanos() as u64).to_le_bytes());
+            out.extend_from_slice(&(est_service.as_nanos() as u64).to_le_bytes());
+        }
+        Rejected::Invalid(msg) => out.extend_from_slice(msg.as_bytes()),
+        Rejected::ShuttingDown => {}
+    }
+    out
+}
+
+/// Decode a [`Rejected`] payload.
+pub fn decode_reject(payload: &[u8]) -> io::Result<Rejected> {
+    let mut c = Cursor(payload);
+    match c.u8()? {
+        0 => Ok(Rejected::QueueFull { depth: c.u64()? as usize, bound: c.u64()? as usize }),
+        1 => Ok(Rejected::DeadlineImpossible {
+            deadline: Duration::from_nanos(c.u64()?),
+            est_service: Duration::from_nanos(c.u64()?),
+        }),
+        2 => Ok(Rejected::Invalid(c.rest_utf8()?)),
+        3 => Ok(Rejected::ShuttingDown),
+        code => Err(invalid(format!("unknown reject code {code}"))),
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: Client) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match WireFrame::read_from(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return, // EOF or corrupt stream: drop the connection
+        };
+        let seq = frame.seq;
+        if frame.kind != KIND_REQUEST {
+            let payload = encode_reject(&Rejected::Invalid(format!(
+                "unexpected frame kind {}",
+                frame.kind
+            )));
+            if WireFrame::new(KIND_RESPONSE_REJECT, seq, payload).write_to(&mut writer).is_err() {
+                return;
+            }
+            continue;
+        }
+        let reply = match decode_request(&frame.payload) {
+            Ok(req) => match client.submit(req) {
+                // Blocking per-request turnaround: a connection carries
+                // one request in flight at a time, which keeps the
+                // server loop trivially exactly-once. Concurrency comes
+                // from multiple connections.
+                Ok(pending) => {
+                    let id = pending.id();
+                    match pending.wait() {
+                        Some(resp) => match resp.result {
+                            Ok(d) => WireFrame::new(KIND_RESPONSE_OK, seq, encode_ok(resp.id, &d)),
+                            Err(msg) => {
+                                let mut p = resp.id.to_le_bytes().to_vec();
+                                p.extend_from_slice(msg.as_bytes());
+                                WireFrame::new(KIND_RESPONSE_FAIL, seq, p)
+                            }
+                        },
+                        None => {
+                            let mut p = id.to_le_bytes().to_vec();
+                            p.extend_from_slice(b"server terminated before reply");
+                            WireFrame::new(KIND_RESPONSE_FAIL, seq, p)
+                        }
+                    }
+                }
+                Err(why) => WireFrame::new(KIND_RESPONSE_REJECT, seq, encode_reject(&why)),
+            },
+            Err(e) => WireFrame::new(
+                KIND_RESPONSE_REJECT,
+                seq,
+                encode_reject(&Rejected::Invalid(e.to_string())),
+            ),
+        };
+        if reply.write_to(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+/// Accept loop: serve every connection on `listener` against an
+/// in-process [`Client`], one handler thread per connection. Blocks for
+/// the life of the listener — run it in a spawned thread:
+///
+/// ```ignore
+/// let listener = TcpListener::bind("127.0.0.1:0")?;
+/// let addr = listener.local_addr()?;
+/// std::thread::spawn(move || serve_on(listener, server.client()));
+/// ```
+pub fn serve_on(listener: TcpListener, client: Client) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let client = client.clone();
+        std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || handle_connection(stream, client))
+            .map_err(io::Error::other)?;
+    }
+    Ok(())
+}
+
+/// Blocking TCP client for the serve wire protocol.
+pub struct TcpServeClient {
+    stream: TcpStream,
+    seq: u64,
+}
+
+impl TcpServeClient {
+    /// Connect to a server started with [`serve_on`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpServeClient { stream, seq: 0 })
+    }
+
+    /// Submit one study and block for its outcome. `Ok(Err(_))` is a
+    /// typed admission rejection; `Err(_)` is a transport or stage
+    /// failure.
+    pub fn diagnose(&mut self, req: &ServeRequest) -> io::Result<WireOutcome> {
+        let seq = self.seq;
+        self.seq += 1;
+        WireFrame::new(KIND_REQUEST, seq, encode_request(req)).write_to(&mut self.stream)?;
+        self.stream.flush()?;
+        let frame = WireFrame::read_from(&mut self.stream)?;
+        if frame.seq != seq {
+            return Err(invalid(format!("response seq {} for request {seq}", frame.seq)));
+        }
+        match frame.kind {
+            KIND_RESPONSE_OK => decode_ok(&frame.payload).map(Ok),
+            KIND_RESPONSE_REJECT => decode_reject(&frame.payload).map(Err),
+            KIND_RESPONSE_FAIL => {
+                let mut c = Cursor(&frame.payload);
+                let id = c.u64()?;
+                Err(io::Error::other(format!("request {id} failed: {}", c.rest_utf8()?)))
+            }
+            kind => Err(invalid(format!("unknown response kind {kind}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ServeRequest {
+        let data: Vec<f32> = (0..2 * 3 * 4).map(|i| i as f32 * 0.5 - 3.0).collect();
+        ServeRequest {
+            volume: Tensor::from_vec([2, 3, 4], data).unwrap(),
+            priority: Priority::Urgent,
+            deadline: Some(Duration::from_millis(250)),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_bit_exact() {
+        let req = sample_request();
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back.priority, req.priority);
+        assert_eq!(back.deadline, req.deadline);
+        assert_eq!(back.volume.dims(), req.volume.dims());
+        assert_eq!(back.volume.data(), req.volume.data());
+    }
+
+    #[test]
+    fn ok_response_roundtrips_probability_bits() {
+        let d = Diagnosis {
+            probability: 0.123456789012345,
+            positive: false,
+            t_queue: Duration::from_micros(7),
+            t_enhance: Duration::from_millis(11),
+            t_segment: Duration::from_millis(13),
+            t_classify: Duration::from_micros(17),
+            t_total: Duration::from_millis(41),
+        };
+        let (id, back) = decode_ok(&encode_ok(99, &d)).unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(back.probability.to_bits(), d.probability.to_bits());
+        assert_eq!(back.positive, d.positive);
+        assert_eq!(back.t_queue, d.t_queue);
+        assert_eq!(back.t_total, d.t_total);
+    }
+
+    #[test]
+    fn every_reject_variant_roundtrips() {
+        let all = [
+            Rejected::QueueFull { depth: 64, bound: 64 },
+            Rejected::DeadlineImpossible {
+                deadline: Duration::from_millis(1),
+                est_service: Duration::from_millis(8),
+            },
+            Rejected::Invalid("rank mismatch".into()),
+            Rejected::ShuttingDown,
+        ];
+        for why in all {
+            assert_eq!(decode_reject(&encode_reject(&why)).unwrap(), why);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let full = encode_request(&sample_request());
+        for cut in [0, 1, 5, 10, full.len() - 1] {
+            assert!(decode_request(&full[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        assert!(decode_ok(&[0u8; 10]).is_err());
+        assert!(decode_reject(&[]).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Stage-pipelined worker pool.
+//!
+//! Each pipeline is three threads — enhance, segment, classify — joined
+//! by channels, each owning its *own* warm [`Framework`] replica (the
+//! model types hold `Rc` parameter handles and are not `Send`, so every
+//! stage thread builds its replica in place from a shared factory; all
+//! replicas are constructed identically, so any pipeline produces
+//! bit-identical diagnoses). While study A is being classified, study B
+//! is being segmented and study C enhanced: stage N of one study
+//! overlaps stage N−1 of the next, which is where the pipeline's
+//! throughput over a serial worker comes from.
+//!
+//! Each stage thread threads its own [`Scratch`] pool through the stage
+//! calls, so steady-state serving reuses volume-sized buffers instead
+//! of allocating per study.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+
+use computecovid19::framework::{EnhanceMode, Enhanced, Framework, Scratch, Segmented};
+
+use crate::batcher::{BatchPolicy, Gate};
+use crate::broker::Broker;
+use crate::metrics::ServeMetrics;
+use crate::request::ServeResponse;
+
+/// Builds one warm `Framework` replica; called once per stage thread.
+pub type FrameworkFactory = Arc<dyn Fn() -> Framework + Send + Sync>;
+
+/// Everything a study carries between stages besides the tensors.
+struct JobMeta {
+    id: u64,
+    deadline: Option<Instant>,
+    t_queue: Duration,
+    reply: Sender<ServeResponse>,
+}
+
+struct EnhancedJob {
+    meta: JobMeta,
+    enh: Enhanced,
+}
+
+struct SegmentedJob {
+    meta: JobMeta,
+    seg: Segmented,
+}
+
+fn fail(meta: JobMeta, stage: &str, err: impl std::fmt::Display, metrics: &ServeMetrics) {
+    metrics.on_failure();
+    let _ = meta
+        .reply
+        .send(ServeResponse { id: meta.id, result: Err(format!("{stage} stage failed: {err}")) });
+}
+
+/// Spawn one three-thread pipeline pulling batches from `broker`.
+/// Returns the stage thread handles (enhance, segment, classify).
+pub(crate) fn spawn_pipeline(
+    index: usize,
+    broker: Arc<Broker>,
+    gate: Arc<Gate>,
+    policy: BatchPolicy,
+    factory: FrameworkFactory,
+    threshold: f64,
+    enhance_mode: EnhanceMode,
+    metrics: ServeMetrics,
+) -> Vec<JoinHandle<()>> {
+    let (seg_tx, seg_rx) = unbounded::<EnhancedJob>();
+    let (cls_tx, cls_rx) = unbounded::<SegmentedJob>();
+
+    let m_enh = metrics.clone();
+    let f_enh = Arc::clone(&factory);
+    let enhance = std::thread::Builder::new()
+        .name(format!("serve-enhance-{index}"))
+        .spawn(move || {
+            let fw = f_enh();
+            let mut scratch = Scratch::new();
+            gate.wait_open();
+            while let Some(batch) = broker.pop_batch(policy) {
+                for job in batch {
+                    let t_queue = job.submitted.elapsed();
+                    let meta =
+                        JobMeta { id: job.id, deadline: job.deadline, t_queue, reply: job.reply };
+                    match fw.run_enhance_with(&job.volume, &mut scratch, enhance_mode) {
+                        Ok(enh) => {
+                            if seg_tx.send(EnhancedJob { meta, enh }).is_err() {
+                                return; // downstream died; nothing sane to do
+                            }
+                        }
+                        Err(e) => fail(meta, "enhance", e, &m_enh),
+                    }
+                }
+            }
+            // broker closed & drained: dropping seg_tx unwinds the pipeline
+        })
+        .expect("spawn enhance stage");
+
+    let m_seg = metrics.clone();
+    let f_seg = Arc::clone(&factory);
+    let segment = std::thread::Builder::new()
+        .name(format!("serve-segment-{index}"))
+        .spawn(move || {
+            let fw = f_seg();
+            let mut scratch = Scratch::new();
+            while let Ok(EnhancedJob { meta, enh }) = seg_rx.recv() {
+                match fw.run_segment(enh, &mut scratch) {
+                    Ok(seg) => {
+                        if cls_tx.send(SegmentedJob { meta, seg }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => fail(meta, "segment", e, &m_seg),
+                }
+            }
+        })
+        .expect("spawn segment stage");
+
+    let classify = std::thread::Builder::new()
+        .name(format!("serve-classify-{index}"))
+        .spawn(move || {
+            let fw = factory();
+            let mut scratch = Scratch::new();
+            while let Ok(SegmentedJob { meta, seg }) = cls_rx.recv() {
+                match fw.run_classify(seg, threshold, &mut scratch) {
+                    Ok(d) => {
+                        let d = d.with_queue_time(meta.t_queue);
+                        let missed = meta.deadline.map(|dl| Instant::now() > dl).unwrap_or(false);
+                        metrics.on_complete(&d, missed);
+                        let _ = meta.reply.send(ServeResponse { id: meta.id, result: Ok(d) });
+                    }
+                    Err(e) => fail(meta, "classify", e, &metrics),
+                }
+            }
+        })
+        .expect("spawn classify stage");
+
+    vec![enhance, segment, classify]
+}

@@ -1,0 +1,164 @@
+//! End-to-end serving tests: concurrent clients against a live server,
+//! exactly-once delivery, and bit-identity with direct `Framework`
+//! calls — in-process and across the TCP front end.
+
+use std::collections::HashSet;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cc19_serve::{
+    serve_on, BatchPolicy, Priority, Rejected, ServeRequest, Server, ServerCfg, TcpServeClient,
+};
+use cc19_tensor::rng::Xorshift;
+use cc19_tensor::Tensor;
+use computecovid19::framework::Framework;
+
+const SEED: u64 = 0x5EED_2026;
+const THRESHOLD: f64 = 0.5;
+
+fn factory() -> Framework {
+    Framework::untrained_reduced(SEED)
+}
+
+fn volume(seed: u64) -> Tensor {
+    let mut rng = Xorshift::new(0x9E3779B9 ^ seed.wrapping_mul(0x85EB_CA6B));
+    rng.uniform_tensor([4, 32, 32], -1000.0, 400.0)
+}
+
+fn priority_for(i: u64) -> Priority {
+    Priority::DISPATCH_ORDER[(i % 3) as usize]
+}
+
+#[test]
+fn concurrent_clients_get_exactly_once_bit_identical_answers() {
+    const CLIENTS: u64 = 4;
+    const PER_CLIENT: u64 = 6;
+
+    let cfg = ServerCfg {
+        queue_bound: 64,
+        batch: BatchPolicy { max_batch: 4, max_delay: Duration::from_millis(1) },
+        pipelines: 2,
+        threshold: THRESHOLD,
+        ..ServerCfg::default()
+    };
+    let server = Server::start(cfg, factory);
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..PER_CLIENT {
+                    let seed = c * PER_CLIENT + i;
+                    let pending = client
+                        .submit(ServeRequest {
+                            volume: volume(seed),
+                            priority: priority_for(seed),
+                            deadline: None,
+                        })
+                        .expect("queue bound is above total offered load");
+                    let expected_id = pending.id();
+                    let resp = pending.wait().expect("server dropped a reply");
+                    assert_eq!(resp.id, expected_id, "reply routed to the wrong request");
+                    out.push((seed, resp));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut responses = Vec::new();
+    for h in handles {
+        responses.extend(h.join().unwrap());
+    }
+    let metrics = server.shutdown();
+
+    // Exactly once: every submission answered, every admission id unique.
+    assert_eq!(responses.len(), (CLIENTS * PER_CLIENT) as usize);
+    let ids: HashSet<u64> = responses.iter().map(|(_, r)| r.id).collect();
+    assert_eq!(ids.len(), responses.len(), "an admission id was reused");
+    let snap = metrics.snapshot();
+    assert_eq!(snap.accepted, CLIENTS * PER_CLIENT);
+    assert_eq!(snap.completed, CLIENTS * PER_CLIENT);
+    assert_eq!(snap.failed, 0);
+
+    // Bit-identity: the served diagnosis equals a direct Framework call
+    // on an identically-constructed replica, per volume.
+    let reference = factory();
+    for (seed, resp) in &responses {
+        let served = resp.result.as_ref().expect("stage failure");
+        let direct = reference.diagnose(&volume(*seed), THRESHOLD).unwrap();
+        assert_eq!(
+            served.probability.to_bits(),
+            direct.probability.to_bits(),
+            "seed {seed}: served probability differs from direct diagnose"
+        );
+        assert_eq!(served.positive, direct.positive);
+    }
+}
+
+#[test]
+fn tcp_front_end_serves_bit_identical_answers() {
+    let server = Server::start(
+        ServerCfg { threshold: THRESHOLD, ..ServerCfg::default() },
+        factory,
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conn_client = server.client();
+    std::thread::spawn(move || serve_on(listener, conn_client));
+
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut remote = TcpServeClient::connect(addr).expect("connect");
+                let mut out = Vec::new();
+                for i in 0..3u64 {
+                    let seed = 100 + c * 3 + i;
+                    let req = ServeRequest {
+                        volume: volume(seed),
+                        priority: priority_for(seed),
+                        deadline: Some(Duration::from_secs(60)),
+                    };
+                    let (id, d) = remote
+                        .diagnose(&req)
+                        .expect("transport")
+                        .expect("admission");
+                    out.push((seed, id, d));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut responses = Vec::new();
+    for h in handles {
+        responses.extend(h.join().unwrap());
+    }
+
+    let ids: HashSet<u64> = responses.iter().map(|&(_, id, _)| id).collect();
+    assert_eq!(ids.len(), 9, "admission ids must be unique across connections");
+
+    let reference = factory();
+    for (seed, _, served) in &responses {
+        let direct = reference.diagnose(&volume(*seed), THRESHOLD).unwrap();
+        assert_eq!(
+            served.probability.to_bits(),
+            direct.probability.to_bits(),
+            "seed {seed}: TCP answer differs from direct diagnose"
+        );
+        assert_eq!(served.positive, direct.positive);
+    }
+
+    // A malformed study is rejected with the typed reason, across the wire.
+    let mut remote = TcpServeClient::connect(addr).unwrap();
+    let bad = ServeRequest::routine(Tensor::zeros([4, 32])); // rank 2
+    match remote.diagnose(&bad).expect("transport") {
+        Err(Rejected::Invalid(_)) => {}
+        other => panic!("expected Invalid rejection, got {other:?}"),
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.snapshot().completed, 9);
+}

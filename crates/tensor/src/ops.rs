@@ -115,6 +115,25 @@ pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
     out
 }
 
+/// Apply a unary function elementwise into an existing tensor of the
+/// same shape. Runs the exact kernel behind [`map`], so the results are
+/// bit-identical to the allocating form — this is the buffer-reuse hook
+/// for batch serving (`computecovid19::framework::Scratch`).
+pub fn map_to(src: &Tensor, dst: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) -> Result<()> {
+    src.shape().expect_same(dst.shape())?;
+    map_into(src.data(), dst.data_mut(), f);
+    Ok(())
+}
+
+/// Elementwise product into an existing tensor of the same shape;
+/// bit-identical to [`mul`] (same kernel), without the allocation.
+pub fn mul_to(a: &Tensor, b: &Tensor, dst: &mut Tensor) -> Result<()> {
+    a.shape().expect_same(b.shape())?;
+    a.shape().expect_same(dst.shape())?;
+    zip_map_into(a.data(), b.data(), dst.data_mut(), |x, y| x * y);
+    Ok(())
+}
+
 /// Apply an arbitrary unary function elementwise.
 pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let mut out = Tensor::zeros(a.shape().clone());

@@ -35,6 +35,18 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
+echo "=== tier-1: serving smoke (64 mixed-priority requests, fixed seed) ==="
+# Deterministic cc19-serve smoke: paused server, 64 seeded requests,
+# exactly-once delivery, dynamic batching observed, metrics CSV written
+# to results/ and re-parsed (DESIGN.md §10).
+if [ "$status" -eq 0 ]; then
+    if ! cargo test -q -p cc19-serve --test smoke; then
+        echo "tier-1: SERVE SMOKE FAILED"
+        status=1
+    fi
+fi
+
+echo
 if [ "$status" -eq 0 ]; then
     echo "TIER-1 PASS"
 else

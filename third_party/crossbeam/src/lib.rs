@@ -52,6 +52,18 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.queue.lock().unwrap().senders += 1;
