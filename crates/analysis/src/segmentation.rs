@@ -304,6 +304,17 @@ mod tests {
     }
 
     #[test]
+    fn apply_mask_into_matches_allocating_form() {
+        let img = Tensor::from_vec([2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let mask = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let fresh = apply_mask(&img, &mask).unwrap();
+        // A dirty reused buffer must be fully overwritten, bit for bit.
+        let mut reused = Tensor::full([2, 2], f32::NAN);
+        apply_mask_into(&img, &mask, &mut reused).unwrap();
+        assert_eq!(fresh.data(), reused.data());
+    }
+
+    #[test]
     fn dice_properties() {
         let a = Tensor::from_vec([4], vec![1.0, 1.0, 0.0, 0.0]).unwrap();
         let b = Tensor::from_vec([4], vec![1.0, 0.0, 1.0, 0.0]).unwrap();

@@ -43,7 +43,7 @@ fn main() {
     let prep = PrepConfig::scaled(1);
 
     let acquire = |seed: u64| {
-        let sev = if seed % 2 == 0 { Some(Severity::Moderate) } else { None };
+        let sev = if seed.is_multiple_of(2) { Some(Severity::Moderate) } else { None };
         let hu_img = ChestPhantom::subject(seed, 0.5, sev).rasterize_hu(n);
         let mu = hu::image_hu_to_mu(&hu_img);
         let clean_sino = project_parallel(&mu, grid, &sparse_geom).unwrap();

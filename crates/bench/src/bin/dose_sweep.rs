@@ -6,6 +6,7 @@
 //! For a sweep of blank-scan factors (dose levels) this harness measures:
 //! - raw low-dose image quality (MSE / MS-SSIM vs full dose),
 //! - DDnet-enhanced quality (one network per dose, trained at that dose),
+//!
 //! producing the dose-response curve of the enhancement benefit.
 
 use cc19_bench::{banner, parse_scale, Scale, TablePrinter};

@@ -36,7 +36,7 @@ struct Setup {
 impl Setup {
     fn acquire(&self, seed: u64) -> (Tensor, Sinogram, Sinogram) {
         // (clean HU slice, clean sinogram, noisy sinogram)
-        let phantom = ChestPhantom::subject(seed, 0.5, if seed % 2 == 0 { Some(Severity::Moderate) } else { None });
+        let phantom = ChestPhantom::subject(seed, 0.5, if seed.is_multiple_of(2) { Some(Severity::Moderate) } else { None });
         let hu_img = phantom.rasterize_hu(self.n);
         let mu = hu::image_hu_to_mu(&hu_img);
         let clean = project_parallel(&mu, self.grid, &self.geom).unwrap();
@@ -88,7 +88,7 @@ fn main() {
     // --- evaluate the four pipelines on unseen subjects ---
     let test_seeds: Vec<u64> = (1000..1006).collect();
     let mut rows: Vec<(&str, f64, f64)> = Vec::new(); // (name, mse, msssim)
-    let mut acc = vec![(0.0f64, 0.0f64); 4];
+    let mut acc = [(0.0f64, 0.0f64); 4];
     for &seed in &test_seeds {
         let (hu_img, _, noisy) = setup.acquire(seed);
         let target = normalize_for_enhancement(&hu_img, PrepConfig::scaled(1));

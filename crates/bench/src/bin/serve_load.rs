@@ -40,7 +40,7 @@ fn run_cell(qps: f64, delay_ms: u64, offered: usize, dims: [usize; 3]) -> Cell {
         pipelines: 2,
         ..ServerCfg::default()
     };
-    let server = Server::start(cfg, || Framework::untrained_reduced(31));
+    let server = Server::start(cfg, || Framework::untrained_reduced(31)).expect("server starts");
     let client = server.client();
 
     // Open-loop arrivals: fixed inter-arrival gap = 1/qps, submissions

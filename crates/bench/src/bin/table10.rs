@@ -10,7 +10,9 @@ fn main() {
     banner("Table 10", "framework comparison", scale);
 
     // (framework, enhancement, segmentation, dim, labeling, cpu, gpu, fpga)
-    let rows: [(&str, &str, &str, &str, &str, &str, &str, &str); 8] = [
+    type S = &'static str;
+    type Row = (S, S, S, S, S, S, S, S);
+    let rows: [Row; 8] = [
         ("ComputeCOVID19+", "yes", "yes", "3D", "not required", "yes", "yes", "yes"),
         ("He et al. [15]", "no", "no", "2D", "manual", "yes", "yes", "no"),
         ("M-inception [41]", "no", "yes", "2D", "manual", "?", "?", "no"),

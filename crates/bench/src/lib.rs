@@ -10,7 +10,6 @@
 //!   alongside for comparison;
 //! - writes machine-readable output under `results/`.
 
-#![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::path::{Path, PathBuf};

@@ -114,4 +114,19 @@ mod tests {
         let back = unit_to_hu_window(&u, -1000.0, 400.0);
         assert!((back.data()[1] + 300.0).abs() < 1e-3);
     }
+
+    #[test]
+    fn window_into_forms_match_allocating_forms() {
+        let img = Tensor::from_vec([5], vec![-1200.0, -1000.0, -300.0, 400.0, 900.0]).unwrap();
+        // Dirty reused buffers must be fully overwritten, bit for bit.
+        let fresh_fwd = hu_window_to_unit(&img, -1000.0, 400.0);
+        let mut reused = Tensor::full([5], f32::NAN);
+        hu_window_to_unit_into(&img, -1000.0, 400.0, &mut reused).unwrap();
+        assert_eq!(fresh_fwd.data(), reused.data());
+
+        let fresh_inv = unit_to_hu_window(&fresh_fwd, -1000.0, 400.0);
+        let mut reused_inv = Tensor::full([5], f32::NAN);
+        unit_to_hu_window_into(&fresh_fwd, -1000.0, 400.0, &mut reused_inv).unwrap();
+        assert_eq!(fresh_inv.data(), reused_inv.data());
+    }
 }

@@ -15,7 +15,6 @@
 //! used for unit-testable reconstruction, plus procedural chest phantoms
 //! standing in for the gated clinical datasets (see DESIGN.md §2).
 
-#![warn(missing_docs)]
 
 pub mod fbp;
 pub mod fft;

@@ -16,7 +16,6 @@
 //! 3. keep scans with ≥ 128 slices (isotropy for the 3D networks);
 //! 4. HU → `[0,1]` float conversion for Enhancement AI.
 
-#![warn(missing_docs)]
 
 pub mod augment;
 pub mod dataset;

@@ -142,6 +142,23 @@ mod tests {
     }
 
     #[test]
+    fn normalize_into_forms_match_allocating_forms() {
+        let cfg = PrepConfig::paper();
+        let slice_hu =
+            Tensor::from_vec([5], vec![-1200.0, -1000.0, -300.0, 400.0, 900.0]).unwrap();
+        // Dirty reused buffers must be fully overwritten, bit for bit.
+        let fresh = normalize_for_enhancement(&slice_hu, cfg);
+        let mut reused = Tensor::full([5], f32::NAN);
+        normalize_for_enhancement_into(&slice_hu, cfg, &mut reused).unwrap();
+        assert_eq!(fresh.data(), reused.data());
+
+        let fresh_back = denormalize_from_enhancement(&fresh, cfg);
+        let mut reused_back = Tensor::full([5], f32::NAN);
+        denormalize_from_enhancement_into(&fresh, cfg, &mut reused_back).unwrap();
+        assert_eq!(fresh_back.data(), reused_back.data());
+    }
+
+    #[test]
     fn circular_removal_restores_air() {
         let cat = SourceCatalog::generate(DataSource::Midrc, 100);
         let mut vol = CtVolume::synthesize(&cat.scans[0], 64, 4).unwrap();

@@ -17,7 +17,6 @@
 //! works; the paper's configuration is 512×512 with 16 base channels and
 //! growth 16 (dense-block output 80 channels).
 
-#![warn(missing_docs)]
 
 pub mod baselines;
 pub mod model;

@@ -291,7 +291,7 @@ impl Ddnet {
         if dims.len() != 4 || dims[1] != 1 {
             return Err(TensorError::Incompatible(format!("DDnet expects (B,1,H,W), got {dims:?}")));
         }
-        if dims[2] % 16 != 0 || dims[3] % 16 != 0 {
+        if !dims[2].is_multiple_of(16) || !dims[3].is_multiple_of(16) {
             return Err(TensorError::Incompatible(format!(
                 "DDnet input extents must be divisible by 16, got {}x{}",
                 dims[2], dims[3]

@@ -226,10 +226,22 @@ pub fn enhance_volume_into(net: &Ddnet, volume: &Tensor, out: &mut Tensor) -> Re
     Ok(())
 }
 
-/// [`enhance_volume_into`] with all `D` slices coalesced into **one**
-/// batched forward under a pinned conv backend — the GEMM-friendly
-/// serving path (see [`Ddnet::enhance_stack`] for the bit-identity
-/// caveat that makes the backend pin mandatory).
+/// [`enhance_volume`] with all `D` slices coalesced into **one** batched
+/// forward under a pinned conv backend — the GEMM-friendly serving path
+/// (see [`Ddnet::enhance_stack`] for the bit-identity caveat that makes
+/// the backend pin mandatory).
+pub fn enhance_volume_stacked(
+    net: &Ddnet,
+    volume: &Tensor,
+    backend: ConvBackend,
+) -> Result<Tensor> {
+    let mut out = Tensor::zeros(volume.shape().clone());
+    enhance_volume_stacked_into(net, volume, backend, &mut out)?;
+    Ok(out)
+}
+
+/// [`enhance_volume_stacked`] into an existing same-shape tensor — the
+/// buffer-reuse form threaded through serving `Scratch` pools.
 pub fn enhance_volume_stacked_into(
     net: &Ddnet,
     volume: &Tensor,
@@ -333,6 +345,19 @@ mod tests {
         // A dirty reused buffer must be fully overwritten.
         let mut reused = Tensor::full([4, 16, 16], f32::NAN);
         enhance_volume_into(&net, &vol, &mut reused).unwrap();
+        assert_eq!(fresh.data(), reused.data());
+    }
+
+    #[test]
+    fn enhance_volume_stacked_into_matches_allocating_form() {
+        use cc19_tensor::conv_backend::ConvBackend;
+        let net = Ddnet::new(DdnetConfig::tiny(), 8);
+        let mut rng = cc19_tensor::rng::Xorshift::new(9);
+        let vol = rng.uniform_tensor([3, 16, 16], 0.0, 1.0);
+        let fresh = enhance_volume_stacked(&net, &vol, ConvBackend::Direct).unwrap();
+        // A dirty reused buffer must be fully overwritten.
+        let mut reused = Tensor::full([3, 16, 16], f32::NAN);
+        enhance_volume_stacked_into(&net, &vol, ConvBackend::Direct, &mut reused).unwrap();
         assert_eq!(fresh.data(), reused.data());
     }
 

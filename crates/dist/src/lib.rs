@@ -22,7 +22,6 @@
 //!   to regenerate Table 3's runtime column at the paper's scale, since
 //!   this host cannot physically run 8 GPU nodes (DESIGN.md §2).
 
-#![warn(missing_docs)]
 
 pub mod allreduce;
 pub mod cluster;

@@ -218,7 +218,6 @@ pub fn train_distributed_ft(
         .zip(train_owned)
         .enumerate()
         .map(|(rank, (ring, my_batches))| {
-            let cfg = cfg;
             let ck_cfg = opts.checkpoint.clone();
             let resume_ck = resume_ck.clone();
             std::thread::spawn(move || {
@@ -263,7 +262,8 @@ pub fn train_distributed_ft(
             .zip(first_snapshot.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        if !(max_diff < 1e-5) {
+        // NaN-preserving: a NaN max_diff must also count as divergence.
+        if max_diff.is_nan() || max_diff >= 1e-5 {
             return Err(Error::ReplicaDiverged { rank: *rank, max_diff });
         }
     }
@@ -415,7 +415,7 @@ fn run_worker(
             }
             if rank == 0 {
                 if let Some(c) = &ck_cfg {
-                    if c.every_steps > 0 && (step + 1) % c.every_steps == 0 {
+                    if c.every_steps > 0 && (step + 1).is_multiple_of(c.every_steps) {
                         write_checkpoint(c, &net, &opt, step + 1, &epoch_losses, acc, in_epoch, skipped)?;
                     }
                 }

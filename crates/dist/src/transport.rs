@@ -26,6 +26,11 @@
 //! only: the retransmit buffer always holds the good copy, which is what
 //! makes recovery exact — a chaos run (without kills) finishes with
 //! weights bit-identical to a fault-free run.
+//!
+//! This file is on the cc19-lint panic-surface path: every recoverable
+//! failure must surface as a typed [`Error`], never a panic.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +59,15 @@ pub struct Frame {
 
 /// Sender-side reliability buffer, shared with the receiver of the link.
 type Slot = Arc<Mutex<HashMap<u64, Vec<f32>>>>;
+
+/// Poison-tolerant mutex lock. A panicked *peer* thread (an injected
+/// chaos kill, or a genuine bug on another rank) must not cascade into
+/// this rank's transport: the guarded maps hold plain owned data that
+/// stays valid wherever the panicking thread stopped, so recovering the
+/// inner value is always sound here.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Timeout/retry policy for one transport.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,7 +174,7 @@ impl Cluster {
 
     /// Ranks currently believed alive.
     pub fn live_ranks(&self) -> Vec<usize> {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         inner.alive.iter().enumerate().filter(|(_, a)| **a).map(|(r, _)| r).collect()
     }
 
@@ -169,7 +183,7 @@ impl Cluster {
     fn stale_rank(&self, me: usize, liveness: Duration) -> Option<usize> {
         let now = self.now_ms();
         let thresh = liveness.as_millis() as u64;
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         let mut worst: Option<(usize, u64)> = None;
         for (r, alive) in inner.alive.iter().enumerate() {
             if !alive || r == me {
@@ -302,7 +316,7 @@ impl RingTransport {
         self.send_seq += 1;
         self.beat();
         // Reliability layer: buffer the authoritative copy first.
-        self.ep.next_slot.lock().unwrap().insert(seq, payload.to_vec());
+        lock(&self.ep.next_slot).insert(seq, payload.to_vec());
         let crc = payload_crc(payload);
         let actions = self.faults.decide(self.rank, self.ep.next_rank, seq, self.generation);
         if actions.contains(&FaultKind::Drop) {
@@ -319,7 +333,7 @@ impl RingTransport {
                     }
                 }
                 FaultKind::Duplicate => duplicate = true,
-                FaultKind::Drop => unreachable!(),
+                FaultKind::Drop => {} // handled by the early return above
             }
         }
         let frame = Frame { src: self.rank, seq, crc, payload: wire };
@@ -376,7 +390,7 @@ impl RingTransport {
                 Err(RecvTimeoutError::Timeout) => {
                     // NACK/retransmit round trip: pull from the sender's
                     // reliability buffer if it already sent `want`.
-                    let buffered = self.ep.prev_slot.lock().unwrap().get(&want).cloned();
+                    let buffered = lock(&self.ep.prev_slot).get(&want).cloned();
                     if let Some(p) = buffered {
                         return Ok(self.deliver(p));
                     }
@@ -396,7 +410,7 @@ impl RingTransport {
                     // died or moved to a newer ring generation. Drain the
                     // buffer one last time, then report it dead; recover()
                     // sorts out which case it was.
-                    let buffered = self.ep.prev_slot.lock().unwrap().get(&want).cloned();
+                    let buffered = lock(&self.ep.prev_slot).get(&want).cloned();
                     if let Some(p) = buffered {
                         return Ok(self.deliver(p));
                     }
@@ -410,7 +424,7 @@ impl RingTransport {
         let consumed = self.recv_seq;
         self.recv_seq += 1;
         // Prune the sender's buffer up to what we consumed.
-        self.ep.prev_slot.lock().unwrap().retain(|&s, _| s > consumed);
+        lock(&self.ep.prev_slot).retain(|&s, _| s > consumed);
         payload
     }
 
@@ -424,7 +438,7 @@ impl RingTransport {
             Error::Timeout { .. } => None,
             other => return Err(other.clone()),
         };
-        let mut inner = self.cluster.inner.lock().unwrap();
+        let mut inner = lock(&self.cluster.inner);
         if inner.generation > self.generation {
             // Someone already rebuilt; adopt our new endpoints.
             let gen = inner.generation;
@@ -573,7 +587,7 @@ impl StarTransport {
         slot: &Slot,
         tx: &Sender<Frame>,
     ) {
-        slot.lock().unwrap().insert(seq, payload.to_vec());
+        lock(slot).insert(seq, payload.to_vec());
         let crc = payload_crc(payload);
         let actions = faults.decide(src, dst, seq, 0);
         if actions.contains(&FaultKind::Drop) {
@@ -590,7 +604,7 @@ impl StarTransport {
                     }
                 }
                 FaultKind::Duplicate => duplicate = true,
-                FaultKind::Drop => unreachable!(),
+                FaultKind::Drop => {} // handled by the early return above
             }
         }
         let frame = Frame { src, seq, crc, payload: wire };
@@ -613,7 +627,7 @@ impl StarTransport {
         let want = self.recv_seq;
         let got = recv_link(&self.down_rx, &self.down_slot, want, &self.t, self.rank, 0)?;
         self.recv_seq += 1;
-        self.down_slot.lock().unwrap().retain(|&s, _| s > want);
+        lock(&self.down_slot).retain(|&s, _| s > want);
         Ok(got)
     }
 
@@ -623,7 +637,10 @@ impl StarTransport {
         let n = self.n;
         let t = self.t;
         let me = self.rank;
-        let srv = self.server.as_mut().expect("server_gather on worker rank");
+        let srv = self
+            .server
+            .as_mut()
+            .ok_or_else(|| Error::InvalidConfig("server_gather called on a worker rank".into()))?;
         let mut got: Vec<Option<Vec<f32>>> = vec![None; n];
         let mut missing = n - 1;
         let start = Instant::now();
@@ -655,7 +672,7 @@ impl StarTransport {
                             continue;
                         }
                         let want = srv.expect[src];
-                        if let Some(p) = srv.up_slots[src].lock().unwrap().get(&want).cloned() {
+                        if let Some(p) = lock(&srv.up_slots[src]).get(&want).cloned() {
                             *g = Some(p);
                             srv.expect[src] += 1;
                             missing -= 1;
@@ -666,7 +683,7 @@ impl StarTransport {
             }
         }
         for (src, slot) in srv.up_slots.iter().enumerate() {
-            slot.lock().unwrap().retain(|&s, _| s >= srv.expect[src]);
+            lock(slot).retain(|&s, _| s >= srv.expect[src]);
         }
         Ok(got
             .into_iter()
@@ -680,7 +697,10 @@ impl StarTransport {
     pub fn server_broadcast(&mut self, payload: &[f32]) -> Result<(), Error> {
         let faults = self.faults;
         let me = self.rank;
-        let srv = self.server.as_mut().expect("server_broadcast on worker rank");
+        let srv = self
+            .server
+            .as_mut()
+            .ok_or_else(|| Error::InvalidConfig("server_broadcast called on a worker rank".into()))?;
         for (dst, (tx, slot)) in srv.down.iter().enumerate() {
             if dst == 0 {
                 continue;
@@ -720,13 +740,13 @@ fn recv_link(
                 return Ok(frame.payload);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if let Some(p) = slot.lock().unwrap().get(&want).cloned() {
+                if let Some(p) = lock(slot).get(&want).cloned() {
                     return Ok(p);
                 }
                 attempt += 1;
             }
             Err(RecvTimeoutError::Disconnected) => {
-                if let Some(p) = slot.lock().unwrap().get(&want).cloned() {
+                if let Some(p) = lock(slot).get(&want).cloned() {
                     return Ok(p);
                 }
                 return Err(Error::RankDead { rank: peer });
@@ -737,6 +757,8 @@ fn recv_link(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::fault::FaultConfig;
 

@@ -25,7 +25,6 @@
 //! real kernels in `cc19-kernels` running on this host), which grounds
 //! the model; the accelerator rows are predictions.
 
-#![warn(missing_docs)]
 
 pub mod devices;
 pub mod model;

@@ -26,7 +26,6 @@
 //! analytic count formulas in [`count`] are validated against those
 //! instrumented kernels in the tests.
 
-#![warn(missing_docs)]
 
 pub mod conv;
 pub mod count;

@@ -1,0 +1,23 @@
+//~ path: crates/ctsim/src/fixture.rs
+//~ expect: api-parity
+// A public buffer-reuse variant with no allocating twin anywhere in the
+// crate: the api-parity rule demands the pair.
+
+pub fn resample_sinogram_into(src: &[f32], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_form_copies() {
+        let src = [1.0f32, 2.0];
+        let mut dst = [0.0f32; 2];
+        resample_sinogram_into(&src, &mut dst);
+        assert_eq!(dst, src);
+    }
+}

@@ -1,0 +1,16 @@
+//~ path: crates/ddnet/src/fixture.rs
+//~ expect: api-parity
+// Twin exists, but no test names the pair together — the rule requires
+// a parity test proving the two stay bit-identical.
+
+pub fn upscale(src: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; src.len()];
+    upscale_into(src, &mut out);
+    out
+}
+
+pub fn upscale_into(src: &[f32], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = 2.0 * *s;
+    }
+}

@@ -1,0 +1,29 @@
+//~ path: crates/analysis/src/fixture.rs
+//~ expect: none
+// A well-behaved file: seeded RNG, typed errors, parity-tested pair —
+// nothing to report.
+
+pub fn smooth(src: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; src.len()];
+    smooth_into(src, &mut out);
+    out
+}
+
+pub fn smooth_into(src: &[f32], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = 0.5 * *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_into_matches_smooth() {
+        let src = [2.0f32, 4.0];
+        let mut reused = [9.0f32; 2];
+        smooth_into(&src, &mut reused);
+        assert_eq!(smooth(&src), reused);
+    }
+}

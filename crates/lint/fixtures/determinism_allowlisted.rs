@@ -1,0 +1,16 @@
+//~ path: crates/kernels/src/fixture.rs
+//~ expect: none
+//~ allow: determinism crates/kernels/src/fixture.rs timing instrumentation, values never feed numerics
+// Same clock read as determinism_clock.rs, but the file is allowlisted
+// in lint.toml with a reason — the linter must stay silent.
+
+use std::time::Instant;
+
+pub fn timed_section(n: usize) -> (u64, std::time::Duration) {
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n as u64 {
+        acc = acc.wrapping_add(i);
+    }
+    (acc, t0.elapsed())
+}

@@ -1,0 +1,15 @@
+//~ path: crates/tensor/src/fixture.rs
+//~ expect: determinism
+// A wall-clock read inside a deterministic numeric crate must trip the
+// determinism rule (and only that rule).
+
+use std::time::Instant;
+
+pub fn blocked_matmul_with_sneaky_timer(n: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += i as f64;
+    }
+    acc + t0.elapsed().as_secs_f64()
+}

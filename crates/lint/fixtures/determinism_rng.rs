@@ -1,0 +1,10 @@
+//~ path: crates/nn/src/fixture.rs
+//~ expect: determinism
+// Ambient RNG in the nn crate: weight init must take an explicit seed.
+
+pub fn sloppy_init(buf: &mut [f32]) {
+    let mut rng = thread_rng();
+    for v in buf.iter_mut() {
+        *v = rng.gen_range(-0.1..0.1);
+    }
+}

@@ -1,0 +1,19 @@
+//~ path: crates/dist/src/transport.rs
+//~ expect: none
+// Unwraps confined to #[cfg(test)] code are fine even on the most
+// gated path in the workspace — the rule targets production paths.
+
+pub fn live_path(x: Option<u64>) -> Result<u64, String> {
+    x.ok_or_else(|| "empty".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(live_path(Some(3)).unwrap(), 3);
+        live_path(None).unwrap_err();
+    }
+}

@@ -1,0 +1,12 @@
+//~ path: crates/serve/src/fixture.rs
+//~ expect: panic-surface
+// `.unwrap()` / `panic!` in serving dispatch must trip the
+// panic-surface rule: admission errors are typed, not fatal.
+
+pub fn dispatch(queue: &mut Vec<u64>) -> u64 {
+    let next = queue.pop().unwrap();
+    if next == 0 {
+        panic!("zero id");
+    }
+    next
+}

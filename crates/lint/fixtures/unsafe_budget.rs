@@ -1,0 +1,8 @@
+//~ path: crates/data/src/fixture.rs
+//~ expect: unsafe-budget
+// The workspace is unsafe-free by policy; an unmarked unsafe block is a
+// violation even when the code is sound.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//~ path: crates/data/src/fixture2.rs
+//~ expect: none
+// cc19-lint: allow(unsafe, "fixture demonstrating the per-file opt-out marker")
+// With the explicit marker above, the unsafe budget rule stays silent.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//~ path: crates/data/src/fixture3.rs
+//~ expect: whitespace
+// Trailing spaces, a tab-indented line, and a missing final newline.
+
+pub fn pad() -> u32 {   
+	let x = 41;
+    x + 1
+}

@@ -1,0 +1,98 @@
+//! `cargo run -p cc19-lint` — lint the workspace, exit non-zero on any
+//! violation. See `crates/lint/src/lib.rs` and DESIGN.md §11 for the
+//! rule catalogue.
+//!
+//! Flags:
+//! * `--only <rule>[,<rule>…]` — run a subset (e.g. the tier-1
+//!   whitespace gate runs `--only whitespace`).
+//! * `--root <dir>` — workspace root (default: search upward from cwd).
+//! * `--list-rules` — print rule names and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cc19_lint::report::summary;
+use cc19_lint::walk::{collect_manifests, collect_sources, find_root};
+use cc19_lint::{run_rules, LintConfig, RULE_NAMES};
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("cc19-lint: error: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut only: Option<Vec<String>> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => match args.next() {
+                Some(v) => only = Some(v.split(',').map(str::to_string).collect()),
+                None => return fail("--only needs a comma-separated rule list"),
+            },
+            "--root" => match args.next() {
+                Some(v) => root_arg = Some(PathBuf::from(v)),
+                None => return fail("--root needs a directory"),
+            },
+            other => return fail(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let enabled: Vec<&str> = match &only {
+        None => RULE_NAMES.to_vec(),
+        Some(list) => {
+            let mut rules = Vec::new();
+            for name in list {
+                match RULE_NAMES.iter().find(|r| **r == name.as_str()) {
+                    Some(r) => rules.push(*r),
+                    None => return fail(format!("unknown rule `{name}` (see --list-rules)")),
+                }
+            }
+            rules
+        }
+    };
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| find_root(&d))
+    }) {
+        Some(r) => r,
+        None => return fail("no workspace root found (run from inside the repo or pass --root)"),
+    };
+
+    let cfg = match LintConfig::load(&root.join("lint.toml")) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("lint.toml: {e}")),
+    };
+    let files = match collect_sources(&root) {
+        Ok(f) => f,
+        Err(e) => return fail(format!("collecting sources: {e}")),
+    };
+    let manifests = match collect_manifests(&root) {
+        Ok(m) => m,
+        Err(e) => return fail(format!("collecting manifests: {e}")),
+    };
+
+    let violations = run_rules(&enabled, &files, &manifests, &cfg);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "cc19-lint: OK — {} files, {} manifests, rules: {}",
+            files.len(),
+            manifests.len(),
+            enabled.join(",")
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("\ncc19-lint: {} violation(s)", violations.len());
+        print!("{}", summary(&violations, RULE_NAMES));
+        ExitCode::FAILURE
+    }
+}

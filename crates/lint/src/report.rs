@@ -1,0 +1,62 @@
+//! Violation records and report formatting.
+
+use std::fmt;
+
+/// One lint violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (kebab-case, one of [`crate::rules::RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path (`/`-separated).
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description, including the remedy.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.msg)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+        }
+    }
+}
+
+/// Render a per-rule violation summary, e.g. `determinism: 2`.
+pub fn summary(violations: &[Violation], rule_names: &[&'static str]) -> String {
+    let mut out = String::new();
+    for rule in rule_names {
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        if n > 0 {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_with_and_without_line() {
+        let v = Violation { rule: "determinism", path: "a.rs".into(), line: 3, msg: "m".into() };
+        assert_eq!(v.to_string(), "a.rs:3: [determinism] m");
+        let v0 = Violation { rule: "whitespace", path: "a.rs".into(), line: 0, msg: "m".into() };
+        assert_eq!(v0.to_string(), "a.rs: [whitespace] m");
+    }
+
+    #[test]
+    fn summary_counts_by_rule() {
+        let vs = vec![
+            Violation { rule: "determinism", path: "a.rs".into(), line: 1, msg: String::new() },
+            Violation { rule: "determinism", path: "b.rs".into(), line: 1, msg: String::new() },
+        ];
+        let s = summary(&vs, &["determinism", "whitespace"]);
+        assert!(s.contains("determinism: 2"));
+        assert!(!s.contains("whitespace"));
+    }
+}

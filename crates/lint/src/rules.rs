@@ -1,0 +1,517 @@
+//! The invariant rules (DESIGN.md §11).
+//!
+//! Each rule is a pure function from scanned sources (plus the parsed
+//! allowlist) to a list of [`Violation`]s, so the golden-fixture suite
+//! can drive them with synthetic paths and the binary with the real
+//! workspace.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::LintConfig;
+use crate::report::Violation;
+use crate::scanner::{tokenize, Token};
+
+/// A scanned workspace source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (e.g. `crates/nn/src/lib.rs`).
+    pub path: String,
+    /// Raw file contents (whitespace rule, opt-out markers).
+    pub raw: String,
+    /// Token stream from [`tokenize`].
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Scan `raw` under the given workspace-relative `path`.
+    pub fn new(path: impl Into<String>, raw: impl Into<String>) -> SourceFile {
+        let raw = raw.into();
+        let tokens = tokenize(&raw);
+        SourceFile { path: path.into(), raw, tokens }
+    }
+}
+
+/// All rule names, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "determinism",
+    "panic-surface",
+    "api-parity",
+    "unsafe-budget",
+    "doc-coverage",
+    "whitespace",
+];
+
+/// Crates whose numerics must be bit-reproducible: no ambient clocks or
+/// ambient RNG (DESIGN.md §9/§11).
+pub const DETERMINISM_CRATES: &[&str] = &["tensor", "kernels", "nn", "ddnet", "ctsim"];
+
+/// Paths that must stay panic-free and use typed errors: the
+/// fault-tolerant transport, the whole serving dispatch crate, and
+/// checkpoint I/O.
+pub const PANIC_PATHS: &[&str] =
+    &["crates/dist/src/transport.rs", "crates/serve/src/", "crates/nn/src/checkpoint.rs"];
+
+/// The per-file `unsafe` opt-out marker (must appear verbatim, typically
+/// in a comment near the top of the file, with a reason string).
+pub const UNSAFE_OPT_OUT: &str = "cc19-lint: allow(unsafe";
+
+/// Token patterns a rule bans.
+enum Needle {
+    /// `A::B` path tail (matches any longer prefix, e.g. `std::time::A::B`).
+    Path(&'static [&'static str]),
+    /// `.name(` method call.
+    Method(&'static str),
+    /// `name!` macro invocation.
+    Macro(&'static str),
+    /// Bare identifier.
+    Ident(&'static str),
+}
+
+impl Needle {
+    fn matches_at(&self, toks: &[Token], i: usize) -> bool {
+        let text = |k: usize| toks.get(k).map(|t| t.text.as_str());
+        match self {
+            Needle::Path(parts) => {
+                let mut k = i;
+                for (n, part) in parts.iter().enumerate() {
+                    if text(k) != Some(part) {
+                        return false;
+                    }
+                    k += 1;
+                    if n + 1 < parts.len() {
+                        if text(k) != Some(":") || text(k + 1) != Some(":") {
+                            return false;
+                        }
+                        k += 2;
+                    }
+                }
+                true
+            }
+            Needle::Method(name) => {
+                text(i) == Some(".") && text(i + 1) == Some(name) && text(i + 2) == Some("(")
+            }
+            Needle::Macro(name) => text(i) == Some(name) && text(i + 1) == Some("!"),
+            Needle::Ident(name) => text(i) == Some(name),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Needle::Path(parts) => parts.join("::"),
+            Needle::Method(name) => format!(".{name}()"),
+            Needle::Macro(name) => format!("{name}!"),
+            Needle::Ident(name) => (*name).to_string(),
+        }
+    }
+}
+
+/// Scan non-test tokens for any needle; returns (line, description) hits.
+fn find_needles(toks: &[Token], needles: &[Needle]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        for n in needles {
+            if n.matches_at(toks, i) {
+                hits.push((toks[i].line, n.describe()));
+            }
+        }
+    }
+    hits
+}
+
+/// Run the `enabled` subset of rules over the scanned workspace.
+///
+/// `manifests` are `(path, contents)` pairs for the root `Cargo.toml`
+/// and every `crates/*/Cargo.toml` (doc-coverage rule); token rules use
+/// `files` only.
+pub fn run_rules(
+    enabled: &[&str],
+    files: &[SourceFile],
+    manifests: &[(String, String)],
+    cfg: &LintConfig,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if enabled.contains(&"determinism") {
+        v.extend(determinism(files, cfg));
+    }
+    if enabled.contains(&"panic-surface") {
+        v.extend(panic_surface(files, cfg));
+    }
+    if enabled.contains(&"api-parity") {
+        v.extend(api_parity(files, cfg));
+    }
+    if enabled.contains(&"unsafe-budget") {
+        v.extend(unsafe_budget(files, cfg));
+    }
+    if enabled.contains(&"doc-coverage") {
+        v.extend(doc_coverage(manifests));
+    }
+    if enabled.contains(&"whitespace") {
+        v.extend(whitespace(files));
+    }
+    v.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    v
+}
+
+/// Which deterministic crate (if any) owns this path?
+fn determinism_crate(path: &str) -> Option<&'static str> {
+    DETERMINISM_CRATES
+        .iter()
+        .find(|c| path.strip_prefix("crates/").and_then(|p| p.strip_prefix(**c)).is_some_and(|p| p.starts_with('/')))
+        .copied()
+}
+
+fn determinism(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
+    let needles = [
+        Needle::Path(&["Instant", "now"]),
+        Needle::Path(&["SystemTime", "now"]),
+        Needle::Path(&["rand", "random"]),
+        Needle::Ident("thread_rng"),
+        Needle::Ident("from_entropy"),
+    ];
+    let mut out = Vec::new();
+    for f in files {
+        let Some(krate) = determinism_crate(&f.path) else { continue };
+        if cfg.is_allowed("determinism", &f.path) {
+            continue;
+        }
+        for (line, what) in find_needles(&f.tokens, &needles) {
+            out.push(Violation {
+                rule: "determinism",
+                path: f.path.clone(),
+                line,
+                msg: format!(
+                    "`{what}` is ambient nondeterministic state, banned in the \
+                     bit-reproducible `{krate}` crate; seed/clock explicitly or \
+                     allowlist this file in lint.toml with a reason"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn panic_surface(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
+    let needles = [
+        Needle::Method("unwrap"),
+        Needle::Method("expect"),
+        Needle::Macro("panic"),
+        Needle::Macro("unreachable"),
+        Needle::Macro("todo"),
+        Needle::Macro("unimplemented"),
+    ];
+    let mut out = Vec::new();
+    for f in files {
+        if !PANIC_PATHS.iter().any(|p| f.path.starts_with(p)) {
+            continue;
+        }
+        if cfg.is_allowed("panic-surface", &f.path) {
+            continue;
+        }
+        for (line, what) in find_needles(&f.tokens, &needles) {
+            out.push(Violation {
+                rule: "panic-surface",
+                path: f.path.clone(),
+                line,
+                msg: format!(
+                    "`{what}` in a fault-tolerant path; return the module's typed \
+                     error instead (recoverable failures must reach the caller)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `crates/<name>/…` → `<name>`.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/").and_then(|p| p.split('/').next())
+}
+
+/// Is the `fn` keyword at token index `i` part of a `pub` item?
+fn fn_is_pub(toks: &[Token], i: usize) -> bool {
+    // Walk back over qualifiers (`const`, `unsafe`, `async`, `extern`,
+    // an ABI string is stripped already) and a `pub(...)` group.
+    let mut k = i;
+    for _ in 0..8 {
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+        match toks[k].text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => continue,
+            ")" => {
+                // Walk back to the matching `(`.
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    match toks[k].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn api_parity(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
+    // Per crate: all fn names, the test-corpus ident set, and the
+    // public `*_into` definition sites.
+    let mut fns: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut corpus: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut defs: Vec<(&str, &str, &SourceFile, usize)> = Vec::new();
+    for f in files {
+        let Some(krate) = crate_of(&f.path) else { continue };
+        let in_tests_dir = f.path.contains("/tests/");
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.in_test || in_tests_dir {
+                corpus.entry(krate).or_default().insert(t.text.as_str());
+            }
+            if t.text == "fn" {
+                if let Some(name) = f.tokens.get(i + 1) {
+                    fns.entry(krate).or_default().insert(name.text.as_str());
+                    if !t.in_test
+                        && !in_tests_dir
+                        && name.text.len() > "_into".len()
+                        && name.text.ends_with("_into")
+                        && fn_is_pub(&f.tokens, i)
+                    {
+                        defs.push((krate, name.text.as_str(), f, name.line));
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (krate, name, f, line) in defs {
+        if cfg.is_allowed("api-parity", name) {
+            continue;
+        }
+        let base = &name[..name.len() - "_into".len()];
+        let has_twin = fns.get(krate).is_some_and(|s| s.contains(base));
+        if !has_twin {
+            out.push(Violation {
+                rule: "api-parity",
+                path: f.path.clone(),
+                line,
+                msg: format!(
+                    "pub fn `{name}` has no allocating twin `fn {base}` in crate \
+                     `{krate}`; every buffer-reuse variant needs one (or an \
+                     api-parity allowlist entry keyed by function name)"
+                ),
+            });
+            continue;
+        }
+        let tested = corpus
+            .get(krate)
+            .is_some_and(|s| s.contains(name) && s.contains(base));
+        if !tested {
+            out.push(Violation {
+                rule: "api-parity",
+                path: f.path.clone(),
+                line,
+                msg: format!(
+                    "parity pair `{base}`/`{name}` is not named together in any \
+                     test of crate `{krate}`; add a bit-identity parity test"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn unsafe_budget(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        if cfg.is_allowed("unsafe-budget", &f.path) || f.raw.contains(UNSAFE_OPT_OUT) {
+            continue;
+        }
+        for t in &f.tokens {
+            if t.text == "unsafe" {
+                out.push(Violation {
+                    rule: "unsafe-budget",
+                    path: f.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "the workspace is `unsafe`-free by policy; opt this file \
+                         out explicitly with `// {UNSAFE_OPT_OUT}, \"reason\")`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does `section` in this manifest contain `needle`?
+fn manifest_section_contains(manifest: &str, section: &str, needle: &str) -> bool {
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == section;
+            continue;
+        }
+        if in_section && line.starts_with(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+fn doc_coverage(manifests: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (path, text) in manifests {
+        if path == "Cargo.toml" {
+            if !manifest_section_contains(text, "[workspace.lints.rust]", "missing_docs") {
+                out.push(Violation {
+                    rule: "doc-coverage",
+                    path: path.clone(),
+                    line: 0,
+                    msg: "root manifest must carry `missing_docs` in \
+                          [workspace.lints.rust] (the enforced doc-coverage floor)"
+                        .into(),
+                });
+            }
+        } else if !manifest_section_contains(text, "[lints]", "workspace = true") {
+            out.push(Violation {
+                rule: "doc-coverage",
+                path: path.clone(),
+                line: 0,
+                msg: "crate must opt into the shared lint table: add a [lints] \
+                      section with `workspace = true`"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+fn whitespace(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let mut push = |line: usize, msg: &str| {
+            out.push(Violation { rule: "whitespace", path: f.path.clone(), line, msg: msg.into() });
+        };
+        for (idx, line) in f.raw.lines().enumerate() {
+            let n = idx + 1;
+            if line.contains('\r') {
+                push(n, "carriage return (CRLF line ending)");
+                continue;
+            }
+            if line != line.trim_end() {
+                push(n, "trailing whitespace");
+            }
+            let indent: &str = &line[..line.len() - line.trim_start().len()];
+            if indent.contains('\t') {
+                push(n, "tab indentation (use spaces)");
+            }
+        }
+        if !f.raw.is_empty() && !f.raw.ends_with('\n') {
+            push(f.raw.lines().count(), "missing final newline");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: &str, path: &str, src: &str) -> Vec<Violation> {
+        let files = [SourceFile::new(path, src)];
+        run_rules(&[rule], &files, &[], &LintConfig::default())
+    }
+
+    #[test]
+    fn determinism_scope_is_path_gated() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(run("determinism", "crates/tensor/src/x.rs", src).len(), 1);
+        assert!(run("determinism", "crates/serve/src/x.rs", src).is_empty(), "serve not gated");
+        assert!(run("determinism", "crates/tensorx/src/x.rs", src).is_empty(), "prefix-safe");
+    }
+
+    #[test]
+    fn panic_surface_skips_test_tokens() {
+        let src = "fn f() -> R { v.get(0) }\n#[cfg(test)]\nmod tests { fn t() { v.unwrap(); } }\n";
+        assert!(run("panic-surface", "crates/serve/src/x.rs", src).is_empty());
+        let bad = "fn f() { v.unwrap(); }\n";
+        assert_eq!(run("panic-surface", "crates/serve/src/x.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn expect_field_access_is_not_a_call() {
+        // `srv.expect[src]` (a field named `expect`) must not trip the rule.
+        let src = "fn f() { let w = srv.expect[src]; }\n";
+        assert!(run("panic-surface", "crates/dist/src/transport.rs", src).is_empty());
+    }
+
+    #[test]
+    fn api_parity_requires_pub_and_twin_and_test() {
+        // Private `_into` helpers carry no parity obligation.
+        let private = "fn helper_into(a: &mut [f32]) {}\n";
+        assert!(run("api-parity", "crates/tensor/src/x.rs", private).is_empty());
+        // A pub one without a twin is a violation even when tested.
+        let no_twin = "pub fn frob_into(d: &mut T) {}\n#[cfg(test)]\nmod t { fn p() { frob_into(x); frob(x); } }\n";
+        let v = run("api-parity", "crates/tensor/src/x.rs", no_twin);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("no allocating twin"));
+        // Twin present but never tested together.
+        let untested = "pub fn frob_into(d: &mut T) {}\npub fn frob() -> T {}\n";
+        let v = run("api-parity", "crates/tensor/src/x.rs", untested);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("parity test"));
+        // Twin + parity test: clean.
+        let ok = "pub fn frob_into(d: &mut T) {}\npub fn frob() -> T {}\n#[cfg(test)]\nmod t { fn p() { frob_into(x); frob(x); } }\n";
+        assert!(run("api-parity", "crates/tensor/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn doc_coverage_checks_manifests() {
+        let manifests = vec![
+            ("Cargo.toml".to_string(), "[workspace.lints.rust]\nmissing_docs = \"warn\"\n".to_string()),
+            ("crates/a/Cargo.toml".to_string(), "[package]\nname = \"a\"\n".to_string()),
+            ("crates/b/Cargo.toml".to_string(), "[package]\n[lints]\nworkspace = true\n".to_string()),
+        ];
+        let v = run_rules(&["doc-coverage"], &[], &manifests, &LintConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].path, "crates/a/Cargo.toml");
+    }
+
+    #[test]
+    fn whitespace_flags_each_kind() {
+        let src = "fn a() {} \n\tlet x = 1;\nno_newline";
+        let v = run("whitespace", "crates/data/src/x.rs", src);
+        let msgs: Vec<&str> = v.iter().map(|x| x.msg.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("trailing")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("tab")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("final newline")), "{msgs:?}");
+    }
+
+    #[test]
+    fn unsafe_budget_honors_opt_out_marker() {
+        let bad = "pub fn f() { unsafe { core(); } }\n";
+        assert_eq!(run("unsafe-budget", "crates/data/src/x.rs", bad).len(), 1);
+        let opted = format!("// {UNSAFE_OPT_OUT}, \"simd kernel\")\n{bad}");
+        assert!(run("unsafe-budget", "crates/data/src/x.rs", &opted).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_key() {
+        let mut cfg = LintConfig::default();
+        cfg.allow
+            .entry("determinism".into())
+            .or_default()
+            .insert("crates/nn/src/x.rs".into(), "timing".into());
+        let files = [SourceFile::new("crates/nn/src/x.rs", "fn f() { Instant::now(); }\n")];
+        assert!(run_rules(&["determinism"], &files, &[], &cfg).is_empty());
+    }
+}

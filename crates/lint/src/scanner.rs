@@ -1,0 +1,320 @@
+//! Lightweight token-level Rust scanner.
+//!
+//! Produces a flat token stream (identifiers and single-character
+//! punctuation) with comments, string/char literals, and lifetimes
+//! stripped, so rule matching can never be fooled by a banned name
+//! appearing inside a doc comment or a format string. Tokens inside
+//! `#[cfg(test)]` / `#[test]` items are tagged `in_test`, which lets the
+//! panic-surface and determinism rules skip test code while the
+//! api-parity rule searches exactly that region for parity tests.
+//!
+//! This is deliberately *not* a parser: the grammar subset it understands
+//! (nested block comments, raw strings, lifetimes vs. char literals,
+//! attribute groups, brace-delimited items) is the subset needed to scan
+//! this workspace reliably.
+
+/// One lexical token: an identifier/number or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (identifier, number, or one punctuation character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// True when the token sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// Tokenize `src`, stripping comments and literals and tagging test code.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting, as in Rust).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, br"…", b"…".
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && b.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let is_raw = b.get(j.saturating_sub(1)) == Some(&'r') || c == 'r';
+            if is_raw && matches!(b.get(j), Some(&'#') | Some(&'"')) {
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == '\n' {
+                            line += 1;
+                        } else if b[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+            } else if c == 'b' && b.get(i + 1) == Some(&'"') {
+                i = skip_string(&b, i + 1, &mut line);
+                continue;
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            i = skip_string(&b, i, &mut line);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next_is_ident =
+                b.get(i + 1).is_some_and(|ch| ch.is_alphabetic() || *ch == '_');
+            if next_is_ident && b.get(i + 2) != Some(&'\'') {
+                // Lifetime: skip the quote and the identifier.
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        // Identifier / number.
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token { text: b[start..i].iter().collect(), line, in_test: false });
+            continue;
+        }
+        toks.push(Token { text: c.to_string(), line, in_test: false });
+        i += 1;
+    }
+    mark_test_regions(&mut toks);
+    toks
+}
+
+/// Skip a `"…"` literal starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            ch => {
+                if ch == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consume an attribute group starting at the `[` token index; returns
+/// the index just past the matching `]` and whether the group names
+/// `test` (ignoring `cfg(not(test))`).
+fn scan_attr_group(toks: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut negated = false;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, has_test && !negated);
+                }
+            }
+            "test" => has_test = true,
+            "not" => negated = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, false)
+}
+
+/// Tag every token belonging to a `#[cfg(test)]`/`#[test]` item.
+fn mark_test_regions(toks: &mut [Token]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let (mut j, is_test) = scan_attr_group(toks, i + 1);
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            j = scan_attr_group(toks, j + 1).0;
+        }
+        // The item body ends at a top-level `;` or the matching `}` of
+        // its first top-level brace.
+        let mut end = j;
+        let mut opened = false;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "{" => {
+                    opened = true;
+                    break;
+                }
+                ";" => break,
+                _ => end += 1,
+            }
+        }
+        if opened {
+            let mut depth = 0usize;
+            while end < toks.len() {
+                match toks[end].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+        }
+        let stop = end.min(toks.len().saturating_sub(1));
+        for t in &mut toks[i..=stop] {
+            t.in_test = true;
+        }
+        i = stop + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = texts("fn a() { // Instant::now\n let s = \"panic!\"; /* unwrap */ }");
+        assert!(toks.contains(&"fn".to_string()));
+        assert!(!toks.contains(&"Instant".to_string()));
+        assert!(!toks.contains(&"panic".to_string()));
+        assert!(!toks.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = texts("fn f<'a>(x: &'a str) { let r = r#\"unwrap()\"#; let c = '\"'; }");
+        assert!(!toks.contains(&"unwrap".to_string()));
+        assert!(toks.contains(&"str".to_string()));
+        // The identifier after the raw string is still seen.
+        assert!(toks.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = tokenize("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn marks_cfg_test_items() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let toks = tokenize(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("token");
+        assert!(unwrap.in_test);
+        let live = toks.iter().find(|t| t.text == "live").expect("token");
+        assert!(!live.in_test);
+        let tail = toks.iter().find(|t| t.text == "tail").expect("token");
+        assert!(!tail.in_test, "marking must stop at the matching brace");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let toks = tokenize(src);
+        assert!(toks.iter().filter(|t| t.text == "unwrap").all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn one() { a.unwrap(); }\nfn two() { b.other(); }";
+        let toks = tokenize(src);
+        assert!(toks.iter().find(|t| t.text == "unwrap").expect("tok").in_test);
+        assert!(!toks.iter().find(|t| t.text == "other").expect("tok").in_test);
+    }
+}

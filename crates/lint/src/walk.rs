@@ -1,0 +1,122 @@
+//! Workspace discovery and deterministic file collection.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::SourceFile;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+/// Find the workspace root by walking upward from `start` to the first
+/// `Cargo.toml` that declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+}
+
+/// Collect every `.rs` file under `<root>/crates` (sources, tests,
+/// benches, bins), skipping `target/` and the linter's own `fixtures/`.
+/// Paths are workspace-relative and `/`-separated; order is sorted, so
+/// reports are stable.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    visit(&root.join("crates"), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let raw = std::fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(rel, raw));
+    }
+    Ok(files)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                visit(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collect the root manifest plus every `crates/*/Cargo.toml`, as
+/// workspace-relative `(path, contents)` pairs.
+pub fn collect_manifests(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = vec![("Cargo.toml".to_string(), std::fs::read_to_string(root.join("Cargo.toml"))?)];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for d in dirs {
+            let manifest = d.join("Cargo.toml");
+            if manifest.is_file() {
+                let rel = format!(
+                    "crates/{}/Cargo.toml",
+                    d.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+                );
+                out.push((rel, std::fs::read_to_string(&manifest)?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn finds_root_from_crate_dir() {
+        let root = workspace_root();
+        assert!(root.join("crates").is_dir(), "{root:?}");
+    }
+
+    #[test]
+    fn collects_sources_and_skips_fixtures() {
+        let files = collect_sources(&workspace_root()).expect("collect");
+        assert!(files.iter().any(|f| f.path == "crates/lint/src/lib.rs"));
+        assert!(files.iter().all(|f| !f.path.contains("/fixtures/")));
+        assert!(files.iter().all(|f| !f.path.contains("/target/")));
+    }
+
+    #[test]
+    fn collects_manifests_with_root_first() {
+        let m = collect_manifests(&workspace_root()).expect("collect");
+        assert_eq!(m[0].0, "Cargo.toml");
+        assert!(m.iter().any(|(p, _)| p == "crates/lint/Cargo.toml"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: `lint.toml` allowlist serialization round-trips.
+//!
+//! Arbitrary configs — kebab-case rule names, keys/reasons over the full
+//! printable-ASCII range including quotes and backslashes — must survive
+//! `to_toml` → `parse` bit-exactly, so hand edits and machine rewrites
+//! of the allowlist can never drift.
+
+use proptest::prelude::*;
+
+use cc19_lint::LintConfig;
+
+/// Kebab-case rule name, 1–12 chars from [a-z0-9-].
+fn rule_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..37, 1..12).prop_map(|v| {
+        v.into_iter()
+            .map(|i| match i {
+                0..=25 => (b'a' + i as u8) as char,
+                26..=35 => (b'0' + (i - 26) as u8) as char,
+                _ => '-',
+            })
+            .collect()
+    })
+}
+
+/// Printable-ASCII string (space..tilde), quotes and backslashes included.
+fn printable() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..95, 0..24)
+        .prop_map(|v| v.into_iter().map(|i| (b' ' + i as u8) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn allowlist_round_trips(
+        sections in proptest::collection::vec(
+            (rule_name(), proptest::collection::vec((printable(), printable()), 0..6)),
+            0..5,
+        )
+    ) {
+        let mut cfg = LintConfig::default();
+        for (rule, entries) in sections {
+            let map = cfg.allow.entry(rule).or_default();
+            for (key, reason) in entries {
+                map.insert(key, reason);
+            }
+        }
+        let text = cfg.to_toml();
+        let reparsed = LintConfig::parse(&text);
+        prop_assert!(reparsed.is_ok(), "canonical form must parse: {:?}\n{}", reparsed, text);
+        prop_assert_eq!(reparsed.ok(), Some(cfg));
+    }
+
+    #[test]
+    fn is_allowed_matches_contents(rule in rule_name(), key in printable(), other in printable()) {
+        prop_assume!(key != other);
+        let mut cfg = LintConfig::default();
+        cfg.allow.entry(rule.clone()).or_default().insert(key.clone(), "r".into());
+        let cfg = LintConfig::parse(&cfg.to_toml()).expect("round-trip");
+        prop_assert!(cfg.is_allowed(&rule, &key));
+        prop_assert!(!cfg.is_allowed(&rule, &other));
+    }
+}

@@ -21,6 +21,11 @@
 //! - **v2** — identical section encoding plus a trailing CRC-32 so a
 //!   truncated or bit-flipped file is rejected instead of silently loading
 //!   garbage weights. v1 files remain loadable (no checksum verified).
+//!
+//! This file is on the cc19-lint panic-surface path: checkpoint I/O
+//! failures must surface as `io::Result`, never panics.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -275,6 +280,8 @@ impl Checkpoint {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {

@@ -533,7 +533,7 @@ impl Graph {
                 let mut mean = vec![0.0f32; c];
                 let mut var = vec![0.0f32; c];
                 let xd = xv.data();
-                for ci in 0..c {
+                for (ci, mu) in mean.iter_mut().enumerate() {
                     let mut acc = 0.0f64;
                     for ni in 0..n {
                         let base = (ni * c + ci) * spatial;
@@ -541,7 +541,7 @@ impl Graph {
                             acc += v as f64;
                         }
                     }
-                    mean[ci] = (acc / m as f64) as f32;
+                    *mu = (acc / m as f64) as f32;
                 }
                 for ci in 0..c {
                     let mu = mean[ci] as f64;

@@ -9,7 +9,6 @@
 //! pass (define-by-run, like the PyTorch code the paper used); parallelism
 //! lives inside the tensor kernels, not across graph nodes.
 
-#![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod graph;

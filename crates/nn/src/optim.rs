@@ -64,11 +64,11 @@ impl Adam {
             let n = p.borrow().value.numel();
             match self.m.get(&idx) {
                 Some(t) => m.extend_from_slice(t.data()),
-                None => m.extend(std::iter::repeat(0.0).take(n)),
+                None => m.extend(std::iter::repeat_n(0.0, n)),
             }
             match self.v.get(&idx) {
                 Some(t) => v.extend_from_slice(t.data()),
-                None => v.extend(std::iter::repeat(0.0).take(n)),
+                None => v.extend(std::iter::repeat_n(0.0, n)),
             }
         }
         AdamState { t: self.t, lr: self.lr, m, v }

@@ -129,7 +129,7 @@ impl ParamStore {
             let p = p.borrow();
             match &p.grad {
                 Some(g) => out.extend_from_slice(g.data()),
-                None => out.extend(std::iter::repeat(0.0).take(p.value.numel())),
+                None => out.extend(std::iter::repeat_n(0.0, p.value.numel())),
             }
         }
         out

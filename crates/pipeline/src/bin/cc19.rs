@@ -271,6 +271,34 @@ fn usage() -> &'static str {
        diagnose          --seed 11 [--positive] [--input F.cc19v] [--enhancer CKPT] [--classifier CKPT]"
 }
 
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "train-enhancer" => cmd_train_enhancer(&args),
+        "enhance" => cmd_enhance(&args),
+        "train-classifier" => cmd_train_classifier(&args),
+        "diagnose" => cmd_diagnose(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,33 +342,5 @@ mod tests {
         assert!(m.positive && m.severity.is_some());
         let m = synth_meta(5, false, 8);
         assert!(!m.positive && m.severity.is_none());
-    }
-}
-
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first().cloned() else {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
-    };
-    let args = Args::parse(&argv[1..]);
-    let result = match cmd.as_str() {
-        "simulate" => cmd_simulate(&args),
-        "train-enhancer" => cmd_train_enhancer(&args),
-        "enhance" => cmd_enhance(&args),
-        "train-classifier" => cmd_train_classifier(&args),
-        "diagnose" => cmd_diagnose(&args),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
     }
 }

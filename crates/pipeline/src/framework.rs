@@ -341,8 +341,8 @@ mod tests {
             id,
             source: DataSource::Midrc,
             modality: Modality::Ct,
-            positive: id % 2 == 0,
-            severity: if id % 2 == 0 { Some(Severity::Moderate) } else { None },
+            positive: id.is_multiple_of(2),
+            severity: if id.is_multiple_of(2) { Some(Severity::Moderate) } else { None },
             slices: 4,
             circular_artifact: false,
             has_projections: false,

@@ -38,7 +38,6 @@
 //! assert!((0.0..=1.0).contains(&report.probability));
 //! ```
 
-#![warn(missing_docs)]
 
 pub mod epi;
 pub mod experiments;

@@ -11,6 +11,8 @@
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use crate::sync::{lock, wait};
+
 /// Coalescing policy for one dispatch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchPolicy {
@@ -43,21 +45,23 @@ impl Gate {
 
     /// Block until the gate is open.
     pub(crate) fn wait_open(&self) {
-        let mut open = self.open.lock().unwrap();
+        let mut open = lock(&self.open);
         while !*open {
-            open = self.cv.wait(open).unwrap();
+            open = wait(&self.cv, open);
         }
     }
 
     /// Open the gate and wake all waiters.
     pub(crate) fn open(&self) {
-        *self.open.lock().unwrap() = true;
+        *lock(&self.open) = true;
         self.cv.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use std::sync::Arc;
 

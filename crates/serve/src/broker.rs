@@ -17,6 +17,7 @@ use crossbeam::channel::Sender;
 use crate::batcher::BatchPolicy;
 use crate::metrics::ServeMetrics;
 use crate::request::{Priority, Rejected, ServeRequest, ServeResponse};
+use crate::sync::{lock, wait, wait_timeout};
 
 /// Broker tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,7 +95,7 @@ impl Broker {
 
     /// Current queue depth (admitted, not yet dispatched).
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().depth
+        lock(&self.inner).depth
     }
 
     /// Admit a request or reject it synchronously. On success returns
@@ -106,7 +107,7 @@ impl Broker {
         reply: Sender<ServeResponse>,
     ) -> Result<u64, Rejected> {
         let dims = req.volume.dims();
-        if dims.len() != 3 || dims.iter().any(|&d| d == 0) {
+        if dims.len() != 3 || dims.contains(&0) {
             let why = Rejected::Invalid(format!("expected non-empty (D,H,W) volume, got {dims:?}"));
             self.metrics.on_reject(&why);
             return Err(why);
@@ -122,7 +123,7 @@ impl Broker {
             }
         }
         let now = Instant::now();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         if inner.closed {
             drop(inner);
             let why = Rejected::ShuttingDown;
@@ -161,7 +162,7 @@ impl Broker {
     /// broker is closed **and** drained (graceful shutdown: queued work
     /// is still served after [`Broker::close`]).
     pub fn pop_batch(&self, policy: BatchPolicy) -> Option<Vec<Job>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         loop {
             // Wait for the first job (or closed+empty).
             loop {
@@ -171,7 +172,7 @@ impl Broker {
                 if inner.closed {
                     return None;
                 }
-                inner = self.arrived.wait(inner).unwrap();
+                inner = wait(&self.arrived, inner);
             }
             // Coalescing window: give the batch max_delay to fill up to
             // max_batch (the latency/throughput knob). A closed broker
@@ -185,7 +186,7 @@ impl Broker {
                     break;
                 }
                 let (guard, timed_out) =
-                    self.arrived.wait_timeout(inner, policy.max_delay - elapsed).unwrap();
+                    wait_timeout(&self.arrived, inner, policy.max_delay - elapsed);
                 inner = guard;
                 if timed_out.timed_out() {
                     break;
@@ -219,13 +220,15 @@ impl Broker {
 
     /// Stop admitting; wake all dispatchers so they can drain and exit.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock(&self.inner).closed = true;
         self.arrived.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use cc19_tensor::Tensor;
     use crossbeam::channel::unbounded;

@@ -35,14 +35,20 @@
 //! - [`metrics`] — per-stage latency histograms, queue depth, batch-size
 //!   distribution, reject counters, p50/p95/p99; dumps CSV under
 //!   `results/`.
+//!
+//! This crate is on the cc19-lint panic-surface path: recoverable
+//! failures must surface as typed errors (`Rejected`, failed
+//! `ServeResponse`s, `io::Result`), never panics. Unit-test modules opt
+//! back into `unwrap` locally.
 
-#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
 
 pub mod batcher;
 pub mod broker;
 pub mod metrics;
 pub mod request;
 pub mod server;
+pub(crate) mod sync;
 pub mod wire;
 pub mod worker;
 

@@ -7,6 +7,8 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::sync::lock;
+
 use computecovid19::Diagnosis;
 
 use crate::request::Rejected;
@@ -36,7 +38,7 @@ impl Histogram {
             return 0.0;
         }
         let mut sorted = self.samples_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
     }
@@ -106,21 +108,21 @@ impl ServeMetrics {
     }
 
     pub(crate) fn on_accept(&self, depth_after: usize) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = lock(&self.inner);
         m.accepted += 1;
         m.depth_max = m.depth_max.max(depth_after);
     }
 
     pub(crate) fn on_reject(&self, why: &Rejected) {
-        *self.inner.lock().unwrap().rejected.entry(why.label()).or_insert(0) += 1;
+        *lock(&self.inner).rejected.entry(why.label()).or_insert(0) += 1;
     }
 
     pub(crate) fn on_batch(&self, size: usize) {
-        *self.inner.lock().unwrap().batch_sizes.entry(size).or_insert(0) += 1;
+        *lock(&self.inner).batch_sizes.entry(size).or_insert(0) += 1;
     }
 
     pub(crate) fn on_complete(&self, d: &Diagnosis, missed_deadline: bool) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = lock(&self.inner);
         m.completed += 1;
         if missed_deadline {
             m.deadline_missed += 1;
@@ -133,12 +135,12 @@ impl ServeMetrics {
     }
 
     pub(crate) fn on_failure(&self) {
-        self.inner.lock().unwrap().failed += 1;
+        lock(&self.inner).failed += 1;
     }
 
     /// Counter snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let m = self.inner.lock().unwrap();
+        let m = lock(&self.inner);
         MetricsSnapshot {
             accepted: m.accepted,
             completed: m.completed,
@@ -153,13 +155,13 @@ impl ServeMetrics {
 
     /// p50/p95/p99 of end-to-end processing latency in milliseconds.
     pub fn total_latency_quantiles_ms(&self) -> (f64, f64, f64) {
-        let m = self.inner.lock().unwrap();
+        let m = lock(&self.inner);
         (m.h_total.quantile_ms(0.50), m.h_total.quantile_ms(0.95), m.h_total.quantile_ms(0.99))
     }
 
     /// Render the full `section,name,value` CSV.
     pub fn to_csv(&self) -> String {
-        let m = self.inner.lock().unwrap();
+        let m = lock(&self.inner);
         let mut out = String::from("section,name,value\n");
         let counter = |out: &mut String, name: &str, v: u64| {
             out.push_str(&format!("counter,{name},{v}\n"));
@@ -204,6 +206,8 @@ impl ServeMetrics {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use std::time::Duration;
 

@@ -1,6 +1,7 @@
 //! The server: broker + batcher + worker pipelines + metrics, with an
 //! in-process [`Client`] handle.
 
+use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -66,12 +67,26 @@ impl Server {
     /// [`Framework`] replica via `factory`. The factory must be
     /// deterministic (same replica every call) for the service to be
     /// bit-reproducible across pipelines.
-    pub fn start<F>(cfg: ServerCfg, factory: F) -> Server
+    ///
+    /// Errors on an invalid configuration or when a stage thread cannot
+    /// be spawned (OS resource exhaustion) — both recoverable by the
+    /// caller, so neither panics.
+    pub fn start<F>(cfg: ServerCfg, factory: F) -> io::Result<Server>
     where
         F: Fn() -> Framework + Send + Sync + 'static,
     {
-        assert!(cfg.pipelines >= 1, "need at least one worker pipeline");
-        assert!(cfg.batch.max_batch >= 1, "max_batch must be at least 1");
+        if cfg.pipelines < 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "need at least one worker pipeline",
+            ));
+        }
+        if cfg.batch.max_batch < 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "max_batch must be at least 1",
+            ));
+        }
         let metrics = ServeMetrics::new();
         let broker = Arc::new(Broker::new(
             BrokerCfg { queue_bound: cfg.queue_bound, est_service: cfg.est_service },
@@ -90,9 +105,9 @@ impl Server {
                 cfg.threshold,
                 cfg.enhance_mode,
                 metrics.clone(),
-            ));
+            )?);
         }
-        Server { broker, gate, metrics, handles }
+        Ok(Server { broker, gate, metrics, handles })
     }
 
     /// In-process client handle (cheap to clone, usable from any thread).
@@ -170,6 +185,8 @@ impl PendingDiagnosis {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::request::Priority;
     use cc19_tensor::Tensor;
@@ -180,7 +197,7 @@ mod tests {
     }
 
     fn tiny_server(cfg: ServerCfg) -> Server {
-        Server::start(cfg, || Framework::untrained_reduced(42))
+        Server::start(cfg, || Framework::untrained_reduced(42)).expect("server starts")
     }
 
     #[test]
@@ -203,8 +220,7 @@ mod tests {
 
     #[test]
     fn paused_server_queues_then_drains_on_shutdown() {
-        let mut cfg = ServerCfg::default();
-        cfg.start_paused = true;
+        let cfg = ServerCfg { start_paused: true, ..ServerCfg::default() };
         let server = tiny_server(cfg);
         let client = server.client();
         let pendings: Vec<_> = (0..3)

@@ -1,0 +1,32 @@
+//! Poison-tolerant wrappers over `std::sync` locking.
+//!
+//! The serve dispatch path must never panic (cc19-lint panic-surface
+//! rule): a worker thread that dies mid-study must degrade to a failed
+//! response for that study, not take the broker lock's poison flag down
+//! with it and cascade panics into every other client. All state guarded
+//! by these locks is plain owned data (queues, counters, histograms)
+//! that remains structurally valid wherever a panicking holder stopped,
+//! so recovering the inner value is always sound here.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// `Mutex::lock` that recovers from poisoning instead of panicking.
+pub(crate) fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` that recovers from poisoning instead of panicking.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` that recovers from poisoning instead of
+/// panicking.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur).unwrap_or_else(PoisonError::into_inner)
+}

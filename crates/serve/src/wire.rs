@@ -55,11 +55,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?.try_into().map_err(|_| invalid("truncated u32"))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?.try_into().map_err(|_| invalid("truncated u64"))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
@@ -108,8 +110,10 @@ pub fn decode_request(payload: &[u8]) -> io::Result<ServeRequest> {
         .and_then(|v| v.checked_mul(w))
         .ok_or_else(|| invalid("volume extent overflow"))?;
     let raw = c.take(n * 4)?;
+    // chunks_exact(4) yields exactly-4-byte slices, so the array indexing
+    // cannot go out of bounds.
     let data: Vec<f32> =
-        raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect();
+        raw.chunks_exact(4).map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect();
     let volume = Tensor::from_vec([d, h, w], data).map_err(|e| invalid(e.to_string()))?;
     Ok(ServeRequest { volume, priority, deadline })
 }
@@ -306,6 +310,8 @@ impl TcpServeClient {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     fn sample_request() -> ServeRequest {

@@ -14,6 +14,7 @@
 //! calls, so steady-state serving reuses volume-sized buffers instead
 //! of allocating per study.
 
+use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,7 +57,9 @@ fn fail(meta: JobMeta, stage: &str, err: impl std::fmt::Display, metrics: &Serve
 }
 
 /// Spawn one three-thread pipeline pulling batches from `broker`.
-/// Returns the stage thread handles (enhance, segment, classify).
+/// Returns the stage thread handles (enhance, segment, classify), or the
+/// OS error if a stage thread could not be spawned (resource
+/// exhaustion — recoverable by the caller, not a panic).
 pub(crate) fn spawn_pipeline(
     index: usize,
     broker: Arc<Broker>,
@@ -66,7 +69,7 @@ pub(crate) fn spawn_pipeline(
     threshold: f64,
     enhance_mode: EnhanceMode,
     metrics: ServeMetrics,
-) -> Vec<JoinHandle<()>> {
+) -> io::Result<Vec<JoinHandle<()>>> {
     let (seg_tx, seg_rx) = unbounded::<EnhancedJob>();
     let (cls_tx, cls_rx) = unbounded::<SegmentedJob>();
 
@@ -94,8 +97,7 @@ pub(crate) fn spawn_pipeline(
                 }
             }
             // broker closed & drained: dropping seg_tx unwinds the pipeline
-        })
-        .expect("spawn enhance stage");
+        })?;
 
     let m_seg = metrics.clone();
     let f_seg = Arc::clone(&factory);
@@ -114,8 +116,7 @@ pub(crate) fn spawn_pipeline(
                     Err(e) => fail(meta, "segment", e, &m_seg),
                 }
             }
-        })
-        .expect("spawn segment stage");
+        })?;
 
     let classify = std::thread::Builder::new()
         .name(format!("serve-classify-{index}"))
@@ -133,8 +134,7 @@ pub(crate) fn spawn_pipeline(
                     Err(e) => fail(meta, "classify", e, &metrics),
                 }
             }
-        })
-        .expect("spawn classify stage");
+        })?;
 
-    vec![enhance, segment, classify]
+    Ok(vec![enhance, segment, classify])
 }

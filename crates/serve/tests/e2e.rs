@@ -4,7 +4,6 @@
 
 use std::collections::HashSet;
 use std::net::TcpListener;
-use std::sync::Arc;
 use std::time::Duration;
 
 use cc19_serve::{
@@ -42,7 +41,7 @@ fn concurrent_clients_get_exactly_once_bit_identical_answers() {
         threshold: THRESHOLD,
         ..ServerCfg::default()
     };
-    let server = Server::start(cfg, factory);
+    let server = Server::start(cfg, factory).expect("server starts");
 
     let handles: Vec<_> = (0..CLIENTS)
         .map(|c| {
@@ -103,7 +102,8 @@ fn tcp_front_end_serves_bit_identical_answers() {
     let server = Server::start(
         ServerCfg { threshold: THRESHOLD, ..ServerCfg::default() },
         factory,
-    );
+    )
+    .expect("server starts");
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let conn_client = server.client();

@@ -30,7 +30,7 @@ fn serve_smoke_64_requests_zero_lost_batched_metrics() {
         start_paused: true,
         ..ServerCfg::default()
     };
-    let server = Server::start(cfg, || Framework::untrained_reduced(SEED));
+    let server = Server::start(cfg, || Framework::untrained_reduced(SEED)).expect("server starts");
     let client = server.client();
 
     let mut rng = Xorshift::new(SEED);

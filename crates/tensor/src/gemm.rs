@@ -95,20 +95,20 @@ fn b_at(b: &[f32], p: usize, j: usize, k: usize, n: usize, trans_b: bool) -> f32
     }
 }
 
-/// Pack `A[i0..i0+mc, p0..p0+kc]` into `ap` as `ceil(mc/MR)` panels, each
-/// laid out `[p * MR + r]` (the microkernel's read order). Rows past `mc`
+/// Pack `A[rows, deps]` into `ap` as `ceil(mc/MR)` panels, each laid out
+/// `[p * MR + r]` (the microkernel's read order). Rows past the block
 /// are zero-filled so the kernel can always run full `MR`-tiles.
 fn pack_a(
     a: &[f32],
     ap: &mut [f32],
-    i0: usize,
-    mc: usize,
-    p0: usize,
-    kc: usize,
+    rows: std::ops::Range<usize>,
+    deps: std::ops::Range<usize>,
     m: usize,
     k: usize,
     trans_a: bool,
 ) {
+    let (i0, mc) = (rows.start, rows.len());
+    let (p0, kc) = (deps.start, deps.len());
     let panels = mc.div_ceil(MR);
     for ir in 0..panels {
         let panel = &mut ap[ir * KC * MR..ir * KC * MR + kc * MR];
@@ -136,19 +136,19 @@ fn pack_a(
     }
 }
 
-/// Pack `B[p0..p0+kc, j0..j0+nc]` into `bp` as `ceil(nc/NR)` panels, each
-/// laid out `[p * NR + c]`. Columns past `nc` are zero-filled.
+/// Pack `B[deps, cols]` into `bp` as `ceil(nc/NR)` panels, each laid out
+/// `[p * NR + c]`. Columns past the block are zero-filled.
 fn pack_b(
     b: &[f32],
     bp: &mut [f32],
-    p0: usize,
-    kc: usize,
-    j0: usize,
-    nc: usize,
+    deps: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
     k: usize,
     n: usize,
     trans_b: bool,
 ) {
+    let (p0, kc) = (deps.start, deps.len());
+    let (j0, nc) = (cols.start, cols.len());
     let panels = nc.div_ceil(NR);
     for jr in 0..panels {
         let panel = &mut bp[jr * KC * NR..jr * KC * NR + kc * NR];
@@ -157,9 +157,7 @@ fn pack_b(
             for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
                 let src = &b[(p0 + p) * n + j0 + jr * NR..][..cols];
                 chunk[..cols].copy_from_slice(src);
-                for c in cols..NR {
-                    chunk[c] = 0.0;
-                }
+                chunk[cols..NR].fill(0.0);
             }
         } else {
             for c in 0..cols {
@@ -261,10 +259,10 @@ pub fn sgemm(
         let mut bp = vec![0.0f32; KC * ceil_mul(NC.min(n), NR)];
         for p0 in (0..k).step_by(KC) {
             let kc = (k - p0).min(KC);
-            pack_a(a, &mut ap, i0, mc, p0, kc, m, k, trans_a);
+            pack_a(a, &mut ap, i0..i0 + mc, p0..p0 + kc, m, k, trans_a);
             for j0 in (0..n).step_by(NC) {
                 let nc = (n - j0).min(NC);
-                pack_b(b, &mut bp, p0, kc, j0, nc, k, n, trans_b);
+                pack_b(b, &mut bp, p0..p0 + kc, j0..j0 + nc, k, n, trans_b);
                 macro_kernel(&ap, &bp, c_chunk, mc, nc, kc, j0, n);
             }
         }

@@ -125,7 +125,7 @@ pub fn col2im(
                 for ky in 0..k {
                     // oy * s + ky - p == iy  =>  oy = (iy + p - ky) / s
                     let ty = iy + p;
-                    if ty < ky || (ty - ky) % s != 0 {
+                    if ty < ky || !(ty - ky).is_multiple_of(s) {
                         continue;
                     }
                     let oy = (ty - ky) / s;
@@ -134,7 +134,7 @@ pub fn col2im(
                     }
                     for kx in 0..k {
                         let tx = ix + p;
-                        if tx < kx || (tx - kx) % s != 0 {
+                        if tx < kx || !(tx - kx).is_multiple_of(s) {
                             continue;
                         }
                         let ox = (tx - kx) / s;
@@ -221,9 +221,9 @@ fn channel_sums(grad_out: &Tensor, cout: usize) -> Tensor {
     let mut gb = Tensor::zeros([cout]);
     let gbd = gb.data_mut();
     for ni in 0..n {
-        for co in 0..cout {
+        for (co, g) in gbd.iter_mut().enumerate() {
             let base = (ni * cout + co) * hw;
-            gbd[co] += gd[base..base + hw].iter().sum::<f32>();
+            *g += gd[base..base + hw].iter().sum::<f32>();
         }
     }
     gb

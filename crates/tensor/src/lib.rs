@@ -15,7 +15,6 @@
 //! - parallel reductions use fixed-shape chunking so results are
 //!   bit-reproducible for a given thread-count-independent chunking.
 
-#![warn(missing_docs)]
 
 pub mod conv;
 pub mod conv_backend;

@@ -25,7 +25,7 @@ fn main() {
         pipelines: 2,
         ..ServerCfg::default()
     };
-    let server = Server::start(cfg, || Framework::untrained_reduced(7));
+    let server = Server::start(cfg, || Framework::untrained_reduced(7)).expect("server starts");
     println!("server up: 2 pipelines × (enhance → segment → classify), queue bound 32");
 
     // 2. Expose it over TCP (the same CRC framing the distributed

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate (ROADMAP.md): release build + full test suite.
+# Tier-1 verification gate (ROADMAP.md): release build + full test suite
+# + chaos/serve smokes + static analysis (cc19-lint, clippy when present).
 # Usage: scripts/tier1.sh
-# Exits 0 with "TIER-1 PASS" iff both steps succeed.
+# Exits 0 with "TIER-1 PASS" iff every stage succeeds.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +44,32 @@ if [ "$status" -eq 0 ]; then
     if ! cargo test -q -p cc19-serve --test smoke; then
         echo "tier-1: SERVE SMOKE FAILED"
         status=1
+    fi
+fi
+
+echo
+echo "=== tier-1: static analysis ==="
+# cc19-lint enforces the repo-specific invariants the compiler can't
+# (DESIGN.md §11): determinism (no ambient clocks/RNG in numeric crates),
+# panic-free fault-tolerant paths, *_into/allocating API parity with
+# tests, the unsafe budget, doc-coverage opt-in, and the whitespace gate
+# (trailing whitespace / tab indent / CR / missing final newline — the
+# `cargo fmt --check` stand-in for this vendored toolchain).
+if [ "$status" -eq 0 ]; then
+    if ! cargo run -q -p cc19-lint; then
+        echo "tier-1: STATIC ANALYSIS FAILED (cc19-lint)"
+        status=1
+    fi
+fi
+if [ "$status" -eq 0 ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        if ! cargo clippy --workspace --all-targets -q -- -D warnings; then
+            echo "tier-1: STATIC ANALYSIS FAILED (clippy -D warnings)"
+            status=1
+        fi
+    else
+        echo "tier-1: NOTICE — clippy not installed in this toolchain; skipping the"
+        echo "        clippy -D warnings stage (cc19-lint still ran)."
     fi
 fi
 

@@ -211,7 +211,7 @@ impl Criterion {
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         let quick = std::env::var("CC19_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
-        self.sample_size = if quick { n.min(3).max(2) } else { n.max(2) };
+        self.sample_size = if quick { n.clamp(2, 3) } else { n.max(2) };
         self
     }
 
