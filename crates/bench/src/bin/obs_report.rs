@@ -1,0 +1,220 @@
+//! `obs_report`: one deterministic pass over every instrumented subsystem,
+//! exported as `results/bench_obs.json`.
+//!
+//! The point of this binary is not throughput numbers — the other benches
+//! own those — but an end-to-end exercise of the `cc19-obs` registry:
+//! seeded GEMM and conv kernels, the CT simulation stages, a tiny
+//! Enhancement-AI training run, a 4-rank lockstep all-reduce under a
+//! pinned fault plan, and a serve smoke test, all writing into the
+//! process-global registry, which is then exported with the deterministic
+//! sorted-key exporters.
+//!
+//! Under `CC19_OBS_DETERMINISTIC=1` the global registry runs on the
+//! auto-ticking manual clock and every clock read in this binary is
+//! causally ordered (the all-reduce runs lockstep on one thread; serve
+//! requests are submitted strictly sequentially with `max_batch: 1`; the
+//! rayon workers inside the kernels never touch the clock), so the JSON
+//! is byte-identical run over run — `scripts/tier1.sh` runs it twice and
+//! compares. Without the variable, the same report carries real timings.
+
+use std::time::Duration;
+
+use cc19_bench::TablePrinter;
+use cc19_ctsim::fbp::fbp_parallel;
+use cc19_ctsim::filter::Window;
+use cc19_ctsim::geometry::ParallelBeamGeometry;
+use cc19_ctsim::hu::image_hu_to_mu;
+use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
+use cc19_ctsim::phantom::{ChestPhantom, Severity};
+use cc19_ctsim::siddon::{project_parallel, Grid};
+use cc19_data::lowdose_pairs::{make_pair, EnhancementPair, PairConfig};
+use cc19_data::sources::{DataSource, Modality, ScanMeta};
+use cc19_ddnet::model::{Ddnet, DdnetConfig};
+use cc19_ddnet::trainer::{train_enhancement, TrainConfig};
+use cc19_dist::fault::{FaultConfig, FaultPlan};
+use cc19_dist::transport::{make_ring_in, TimeoutCfg};
+use cc19_obs::span::enter_on;
+use cc19_obs::Snapshot;
+use cc19_serve::{BatchPolicy, ServeMetrics, ServeRequest, Server, ServerCfg};
+use cc19_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
+use cc19_tensor::gemm::sgemm;
+use cc19_tensor::rng::Xorshift;
+use computecovid19::framework::Framework;
+
+/// Everything in this binary is seeded from here.
+const SEED: u64 = 0x0B5_2026;
+
+/// GEMM edge: big enough to hit the blocked path, small enough for tier-1.
+const GEMM_N: usize = 96;
+
+/// In-plane resolution for the ctsim / trainer stages.
+const CT_N: usize = 64;
+
+/// Views for the explicit ctsim stage.
+const CT_VIEWS: usize = 48;
+
+/// Serve smoke request count.
+const SERVE_REQS: u64 = 8;
+
+fn stage_gemm() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.gemm");
+    let mut rng = Xorshift::new(SEED);
+    let a = rng.uniform_tensor([GEMM_N, GEMM_N], -1.0, 1.0);
+    let b = rng.uniform_tensor([GEMM_N, GEMM_N], -1.0, 1.0);
+    let mut c = vec![0.0f32; GEMM_N * GEMM_N];
+    sgemm(false, false, GEMM_N, GEMM_N, GEMM_N, a.data(), b.data(), &mut c);
+}
+
+fn stage_conv() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.conv");
+    let mut rng = Xorshift::new(SEED ^ 1);
+    let input = rng.uniform_tensor([1, 2, 24, 24], -1.0, 1.0);
+    let weight = rng.uniform_tensor([4, 2, 3, 3], -0.5, 0.5);
+    let spec = Conv2dSpec::default();
+    let out = conv2d(&input, &weight, None, spec).expect("conv2d forward");
+    let _grads = conv2d_backward(&input, &weight, &out, spec).expect("conv2d backward");
+}
+
+fn stage_ctsim() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.ctsim");
+    let grid = Grid::fov500(CT_N);
+    let geom = ParallelBeamGeometry::for_image(CT_N, grid.px, CT_VIEWS);
+    let hu_img = ChestPhantom::subject(SEED, 0.5, Some(Severity::Moderate)).rasterize_hu(CT_N);
+    let mu_img = image_hu_to_mu(&hu_img);
+    let sino = project_parallel(&mu_img, grid, &geom).expect("projection");
+    let noisy = apply_poisson_noise(&sino, DoseSettings::quarter(SEED));
+    let _rec = fbp_parallel(&noisy, &geom, grid, Window::Hann).expect("fbp");
+}
+
+fn pairs(n_pairs: usize, salt: u64) -> Vec<EnhancementPair> {
+    (0..n_pairs)
+        .map(|i| {
+            let meta = ScanMeta {
+                id: SEED + salt + i as u64,
+                source: DataSource::Bimcv,
+                modality: Modality::Ct,
+                positive: i % 2 == 0,
+                severity: if i % 2 == 0 { Some(Severity::Moderate) } else { None },
+                slices: 16,
+                circular_artifact: false,
+                has_projections: false,
+            };
+            make_pair(&meta, 0.5, PairConfig::reduced(32, SEED + salt + i as u64))
+                .expect("pair synthesis")
+        })
+        .collect()
+}
+
+fn stage_trainer() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.trainer");
+    let train = pairs(2, 100);
+    let val = pairs(1, 200);
+    let net = Ddnet::new(DdnetConfig::tiny(), SEED);
+    let stats = train_enhancement(&net, &train, &val, TrainConfig::quick(1)).expect("training");
+    assert!(!stats.is_empty(), "trainer must report at least one epoch");
+}
+
+fn stage_allreduce() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.allreduce");
+    let plan = FaultPlan::seeded(
+        1234,
+        FaultConfig { p_drop: 0.05, p_duplicate: 0.05, ..FaultConfig::clean() },
+    );
+    let (_cluster, mut rings) = make_ring_in(4, plan, TimeoutCfg::fast(), cc19_obs::global());
+    let mut bufs: Vec<Vec<f32>> = (0..4)
+        .map(|r| (0..2048).map(|i| i as f32 * 0.001 + r as f32).collect())
+        .collect();
+    cc19_dist::allreduce::ring_allreduce_lockstep(&mut bufs, &mut rings).expect("all-reduce");
+}
+
+fn stage_serve() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.serve");
+    let cfg = ServerCfg {
+        // max_batch 1 keeps the batcher's real-time coalescing window (the
+        // one wall-clock wait in the serving path) out of the picture, so
+        // the sequential submit/wait loop below is fully deterministic.
+        batch: BatchPolicy { max_batch: 1, max_delay: Duration::ZERO },
+        threshold: 0.5,
+        ..ServerCfg::default()
+    };
+    let metrics = ServeMetrics::with_registry(cc19_obs::global_arc());
+    let server =
+        Server::start_with_metrics(cfg, || Framework::untrained_reduced(SEED), metrics)
+            .expect("server starts");
+    let client = server.client();
+    for i in 0..SERVE_REQS {
+        let mut rng = Xorshift::new(SEED ^ (0x9E37_79B9 + i));
+        let volume = rng.uniform_tensor([4, 32, 32], -1000.0, 400.0);
+        let pending = client.submit(ServeRequest::routine(volume)).expect("admission");
+        let resp = pending.wait().expect("reply");
+        resp.result.expect("diagnosis");
+    }
+    server.shutdown();
+}
+
+fn counter_sum(snap: &Snapshot, name: &str) -> u64 {
+    snap.counters.iter().filter(|e| e.name == name).map(|e| e.value).sum()
+}
+
+fn histogram_sum(snap: &Snapshot, name: &str) -> f64 {
+    snap.histograms.iter().filter(|e| e.name == name).map(|e| e.value.sum()).sum()
+}
+
+/// Derive `bench_*_gflops` gauges from the kernel flop counters and
+/// second histograms accumulated across all stages above.
+fn derive_gauges() {
+    let reg = cc19_obs::global();
+    let snap = reg.snapshot();
+    for (gauge, flops_name, secs_name) in [
+        ("bench_gemm_gflops", "tensor_gemm_flops_total", "tensor_gemm_seconds"),
+        ("bench_conv_gflops", "tensor_conv_flops_total", "tensor_conv_seconds"),
+    ] {
+        let flops = counter_sum(&snap, flops_name) as f64;
+        let secs = histogram_sum(&snap, secs_name);
+        let gflops = if secs > 0.0 { flops / secs / 1e9 } else { 0.0 };
+        reg.gauge(gauge).set(gflops);
+    }
+}
+
+fn print_summary(snap: &Snapshot) {
+    let t = TablePrinter::new(&[34, 16]);
+    t.row(&[&"metric", &"value"]);
+    t.row(&[&"tensor_gemm_flops_total", &counter_sum(snap, "tensor_gemm_flops_total")]);
+    t.row(&[&"tensor_conv_flops_total", &counter_sum(snap, "tensor_conv_flops_total")]);
+    t.row(&[&"ddnet_steps_total", &counter_sum(snap, "ddnet_steps_total")]);
+    let faults = counter_sum(snap, "dist_faults_injected_total");
+    t.row(&[&"dist_faults_injected_total", &faults]);
+    t.row(&[&"serve_completed_total", &counter_sum(snap, "serve_completed_total")]);
+    let gemm_gflops = snap
+        .gauges
+        .iter()
+        .find(|e| e.name == "bench_gemm_gflops")
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    t.row(&[&"bench_gemm_gflops", &format!("{gemm_gflops:.3}")]);
+}
+
+fn main() {
+    let deterministic = std::env::var("CC19_OBS_DETERMINISTIC").is_ok_and(|v| v == "1");
+    println!(
+        "== obs_report: deterministic observability sweep (manual clock: {}) ==",
+        if deterministic { "on" } else { "off" }
+    );
+
+    stage_gemm();
+    stage_conv();
+    stage_ctsim();
+    stage_trainer();
+    stage_allreduce();
+    stage_serve();
+    derive_gauges();
+
+    let snap = cc19_obs::global().snapshot();
+    assert!(counter_sum(&snap, "tensor_gemm_flops_total") > 0, "GEMM flops must be nonzero");
+    assert!(counter_sum(&snap, "ddnet_steps_total") > 0, "trainer must record steps");
+    assert_eq!(counter_sum(&snap, "serve_completed_total"), SERVE_REQS);
+
+    print_summary(&snap);
+    cc19_bench::write_result("bench_obs.json", &cc19_obs::export::to_json(&snap));
+    cc19_bench::write_result("bench_obs.prom", &cc19_obs::export::to_prometheus(&snap));
+}

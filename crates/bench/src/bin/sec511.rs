@@ -52,6 +52,7 @@ fn main() {
         segmenter: seg,
         classifier: cls,
         prep,
+        clock: cc19_obs::global_clock(),
     };
     let test_vol = &ds.test[0].volume.hu;
     let t0 = std::time::Instant::now();

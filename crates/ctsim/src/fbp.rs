@@ -23,6 +23,7 @@ pub fn fbp_parallel(
     grid: Grid,
     window: Window,
 ) -> Result<Tensor> {
+    let _t = cc19_obs::global().timer_with("ctsim_stage_seconds", &[("stage", "fbp")]);
     let views = geom.views;
     let det = geom.detectors;
     let filtered = filter_views(sino.tensor().data(), views, det, geom.det_pitch, window);
@@ -63,6 +64,7 @@ pub fn fbp_parallel(
 
 /// Fan-beam FBP reconstruction (flat equispaced detector, full-scan).
 pub fn fbp_fan(sino: &Sinogram, geom: &FanBeamGeometry, grid: Grid, window: Window) -> Result<Tensor> {
+    let _t = cc19_obs::global().timer_with("ctsim_stage_seconds", &[("stage", "fbp")]);
     let views = geom.views;
     let det = geom.detectors;
     let d = geom.sod; // virtual-detector geometry uses the SOD

@@ -46,6 +46,7 @@ impl DoseSettings {
 /// `b = 1e6`, but routine at very low simulated doses) are clamped to one
 /// photon, the standard practical fix to keep the log finite.
 pub fn apply_poisson_noise(sino: &Sinogram, dose: DoseSettings) -> Sinogram {
+    let _t = cc19_obs::global().timer_with("ctsim_stage_seconds", &[("stage", "noise")]);
     let views = sino.views();
     let det = sino.detectors();
     let mut noisy = Sinogram::zeros(views, det);

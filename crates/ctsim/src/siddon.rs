@@ -150,6 +150,7 @@ fn expect_square(image: &Tensor, grid: Grid) -> Result<()> {
 /// the source point to the detector pixel center. Parallelized over views.
 pub fn project_fan(image: &Tensor, grid: Grid, geom: &FanBeamGeometry) -> Result<Sinogram> {
     expect_square(image, grid)?;
+    let _t = cc19_obs::global().timer_with("ctsim_stage_seconds", &[("stage", "projection")]);
     let img = image.data();
     let mut sino = Sinogram::zeros(geom.views, geom.detectors);
     let det = geom.detectors;
@@ -170,6 +171,7 @@ pub fn project_fan(image: &Tensor, grid: Grid, geom: &FanBeamGeometry) -> Result
 /// Parallel-beam forward projection (Radon transform sampling).
 pub fn project_parallel(image: &Tensor, grid: Grid, geom: &ParallelBeamGeometry) -> Result<Sinogram> {
     expect_square(image, grid)?;
+    let _t = cc19_obs::global().timer_with("ctsim_stage_seconds", &[("stage", "projection")]);
     let img = image.data();
     let mut sino = Sinogram::zeros(geom.views, geom.detectors);
     let det = geom.detectors;

@@ -102,11 +102,26 @@ pub fn train_enhancement(
     let mut opt = Adam::new(cfg.lr);
     let mut stats = Vec::with_capacity(cfg.epochs);
 
+    // Per-step / per-epoch observability (DESIGN.md §12). All timing
+    // goes through the registry clock so deterministic runs stay
+    // deterministic; gauges hold the most recent step's values.
+    let reg = cc19_obs::global();
+    let clock = reg.clock();
+    let m_loss = reg.gauge("ddnet_step_loss");
+    let m_grad = reg.gauge("ddnet_grad_norm");
+    let m_lr = reg.gauge("ddnet_lr");
+    let m_step_s = reg.histogram("ddnet_step_seconds");
+    let m_epoch_s = reg.histogram("ddnet_epoch_seconds");
+    let m_steps = reg.counter("ddnet_steps_total");
+    let m_skipped = reg.counter("ddnet_steps_skipped_total");
+    m_lr.set(cfg.lr as f64);
+
     for epoch in 1..=cfg.epochs {
-        let t0 = std::time::Instant::now();
+        let t0 = clock.now_ns();
         let mut loss_acc = 0.0f64;
         let mut batches = 0usize;
         for chunk in train.chunks(cfg.batch_size) {
+            let step_t0 = clock.now_ns();
             let (low, full) = batch_pairs(chunk)?;
             let mut g = Graph::with_conv_backend(cfg.conv_backend);
             let x = g.input(low);
@@ -118,26 +133,36 @@ pub fn train_enhancement(
             batches += 1;
             net.store.zero_grad();
             g.backward(loss);
-            if let Some(clip) = cfg.grad_clip {
-                net.store.clip_grad_norm(clip);
-            }
+            let grad_norm = match cfg.grad_clip {
+                Some(clip) => net.store.clip_grad_norm(clip),
+                None => net.store.grad_norm(),
+            };
+            m_loss.set(loss_val);
+            m_grad.set(grad_norm as f64);
             // Non-finite guard: a NaN/Inf loss or gradient would poison
             // the weights permanently, so drop the step instead.
-            if !loss_val.is_finite() || !net.store.grads_all_finite() {
+            let skipped = !loss_val.is_finite() || !net.store.grads_all_finite();
+            if skipped {
                 net.store.zero_grad();
-                continue;
+                m_skipped.inc();
+            } else {
+                opt.step(&net.store);
+                m_steps.inc();
             }
-            opt.step(&net.store);
+            m_step_s.observe(clock.now_ns().saturating_sub(step_t0) as f64 / 1e9);
         }
         opt.decay_lr(cfg.lr_decay);
+        m_lr.set(opt.lr as f64);
 
         let (val_loss, val_ms) = validate(net, val, cfg)?;
+        let seconds = clock.now_ns().saturating_sub(t0) as f64 / 1e9;
+        m_epoch_s.observe(seconds);
         stats.push(EpochStats {
             epoch,
             train_loss: loss_acc / batches.max(1) as f64,
             val_loss,
             val_ms_ssim: val_ms * 100.0,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
         });
     }
     Ok(stats)

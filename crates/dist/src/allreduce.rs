@@ -19,7 +19,7 @@
 use crate::error::Error;
 use crate::transport::{RingTransport, StarTransport};
 
-pub use crate::transport::{make_ring, make_ring_with, make_star, make_star_with};
+pub use crate::transport::{make_ring, make_ring_in, make_ring_with, make_star, make_star_in, make_star_with};
 
 pub(crate) fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
     let base = len / n;
@@ -43,6 +43,7 @@ pub fn ring_allreduce(buf: &mut [f32], ring: &mut RingTransport) -> Result<(), E
         return Ok(());
     }
     let len = buf.len();
+    let t0 = ring.stats.clock.now_ns();
 
     // --- reduce-scatter ---
     // step s: send segment (rank - s), receive and accumulate segment
@@ -73,6 +74,78 @@ pub fn ring_allreduce(buf: &mut [f32], ring: &mut RingTransport) -> Result<(), E
         debug_assert_eq!(incoming.len(), hi - lo);
         buf[lo..hi].copy_from_slice(&incoming);
     }
+    let dt = ring.stats.clock.now_ns().saturating_sub(t0);
+    ring.stats.allreduce_seconds.observe(dt as f64 / 1e9);
+    Ok(())
+}
+
+/// Single-threaded, lockstep ring all-reduce over a whole set of
+/// transports: every rank's send for a step is issued before any rank's
+/// receive (the channels are unbounded, so sends never block). Produces
+/// exactly the same sums as [`ring_allreduce`] run on `n` threads, but
+/// with a *causally ordered* sequence of clock reads — which is what lets
+/// the deterministic bench (`obs_report`) emit byte-identical timing
+/// metrics run over run under the manual clock.
+pub fn ring_allreduce_lockstep(
+    bufs: &mut [Vec<f32>],
+    rings: &mut [RingTransport],
+) -> Result<(), Error> {
+    let n = rings.len();
+    if bufs.len() != n {
+        return Err(Error::InvalidConfig(format!(
+            "ring_allreduce_lockstep: {} buffers for {n} transports",
+            bufs.len()
+        )));
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+    let len = bufs[0].len();
+    if bufs.iter().any(|b| b.len() != len) {
+        return Err(Error::InvalidConfig("ring_allreduce_lockstep: buffer lengths differ".into()));
+    }
+    let t0 = rings[0].stats.clock.now_ns();
+
+    // reduce-scatter
+    for s in 0..n - 1 {
+        for ring in rings.iter_mut() {
+            let rank = ring.pos();
+            let send_seg = (rank + n - s) % n;
+            let (lo, hi) = segment_bounds(len, n, send_seg);
+            ring.send_next(&bufs[rank][lo..hi])?;
+        }
+        for ring in rings.iter_mut() {
+            let rank = ring.pos();
+            let recv_seg = (rank + n - s - 1) % n;
+            let (lo, hi) = segment_bounds(len, n, recv_seg);
+            let incoming = ring.recv_prev()?;
+            debug_assert_eq!(incoming.len(), hi - lo);
+            for (b, v) in bufs[rank][lo..hi].iter_mut().zip(incoming) {
+                *b += v;
+            }
+        }
+    }
+
+    // all-gather
+    for s in 0..n - 1 {
+        for ring in rings.iter_mut() {
+            let rank = ring.pos();
+            let send_seg = (rank + 1 + n - s) % n;
+            let (lo, hi) = segment_bounds(len, n, send_seg);
+            ring.send_next(&bufs[rank][lo..hi])?;
+        }
+        for ring in rings.iter_mut() {
+            let rank = ring.pos();
+            let recv_seg = (rank + n - s) % n;
+            let (lo, hi) = segment_bounds(len, n, recv_seg);
+            let incoming = ring.recv_prev()?;
+            debug_assert_eq!(incoming.len(), hi - lo);
+            bufs[rank][lo..hi].copy_from_slice(&incoming);
+        }
+    }
+
+    let dt = rings[0].stats.clock.now_ns().saturating_sub(t0);
+    rings[0].stats.allreduce_seconds.observe(dt as f64 / 1e9);
     Ok(())
 }
 

@@ -28,10 +28,13 @@ pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod framing;
+mod obs;
 pub mod trainer;
 pub mod transport;
 
-pub use allreduce::{naive_allreduce, ring_allreduce, ring_allreduce_resilient};
+pub use allreduce::{
+    naive_allreduce, ring_allreduce, ring_allreduce_lockstep, ring_allreduce_resilient,
+};
 pub use cluster::{ClusterModel, Interconnect};
 pub use error::Error;
 pub use fault::{FaultConfig, FaultKind, FaultPlan};

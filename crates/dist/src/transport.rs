@@ -42,6 +42,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::error::Error;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::framing::crc32_f32s as payload_crc;
+use crate::obs::LinkStats;
 
 /// One message on a link: sequence-numbered, checksummed payload.
 #[derive(Debug, Clone)]
@@ -241,6 +242,7 @@ pub struct RingTransport {
     stash: HashMap<u64, Vec<f32>>,
     faults: FaultPlan,
     t: TimeoutCfg,
+    pub(crate) stats: LinkStats,
 }
 
 /// Build a fault-free ring of `n` transports with default timeouts.
@@ -256,6 +258,19 @@ pub fn make_ring_with(
     faults: FaultPlan,
     t: TimeoutCfg,
 ) -> (Arc<Cluster>, Vec<RingTransport>) {
+    make_ring_in(n, faults, t, cc19_obs::global())
+}
+
+/// [`make_ring_with`] with transport metrics resolved against an explicit
+/// `cc19-obs` registry instead of the process-global one (test isolation;
+/// see `tests/obs_counters.rs`).
+pub fn make_ring_in(
+    n: usize,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+    reg: &cc19_obs::Registry,
+) -> (Arc<Cluster>, Vec<RingTransport>) {
+    let stats = LinkStats::from_registry(reg);
     let cluster = Cluster::new(n);
     let members: Vec<usize> = (0..n).collect();
     let transports = build_ring_endpoints(&members)
@@ -271,6 +286,7 @@ pub fn make_ring_with(
             stash: HashMap::new(),
             faults,
             t,
+            stats: stats.clone(),
         })
         .collect();
     (cluster, transports)
@@ -319,6 +335,7 @@ impl RingTransport {
         lock(&self.ep.next_slot).insert(seq, payload.to_vec());
         let crc = payload_crc(payload);
         let actions = self.faults.decide(self.rank, self.ep.next_rank, seq, self.generation);
+        self.stats.record_faults(&actions);
         if actions.contains(&FaultKind::Drop) {
             return Ok(());
         }
@@ -371,33 +388,40 @@ impl RingTransport {
                     if frame.seq < want {
                         // Duplicate (or late original after a slot fetch) —
                         // already consumed, discard.
+                        self.stats.duplicates_discarded.inc();
                         continue;
                     }
                     if payload_crc(&frame.payload) != frame.crc {
                         // Corrupted on the wire; the retransmit buffer has
                         // the good copy, fall through to the timeout path.
+                        self.stats.crc_rejects.inc();
                         attempt += 1;
                         continue;
                     }
                     if frame.seq > want {
                         // The wire reordered ahead of a lost frame; stash
                         // and keep waiting for `want`.
+                        self.stats.reorder_stash.inc();
                         self.stash.insert(frame.seq, frame.payload);
                         continue;
                     }
                     return Ok(self.deliver(frame.payload));
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.stats.recv_timeouts.inc();
                     // NACK/retransmit round trip: pull from the sender's
                     // reliability buffer if it already sent `want`.
                     let buffered = lock(&self.ep.prev_slot).get(&want).cloned();
                     if let Some(p) = buffered {
+                        self.stats.retransmit_pulls.inc();
                         return Ok(self.deliver(p));
                     }
                     self.beat();
                     attempt += 1;
                     if attempt >= self.t.retries {
                         if let Some(dead) = self.cluster.stale_rank(self.rank, self.t.liveness) {
+                            self.stats.heartbeat_miss.inc();
+                            self.stats.rank_dead.inc();
                             return Err(Error::RankDead { rank: dead });
                         }
                         // Everyone still alive: keep waiting (bounded by
@@ -412,8 +436,10 @@ impl RingTransport {
                     // sorts out which case it was.
                     let buffered = lock(&self.ep.prev_slot).get(&want).cloned();
                     if let Some(p) = buffered {
+                        self.stats.retransmit_pulls.inc();
                         return Ok(self.deliver(p));
                     }
+                    self.stats.rank_dead.inc();
                     return Err(Error::RankDead { rank: self.ep.prev_rank });
                 }
             }
@@ -517,6 +543,7 @@ pub struct StarTransport {
     recv_seq: u64,
     faults: FaultPlan,
     t: TimeoutCfg,
+    stats: LinkStats,
 }
 
 struct StarServer {
@@ -536,6 +563,17 @@ pub fn make_star(n: usize) -> Vec<StarTransport> {
 
 /// Build star endpoints with an explicit fault plan and timeout policy.
 pub fn make_star_with(n: usize, faults: FaultPlan, t: TimeoutCfg) -> Vec<StarTransport> {
+    make_star_in(n, faults, t, cc19_obs::global())
+}
+
+/// [`make_star_with`] against an explicit `cc19-obs` registry.
+pub fn make_star_in(
+    n: usize,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+    reg: &cc19_obs::Registry,
+) -> Vec<StarTransport> {
+    let stats = LinkStats::from_registry(reg);
     let (up_tx, up_rx) = unbounded();
     let up_slots: Vec<Slot> = (0..n).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect();
     let down: Vec<(Sender<Frame>, Receiver<Frame>, Slot)> = (0..n)
@@ -563,6 +601,7 @@ pub fn make_star_with(n: usize, faults: FaultPlan, t: TimeoutCfg) -> Vec<StarTra
             recv_seq: 0,
             faults,
             t,
+            stats: stats.clone(),
         })
         .collect()
 }
@@ -578,8 +617,10 @@ impl StarTransport {
         self.n
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn inject_and_send(
         faults: &FaultPlan,
+        stats: &LinkStats,
         src: usize,
         dst: usize,
         seq: u64,
@@ -590,6 +631,7 @@ impl StarTransport {
         lock(slot).insert(seq, payload.to_vec());
         let crc = payload_crc(payload);
         let actions = faults.decide(src, dst, seq, 0);
+        stats.record_faults(&actions);
         if actions.contains(&FaultKind::Drop) {
             return;
         }
@@ -618,14 +660,14 @@ impl StarTransport {
     pub fn send_to_server(&mut self, payload: &[f32]) -> Result<(), Error> {
         let seq = self.send_seq;
         self.send_seq += 1;
-        Self::inject_and_send(&self.faults, self.rank, 0, seq, payload, &self.up_slot, &self.up_tx);
+        Self::inject_and_send(&self.faults, &self.stats, self.rank, 0, seq, payload, &self.up_slot, &self.up_tx);
         Ok(())
     }
 
     /// Worker: receive the reduced buffer from the server.
     pub fn recv_from_server(&mut self) -> Result<Vec<f32>, Error> {
         let want = self.recv_seq;
-        let got = recv_link(&self.down_rx, &self.down_slot, want, &self.t, self.rank, 0)?;
+        let got = recv_link(&self.down_rx, &self.down_slot, want, &self.t, self.rank, 0, &self.stats)?;
         self.recv_seq += 1;
         lock(&self.down_slot).retain(|&s, _| s > want);
         Ok(got)
@@ -637,6 +679,7 @@ impl StarTransport {
         let n = self.n;
         let t = self.t;
         let me = self.rank;
+        let stats = self.stats.clone();
         let srv = self
             .server
             .as_mut()
@@ -655,9 +698,15 @@ impl StarTransport {
                 Ok(frame) => {
                     let src = frame.src;
                     if src == 0 || src >= n || frame.seq < srv.expect[src] || got[src].is_some() {
+                        stats.duplicates_discarded.inc();
                         continue; // duplicate or stale
                     }
                     if frame.seq > srv.expect[src] || payload_crc(&frame.payload) != frame.crc {
+                        if payload_crc(&frame.payload) != frame.crc {
+                            stats.crc_rejects.inc();
+                        } else {
+                            stats.reorder_stash.inc();
+                        }
                         attempt += 1;
                         continue; // reordered-ahead or corrupt: slot has it
                     }
@@ -666,6 +715,7 @@ impl StarTransport {
                     missing -= 1;
                 }
                 Err(_) => {
+                    stats.recv_timeouts.inc();
                     // Sweep retransmit buffers for everything still missing.
                     for (src, g) in got.iter_mut().enumerate().skip(1) {
                         if g.is_some() {
@@ -673,6 +723,7 @@ impl StarTransport {
                         }
                         let want = srv.expect[src];
                         if let Some(p) = lock(&srv.up_slots[src]).get(&want).cloned() {
+                            stats.retransmit_pulls.inc();
                             *g = Some(p);
                             srv.expect[src] += 1;
                             missing -= 1;
@@ -697,6 +748,7 @@ impl StarTransport {
     pub fn server_broadcast(&mut self, payload: &[f32]) -> Result<(), Error> {
         let faults = self.faults;
         let me = self.rank;
+        let stats = self.stats.clone();
         let srv = self
             .server
             .as_mut()
@@ -707,13 +759,14 @@ impl StarTransport {
             }
             let seq = srv.down_seq[dst];
             srv.down_seq[dst] += 1;
-            Self::inject_and_send(&faults, me, dst, seq, payload, slot, tx);
+            Self::inject_and_send(&faults, &stats, me, dst, seq, payload, slot, tx);
         }
         Ok(())
     }
 }
 
 /// Shared receive loop for a single star link.
+#[allow(clippy::too_many_arguments)]
 fn recv_link(
     rx: &Receiver<Frame>,
     slot: &Slot,
@@ -721,6 +774,7 @@ fn recv_link(
     t: &TimeoutCfg,
     me: usize,
     peer: usize,
+    stats: &LinkStats,
 ) -> Result<Vec<f32>, Error> {
     let start = Instant::now();
     let mut attempt: u32 = 0;
@@ -732,6 +786,13 @@ fn recv_link(
         match rx.recv_timeout(backoff) {
             Ok(frame) => {
                 if frame.seq != want || payload_crc(&frame.payload) != frame.crc {
+                    if payload_crc(&frame.payload) != frame.crc {
+                        stats.crc_rejects.inc();
+                    } else if frame.seq < want {
+                        stats.duplicates_discarded.inc();
+                    } else {
+                        stats.reorder_stash.inc();
+                    }
                     if frame.seq >= want {
                         attempt += 1;
                     }
@@ -740,15 +801,19 @@ fn recv_link(
                 return Ok(frame.payload);
             }
             Err(RecvTimeoutError::Timeout) => {
+                stats.recv_timeouts.inc();
                 if let Some(p) = lock(slot).get(&want).cloned() {
+                    stats.retransmit_pulls.inc();
                     return Ok(p);
                 }
                 attempt += 1;
             }
             Err(RecvTimeoutError::Disconnected) => {
                 if let Some(p) = lock(slot).get(&want).cloned() {
+                    stats.retransmit_pulls.inc();
                     return Ok(p);
                 }
+                stats.rank_dead.inc();
                 return Err(Error::RankDead { rank: peer });
             }
         }

@@ -1,0 +1,143 @@
+//! Fault injection ↔ observability coupling: with a seeded
+//! [`FaultPlan`], the transport counters registered in `cc19-obs` must
+//! match the *exact* fault counts the plan decides — not "some faults
+//! happened" but the precise number of drops, duplicates, timeouts,
+//! retransmit pulls, and discards.
+//!
+//! The expected values come from mirroring the plan: `FaultPlan::decide`
+//! is a pure function of `(seed, edge, seq, generation)`, and with only
+//! drop + duplicate faults active the receiver's control flow is fully
+//! determined (a drop always costs one timeout and one retransmit pull; a
+//! duplicate is discarded by the next receive that drains the queue
+//! before its own frame).
+
+use cc19_dist::allreduce::make_ring_in;
+use cc19_dist::{FaultConfig, FaultKind, FaultPlan, TimeoutCfg};
+use cc19_obs::Registry;
+
+const SEED: u64 = 1234;
+const FRAMES: u64 = 200;
+
+fn plan() -> FaultPlan {
+    let cfg = FaultConfig {
+        p_drop: 0.2,
+        p_duplicate: 0.25,
+        // Delay would only slow the test; corrupt adds a second recovery
+        // path whose timeout count depends on wall-clock racing. Drop +
+        // duplicate keep the receiver's control flow fully deterministic.
+        ..FaultConfig::clean()
+    };
+    FaultPlan::seeded(SEED, cfg)
+}
+
+/// Mirror of the transport's receive loop for a single-threaded 2-rank
+/// ring under a drop+duplicate-only plan (edge 0 → 1, generation 0).
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Expected {
+    drops: u64,
+    duplicates: u64,
+    timeouts: u64,
+    retransmit_pulls: u64,
+    duplicates_discarded: u64,
+}
+
+fn expected_counts(plan: &FaultPlan) -> Expected {
+    let mut e = Expected::default();
+    let mut queue: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    for seq in 0..FRAMES {
+        // Sender side: what reaches the wire.
+        let actions = plan.decide(0, 1, seq, 0);
+        if actions.contains(&FaultKind::Drop) {
+            e.drops += 1;
+        } else {
+            if actions.contains(&FaultKind::Duplicate) {
+                e.duplicates += 1;
+                queue.push_back(seq);
+            }
+            queue.push_back(seq);
+        }
+        // Receiver side: drain stale frames, deliver `seq` from the wire
+        // or fall back to one timeout + one retransmit-buffer pull.
+        loop {
+            match queue.pop_front() {
+                Some(f) if f < seq => e.duplicates_discarded += 1,
+                Some(f) => {
+                    assert_eq!(f, seq, "mirror model out of sync");
+                    break;
+                }
+                None => {
+                    e.timeouts += 1;
+                    e.retransmit_pulls += 1;
+                    break;
+                }
+            }
+        }
+    }
+    e
+}
+
+fn counter(reg: &Registry, key: &str) -> u64 {
+    reg.snapshot().counters.iter().find(|c| c.key == key).map(|c| c.value).unwrap_or(0)
+}
+
+#[test]
+fn transport_counters_match_the_fault_plan_exactly() {
+    let plan = plan();
+    let want = expected_counts(&plan);
+    assert!(want.drops > 10, "seed produced too few drops: {want:?}");
+    assert!(want.duplicates > 10, "seed produced too few duplicates: {want:?}");
+    assert!(want.duplicates_discarded > 0, "{want:?}");
+
+    let reg = Registry::new();
+    let (_cluster, mut rings) = make_ring_in(2, plan, TimeoutCfg::fast(), &reg);
+    let mut r1 = rings.pop().expect("rank 1");
+    let mut r0 = rings.pop().expect("rank 0");
+    // Single-threaded lockstep on the 0 → 1 edge: send seq, then receive
+    // it. Rank 1 never sends, so the 1 → 0 edge stays silent.
+    for seq in 0..FRAMES {
+        let payload = [seq as f32, 0.5];
+        r0.send_next(&payload).expect("send");
+        assert_eq!(r1.recv_prev().expect("recv"), payload, "seq {seq}");
+    }
+
+    assert_eq!(counter(&reg, "dist_faults_injected_total{kind=\"drop\"}"), want.drops);
+    assert_eq!(counter(&reg, "dist_faults_injected_total{kind=\"duplicate\"}"), want.duplicates);
+    assert_eq!(counter(&reg, "dist_faults_injected_total{kind=\"delay\"}"), 0);
+    assert_eq!(counter(&reg, "dist_faults_injected_total{kind=\"corrupt\"}"), 0);
+    assert_eq!(counter(&reg, "dist_recv_timeouts_total"), want.timeouts);
+    assert_eq!(counter(&reg, "dist_retransmit_pulls_total"), want.retransmit_pulls);
+    assert_eq!(counter(&reg, "dist_duplicates_discarded_total"), want.duplicates_discarded);
+    assert_eq!(counter(&reg, "dist_crc_rejects_total"), 0);
+    assert_eq!(counter(&reg, "dist_reorder_stash_total"), 0);
+    assert_eq!(counter(&reg, "dist_rank_dead_total"), 0);
+    assert_eq!(counter(&reg, "dist_heartbeat_miss_total"), 0);
+}
+
+#[test]
+fn lockstep_allreduce_matches_threaded_sums_and_times_itself() {
+    let reg = Registry::new();
+    let (_c, mut rings) = make_ring_in(4, FaultPlan::none(), TimeoutCfg::fast(), &reg);
+    let len = 33;
+    let mut bufs: Vec<Vec<f32>> = (0..4)
+        .map(|rank| (0..len).map(|i| (rank * len + i) as f32 * 0.5).collect())
+        .collect();
+    cc19_dist::ring_allreduce_lockstep(&mut bufs, &mut rings).expect("lockstep");
+    for i in 0..len {
+        let want: f32 = (0..4).map(|r| (r * len + i) as f32 * 0.5).sum();
+        for (rank, buf) in bufs.iter().enumerate() {
+            assert!((buf[i] - want).abs() < 1e-4, "rank {rank} i {i}");
+        }
+    }
+    // All ranks identical (replica synchronization).
+    for r in 1..4 {
+        assert_eq!(bufs[0], bufs[r]);
+    }
+    // The latency histogram recorded the reduce.
+    let snap = reg.snapshot();
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.key == "dist_allreduce_seconds")
+        .expect("allreduce histogram");
+    assert_eq!(h.value.count(), 1);
+}

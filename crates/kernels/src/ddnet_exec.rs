@@ -7,8 +7,10 @@
 //! un-pooling. Timings are reported separately for convolution,
 //! deconvolution and "other kernels" exactly as in Table 5.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
+use cc19_obs::Clock;
 use cc19_tensor::rng::Xorshift;
 
 use crate::conv::{conv2d, ConvShape};
@@ -64,9 +66,15 @@ struct Ctx {
     level: OptLevel,
     times: KernelTimes,
     rng: Xorshift,
+    clock: Arc<dyn Clock>,
 }
 
 impl Ctx {
+    /// Duration since a `now_ns` reading on the injected clock.
+    fn elapsed(&self, t0: u64) -> Duration {
+        Duration::from_nanos(self.clock.now_ns().saturating_sub(t0))
+    }
+
     fn rand_w(&mut self, len: usize) -> Vec<f32> {
         (0..len).map(|_| self.rng.uniform(-0.1, 0.1)).collect()
     }
@@ -77,18 +85,20 @@ impl Ctx {
         let s = ConvShape { cin, cout, h, w, k, pad: k / 2 };
         let weight = self.rand_w(cout * cin * k * k);
         let bias = self.rand_w(cout);
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         let mut out = conv2d(self.level, input, &weight, &bias, s);
-        self.times.conv += t0.elapsed();
+        let dt = self.elapsed(t0);
+        self.times.conv += dt;
 
         let gamma = vec![1.0f32; cout];
         let beta = vec![0.0f32; cout];
         let mean = vec![0.0f32; cout];
         let var = vec![1.0f32; cout];
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         batch_norm_inplace(&mut out, cout, h * w, &gamma, &beta, &mean, &var, 1e-5);
         leaky_relu_inplace(&mut out, 0.01);
-        self.times.other += t0.elapsed();
+        let dt = self.elapsed(t0);
+        self.times.other += dt;
         out
     }
 
@@ -98,18 +108,20 @@ impl Ctx {
         let s = ConvShape { cin, cout, h, w, k, pad: k / 2 };
         let weight = self.rand_w(cin * cout * k * k);
         let bias = self.rand_w(cout);
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         let mut out = deconv2d(self.level, input, &weight, &bias, s);
-        self.times.deconv += t0.elapsed();
+        let dt = self.elapsed(t0);
+        self.times.deconv += dt;
 
         let gamma = vec![1.0f32; cout];
         let beta = vec![0.0f32; cout];
         let mean = vec![0.0f32; cout];
         let var = vec![1.0f32; cout];
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         batch_norm_inplace(&mut out, cout, h * w, &gamma, &beta, &mean, &var, 1e-5);
         leaky_relu_inplace(&mut out, 0.01);
-        self.times.other += t0.elapsed();
+        let dt = self.elapsed(t0);
+        self.times.other += dt;
         out
     }
 }
@@ -121,7 +133,12 @@ impl Ctx {
 pub fn run_ddnet_inference(shape: DdnetShape, level: OptLevel, seed: u64) -> KernelTimes {
     let DdnetShape { n, base, growth, per_block } = shape;
     assert!(n % 16 == 0, "input extent must be divisible by 16");
-    let mut ctx = Ctx { level, times: KernelTimes::default(), rng: Xorshift::new(seed) };
+    let mut ctx = Ctx {
+        level,
+        times: KernelTimes::default(),
+        rng: Xorshift::new(seed),
+        clock: cc19_obs::global_clock(),
+    };
 
     // input image
     let input: Vec<f32> = (0..n * n).map(|_| ctx.rng.uniform(0.0, 1.0)).collect();
@@ -134,9 +151,10 @@ pub fn run_ddnet_inference(shape: DdnetShape, level: OptLevel, seed: u64) -> Ker
     let mut cur_n = n;
     for b in 0..4 {
         // pooling
-        let t0 = Instant::now();
+        let t0 = ctx.clock.now_ns();
         let pooled = max_pool3x3s2(&h, base, cur_n, cur_n);
-        ctx.times.other += t0.elapsed();
+        let dt = ctx.elapsed(t0);
+        ctx.times.other += dt;
         cur_n /= 2;
         h = pooled;
         // dense block: per_block x (1x1 conv to growth, 5x5 conv growth->growth), concat
@@ -144,9 +162,10 @@ pub fn run_ddnet_inference(shape: DdnetShape, level: OptLevel, seed: u64) -> Ker
         for _l in 0..per_block {
             let mid = ctx.conv_bn_act(&h, ch, growth, (cur_n, cur_n), 1);
             let newf = ctx.conv_bn_act(&mid, growth, growth, (cur_n, cur_n), 5);
-            let t0 = Instant::now();
+            let t0 = ctx.clock.now_ns();
             h = concat_channels(&h, ch, &newf, growth, cur_n * cur_n);
-            ctx.times.other += t0.elapsed();
+            let dt = ctx.elapsed(t0);
+            ctx.times.other += dt;
             ch += growth;
         }
         // transition 1x1 back to base
@@ -159,16 +178,18 @@ pub fn run_ddnet_inference(shape: DdnetShape, level: OptLevel, seed: u64) -> Ker
     // --- decoder --- (5×5 deconv base -> 2·base, concat skip, 1×1
     // deconv 3·base -> base|1; see cc19-ddnet::model)
     for s in 0..4 {
-        let t0 = Instant::now();
+        let t0 = ctx.clock.now_ns();
         let up = unpool_bilinear2x(&h, base, cur_n, cur_n);
-        ctx.times.other += t0.elapsed();
+        let dt = ctx.elapsed(t0);
+        ctx.times.other += dt;
         cur_n *= 2;
         let d5 = ctx.deconv_bn_act(&up, base, 2 * base, (cur_n, cur_n), 5);
         let (skip, skip_c, skip_n) = &skips[3 - s];
         debug_assert_eq!(*skip_n, cur_n);
-        let t0 = Instant::now();
+        let t0 = ctx.clock.now_ns();
         let cat = concat_channels(&d5, 2 * base, skip, *skip_c, cur_n * cur_n);
-        ctx.times.other += t0.elapsed();
+        let dt = ctx.elapsed(t0);
+        ctx.times.other += dt;
         let out_c = if s == 3 { 1 } else { base };
         h = ctx.deconv_bn_act(&cat, 3 * base, out_c, (cur_n, cur_n), 1);
     }

@@ -1,0 +1,16 @@
+//~ path: crates/ddnet/src/fixture.rs
+//~ expect: metric-naming
+// Metric names registered against the cc19-obs registry must be
+// snake_case and carry their crate's prefix (DESIGN.md §12). Both
+// registrations below violate that: one is CamelCase, the other wears
+// another crate's prefix. The rule reads the name literal back out of
+// the raw source (the token scanner strips strings), so this file also
+// pins that extraction path.
+
+use cc19_obs::Registry;
+
+pub fn register(reg: &Registry) {
+    let c = reg.counter("StepLoss");
+    c.inc();
+    reg.gauge("tensor_lr").set(1.0);
+}

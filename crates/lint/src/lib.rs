@@ -9,8 +9,13 @@
 //! * **determinism** — no ambient clocks (`Instant::now`,
 //!   `SystemTime::now`) or ambient RNG (`thread_rng`, `from_entropy`,
 //!   `rand::random`) in the numeric crates (`tensor`, `kernels`, `nn`,
-//!   `ddnet`, `ctsim`); timing instrumentation must be allowlisted in
+//!   `ddnet`, `ctsim`) or in `obs` itself; the sole sanctioned
+//!   wall-clock read is `cc19_obs::MonotonicClock`, allowlisted in
 //!   `lint.toml` with a reason.
+//! * **metric-naming** — every metric name registered against the
+//!   `cc19-obs` registry with a string literal is snake_case and carries
+//!   its crate's prefix (`serve_…` in `crates/serve`, `tensor_…` in
+//!   `crates/tensor`, …), so exported keys sort by subsystem.
 //! * **panic-surface** — no `unwrap`/`expect`/`panic!`-family calls in
 //!   the fault-tolerant paths (`dist::transport`, the `serve` dispatch
 //!   crate, `nn::checkpoint` I/O); those paths carry typed errors.

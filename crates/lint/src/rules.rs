@@ -34,6 +34,7 @@ impl SourceFile {
 /// All rule names, in report order.
 pub const RULE_NAMES: &[&str] = &[
     "determinism",
+    "metric-naming",
     "panic-surface",
     "api-parity",
     "unsafe-budget",
@@ -42,8 +43,26 @@ pub const RULE_NAMES: &[&str] = &[
 ];
 
 /// Crates whose numerics must be bit-reproducible: no ambient clocks or
-/// ambient RNG (DESIGN.md §9/§11).
-pub const DETERMINISM_CRATES: &[&str] = &["tensor", "kernels", "nn", "ddnet", "ctsim"];
+/// ambient RNG (DESIGN.md §9/§11). `obs` is here so that the *only*
+/// wall-clock read in the workspace is the allowlisted
+/// `MonotonicClock` in `crates/obs/src/clock.rs` — everything else
+/// must go through an injected [`cc19_obs::Clock`].
+pub const DETERMINISM_CRATES: &[&str] = &["tensor", "kernels", "nn", "ddnet", "ctsim", "obs"];
+
+/// Registry constructor methods whose first argument is a metric name
+/// (the `cc19-obs` registration surface). When that argument is a string
+/// literal, the metric-naming rule validates it.
+pub const METRIC_CTORS: &[&str] = &[
+    "counter",
+    "counter_with",
+    "gauge",
+    "gauge_with",
+    "histogram",
+    "histogram_with",
+    "histogram_with_bounds",
+    "timer",
+    "timer_with",
+];
 
 /// Paths that must stay panic-free and use typed errors: the
 /// fault-tolerant transport, the whole serving dispatch crate, and
@@ -136,6 +155,9 @@ pub fn run_rules(
     if enabled.contains(&"determinism") {
         v.extend(determinism(files, cfg));
     }
+    if enabled.contains(&"metric-naming") {
+        v.extend(metric_naming(files, cfg));
+    }
     if enabled.contains(&"panic-surface") {
         v.extend(panic_surface(files, cfg));
     }
@@ -188,6 +210,101 @@ fn determinism(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
                      allowlist this file in lint.toml with a reason"
                 ),
             });
+        }
+    }
+    out
+}
+
+/// Is `name` a legal metric name for a crate with registration prefix
+/// `prefix` (snake_case, crate-prefixed — DESIGN.md §12)?
+fn is_valid_metric_name(name: &str, prefix: &str) -> bool {
+    let snake = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    snake && name.starts_with(prefix)
+}
+
+/// Extract `(ctor, name)` pairs from `window`: every [`METRIC_CTORS`]
+/// call whose first argument is a string literal, where the call starts
+/// within the first `limit` bytes (the literal itself may continue past
+/// `limit`, e.g. onto a rustfmt-wrapped next line).
+fn extract_metric_names(window: &str, limit: usize) -> Vec<(&'static str, &str)> {
+    let bytes = window.as_bytes();
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut out = Vec::new();
+    for &ctor in METRIC_CTORS {
+        let mut from = 0usize;
+        while let Some(pos) = window[from..].find(ctor) {
+            let at = from + pos;
+            from = at + 1;
+            if at >= limit || (at > 0 && ident(bytes[at - 1])) {
+                continue;
+            }
+            let mut j = at + ctor.len();
+            // `counter` must not match inside `counter_with`: the very
+            // next non-whitespace byte has to open the call.
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'(') {
+                continue;
+            }
+            j += 1;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'"') {
+                continue; // dynamic name or a definition site: no obligation
+            }
+            let lit = j + 1;
+            let Some(end) = window[lit..].find('"') else { continue };
+            out.push((ctor, &window[lit..lit + end]));
+        }
+    }
+    out
+}
+
+fn metric_naming(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        let Some(krate) = crate_of(&f.path) else { continue };
+        if f.path.contains("/tests/") || f.path.contains("/benches/") {
+            continue;
+        }
+        if cfg.is_allowed("metric-naming", &f.path) {
+            continue;
+        }
+        let prefix = format!("{}_", krate.replace('-', "_"));
+        // Lines holding a live (non-test) registration call. The name
+        // literal is invisible to the token stream (the scanner strips
+        // strings precisely so rules can't be fooled by them), so it is
+        // re-extracted from the raw text of those lines only.
+        let mut lines: BTreeSet<usize> = BTreeSet::new();
+        for (i, t) in f.tokens.iter().enumerate() {
+            if !t.in_test
+                && METRIC_CTORS.contains(&t.text.as_str())
+                && f.tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                lines.insert(t.line);
+            }
+        }
+        let raw_lines: Vec<&str> = f.raw.lines().collect();
+        for &line in &lines {
+            let Some(first) = raw_lines.get(line - 1) else { continue };
+            let window: String = raw_lines[line - 1..raw_lines.len().min(line + 1)].join("\n");
+            for (ctor, name) in extract_metric_names(&window, first.len() + 1) {
+                if !is_valid_metric_name(name, &prefix) {
+                    out.push(Violation {
+                        rule: "metric-naming",
+                        path: f.path.clone(),
+                        line,
+                        msg: format!(
+                            "metric name \"{name}\" (registered via `{ctor}`) must be \
+                             snake_case with the `{prefix}` crate prefix (DESIGN.md §12); \
+                             rename it or allowlist this file in lint.toml with a reason"
+                        ),
+                    });
+                }
+            }
         }
     }
     out
@@ -437,6 +554,52 @@ mod tests {
         assert_eq!(run("determinism", "crates/tensor/src/x.rs", src).len(), 1);
         assert!(run("determinism", "crates/serve/src/x.rs", src).is_empty(), "serve not gated");
         assert!(run("determinism", "crates/tensorx/src/x.rs", src).is_empty(), "prefix-safe");
+    }
+
+    #[test]
+    fn metric_naming_checks_case_and_crate_prefix() {
+        let bad = "fn f(reg: &R) { reg.counter(\"StepLoss\"); reg.gauge(\"tensor_lr\"); }\n";
+        let v = run("metric-naming", "crates/ddnet/src/x.rs", bad);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].msg.contains("ddnet_"), "{v:?}");
+        let ok = "fn f(reg: &R) { reg.counter(\"ddnet_steps_total\"); }\n";
+        assert!(run("metric-naming", "crates/ddnet/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn metric_naming_ignores_dynamic_names_and_definition_sites() {
+        // A variable name carries no obligation; neither does the
+        // registry's own `pub fn counter(&self, …)` definition.
+        let src = "impl Registry { pub fn counter(&self, name: &str) -> Counter { x } }\n\
+                   fn g(reg: &R, n: &str) { reg.counter(n); }\n";
+        assert!(run("metric-naming", "crates/obs/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_naming_skips_test_code_and_test_files() {
+        let in_test = "#[cfg(test)]\nmod t { fn f(r: &R) { r.counter(\"Bad\"); } }\n";
+        assert!(run("metric-naming", "crates/ddnet/src/x.rs", in_test).is_empty());
+        let bad = "fn helper(r: &R) { r.counter(\"Bad\"); }\n";
+        assert!(run("metric-naming", "crates/ddnet/tests/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn metric_naming_reads_rustfmt_wrapped_literals() {
+        let wrapped = "fn f(r: &R) {\n    r.histogram_with_bounds(\n        \"Wrong\",\n        &[],\n        B,\n    );\n}\n";
+        let v = run("metric-naming", "crates/serve/src/x.rs", wrapped);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("\"Wrong\""), "{v:?}");
+        assert!(v[0].msg.contains("serve_"), "{v:?}");
+    }
+
+    #[test]
+    fn metric_naming_does_not_confuse_ctor_prefixes() {
+        // `counter` must not fire on the `counter_with` call site, and the
+        // labels argument must not be mistaken for the name.
+        let ok = "fn f(r: &R) { r.counter_with(\"dist_faults_injected_total\", &[(\"kind\", \"drop\")]); }\n";
+        assert!(run("metric-naming", "crates/dist/src/x.rs", ok).is_empty());
+        let bad = "fn f(r: &R) { r.counter_with(\"Faults\", &[(\"kind\", \"drop\")]); }\n";
+        assert_eq!(run("metric-naming", "crates/dist/src/x.rs", bad).len(), 1);
     }
 
     #[test]

@@ -129,6 +129,36 @@ fn live_workspace_passes_clean() {
 }
 
 #[test]
+fn obs_real_clock_exemption_is_pinned() {
+    // The single place the workspace may read the wall clock is
+    // `MonotonicClock` in `crates/obs/src/clock.rs`; every other crate
+    // goes through an injected `cc19_obs::Clock`. Prune that one
+    // allowlist entry and the determinism rule must fire — and *only*
+    // at that file, proving no second ambient clock has crept into the
+    // determinism-linted crates.
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let mut cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let removed = cfg
+        .allow
+        .get_mut("determinism")
+        .and_then(|m| m.remove("crates/obs/src/clock.rs"));
+    assert!(removed.is_some(), "lint.toml must carry the obs clock exemption");
+    let files = collect_sources(&root).expect("collect sources");
+    let manifests = collect_manifests(&root).expect("collect manifests");
+    let clock_hits: Vec<_> = run_rules(RULE_NAMES, &files, &manifests, &cfg)
+        .into_iter()
+        .filter(|v| v.rule == "determinism")
+        .collect();
+    assert!(!clock_hits.is_empty(), "pruning the exemption must expose the clock read");
+    for v in &clock_hits {
+        assert_eq!(
+            v.path, "crates/obs/src/clock.rs",
+            "a wall-clock read outside MonotonicClock: {v}"
+        );
+    }
+}
+
+#[test]
 fn live_allowlist_entries_are_load_bearing() {
     // Every entry in the checked-in lint.toml must still be needed:
     // removing it must produce at least one violation. This keeps the

@@ -140,13 +140,7 @@ impl ParamStore {
     /// gradients together exceeds `max_norm`, every gradient is scaled by
     /// `max_norm / norm`. Returns the pre-clip norm.
     pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
-        let mut sq = 0.0f64;
-        for p in &self.params {
-            if let Some(g) = &p.borrow().grad {
-                sq += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
-            }
-        }
-        let norm = sq.sqrt() as f32;
+        let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for p in &self.params {
@@ -158,6 +152,19 @@ impl ParamStore {
             }
         }
         norm
+    }
+
+    /// Global L2 norm of all accumulated gradients (f64 accumulation,
+    /// f32 result) — what [`Self::clip_grad_norm`] compares against and
+    /// what the trainers export as `ddnet_grad_norm`.
+    pub fn grad_norm(&self) -> f32 {
+        let mut sq = 0.0f64;
+        for p in &self.params {
+            if let Some(g) = &p.borrow().grad {
+                sq += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        }
+        sq.sqrt() as f32
     }
 
     /// True iff every accumulated gradient value is finite (no NaN/Inf).

@@ -1,0 +1,153 @@
+//! The injectable clock behind every timestamp in `cc19-obs`.
+//!
+//! The workspace's determinism lint bans ambient clocks (`Instant::now`)
+//! in the numeric crates, yet profiling needs one. The resolution is a
+//! [`Clock`] trait: binaries time against [`MonotonicClock`] (the single
+//! allowlisted `Instant` call site in the workspace — see `lint.toml`),
+//! while tests and the deterministic bench inject a [`ManualClock`]
+//! whose ticks are under test control, making every derived duration —
+//! and therefore every exported metrics file — byte-reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must be cheap and
+/// thread-safe; successive calls on one thread never go backwards.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real wall-clock time, measured from the clock's construction instant.
+///
+/// This is the **only** place in the workspace allowed to call
+/// `Instant::now` inside a determinism-linted crate; the `lint.toml`
+/// entry for this file is pinned load-bearing by a test in
+/// `crates/lint/tests/golden.rs`.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for tests and the reproducible bench: every
+/// `now_ns` call returns the current value and then advances it by a
+/// fixed `tick`.
+///
+/// * `tick > 0` — an "auto-tick" clock: causally ordered reads yield
+///   strictly increasing, perfectly reproducible timestamps, so timed
+///   sections measure `k * tick` where `k` is the number of interior
+///   clock reads (never zero). This is what `CC19_OBS_DETERMINISTIC=1`
+///   installs globally.
+/// * `tick == 0` — a frozen clock: time moves only via
+///   [`ManualClock::advance`] / [`ManualClock::set`], letting tests
+///   assert *exact* latencies.
+#[derive(Debug)]
+pub struct ManualClock {
+    now: AtomicU64,
+    tick: u64,
+}
+
+impl ManualClock {
+    /// Frozen clock starting at 0 (advance it explicitly).
+    pub fn new() -> Self {
+        ManualClock::with_tick(0)
+    }
+
+    /// Auto-tick clock starting at 0.
+    pub fn with_tick(tick: u64) -> Self {
+        ManualClock { now: AtomicU64::new(0), tick }
+    }
+
+    /// Move time forward by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time (must not move backwards in real use;
+    /// not enforced, tests own the timeline).
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.tick, Ordering::SeqCst)
+    }
+}
+
+/// Auto-tick step installed by `CC19_OBS_DETERMINISTIC=1`: 1 µs per
+/// clock read keeps every timed section nonzero and humanly legible.
+pub const DETERMINISTIC_TICK_NS: u64 = 1_000;
+
+/// The clock a fresh [`crate::Registry`] uses when none is injected:
+/// [`ManualClock`] (auto-tick) when `CC19_OBS_DETERMINISTIC` is set to
+/// `1`/`true`, otherwise [`MonotonicClock`]. Read once per registry, so
+/// flipping the variable mid-process affects only registries created
+/// afterwards.
+pub fn default_clock() -> Arc<dyn Clock> {
+    match std::env::var("CC19_OBS_DETERMINISTIC") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => {
+            Arc::new(ManualClock::with_tick(DETERMINISTIC_TICK_NS))
+        }
+        _ => Arc::new(MonotonicClock::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_auto_ticks() {
+        let c = ManualClock::with_tick(10);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 10);
+        c.advance(100);
+        assert_eq!(c.now_ns(), 120);
+    }
+
+    #[test]
+    fn frozen_clock_only_moves_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.set(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+}

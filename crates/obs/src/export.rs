@@ -1,0 +1,283 @@
+//! Exporters: Prometheus text exposition, CSV, JSON registry dump, and
+//! a JSONL span-trace dump.
+//!
+//! Every exporter renders from a sorted [`Snapshot`], formats floats
+//! with Rust's shortest-round-trip `{:?}` representation, and contains
+//! no timestamps of its own — so two exports of identical registry
+//! state are byte-identical. That property is what lets `tier1.sh`
+//! byte-compare consecutive `results/bench_obs.json` runs under the
+//! manual clock.
+
+use crate::registry::{Registry, Snapshot};
+
+/// Deterministic float rendering: shortest round-trip form; non-finite
+/// values (which no well-behaved metric produces) degrade to `0`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v:?}") } else { "0".to_string() }
+}
+
+/// Escape a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quote a CSV field (RFC 4180): wraps in `"` when it contains a comma,
+/// quote, or newline, doubling interior quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a key with one extra label appended (for summary quantiles).
+fn key_with_label(name: &str, labels: &[(String, String)], extra: (&str, &str)) -> String {
+    let mut body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    body.push(format!("{}=\"{}\"", extra.0, extra.1));
+    format!("{name}{{{}}}", body.join(","))
+}
+
+/// Render a suffixed series name keeping the labels, e.g.
+/// `serve_stage_ms_sum{stage="queue"}`.
+fn key_suffixed(name: &str, labels: &[(String, String)], suffix: &str) -> String {
+    if labels.is_empty() {
+        return format!("{name}{suffix}");
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{suffix}{{{}}}", body.join(","))
+}
+
+/// Prometheus text exposition (version 0.0.4): counters and gauges as
+/// single series, histograms as summaries with nearest-rank
+/// `quantile="0.5|0.95|0.99"` series plus `_sum`/`_count`. Sorted, no
+/// timestamps.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+    for e in &snap.counters {
+        type_line(&mut out, &e.name, "counter");
+        out.push_str(&format!("{} {}\n", e.key, e.value));
+    }
+    for e in &snap.gauges {
+        type_line(&mut out, &e.name, "gauge");
+        out.push_str(&format!("{} {}\n", e.key, fmt_f64(e.value)));
+    }
+    for e in &snap.histograms {
+        type_line(&mut out, &e.name, "summary");
+        for q in ["0.5", "0.95", "0.99"] {
+            let qv = e.value.quantile(q.parse().unwrap_or(0.5));
+            out.push_str(&format!(
+                "{} {}\n",
+                key_with_label(&e.name, &e.labels, ("quantile", q)),
+                fmt_f64(qv)
+            ));
+        }
+        out.push_str(&format!(
+            "{} {}\n",
+            key_suffixed(&e.name, &e.labels, "_sum"),
+            fmt_f64(e.value.sum())
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            key_suffixed(&e.name, &e.labels, "_count"),
+            e.value.count()
+        ));
+    }
+    out
+}
+
+/// CSV dump: header `kind,key,stat,value`, one row per scalar; each
+/// histogram expands into count/sum/mean/p50/p95/p99/max rows. Sorted.
+pub fn to_csv(snap: &Snapshot) -> String {
+    let mut out = String::from("kind,key,stat,value\n");
+    for e in &snap.counters {
+        out.push_str(&format!("counter,{},value,{}\n", csv_field(&e.key), e.value));
+    }
+    for e in &snap.gauges {
+        out.push_str(&format!("gauge,{},value,{}\n", csv_field(&e.key), fmt_f64(e.value)));
+    }
+    for e in &snap.histograms {
+        let k = csv_field(&e.key);
+        let h = &e.value;
+        out.push_str(&format!("histogram,{k},count,{}\n", h.count()));
+        out.push_str(&format!("histogram,{k},sum,{}\n", fmt_f64(h.sum())));
+        out.push_str(&format!("histogram,{k},mean,{}\n", fmt_f64(h.mean())));
+        for (stat, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            out.push_str(&format!("histogram,{k},{stat},{}\n", fmt_f64(h.quantile(q))));
+        }
+        out.push_str(&format!("histogram,{k},max,{}\n", fmt_f64(h.max())));
+    }
+    for (path, stat) in &snap.spans {
+        let k = csv_field(path);
+        out.push_str(&format!("span,{k},count,{}\n", stat.count));
+        out.push_str(&format!("span,{k},total_ns,{}\n", stat.total_ns));
+    }
+    out
+}
+
+/// JSON registry dump (the `results/bench_obs.json` format): four
+/// sorted maps — counters, gauges, histogram summaries, span
+/// aggregates. 2-space indented, keys escaped, floats shortest
+/// round-trip.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    push_map(&mut out, snap.counters.iter().map(|e| (e.key.as_str(), e.value.to_string())));
+    out.push_str(",\n  \"gauges\": {");
+    push_map(&mut out, snap.gauges.iter().map(|e| (e.key.as_str(), fmt_f64(e.value))));
+    out.push_str(",\n  \"histograms\": {");
+    push_map(
+        &mut out,
+        snap.histograms.iter().map(|e| {
+            let h = &e.value;
+            let body = format!(
+                "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                h.count(),
+                fmt_f64(h.sum()),
+                fmt_f64(h.mean()),
+                fmt_f64(h.quantile(0.5)),
+                fmt_f64(h.quantile(0.95)),
+                fmt_f64(h.quantile(0.99)),
+                fmt_f64(h.max()),
+            );
+            (e.key.as_str(), body)
+        }),
+    );
+    out.push_str(",\n  \"spans\": {");
+    push_map(
+        &mut out,
+        snap.spans.iter().map(|(path, s)| {
+            (path.as_str(), format!("{{\"count\": {}, \"total_ns\": {}}}", s.count, s.total_ns))
+        }),
+    );
+    out.push_str("\n}\n");
+    out
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    for (key, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {}", json_escape(key), value));
+    }
+    if first {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+/// JSONL span-trace dump: one event per line, in completion order.
+pub fn trace_jsonl(reg: &Registry) -> String {
+    let store = match reg.spans.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let mut out = String::new();
+    for e in store.trace() {
+        out.push_str(&format!(
+            "{{\"seq\": {}, \"span\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}}}\n",
+            e.seq,
+            json_escape(&e.path),
+            e.start_ns,
+            e.dur_ns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::span::enter_on;
+    use std::sync::Arc;
+
+    fn sample_registry() -> Arc<Registry> {
+        let clock = Arc::new(ManualClock::with_tick(1_000));
+        let reg = Arc::new(Registry::with_clock(clock as Arc<dyn Clock>));
+        reg.counter("obs_demo_total").add(7);
+        reg.gauge_with("obs_demo_ratio", &[("kind", "test")]).set(0.5);
+        let h = reg.histogram("obs_demo_seconds");
+        for v in [0.001, 0.002, 0.003] {
+            h.observe(v);
+        }
+        {
+            let _s = enter_on(Arc::clone(&reg), "demo");
+        }
+        reg
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let reg = sample_registry();
+        let snap = reg.snapshot();
+        assert_eq!(to_prometheus(&snap), to_prometheus(&snap));
+        assert_eq!(to_json(&snap), to_json(&snap));
+        assert_eq!(to_csv(&snap), to_csv(&snap));
+    }
+
+    #[test]
+    fn prometheus_has_types_and_quantiles() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE obs_demo_total counter"));
+        assert!(text.contains("obs_demo_total 7"));
+        assert!(text.contains("# TYPE obs_demo_ratio gauge"));
+        assert!(text.contains("obs_demo_ratio{kind=\"test\"} 0.5"));
+        assert!(text.contains("obs_demo_seconds{quantile=\"0.5\"} 0.002"));
+        assert!(text.contains("obs_demo_seconds_count 3"));
+    }
+
+    #[test]
+    fn json_is_structured_and_escaped() {
+        let text = to_json(&sample_registry().snapshot());
+        assert!(text.contains("\"obs_demo_total\": 7"));
+        assert!(text.contains("\"obs_demo_ratio{kind=\\\"test\\\"}\": 0.5"));
+        assert!(text.contains("\"p95\": 0.003"));
+        assert!(text.contains("\"spans\""));
+    }
+
+    #[test]
+    fn trace_jsonl_one_line_per_event() {
+        let reg = sample_registry();
+        let text = trace_jsonl(&reg);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"seq\": 0, \"span\": \"demo\""));
+    }
+
+    #[test]
+    fn csv_rows_are_three_stats_wide() {
+        let text = to_csv(&sample_registry().snapshot());
+        assert!(text.starts_with("kind,key,stat,value\n"));
+        assert!(text.contains("counter,obs_demo_total,value,7"));
+        // Labelled keys contain commas only when multi-labelled; quoting
+        // keeps rows parseable either way.
+        for line in text.lines().skip(1) {
+            assert!(line.split(',').count() >= 4, "short row: {line}");
+        }
+    }
+}

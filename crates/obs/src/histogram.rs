@@ -1,0 +1,139 @@
+//! Fixed-bucket histogram with exact nearest-rank quantiles.
+//!
+//! This is the **single** quantile implementation in the workspace
+//! (`cc19-serve`'s metrics used to carry a private copy): samples are
+//! kept exactly, quantiles use the nearest-rank definition
+//! `rank = ceil(q * n)` (clamped to `[1, n]`) over a `total_cmp` sort,
+//! and a proptest in `crates/obs/tests/` pins the result against a
+//! naive sort oracle. Bucket counts (cumulative-bound style) ride along
+//! for the Prometheus exporter.
+
+/// Default bucket upper bounds for durations in **seconds**: roughly
+/// exponential from 1 µs to 10 s (a `+Inf` bucket is implicit).
+pub const DEFAULT_SECONDS_BOUNDS: &[f64] = &[
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// An exact-sample histogram with fixed bucket bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts[i]` = samples with `v <= bounds[i]` and `> bounds[i-1]`;
+    /// one extra slot at the end counts the `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    samples: Vec<f64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Histogram with the given (ascending) bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            samples: Vec::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// Histogram with [`DEFAULT_SECONDS_BOUNDS`].
+    pub fn seconds() -> Self {
+        Histogram::new(DEFAULT_SECONDS_BOUNDS)
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.samples.push(v);
+        self.sum += v;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() { 0.0 } else { self.sum / self.samples.len() as f64 }
+    }
+
+    /// Largest sample, `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank quantile: the sample at rank `ceil(q * n)` (1-based,
+    /// clamped to `[1, n]`) of the `total_cmp`-sorted samples. `0.0`
+    /// when empty. `q` is a fraction, e.g. `0.95`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// Bucket upper bounds (the `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the `+Inf` bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The raw samples, in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut h = Histogram::new(&[]);
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.50), 3.0);
+        assert_eq!(h.quantile(0.95), 5.0);
+        assert_eq!(h.quantile(0.20), 1.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 5.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::seconds();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_samples() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 2.0, 50.0] {
+            h.observe(v);
+        }
+        // <=1.0: {0.5, 1.0}; <=10.0: {2.0}; +Inf: {50.0}
+        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+}

@@ -1,0 +1,76 @@
+//! # cc19-obs
+//!
+//! The observability substrate of the ComputeCOVID19+ reproduction
+//! (DESIGN.md §12). Dependency-free, three layers:
+//!
+//! * [`registry`] — thread-safe counters, gauges, and exact-sample
+//!   histograms (nearest-rank quantiles, the workspace's single
+//!   quantile implementation) addressed by static name + label set;
+//! * [`span`] — hierarchical RAII spans ([`span!`]) aggregated by
+//!   dotted path, with a bounded trace buffer;
+//! * [`export`] — Prometheus text exposition, CSV, JSON, and JSONL
+//!   trace dumps, all sorted-key deterministic.
+//!
+//! Every timestamp flows through the injectable [`clock::Clock`] trait:
+//! binaries read a real [`clock::MonotonicClock`] (the one allowlisted
+//! `Instant::now` in the determinism-linted crates), tests and the
+//! reproducible bench inject a [`clock::ManualClock`]. Setting
+//! `CC19_OBS_DETERMINISTIC=1` makes [`global`] (and every
+//! `Registry::new`) auto-tick 1 µs per clock read, so
+//! `results/bench_obs.json` is byte-identical across runs.
+//!
+//! Metric names are `snake_case` with the registering crate's prefix
+//! (`tensor_gemm_flops_total`, `ddnet_step_seconds`, …) — enforced by
+//! the `metric-naming` rule in `cc19-lint`.
+
+use std::sync::{Arc, OnceLock};
+
+pub mod clock;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::Histogram;
+pub use registry::{Counter, Entry, Gauge, HistogramHandle, Registry, Snapshot, Timer};
+pub use span::{Span, SpanStat};
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide registry, created on first use with the
+/// environment-selected default clock (see [`clock::default_clock`]).
+pub fn global() -> &'static Registry {
+    global_arc_ref()
+}
+
+fn global_arc_ref() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+/// The global registry as a shareable `Arc` (what [`span!`] guards and
+/// injected subsystems hold).
+pub fn global_arc() -> Arc<Registry> {
+    Arc::clone(global_arc_ref())
+}
+
+/// The global registry's clock — the workspace-wide timing source for
+/// instrumented code outside an explicitly injected registry.
+pub fn global_clock() -> Arc<dyn Clock> {
+    global().clock()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs_global_probe_total").inc();
+        assert!(global_arc()
+            .snapshot()
+            .counters
+            .iter()
+            .any(|e| e.name == "obs_global_probe_total" && e.value >= 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Lightweight hierarchical spans: RAII guards that time a named region
+//! on the registry's clock and aggregate by dotted path.
+//!
+//! ```
+//! {
+//!     let _outer = cc19_obs::span!("conv2d");
+//!     {
+//!         let _inner = cc19_obs::span!("gemm"); // recorded as "conv2d.gemm"
+//!     }
+//! }
+//! let stats = cc19_obs::global().span_stats();
+//! assert!(stats.iter().any(|(p, _)| p == "conv2d.gemm"));
+//! ```
+//!
+//! Nesting is tracked per thread: a span entered while another is open
+//! on the same thread records under `outer.inner`. Aggregates (count +
+//! total duration) live in the owning [`Registry`]; the most recent
+//! events are additionally kept in a bounded trace buffer for the JSONL
+//! exporter. Naming convention: `snake_case` segments joined by `.`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::registry::Registry;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total time spent inside, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One completed span occurrence (trace-buffer entry).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Dotted span path, e.g. `diagnose.enhance`.
+    pub path: String,
+    /// Start time on the registry clock, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Global completion sequence number (0-based).
+    pub seq: u64,
+}
+
+/// Trace-buffer capacity; older events are dropped (aggregates keep
+/// counting).
+pub const TRACE_CAPACITY: usize = 65_536;
+
+/// Span aggregates plus the bounded trace buffer (owned by a
+/// [`Registry`]).
+#[derive(Debug, Default)]
+pub struct SpanStore {
+    stats: BTreeMap<String, SpanStat>,
+    trace: Vec<TraceEvent>,
+    seq: u64,
+}
+
+impl SpanStore {
+    pub(crate) fn record(&mut self, path: String, start_ns: u64, dur_ns: u64) {
+        let stat = self.stats.entry(path.clone()).or_default();
+        stat.count += 1;
+        stat.total_ns += dur_ns;
+        if self.trace.len() < TRACE_CAPACITY {
+            self.trace.push(TraceEvent { path, start_ns, dur_ns, seq: self.seq });
+        }
+        self.seq += 1;
+    }
+
+    /// Aggregates by path (sorted — `BTreeMap` order).
+    pub fn stats(&self) -> &BTreeMap<String, SpanStat> {
+        &self.stats
+    }
+
+    /// The retained trace events, in completion order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    registry: Arc<Registry>,
+    path: String,
+    start_ns: u64,
+}
+
+/// Open a span on the global registry. Prefer the [`crate::span!`]
+/// macro at call sites.
+pub fn enter(name: &'static str) -> Span {
+    enter_on(crate::global_arc(), name)
+}
+
+/// Open a span on a specific registry (tests inject a manual clock this
+/// way).
+pub fn enter_on(registry: Arc<Registry>, name: &'static str) -> Span {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join(".")
+    });
+    let start_ns = registry.now_ns();
+    Span { registry, path, start_ns }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.registry.now_ns().saturating_sub(self.start_ns);
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut store = match self.registry.spans.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        store.record(std::mem::take(&mut self.path), self.start_ns, dur_ns);
+    }
+}
+
+/// Open a hierarchical span on the global registry; the guard records
+/// on drop. `span!("fbp")` inside an open `span!("ctsim")` aggregates
+/// under `ctsim.fbp`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+
+    #[test]
+    fn nested_spans_build_dotted_paths() {
+        let clock = Arc::new(ManualClock::with_tick(100));
+        let reg = Arc::new(Registry::with_clock(Arc::clone(&clock) as Arc<dyn Clock>));
+        {
+            let _outer = enter_on(Arc::clone(&reg), "outer");
+            {
+                let _inner = enter_on(Arc::clone(&reg), "inner");
+            }
+        }
+        let stats = reg.span_stats();
+        let paths: Vec<&str> = stats.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["outer", "outer.inner"]);
+        // inner: one interior clock read between start and stop => 100ns;
+        // outer additionally spans inner's two reads plus its own stop.
+        let inner = &stats[1].1;
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.total_ns, 100);
+        assert!(stats[0].1.total_ns > inner.total_ns);
+    }
+
+    #[test]
+    fn trace_events_carry_sequence_numbers() {
+        let reg = Arc::new(Registry::with_clock(Arc::new(ManualClock::with_tick(1))));
+        for _ in 0..3 {
+            let _s = enter_on(Arc::clone(&reg), "tick");
+        }
+        let store = reg.spans.lock().expect("span store");
+        let seqs: Vec<u64> = store.trace().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+        assert_eq!(store.stats()["tick"].count, 3);
+    }
+}

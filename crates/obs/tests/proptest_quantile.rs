@@ -1,0 +1,62 @@
+//! Property tests pinning the shared quantile implementation (the one
+//! `cc19-serve` migrated onto) against a naive sort oracle.
+
+use cc19_obs::Histogram;
+use proptest::prelude::*;
+
+/// The oracle: sort with `total_cmp`, take the nearest-rank element
+/// (`rank = ceil(q*n)` clamped to `[1, n]`, 1-based).
+fn oracle(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantile_matches_sort_oracle(
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 0..64),
+        q in 0.0f64..1.0001,
+    ) {
+        let mut h = Histogram::new(&[0.0, 100.0]);
+        for &v in &samples {
+            h.observe(v);
+        }
+        let got = h.quantile(q);
+        let want = oracle(&samples, q);
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "q={} samples={:?}", q, samples);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(-1.0e3f64..1.0e3, 1..32),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new(&[]);
+        for &v in &samples {
+            h.observe(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn count_sum_track_observations(
+        samples in proptest::collection::vec(0.0f64..1.0e3, 0..32),
+    ) {
+        let mut h = Histogram::seconds();
+        for &v in &samples {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let naive: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+}

@@ -245,6 +245,7 @@ fn cmd_diagnose(args: &Args) -> Result<(), String> {
         segmenter: LungSegmenter::default(),
         classifier,
         prep: PrepConfig::scaled(1),
+        clock: cc19_obs::global_clock(),
     };
     let d = fw.diagnose(&vol.hu, threshold).map_err(|e| e.to_string())?;
     println!(

@@ -13,9 +13,11 @@
 //! forms, so a batch of one equals a single call bit for bit — tested
 //! below).
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use cc19_analysis::classifier::{ClassifierConfig, DenseNet3d};
+use cc19_obs::Clock;
 use cc19_analysis::segmentation::{apply_mask_into, LungSegmenter};
 use cc19_data::prep::{
     denormalize_from_enhancement_into, normalize_for_enhancement_into, PrepConfig,
@@ -142,8 +144,9 @@ pub struct Enhanced {
     hu_for_seg: Tensor,
     /// Enhancement-AI time.
     pub t_enhance: Duration,
-    /// When preprocessing for this study began (drives `t_total`).
-    started: Instant,
+    /// Clock-ns when preprocessing for this study began (drives
+    /// `t_total`; read from the framework's [`Clock`]).
+    started: u64,
 }
 
 /// Output of the segmentation stage (input to classification).
@@ -153,7 +156,7 @@ pub struct Segmented {
     pub masked: Tensor,
     t_enhance: Duration,
     t_segment: Duration,
-    started: Instant,
+    started: u64,
 }
 
 /// The ComputeCOVID19+ pipeline: optional Enhancement AI, Segmentation AI,
@@ -168,6 +171,13 @@ pub struct Framework {
     pub classifier: DenseNet3d,
     /// HU normalization window.
     pub prep: PrepConfig,
+    /// The clock stage timings read. Defaults to the process-wide
+    /// [`cc19_obs::global_clock`] so timestamps taken by one replica
+    /// (the serving layer pipelines stages across threads, each with its
+    /// own replica) are comparable on every other; tests inject a
+    /// [`cc19_obs::ManualClock`] via [`Framework::with_clock`] for exact
+    /// latency assertions.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Framework {
@@ -179,7 +189,14 @@ impl Framework {
             segmenter: LungSegmenter::default(),
             classifier: DenseNet3d::new(ClassifierConfig::tiny(), seed ^ 0xC1A55),
             prep: PrepConfig::scaled(1),
+            clock: cc19_obs::global_clock(),
         }
+    }
+
+    /// Replace the timing clock (builder-style).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     // -- stage methods (the serving layer pipelines these across threads) --
@@ -197,7 +214,7 @@ impl Framework {
         mode: EnhanceMode,
     ) -> Result<Enhanced> {
         vol_hu.shape().expect_rank(3)?;
-        let started = Instant::now();
+        let started = self.clock.now_ns();
         let dims = vol_hu.dims().to_vec();
 
         // Normalize each slice into [0,1] (Enhancement AI's input space).
@@ -206,7 +223,7 @@ impl Framework {
 
         match &self.enhancer {
             Some(net) => {
-                let t0 = Instant::now();
+                let t0 = self.clock.now_ns();
                 let mut enhanced = scratch.take(&dims);
                 match mode {
                     EnhanceMode::PerSlice => enhance_volume_into(net, &unit, &mut enhanced)?,
@@ -216,7 +233,7 @@ impl Framework {
                 }
                 let mut hu_for_seg = scratch.take(&dims);
                 denormalize_from_enhancement_into(&enhanced, self.prep, &mut hu_for_seg)?;
-                let t_enhance = t0.elapsed();
+                let t_enhance = Duration::from_nanos(self.clock.now_ns().saturating_sub(t0));
                 scratch.recycle(unit);
                 Ok(Enhanced { unit: enhanced, hu_for_seg, t_enhance, started })
             }
@@ -231,9 +248,9 @@ impl Framework {
     /// Stage 2: segment the lungs and apply the mask.
     pub fn run_segment(&self, enh: Enhanced, scratch: &mut Scratch) -> Result<Segmented> {
         let Enhanced { unit, hu_for_seg, t_enhance, started } = enh;
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         let mask = self.segmenter.segment_volume(&hu_for_seg)?;
-        let t_segment = t0.elapsed();
+        let t_segment = Duration::from_nanos(self.clock.now_ns().saturating_sub(t0));
         // Mask application is deliberately *outside* the t_segment
         // window; its cost lands in t_total (see Diagnosis::total_time).
         let mut masked = scratch.take(unit.dims());
@@ -252,9 +269,9 @@ impl Framework {
         scratch: &mut Scratch,
     ) -> Result<Diagnosis> {
         let Segmented { masked, t_enhance, t_segment, started } = seg;
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         let probability = self.classifier.predict_proba(&masked)?;
-        let t_classify = t0.elapsed();
+        let t_classify = Duration::from_nanos(self.clock.now_ns().saturating_sub(t0));
         scratch.recycle(masked);
         Ok(Diagnosis {
             probability,
@@ -263,7 +280,7 @@ impl Framework {
             t_enhance,
             t_segment,
             t_classify,
-            t_total: started.elapsed(),
+            t_total: Duration::from_nanos(self.clock.now_ns().saturating_sub(started)),
         })
     }
 

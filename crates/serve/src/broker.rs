@@ -39,17 +39,21 @@ impl Default for BrokerCfg {
 /// One admitted, not-yet-dispatched study — the unit the dispatcher
 /// hands to a worker pipeline. Public so harnesses (the broker property
 /// tests, custom worker loops) can drive the broker directly.
+///
+/// Timestamps are nanoseconds on the metrics registry's injectable
+/// clock (see [`ServeMetrics::clock`]) — under a manual clock, queue
+/// wait and deadline misses become exactly assertable.
 pub struct Job {
     /// Admission id (monotone; doubles as the FIFO tiebreak within a class).
     pub id: u64,
     /// Scheduling class.
     pub priority: Priority,
-    /// Absolute deadline, if the client set a budget.
-    pub deadline: Option<Instant>,
+    /// Absolute deadline in clock-ns, if the client set a budget.
+    pub deadline: Option<u64>,
     /// The study.
     pub volume: cc19_tensor::Tensor,
-    /// Admission timestamp (queue-wait accounting).
-    pub submitted: Instant,
+    /// Admission timestamp in clock-ns (queue-wait accounting).
+    pub submitted: u64,
     /// Exactly-once reply channel.
     pub reply: Sender<ServeResponse>,
 }
@@ -73,7 +77,7 @@ pub struct Broker {
     metrics: ServeMetrics,
 }
 
-fn edf_key(j: &Job) -> (bool, Option<Instant>, u64) {
+fn edf_key(j: &Job) -> (bool, Option<u64>, u64) {
     (j.deadline.is_none(), j.deadline, j.id)
 }
 
@@ -122,7 +126,7 @@ impl Broker {
                 return Err(why);
             }
         }
-        let now = Instant::now();
+        let now = self.metrics.now_ns();
         let mut inner = lock(&self.inner);
         if inner.closed {
             drop(inner);
@@ -141,7 +145,7 @@ impl Broker {
         let job = Job {
             id,
             priority: req.priority,
-            deadline: req.deadline.map(|b| now + b),
+            deadline: req.deadline.map(|b| now + b.as_nanos() as u64),
             volume: req.volume,
             submitted: now,
             reply,
@@ -176,7 +180,11 @@ impl Broker {
             }
             // Coalescing window: give the batch max_delay to fill up to
             // max_batch (the latency/throughput knob). A closed broker
-            // skips the wait — drain as fast as possible. The waits
+            // skips the wait — drain as fast as possible. This window
+            // deliberately stays on `std::time::Instant`: it bounds a
+            // real condvar wait, which a frozen test clock could never
+            // advance (deterministic harnesses use `max_batch: 1` or the
+            // pause gate instead, so the window never engages). The waits
             // release the lock, so a concurrent pipeline may steal the
             // queued work; an empty drain below just loops back.
             let window_start = Instant::now();

@@ -1,82 +1,55 @@
 //! Serve-side metrics: per-stage latency histograms, queue depth,
-//! batch-size distribution, reject counters, and quantiles, dumped as a
-//! `section,name,value` CSV into `results/`.
+//! batch-size distribution, reject counters, and quantiles, registered
+//! in a [`cc19_obs::Registry`] and dumped as a `section,name,value` CSV
+//! into `results/`.
+//!
+//! Since PR 5 this is a facade over `cc19-obs`: every counter/gauge/
+//! histogram lives in a shared registry (fresh per [`ServeMetrics::new`]
+//! for test isolation; inject one via [`ServeMetrics::with_registry`] to
+//! fold serving metrics into a process-wide export such as the
+//! deterministic bench). All timestamps the serving layer takes — queue
+//! wait, deadline checks, stage timers — read the registry's injectable
+//! clock, so a [`cc19_obs::ManualClock`] makes latencies exactly
+//! assertable (see `tests/e2e.rs`).
 
-use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use crate::sync::lock;
+use cc19_obs::{Clock, Counter, Gauge, HistogramHandle, Registry};
 
 use computecovid19::Diagnosis;
 
 use crate::request::Rejected;
 
-/// Exact-sample latency recorder (serving workloads here are bounded, so
-/// storing samples and computing nearest-rank quantiles beats bucketing
-/// error; a production swap to HDR buckets only touches this type).
-#[derive(Debug, Default, Clone)]
-pub struct Histogram {
-    samples_ms: Vec<f64>,
-}
+/// Reject reasons in the CSV's stable row order (matches
+/// [`Rejected::label`]).
+const REJECT_REASONS: [&str; 4] = ["queue_full", "deadline_impossible", "invalid", "shutting_down"];
 
-impl Histogram {
-    /// Record one latency in milliseconds.
-    pub fn record_ms(&mut self, ms: f64) {
-        self.samples_ms.push(ms);
-    }
+/// Pipeline stages in CSV row order.
+const STAGES: [&str; 5] = ["queue", "enhance", "segment", "classify", "total"];
 
-    /// Number of samples.
-    pub fn count(&self) -> usize {
-        self.samples_ms.len()
-    }
+/// Bucket bounds in **milliseconds** for the stage-latency histograms
+/// (quantiles are exact-sample; buckets only shape the Prometheus view).
+const MS_BOUNDS: &[f64] =
+    &[0.01, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0];
 
-    /// Nearest-rank quantile (`q` in `[0,1]`) in milliseconds; 0 when empty.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        if self.samples_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples_ms.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
-    }
+/// Bucket bounds for the dispatched-batch-size histogram.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
-    /// Arithmetic mean in milliseconds; 0 when empty.
-    pub fn mean_ms(&self) -> f64 {
-        if self.samples_ms.is_empty() {
-            return 0.0;
-        }
-        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
-    }
-
-    /// Largest sample in milliseconds; 0 when empty.
-    pub fn max_ms(&self) -> f64 {
-        self.samples_ms.iter().cloned().fold(0.0, f64::max)
-    }
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    accepted: u64,
-    completed: u64,
-    failed: u64,
-    rejected: BTreeMap<&'static str, u64>,
-    deadline_missed: u64,
-    batch_sizes: BTreeMap<usize, u64>,
-    depth_max: usize,
-    h_queue: Histogram,
-    h_enhance: Histogram,
-    h_segment: Histogram,
-    h_classify: Histogram,
-    h_total: Histogram,
-}
-
-/// Shared, thread-safe metrics sink for one server.
-#[derive(Debug, Clone, Default)]
+/// Shared, thread-safe metrics sink for one server — cached `serve_*`
+/// handles over a [`Registry`].
+#[derive(Debug, Clone)]
 pub struct ServeMetrics {
-    inner: Arc<Mutex<Inner>>,
+    reg: Arc<Registry>,
+    accepted: Counter,
+    completed: Counter,
+    failed: Counter,
+    rejected: [(&'static str, Counter); 4],
+    deadline_missed: Counter,
+    depth_max: Gauge,
+    batch_size: HistogramHandle,
+    stages: [(&'static str, HistogramHandle); 5],
 }
 
 /// Point-in-time copy of the counters a test or bench typically asserts
@@ -102,98 +75,141 @@ pub struct MetricsSnapshot {
 }
 
 impl ServeMetrics {
-    /// Fresh sink.
+    /// Fresh sink on its own private registry (and therefore its own
+    /// clock — the environment-selected default).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Sink whose metrics register in `reg` — the handle the bench uses
+    /// to fold serving metrics into the global deterministic export.
+    pub fn with_registry(reg: Arc<Registry>) -> Self {
+        let rejected = REJECT_REASONS
+            .map(|reason| (reason, reg.counter_with("serve_rejected_total", &[("reason", reason)])));
+        let stages = STAGES
+            .map(|stage| (stage, reg.histogram_with_bounds("serve_stage_ms", &[("stage", stage)], MS_BOUNDS)));
+        ServeMetrics {
+            accepted: reg.counter("serve_accepted_total"),
+            completed: reg.counter("serve_completed_total"),
+            failed: reg.counter("serve_failed_total"),
+            deadline_missed: reg.counter("serve_deadline_missed_total"),
+            depth_max: reg.gauge("serve_queue_depth_max"),
+            batch_size: reg.histogram_with_bounds("serve_batch_size", &[], BATCH_BOUNDS),
+            rejected,
+            stages,
+            reg,
+        }
+    }
+
+    /// The backing registry (e.g. for Prometheus/JSON export of the
+    /// `serve_*` metrics).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.reg
+    }
+
+    /// The registry clock — every serving-layer timestamp (admission,
+    /// queue wait, deadline checks) reads this.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.reg.clock()
+    }
+
+    /// Current time on the registry clock.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.reg.now_ns()
     }
 
     pub(crate) fn on_accept(&self, depth_after: usize) {
-        let mut m = lock(&self.inner);
-        m.accepted += 1;
-        m.depth_max = m.depth_max.max(depth_after);
+        self.accepted.inc();
+        self.depth_max.set_max(depth_after as f64);
     }
 
     pub(crate) fn on_reject(&self, why: &Rejected) {
-        *lock(&self.inner).rejected.entry(why.label()).or_insert(0) += 1;
+        let label = why.label();
+        for (reason, c) in &self.rejected {
+            if *reason == label {
+                c.inc();
+                return;
+            }
+        }
     }
 
     pub(crate) fn on_batch(&self, size: usize) {
-        *lock(&self.inner).batch_sizes.entry(size).or_insert(0) += 1;
+        self.batch_size.observe(size as f64);
     }
 
     pub(crate) fn on_complete(&self, d: &Diagnosis, missed_deadline: bool) {
-        let mut m = lock(&self.inner);
-        m.completed += 1;
+        self.completed.inc();
         if missed_deadline {
-            m.deadline_missed += 1;
+            self.deadline_missed.inc();
         }
-        m.h_queue.record_ms(d.t_queue.as_secs_f64() * 1e3);
-        m.h_enhance.record_ms(d.t_enhance.as_secs_f64() * 1e3);
-        m.h_segment.record_ms(d.t_segment.as_secs_f64() * 1e3);
-        m.h_classify.record_ms(d.t_classify.as_secs_f64() * 1e3);
-        m.h_total.record_ms(d.t_total.as_secs_f64() * 1e3);
+        let ms = [
+            d.t_queue.as_secs_f64() * 1e3,
+            d.t_enhance.as_secs_f64() * 1e3,
+            d.t_segment.as_secs_f64() * 1e3,
+            d.t_classify.as_secs_f64() * 1e3,
+            d.t_total.as_secs_f64() * 1e3,
+        ];
+        for ((_, h), v) in self.stages.iter().zip(ms) {
+            h.observe(v);
+        }
     }
 
     pub(crate) fn on_failure(&self) {
-        lock(&self.inner).failed += 1;
+        self.failed.inc();
     }
 
     /// Counter snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let m = lock(&self.inner);
+        let batches = self.batch_size.snapshot();
         MetricsSnapshot {
-            accepted: m.accepted,
-            completed: m.completed,
-            failed: m.failed,
-            rejected: m.rejected.values().sum(),
-            deadline_missed: m.deadline_missed,
-            depth_max: m.depth_max,
-            max_batch: m.batch_sizes.keys().next_back().copied().unwrap_or(0),
-            batches: m.batch_sizes.values().sum(),
+            accepted: self.accepted.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            rejected: self.rejected.iter().map(|(_, c)| c.get()).sum(),
+            deadline_missed: self.deadline_missed.get(),
+            depth_max: self.depth_max.get() as usize,
+            max_batch: batches.max() as usize,
+            batches: batches.count(),
         }
     }
 
     /// p50/p95/p99 of end-to-end processing latency in milliseconds.
     pub fn total_latency_quantiles_ms(&self) -> (f64, f64, f64) {
-        let m = lock(&self.inner);
-        (m.h_total.quantile_ms(0.50), m.h_total.quantile_ms(0.95), m.h_total.quantile_ms(0.99))
+        let h = self.stages[4].1.snapshot();
+        (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
     }
 
     /// Render the full `section,name,value` CSV.
     pub fn to_csv(&self) -> String {
-        let m = lock(&self.inner);
         let mut out = String::from("section,name,value\n");
-        let counter = |out: &mut String, name: &str, v: u64| {
+        let push_row = |out: &mut String, name: &str, v: u64| {
             out.push_str(&format!("counter,{name},{v}\n"));
         };
-        counter(&mut out, "accepted", m.accepted);
-        counter(&mut out, "completed", m.completed);
-        counter(&mut out, "failed", m.failed);
-        for label in ["queue_full", "deadline_impossible", "invalid", "shutting_down"] {
-            counter(
-                &mut out,
-                &format!("rejected_{label}"),
-                m.rejected.get(label).copied().unwrap_or(0),
-            );
+        push_row(&mut out, "accepted", self.accepted.get());
+        push_row(&mut out, "completed", self.completed.get());
+        push_row(&mut out, "failed", self.failed.get());
+        for (reason, c) in &self.rejected {
+            push_row(&mut out, &format!("rejected_{reason}"), c.get());
         }
-        counter(&mut out, "deadline_missed", m.deadline_missed);
-        out.push_str(&format!("gauge,queue_depth_max,{}\n", m.depth_max));
-        for (size, n) in &m.batch_sizes {
+        push_row(&mut out, "deadline_missed", self.deadline_missed.get());
+        out.push_str(&format!("gauge,queue_depth_max,{}\n", self.depth_max.get() as u64));
+        // Reconstruct the per-size distribution from the exact samples
+        // (sizes are small integers, exactly representable in f64).
+        let mut sizes = std::collections::BTreeMap::<u64, u64>::new();
+        for &s in self.batch_size.snapshot().samples() {
+            *sizes.entry(s as u64).or_insert(0) += 1;
+        }
+        for (size, n) in &sizes {
             out.push_str(&format!("batch_size,{size},{n}\n"));
         }
-        for (stage, h) in [
-            ("queue", &m.h_queue),
-            ("enhance", &m.h_enhance),
-            ("segment", &m.h_segment),
-            ("classify", &m.h_classify),
-            ("total", &m.h_total),
-        ] {
+        for (stage, handle) in &self.stages {
+            let h = handle.snapshot();
             out.push_str(&format!("stage_ms,{stage}_count,{}\n", h.count()));
-            out.push_str(&format!("stage_ms,{stage}_mean,{:.4}\n", h.mean_ms()));
-            out.push_str(&format!("stage_ms,{stage}_p50,{:.4}\n", h.quantile_ms(0.50)));
-            out.push_str(&format!("stage_ms,{stage}_p95,{:.4}\n", h.quantile_ms(0.95)));
-            out.push_str(&format!("stage_ms,{stage}_p99,{:.4}\n", h.quantile_ms(0.99)));
-            out.push_str(&format!("stage_ms,{stage}_max,{:.4}\n", h.max_ms()));
+            out.push_str(&format!("stage_ms,{stage}_mean,{:.4}\n", h.mean()));
+            out.push_str(&format!("stage_ms,{stage}_p50,{:.4}\n", h.quantile(0.50)));
+            out.push_str(&format!("stage_ms,{stage}_p95,{:.4}\n", h.quantile(0.95)));
+            out.push_str(&format!("stage_ms,{stage}_p99,{:.4}\n", h.quantile(0.99)));
+            out.push_str(&format!("stage_ms,{stage}_max,{:.4}\n", h.max()));
         }
         out
     }
@@ -201,6 +217,12 @@ impl ServeMetrics {
     /// Write the CSV to `path` (parent directory must exist).
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_csv())
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
     }
 }
 
@@ -225,14 +247,15 @@ mod tests {
 
     #[test]
     fn quantiles_are_nearest_rank() {
-        let mut h = Histogram::default();
+        let m = ServeMetrics::new();
         for v in 1..=100 {
-            h.record_ms(v as f64);
+            m.on_complete(&fake_diagnosis(v), false);
         }
-        assert_eq!(h.quantile_ms(0.50), 50.0);
-        assert_eq!(h.quantile_ms(0.95), 95.0);
-        assert_eq!(h.quantile_ms(0.99), 99.0);
-        assert_eq!(h.max_ms(), 100.0);
+        let (p50, p95, p99) = m.total_latency_quantiles_ms();
+        assert_eq!(p50, 50.0);
+        assert_eq!(p95, 95.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(m.stages[4].1.snapshot().max(), 100.0);
     }
 
     #[test]
@@ -258,5 +281,22 @@ mod tests {
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.max_batch, 2);
         assert_eq!(snap.batches, 2);
+    }
+
+    #[test]
+    fn injected_registry_receives_the_serve_metrics() {
+        let reg = Arc::new(Registry::new());
+        let m = ServeMetrics::with_registry(Arc::clone(&reg));
+        m.on_accept(1);
+        m.on_failure();
+        let snap = reg.snapshot();
+        let get = |key: &str| {
+            snap.counters.iter().find(|c| c.key == key).map(|c| c.value).unwrap_or(0)
+        };
+        assert_eq!(get("serve_accepted_total"), 1);
+        assert_eq!(get("serve_failed_total"), 1);
+        // Rejection reasons are pre-registered so exports always carry
+        // the zero rows.
+        assert_eq!(get("serve_rejected_total{reason=\"queue_full\"}"), 0);
     }
 }

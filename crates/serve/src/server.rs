@@ -75,6 +75,21 @@ impl Server {
     where
         F: Fn() -> Framework + Send + Sync + 'static,
     {
+        Server::start_with_metrics(cfg, factory, ServeMetrics::new())
+    }
+
+    /// [`Server::start`] reporting into an injected [`ServeMetrics`] —
+    /// use [`ServeMetrics::with_registry`] to fold the `serve_*` metrics
+    /// into a shared `cc19-obs` registry (the deterministic bench), or a
+    /// manual-clock registry to make latencies exactly assertable.
+    pub fn start_with_metrics<F>(
+        cfg: ServerCfg,
+        factory: F,
+        metrics: ServeMetrics,
+    ) -> io::Result<Server>
+    where
+        F: Fn() -> Framework + Send + Sync + 'static,
+    {
         if cfg.pipelines < 1 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -87,7 +102,6 @@ impl Server {
                 "max_batch must be at least 1",
             ));
         }
-        let metrics = ServeMetrics::new();
         let broker = Arc::new(Broker::new(
             BrokerCfg { queue_bound: cfg.queue_bound, est_service: cfg.est_service },
             metrics.clone(),

@@ -17,7 +17,7 @@
 use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 
@@ -32,9 +32,10 @@ use crate::request::ServeResponse;
 pub type FrameworkFactory = Arc<dyn Fn() -> Framework + Send + Sync>;
 
 /// Everything a study carries between stages besides the tensors.
+/// Deadlines are clock-ns on the metrics registry's clock.
 struct JobMeta {
     id: u64,
-    deadline: Option<Instant>,
+    deadline: Option<u64>,
     t_queue: Duration,
     reply: Sender<ServeResponse>,
 }
@@ -83,7 +84,8 @@ pub(crate) fn spawn_pipeline(
             gate.wait_open();
             while let Some(batch) = broker.pop_batch(policy) {
                 for job in batch {
-                    let t_queue = job.submitted.elapsed();
+                    let t_queue =
+                        Duration::from_nanos(m_enh.now_ns().saturating_sub(job.submitted));
                     let meta =
                         JobMeta { id: job.id, deadline: job.deadline, t_queue, reply: job.reply };
                     match fw.run_enhance_with(&job.volume, &mut scratch, enhance_mode) {
@@ -127,7 +129,7 @@ pub(crate) fn spawn_pipeline(
                 match fw.run_classify(seg, threshold, &mut scratch) {
                     Ok(d) => {
                         let d = d.with_queue_time(meta.t_queue);
-                        let missed = meta.deadline.map(|dl| Instant::now() > dl).unwrap_or(false);
+                        let missed = meta.deadline.map(|dl| metrics.now_ns() > dl).unwrap_or(false);
                         metrics.on_complete(&d, missed);
                         let _ = meta.reply.send(ServeResponse { id: meta.id, result: Ok(d) });
                     }

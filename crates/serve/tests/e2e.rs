@@ -1,13 +1,17 @@
 //! End-to-end serving tests: concurrent clients against a live server,
-//! exactly-once delivery, and bit-identity with direct `Framework`
-//! calls — in-process and across the TCP front end.
+//! exactly-once delivery, bit-identity with direct `Framework` calls —
+//! in-process and across the TCP front end — and exact latency
+//! accounting under an injected frozen clock.
 
 use std::collections::HashSet;
 use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
+use cc19_obs::{Clock, ManualClock, Registry};
 use cc19_serve::{
-    serve_on, BatchPolicy, Priority, Rejected, ServeRequest, Server, ServerCfg, TcpServeClient,
+    serve_on, BatchPolicy, Priority, Rejected, ServeMetrics, ServeRequest, Server, ServerCfg,
+    TcpServeClient,
 };
 use cc19_tensor::rng::Xorshift;
 use cc19_tensor::Tensor;
@@ -161,4 +165,76 @@ fn tcp_front_end_serves_bit_identical_answers() {
 
     let metrics = server.shutdown();
     assert_eq!(metrics.snapshot().completed, 9);
+}
+
+/// With a frozen [`ManualClock`] injected into both the metrics registry
+/// and every `Framework` replica, latency accounting stops being
+/// "roughly" testable and becomes *exact*: queue wait equals precisely
+/// what the test advanced the clock by, the compute stages measure
+/// exactly zero, and the deadline-miss decision flips at the exact
+/// nanosecond the budget expires.
+#[test]
+fn frozen_clock_makes_serving_latencies_exactly_assertable() {
+    let clock = Arc::new(ManualClock::new()); // frozen at t=0
+    let reg = Arc::new(Registry::with_clock(clock.clone() as Arc<dyn Clock>));
+    let metrics = ServeMetrics::with_registry(Arc::clone(&reg));
+    let cfg = ServerCfg {
+        // max_batch 1 + the pause gate keep the coalescing window (the
+        // one real-time wait in the serving path) out of the picture.
+        batch: BatchPolicy { max_batch: 1, max_delay: Duration::ZERO },
+        start_paused: true,
+        threshold: THRESHOLD,
+        ..ServerCfg::default()
+    };
+    let fw_clock = clock.clone();
+    let server = Server::start_with_metrics(
+        cfg,
+        move || factory().with_clock(fw_clock.clone() as Arc<dyn Clock>),
+        metrics,
+    )
+    .expect("server starts");
+    let client = server.client();
+
+    // Submitted at t=0: one stat read with a 2 ms budget, one routine
+    // study without a deadline.
+    let p_stat = client
+        .submit(ServeRequest {
+            volume: volume(7),
+            priority: Priority::Stat,
+            deadline: Some(Duration::from_millis(2)),
+        })
+        .unwrap();
+    let p_routine = client.submit(ServeRequest::routine(volume(8))).unwrap();
+
+    // Exactly 5 ms pass while the server is paused, then it drains.
+    clock.advance(5_000_000);
+    server.resume();
+    let d_stat = p_stat.wait().unwrap().result.unwrap();
+    let d_routine = p_routine.wait().unwrap().result.unwrap();
+
+    // Queue wait is exactly the advance; nothing else moved the clock.
+    assert_eq!(d_stat.t_queue, Duration::from_millis(5));
+    assert_eq!(d_routine.t_queue, Duration::from_millis(5));
+    // On a frozen clock the compute stages measure exactly zero.
+    for d in [&d_stat, &d_routine] {
+        assert_eq!(d.t_enhance, Duration::ZERO);
+        assert_eq!(d.t_segment, Duration::ZERO);
+        assert_eq!(d.t_classify, Duration::ZERO);
+        assert_eq!(d.t_total, Duration::ZERO);
+    }
+
+    let metrics = server.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.completed, 2);
+    // The 2 ms budget expired 3 ms before dispatch; the no-deadline
+    // study cannot miss. Exactly one miss, deterministically.
+    assert_eq!(snap.deadline_missed, 1);
+    // The registry histogram recorded the exact queue waits (in ms).
+    let queue_hist = reg
+        .snapshot()
+        .histograms
+        .into_iter()
+        .find(|h| h.key == "serve_stage_ms{stage=\"queue\"}")
+        .expect("queue-stage histogram registered");
+    assert_eq!(queue_hist.value.samples(), &[5.0, 5.0]);
 }

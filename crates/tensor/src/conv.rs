@@ -80,6 +80,8 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     }
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
+    let _obs =
+        crate::obs::conv_call("conv2d", "fwd", 2 * crate::obs::macs(&[n, cout, cin, kh, kw, oh, ow]));
     let mut out = Tensor::zeros([n, cout, oh, ow]);
 
     let ind = input.data();
@@ -144,6 +146,8 @@ pub fn conv2d_backward(
             weight.dims()
         )));
     }
+    let _obs =
+        crate::obs::conv_call("conv2d", "bwd", 4 * crate::obs::macs(&[n, cout, cin, kh, kw, oh, ow]));
 
     let ind = input.data();
     let wd = weight.data();
@@ -266,6 +270,12 @@ pub fn conv_transpose2d(
     }
     let oh = spec.transposed_out_extent(h, kh);
     let ow = spec.transposed_out_extent(w, kw);
+    // Transposed conv touches each input element once per (cout, ky, kx).
+    let _obs = crate::obs::conv_call(
+        "conv_transpose2d",
+        "fwd",
+        2 * crate::obs::macs(&[n, cin, h, w, cout, kh, kw]),
+    );
     let mut out = Tensor::zeros([n, cout, oh, ow]);
 
     let ind = input.data();
@@ -336,6 +346,11 @@ pub fn conv_transpose2d_backward(
             weight.dims()
         )));
     }
+    let _obs = crate::obs::conv_call(
+        "conv_transpose2d",
+        "bwd",
+        4 * crate::obs::macs(&[n, cin, h, w, cout, kh, kw]),
+    );
 
     let ind = input.data();
     let wd = weight.data();
@@ -442,6 +457,11 @@ pub fn conv3d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     let od_ = spec.out_extent(dd, kd);
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
+    let _obs = crate::obs::conv_call(
+        "conv3d",
+        "fwd",
+        2 * crate::obs::macs(&[n, cout, cin, kd, kh, kw, od_, oh, ow]),
+    );
     let mut out = Tensor::zeros([n, cout, od_, oh, ow]);
 
     let ind = input.data();
@@ -518,6 +538,11 @@ pub fn conv3d_backward(
             weight.dims()
         )));
     }
+    let _obs = crate::obs::conv_call(
+        "conv3d",
+        "bwd",
+        4 * crate::obs::macs(&[n, cout, cin, kd, kh, kw, od_, oh, ow]),
+    );
 
     let ind = input.data();
     let wd = weight.data();

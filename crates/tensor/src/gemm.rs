@@ -246,27 +246,35 @@ pub fn sgemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // Flop accounting + wall time on the caller thread only: rayon
+    // workers must never read the (possibly manual) clock, or the
+    // deterministic bench would depend on scheduling order.
+    let obs = crate::obs::gemm();
+    obs.flops.add(2 * m as u64 * n as u64 * k as u64);
+    let t0 = obs.clock.now_ns();
     if m * n * k <= SMALL_THRESHOLD {
         sgemm_small(trans_a, trans_b, m, n, k, a, b, c);
-        return;
-    }
-    // Parallel over disjoint MC-row blocks of C; each task owns its
-    // contiguous output chunk and its own packing scratch.
-    c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_chunk)| {
-        let i0 = blk * MC;
-        let mc = c_chunk.len() / n;
-        let mut ap = vec![0.0f32; ceil_mul(mc, MR) * KC];
-        let mut bp = vec![0.0f32; KC * ceil_mul(NC.min(n), NR)];
-        for p0 in (0..k).step_by(KC) {
-            let kc = (k - p0).min(KC);
-            pack_a(a, &mut ap, i0..i0 + mc, p0..p0 + kc, m, k, trans_a);
-            for j0 in (0..n).step_by(NC) {
-                let nc = (n - j0).min(NC);
-                pack_b(b, &mut bp, p0..p0 + kc, j0..j0 + nc, k, n, trans_b);
-                macro_kernel(&ap, &bp, c_chunk, mc, nc, kc, j0, n);
+    } else {
+        // Parallel over disjoint MC-row blocks of C; each task owns its
+        // contiguous output chunk and its own packing scratch.
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_chunk)| {
+            let i0 = blk * MC;
+            let mc = c_chunk.len() / n;
+            let mut ap = vec![0.0f32; ceil_mul(mc, MR) * KC];
+            let mut bp = vec![0.0f32; KC * ceil_mul(NC.min(n), NR)];
+            for p0 in (0..k).step_by(KC) {
+                let kc = (k - p0).min(KC);
+                pack_a(a, &mut ap, i0..i0 + mc, p0..p0 + kc, m, k, trans_a);
+                for j0 in (0..n).step_by(NC) {
+                    let nc = (n - j0).min(NC);
+                    pack_b(b, &mut bp, p0..p0 + kc, j0..j0 + nc, k, n, trans_b);
+                    macro_kernel(&ap, &bp, c_chunk, mc, nc, kc, j0, n);
+                }
             }
-        }
-    });
+        });
+    }
+    let dt = obs.clock.now_ns().saturating_sub(t0);
+    obs.seconds.observe(dt as f64 / 1e9);
 }
 
 /// Unpacked ikj fallback for tiny products (packing would dominate).

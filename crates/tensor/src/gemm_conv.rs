@@ -256,6 +256,11 @@ pub fn conv2d_gemm(
     let (n, h, w) = (d[0], d[2], d[3]);
     let oh = spec.out_extent(h, kh);
     let ow = spec.out_extent(w, kw);
+    let _obs = crate::obs::conv_call(
+        "conv2d_gemm",
+        "fwd",
+        2 * crate::obs::macs(&[n, cout, cin, kh, kw, oh, ow]),
+    );
 
     // (N*OH*OW, C*K*K) x (Cout, C*K*K)^T = (N*OH*OW, Cout); the weight
     // transpose is folded into GEMM packing, not materialized.
@@ -301,6 +306,11 @@ pub fn conv2d_gemm_backward(
             input.dims()
         )));
     }
+    let _obs = crate::obs::conv_call(
+        "conv2d_gemm",
+        "bwd",
+        4 * crate::obs::macs(&[n, cout, cin, kh, kw, oh, ow]),
+    );
 
     let grad_rows = nchw_to_rows(grad_out)?; // (N*OH*OW, Cout)
     let cols = im2col(input, kh, spec)?; // (N*OH*OW, Cin*K*K)
@@ -354,6 +364,11 @@ pub fn conv_transpose2d_gemm(
     }
     let oht = spec.transposed_out_extent(h, kh);
     let owt = spec.transposed_out_extent(w, kw);
+    let _obs = crate::obs::conv_call(
+        "conv_transpose2d_gemm",
+        "fwd",
+        2 * crate::obs::macs(&[n, cin, h, w, cout, kh, kw]),
+    );
 
     let rows = nchw_to_rows(input)?; // (N*H*W, Cin)
     let wmat = weight.reshape([cin, cout * kh * kw])?;
@@ -398,6 +413,11 @@ pub fn conv_transpose2d_gemm_backward(
             input.dims()
         )));
     }
+    let _obs = crate::obs::conv_call(
+        "conv_transpose2d_gemm",
+        "bwd",
+        4 * crate::obs::macs(&[n, cin, h, w, cout, kh, kw]),
+    );
 
     // (N*H*W, Cout*K*K): receptive fields of grad_out seen from the
     // input grid (out_extent(oht, k) == h).

@@ -48,11 +48,45 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
+echo "=== tier-1: observability report (byte-identical under manual clock) ==="
+# obs_report sweeps every instrumented subsystem (GEMM/conv kernels,
+# ctsim stages, a tiny training run, a faulty 4-rank all-reduce, a serve
+# smoke) into the cc19-obs registry and exports results/bench_obs.json.
+# Under CC19_OBS_DETERMINISTIC=1 every clock read is causally ordered on
+# the auto-ticking manual clock, so two runs must produce byte-identical
+# output (DESIGN.md §12) — run it twice and compare.
+if [ "$status" -eq 0 ]; then
+    if ! cargo build -q --release -p cc19-bench --bin obs_report; then
+        echo "tier-1: OBS REPORT BUILD FAILED"
+        status=1
+    fi
+fi
+if [ "$status" -eq 0 ]; then
+    if ! CC19_OBS_DETERMINISTIC=1 ./target/release/obs_report; then
+        echo "tier-1: OBS REPORT FAILED (first run)"
+        status=1
+    else
+        cp results/bench_obs.json results/.bench_obs.run1.json
+        if ! CC19_OBS_DETERMINISTIC=1 ./target/release/obs_report; then
+            echo "tier-1: OBS REPORT FAILED (second run)"
+            status=1
+        elif ! cmp -s results/bench_obs.json results/.bench_obs.run1.json; then
+            echo "tier-1: OBS REPORT NOT DETERMINISTIC (bench_obs.json differs between runs)"
+            diff results/.bench_obs.run1.json results/bench_obs.json | head -20
+            status=1
+        fi
+        rm -f results/.bench_obs.run1.json
+    fi
+fi
+
+echo
 echo "=== tier-1: static analysis ==="
 # cc19-lint enforces the repo-specific invariants the compiler can't
-# (DESIGN.md §11): determinism (no ambient clocks/RNG in numeric crates),
-# panic-free fault-tolerant paths, *_into/allocating API parity with
-# tests, the unsafe budget, doc-coverage opt-in, and the whitespace gate
+# (DESIGN.md §11): determinism (no ambient clocks/RNG in numeric crates
+# or in cc19-obs beyond the allowlisted MonotonicClock), metric naming
+# (snake_case, crate-prefixed cc19-obs registrations), panic-free
+# fault-tolerant paths, *_into/allocating API parity with tests, the
+# unsafe budget, doc-coverage opt-in, and the whitespace gate
 # (trailing whitespace / tab indent / CR / missing final newline — the
 # `cargo fmt --check` stand-in for this vendored toolchain).
 if [ "$status" -eq 0 ]; then
