@@ -1,0 +1,179 @@
+//! `kernel_ladder`: the paper's Tables 6–9 story on this host — every
+//! `OptLevel` stage × dispatch level (scalar / AVX2) for the conv and
+//! gather-deconv kernels, as wall-clock time, GFLOP/s, and speedup over
+//! the scalar Baseline. Written to `results/kernel_ladder.csv`.
+//!
+//! `--full` uses the DDnet spatial resolution (512×512); the default
+//! quick run uses 128×128 so tier-1 stays fast. Channel widths are 16 —
+//! deep enough that the per-`(ci, ky)` panel loops dominate, small
+//! enough that the scatter baseline's atomic pathology doesn't make the
+//! full run take minutes.
+//!
+//! Stage–dispatch pairs that map to the *same* concrete kernel (REF
+//! conv aliases Baseline conv; the scatter deconv has no vector twin)
+//! are measured once and shared, with the alias recorded in the `note`
+//! column — so a "flat" step in the ladder is explained by the table
+//! itself rather than looking like a regression.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cc19_bench::{banner, parse_scale, Scale, TablePrinter};
+use cc19_hetero::host::{host_cpu_device, HostCaps};
+use cc19_kernels::conv::{conv2d_with, ConvShape};
+use cc19_kernels::deconv::{deconv2d_with, out_h, out_w};
+use cc19_kernels::simd::{self, SimdLevel};
+use cc19_kernels::OptLevel;
+use cc19_tensor::rng::Xorshift;
+
+const SEED: u64 = 0x01AD_DE21;
+const CHANNELS: usize = 16;
+
+/// One benched operation.
+#[derive(Clone, Copy)]
+struct Op {
+    name: &'static str,
+    k: usize,
+    deconv: bool,
+}
+
+const OPS: [Op; 3] = [
+    Op { name: "conv3x3", k: 3, deconv: false },
+    Op { name: "conv5x5", k: 5, deconv: false },
+    Op { name: "deconv5x5", k: 5, deconv: true },
+];
+
+fn flops(op: Op, s: ConvShape) -> f64 {
+    // Nominal multiply+add count over the full filter window (matching
+    // `count::conv_layer_counts`); the same formula for the gather
+    // deconv, over its own output extent.
+    let (oh, ow) = if op.deconv {
+        (out_h(s), out_w(s))
+    } else {
+        (s.out_h(), s.out_w())
+    };
+    2.0 * (oh * ow * s.cin * s.cout * s.k * s.k) as f64
+}
+
+fn run_once(op: Op, level: OptLevel, simd: SimdLevel, data: &(Vec<f32>, Vec<f32>, Vec<f32>), s: ConvShape) -> f64 {
+    let (input, weight, bias) = data;
+    let t0 = Instant::now();
+    let out = if op.deconv {
+        deconv2d_with(level, simd, input, weight, bias, s)
+    } else {
+        conv2d_with(level, simd, input, weight, bias, s)
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(out.iter().all(|v| v.is_finite()), "{} produced non-finite output", op.name);
+    dt
+}
+
+fn main() {
+    let scale = parse_scale();
+    banner("Kernel ladder", "per-stage x per-dispatch conv/deconv speedups (Tables 6-9)", scale);
+
+    let n = match scale {
+        Scale::Full => 512,
+        Scale::Quick => 128,
+    };
+    let reps = match scale {
+        Scale::Full => 1,
+        Scale::Quick => 3,
+    };
+
+    let caps = HostCaps::detect();
+    let host = host_cpu_device();
+    println!(
+        "host: {} cores, {} f32 lanes ({:?}), detected dispatch {}, derived peak {:.1} GFLOP/s @ {:.0} MHz",
+        caps.cores,
+        caps.lanes_f32(),
+        caps.simd,
+        simd::detected().tag(),
+        host.peak_gflops,
+        host.freq_mhz,
+    );
+    if simd::detected() != SimdLevel::Avx2 {
+        println!("note: no AVX2+FMA detected; the avx2 rows will be absent");
+    }
+
+    let mut csv = String::from(
+        "kernel,k,cin,cout,n,stage,dispatch,time_s,gflops,speedup_vs_scalar_baseline,note\n",
+    );
+    let t = TablePrinter::new(&[10, 6, 9, 11, 9, 9, 30]);
+    t.row(&[&"kernel", &"stage", &"dispatch", &"time_s", &"gflops", &"speedup", &"note"]);
+    t.sep();
+
+    let dispatches: &[SimdLevel] = if simd::detected() == SimdLevel::Avx2 {
+        &[SimdLevel::Scalar, SimdLevel::Avx2]
+    } else {
+        &[SimdLevel::Scalar]
+    };
+
+    for op in OPS {
+        let s = ConvShape { cin: CHANNELS, cout: CHANNELS, h: n, w: n, k: op.k, pad: op.k / 2 };
+        let mut rng = Xorshift::new(SEED ^ op.k as u64 ^ (op.deconv as u64) << 8);
+        let input: Vec<f32> = (0..s.cin * s.h * s.w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let weight: Vec<f32> =
+            (0..s.cin * s.cout * s.k * s.k).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.2, 0.2)).collect();
+        let data = (input, weight, bias);
+        let fl = flops(op, s);
+
+        // Warm the allocator / rayon pool off the record.
+        let warm = ConvShape { h: 16, w: 16, ..s };
+        let mut wrng = Xorshift::new(SEED);
+        let wi: Vec<f32> = (0..warm.cin * 256).map(|_| wrng.uniform(-1.0, 1.0)).collect();
+        let ww: Vec<f32> =
+            (0..warm.cin * warm.cout * warm.k * warm.k).map(|_| wrng.uniform(-0.5, 0.5)).collect();
+        let wb: Vec<f32> = (0..warm.cout).map(|_| wrng.uniform(-0.2, 0.2)).collect();
+        run_once(op, OptLevel::Baseline, SimdLevel::Scalar, &(wi, ww, wb), warm);
+
+        // Measure each *concrete kernel* once; stage-dispatch aliases
+        // share the measurement (see module docs).
+        let mut measured: HashMap<String, f64> = HashMap::new();
+        let mut baseline_time = f64::NAN;
+        for &dispatch in dispatches {
+            for level in OptLevel::ALL {
+                let key = if op.deconv {
+                    format!("{:?}", level.deconv_kernel(dispatch))
+                } else {
+                    format!("{:?}", level.conv_kernel(dispatch))
+                };
+                let (time, aliased) = match measured.get(&key) {
+                    Some(tm) => (*tm, true),
+                    None => {
+                        let tm = (0..reps)
+                            .map(|_| run_once(op, level, dispatch, &data, s))
+                            .fold(f64::INFINITY, f64::min);
+                        measured.insert(key.clone(), tm);
+                        (tm, false)
+                    }
+                };
+                if level == OptLevel::Baseline && dispatch == SimdLevel::Scalar {
+                    baseline_time = time;
+                }
+                let gflops = fl / time / 1e9;
+                let speedup = baseline_time / time;
+                let note = if aliased { format!("= {key} (shared kernel)") } else { key.clone() };
+                t.row(&[
+                    &op.name,
+                    &level.tag(),
+                    &dispatch.tag(),
+                    &format!("{time:.4}"),
+                    &format!("{gflops:.2}"),
+                    &format!("{speedup:.2}x"),
+                    &note,
+                ]);
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{},{:.6},{:.3},{:.3},{}\n",
+                    op.name, op.k, s.cin, s.cout, n, level.tag(), dispatch.tag(),
+                    time, gflops, speedup, note,
+                ));
+            }
+        }
+        t.sep();
+    }
+
+    cc19_bench::write_result("kernel_ladder.csv", &csv);
+    println!("wrote results/kernel_ladder.csv (n={n}, reps={reps})");
+}

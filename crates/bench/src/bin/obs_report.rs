@@ -33,6 +33,10 @@ use cc19_ddnet::model::{Ddnet, DdnetConfig};
 use cc19_ddnet::trainer::{train_enhancement, TrainConfig};
 use cc19_dist::fault::{FaultConfig, FaultPlan};
 use cc19_dist::transport::{make_ring_in, TimeoutCfg};
+use cc19_kernels::conv::{conv2d_with, ConvShape};
+use cc19_kernels::deconv::{deconv2d_with, out_h, out_w};
+use cc19_kernels::simd::{self, SimdLevel};
+use cc19_kernels::OptLevel;
 use cc19_obs::span::enter_on;
 use cc19_obs::Snapshot;
 use cc19_serve::{BatchPolicy, ServeMetrics, ServeRequest, Server, ServerCfg};
@@ -152,6 +156,56 @@ fn stage_serve() {
     server.shutdown();
 }
 
+/// In-plane resolution / channels for the kernel-ladder stage — small:
+/// the point here is the GFLOP/s *gauges* (tracked across PRs via the
+/// exported JSON), not peak numbers, which `kernel_ladder` owns.
+const LADDER_N: usize = 32;
+const LADDER_C: usize = 4;
+
+fn stage_kernel_ladder() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.kernel_ladder");
+    let reg = cc19_obs::global();
+    let clock = reg.clock();
+    let dispatches: &[SimdLevel] = if simd::detected() == SimdLevel::Avx2 {
+        &[SimdLevel::Scalar, SimdLevel::Avx2]
+    } else {
+        &[SimdLevel::Scalar]
+    };
+    for (name, k, deconv) in
+        [("conv3x3", 3usize, false), ("conv5x5", 5, false), ("deconv5x5", 5, true)]
+    {
+        let s = ConvShape { cin: LADDER_C, cout: LADDER_C, h: LADDER_N, w: LADDER_N, k, pad: k / 2 };
+        let mut rng = Xorshift::new(SEED ^ k as u64 ^ (deconv as u64) << 8);
+        let input: Vec<f32> = (0..s.cin * s.h * s.w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let weight: Vec<f32> =
+            (0..s.cin * s.cout * s.k * s.k).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let bias: Vec<f32> = (0..s.cout).map(|_| rng.uniform(-0.2, 0.2)).collect();
+        let (oh, ow) = if deconv { (out_h(s), out_w(s)) } else { (s.out_h(), s.out_w()) };
+        let flops = 2.0 * (oh * ow * s.cin * s.cout * k * k) as f64;
+        for &dispatch in dispatches {
+            for level in OptLevel::ALL {
+                // The clock is read only here, strictly sequentially on
+                // this thread (the kernels' rayon workers never touch
+                // it), so the deterministic manual clock stays causal.
+                let t0 = clock.now_ns();
+                let out = if deconv {
+                    deconv2d_with(level, dispatch, &input, &weight, &bias, s)
+                } else {
+                    conv2d_with(level, dispatch, &input, &weight, &bias, s)
+                };
+                let secs = clock.now_ns().saturating_sub(t0) as f64 / 1e9;
+                assert!(out.iter().all(|v| v.is_finite()), "{name} non-finite output");
+                let gflops = if secs > 0.0 { flops / secs / 1e9 } else { 0.0 };
+                reg.gauge_with(
+                    "bench_kernel_ladder_gflops",
+                    &[("kernel", name), ("stage", level.tag()), ("dispatch", dispatch.tag())],
+                )
+                .set(gflops);
+            }
+        }
+    }
+}
+
 fn counter_sum(snap: &Snapshot, name: &str) -> u64 {
     snap.counters.iter().filter(|e| e.name == name).map(|e| e.value).sum()
 }
@@ -192,6 +246,13 @@ fn print_summary(snap: &Snapshot) {
         .map(|e| e.value)
         .unwrap_or(0.0);
     t.row(&[&"bench_gemm_gflops", &format!("{gemm_gflops:.3}")]);
+    let ladder_top = snap
+        .gauges
+        .iter()
+        .filter(|e| e.name == "bench_kernel_ladder_gflops")
+        .map(|e| e.value)
+        .fold(0.0, f64::max);
+    t.row(&[&"bench_kernel_ladder_gflops (max)", &format!("{ladder_top:.3}")]);
 }
 
 fn main() {
@@ -207,10 +268,16 @@ fn main() {
     stage_trainer();
     stage_allreduce();
     stage_serve();
+    stage_kernel_ladder();
     derive_gauges();
 
     let snap = cc19_obs::global().snapshot();
     assert!(counter_sum(&snap, "tensor_gemm_flops_total") > 0, "GEMM flops must be nonzero");
+    let ladder_gauges =
+        snap.gauges.iter().filter(|e| e.name == "bench_kernel_ladder_gflops").count();
+    // 3 kernels × 4 stages × dispatch levels available on this host.
+    let expect_ladder = 12 * if simd::detected() == SimdLevel::Avx2 { 2 } else { 1 };
+    assert_eq!(ladder_gauges, expect_ladder, "kernel-ladder gauge set incomplete");
     assert!(counter_sum(&snap, "ddnet_steps_total") > 0, "trainer must record steps");
     assert_eq!(counter_sum(&snap, "serve_completed_total"), SERVE_REQS);
 

@@ -54,6 +54,25 @@ pub struct Device {
     pub pytorch_overhead: f64,
 }
 
+/// The paper Xeon's f32 SIMD lane count (AVX-512) — the fallback lane
+/// width [`crate::host`] uses when runtime feature detection is
+/// unavailable (non-x86 builds).
+pub const XEON_FALLBACK_LANES_F32: u32 = 16;
+
+/// AVX-heavy code runs at a reduced clock; the catalog's Xeon peak is
+/// derated ~2× from the nominal `cores × lanes × 2 × freq` product
+/// ("~1300 GFLOP/s nominal"). [`crate::host`] applies the same derate to
+/// runtime-derived peaks so they stay comparable with this catalog.
+pub const AVX_CLOCK_DERATE: f64 = 0.5;
+
+/// The catalog's Xeon Gold 6128 peak: 24 cores × 16 f32 lanes (AVX-512)
+/// × 2 (FMA) × 3.4 GHz × [`AVX_CLOCK_DERATE`], rounded as published in
+/// earlier revisions of this table. This is the *fallback* number —
+/// [`crate::host::host_cpu_device`] derives the real host's peak from
+/// `is_x86_feature_detected!` lane widths and the detected core count,
+/// and only the paper-platform *predictions* keep using this constant.
+pub const XEON_FALLBACK_PEAK_GFLOPS: f64 = 1305.0;
+
 /// The six platforms of Table 4.
 pub const DEVICES: [Device; 6] = [
     Device {
@@ -119,8 +138,9 @@ pub const DEVICES: [Device; 6] = [
         mem_bw_gbs: 119.0,
         freq_mhz: 3400.0,
         // 24 cores x AVX-512 (16 f32 lanes) x 2 (FMA) x 3.4 GHz, derated
-        // for the non-AVX clock: ~1300 GFLOP/s nominal
-        peak_gflops: 1305.0,
+        // for the non-AVX clock — the documented fallback constant;
+        // crate::host derives the running host's value at runtime.
+        peak_gflops: XEON_FALLBACK_PEAK_GFLOPS,
         bw_efficiency: 0.55,
         flop_efficiency: 0.15,
         // CPU caches absorb most of the scatter RMW traffic, so the CPU

@@ -27,10 +27,12 @@
 
 
 pub mod devices;
+pub mod host;
 pub mod model;
 pub mod reconfig;
 
 pub use devices::{Device, DeviceClass, DEVICES};
+pub use host::{derive_cpu_device, host_cpu_device, HostCaps};
 pub use model::{ddnet_class_counts, predict_kernel_times, predict_table7_row, ClassCounts};
 pub use reconfig::{reconfiguration_decision, ReconfigDecision};
 

@@ -6,7 +6,8 @@
 
 use rayon::prelude::*;
 
-use crate::OptLevel;
+use crate::simd::{self, SimdLevel};
+use crate::{ConvKernel, OptLevel};
 
 /// Shape of a stride-1 'same'-padded convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,17 +49,61 @@ impl ConvShape {
     }
 }
 
-/// Run the convolution kernel at an optimization level.
+/// Run the convolution kernel at an optimization level, dispatching to
+/// the scalar or AVX2 ladder per [`simd::active`] (the `CC19_SIMD`
+/// override narrowed by hardware detection).
 pub fn conv2d(level: OptLevel, input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
+    conv2d_with(level, simd::active(), input, weight, bias, s)
+}
+
+/// Run the convolution kernel at an explicit `(stage, dispatch)` pair —
+/// the parity suite's entry point. Passing [`SimdLevel::Avx2`] requires
+/// `simd::detected() == Avx2` (the vector entry asserts it; the AVX2
+/// arms are compiled out entirely on non-x86_64).
+pub fn conv2d_with(
+    level: OptLevel,
+    simd: SimdLevel,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    s: ConvShape,
+) -> Vec<f32> {
     debug_assert_eq!(input.len(), s.in_len());
     debug_assert_eq!(weight.len(), s.cout * s.cin * s.k * s.k);
     debug_assert_eq!(bias.len(), s.cout);
-    match level {
-        OptLevel::Baseline => conv_baseline(input, weight, bias, s),
-        OptLevel::Refactored => conv_baseline(input, weight, bias, s), // REF changes only deconv
-        OptLevel::RefactoredPrefetch => conv_prefetch(input, weight, bias, s, false),
-        OptLevel::RefactoredPrefetchUnrolled => conv_prefetch(input, weight, bias, s, true),
+    match level.conv_kernel(simd) {
+        ConvKernel::ScalarNaive => conv_baseline(input, weight, bias, s),
+        ConvKernel::ScalarHoisted => conv_prefetch(input, weight, bias, s, false),
+        ConvKernel::ScalarHoistedUnrolled => conv_prefetch(input, weight, bias, s, true),
+        ConvKernel::Avx2 => conv_avx2(input, weight, bias, s, false, false),
+        ConvKernel::Avx2Prefetch => conv_avx2(input, weight, bias, s, true, false),
+        ConvKernel::Avx2PrefetchUnrolled => conv_avx2(input, weight, bias, s, true, true),
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn conv_avx2(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    s: ConvShape,
+    prefetch: bool,
+    unroll: bool,
+) -> Vec<f32> {
+    crate::microkernel::conv2d_avx2(
+        input,
+        weight,
+        bias,
+        s,
+        crate::microkernel::Mode { prefetch, unroll },
+    )
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn conv_avx2(_: &[f32], _: &[f32], _: &[f32], _: ConvShape, _: bool, _: bool) -> Vec<f32> {
+    // `simd::active()` never selects AVX2 off x86_64; only an explicit
+    // `conv2d_with(.., Avx2, ..)` on a non-x86 build can reach this.
+    unreachable!("AVX2 dispatch requested on a non-x86_64 build")
 }
 
 /// Naive kernel: every bound and index recomputed in the innermost loop,
@@ -138,6 +183,55 @@ fn conv_prefetch(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape, unro
     out
 }
 
+/// One scalar output element in exactly the scalar ladder's accumulation
+/// order — the clipped-range `(ci, ky, kx)` traversal of `conv_prefetch`,
+/// including its dedicated ×5 expression when `unroll` (which is also
+/// the surviving-tap order of `conv_baseline`, whose out-of-bounds taps
+/// merely add nothing). The AVX2 path computes its border ring and
+/// vector tail through this helper, so those lanes are bit-identical to
+/// the same-stage scalar kernel. `wbase` is `&weight[co*cin*k*k..]`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn conv_px(
+    input: &[f32],
+    wbase: &[f32],
+    s: ConvShape,
+    oy: usize,
+    ox: usize,
+    b: f32,
+    unroll: bool,
+) -> f32 {
+    let (h, w, k, pad, cin) = (s.h, s.w, s.k, s.pad, s.cin);
+    let hw = h * w;
+    let kk = k * k;
+    let ky_lo = pad.saturating_sub(oy);
+    let ky_hi = k.min(h + pad - oy);
+    let kx_lo = pad.saturating_sub(ox);
+    let kx_hi = k.min(w + pad - ox);
+    let mut acc = b;
+    for ci in 0..cin {
+        let iplane = &input[ci * hw..(ci + 1) * hw];
+        let wchan = &wbase[ci * kk..(ci + 1) * kk];
+        for ky in ky_lo..ky_hi {
+            let iy = oy + ky - pad;
+            let irow = &iplane[iy * w..iy * w + w];
+            let wrow = &wchan[ky * k..(ky + 1) * k];
+            if unroll && k == 5 && kx_lo == 0 && kx_hi == 5 {
+                let ix = ox - pad;
+                acc += irow[ix] * wrow[0]
+                    + irow[ix + 1] * wrow[1]
+                    + irow[ix + 2] * wrow[2]
+                    + irow[ix + 3] * wrow[3]
+                    + irow[ix + 4] * wrow[4];
+            } else {
+                for kx in kx_lo..kx_hi {
+                    acc += irow[ox + kx - pad] * wrow[kx];
+                }
+            }
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +296,34 @@ mod tests {
         let expect = reference(&input, &weight, &bias, s);
         for level in OptLevel::ALL {
             assert_close(&conv2d(level, &input, &weight, &bias, s), &expect, 1e-4);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn conv_px_is_bitwise_the_scalar_ladder() {
+        // The per-pixel helper (the AVX2 border/tail path) must be
+        // bit-identical to each scalar kernel's accumulation order.
+        for (k, pad) in [(3usize, 1usize), (5, 2), (5, 0)] {
+            let s = ConvShape { cin: 2, cout: 3, h: 13, w: 11, k, pad };
+            let (input, weight, bias) = random_case(21 + k as u64, s);
+            let (oh, ow) = (s.out_h(), s.out_w());
+            for unroll in [false, true] {
+                let expect = conv_prefetch(&input, &weight, &bias, s, unroll);
+                for co in 0..s.cout {
+                    let wbase = &weight[co * s.cin * k * k..];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let got = conv_px(&input, wbase, s, oy, ox, bias[co], unroll);
+                            let want = expect[co * oh * ow + oy * ow + ox];
+                            assert!(
+                                got.to_bits() == want.to_bits(),
+                                "({co},{oy},{ox}) k={k} unroll={unroll}: {got} vs {want}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

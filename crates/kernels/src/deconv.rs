@@ -15,7 +15,8 @@
 use rayon::prelude::*;
 
 use crate::conv::ConvShape;
-use crate::OptLevel;
+use crate::simd::{self, SimdLevel};
+use crate::{DeconvKernel, OptLevel};
 
 /// Output height of the stride-1 deconvolution.
 pub fn out_h(s: ConvShape) -> usize {
@@ -32,15 +33,61 @@ pub fn out_w(s: ConvShape) -> usize {
 /// `s.cin`/`s.cout` are the deconvolution's input/output channels; the
 /// weight buffer is `(cin, cout, k, k)`.
 pub fn deconv2d(level: OptLevel, input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
+    deconv2d_with(level, simd::active(), input, weight, bias, s)
+}
+
+/// Run the deconvolution at an explicit `(stage, dispatch)` pair — the
+/// parity suite's entry point. The `Baseline` scatter stays scalar even
+/// at [`SimdLevel::Avx2`] (see [`OptLevel::deconv_kernel`]); the other
+/// AVX2 arms require `simd::detected() == Avx2` and are compiled out on
+/// non-x86_64.
+pub fn deconv2d_with(
+    level: OptLevel,
+    simd: SimdLevel,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    s: ConvShape,
+) -> Vec<f32> {
     debug_assert_eq!(input.len(), s.cin * s.h * s.w);
     debug_assert_eq!(weight.len(), s.cin * s.cout * s.k * s.k);
     debug_assert_eq!(bias.len(), s.cout);
-    match level {
-        OptLevel::Baseline => deconv_scatter(input, weight, bias, s),
-        OptLevel::Refactored => deconv_gather(input, weight, bias, s, false, false),
-        OptLevel::RefactoredPrefetch => deconv_gather(input, weight, bias, s, true, false),
-        OptLevel::RefactoredPrefetchUnrolled => deconv_gather(input, weight, bias, s, true, true),
+    match level.deconv_kernel(simd) {
+        DeconvKernel::ScalarScatter => deconv_scatter(input, weight, bias, s),
+        DeconvKernel::ScalarGather => deconv_gather(input, weight, bias, s, false, false),
+        DeconvKernel::ScalarGatherHoisted => deconv_gather(input, weight, bias, s, true, false),
+        DeconvKernel::ScalarGatherHoistedUnrolled => {
+            deconv_gather(input, weight, bias, s, true, true)
+        }
+        DeconvKernel::Avx2Gather => deconv_avx2(input, weight, bias, s, false, false),
+        DeconvKernel::Avx2GatherPrefetch => deconv_avx2(input, weight, bias, s, true, false),
+        DeconvKernel::Avx2GatherPrefetchUnrolled => deconv_avx2(input, weight, bias, s, true, true),
     }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn deconv_avx2(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    s: ConvShape,
+    prefetch: bool,
+    unroll: bool,
+) -> Vec<f32> {
+    crate::microkernel::deconv2d_avx2(
+        input,
+        weight,
+        bias,
+        s,
+        crate::microkernel::Mode { prefetch, unroll },
+    )
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn deconv_avx2(_: &[f32], _: &[f32], _: &[f32], _: ConvShape, _: bool, _: bool) -> Vec<f32> {
+    // `simd::active()` never selects AVX2 off x86_64; only an explicit
+    // `deconv2d_with(.., Avx2, ..)` on a non-x86 build can reach this.
+    unreachable!("AVX2 dispatch requested on a non-x86_64 build")
 }
 
 /// Scatter formulation — the naive OpenCL-baseline translation. One work
@@ -167,6 +214,55 @@ fn deconv_gather(
     out
 }
 
+/// One scalar gather output element in exactly the scalar ladder's
+/// accumulation order — the clipped-range traversal of the hoisted
+/// `deconv_gather`, including its dedicated reversed ×5 expression when
+/// `unroll` (also the surviving-tap order of the plain gather). The AVX2
+/// path computes its border ring and vector tail through this helper.
+/// `wco` is `&weight[co*k*k..]` (per-`ci` stride stays `cout*k*k`).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn deconv_px(
+    input: &[f32],
+    wco: &[f32],
+    s: ConvShape,
+    oy: usize,
+    ox: usize,
+    b: f32,
+    unroll: bool,
+) -> f32 {
+    let (h, w, k, pad, cin) = (s.h, s.w, s.k, s.pad, s.cin);
+    let hw = h * w;
+    let kk = k * k;
+    let w_ckk = s.cout * kk;
+    let ky_lo = (oy + pad + 1).saturating_sub(h);
+    let ky_hi = k.min(oy + pad + 1);
+    let kx_lo = (ox + pad + 1).saturating_sub(w);
+    let kx_hi = k.min(ox + pad + 1);
+    let mut acc = b;
+    for ci in 0..cin {
+        let iplane = &input[ci * hw..(ci + 1) * hw];
+        let wchan = &wco[ci * w_ckk..ci * w_ckk + kk];
+        for ky in ky_lo..ky_hi {
+            let iy = oy + pad - ky;
+            let irow = &iplane[iy * w..iy * w + w];
+            let wrow = &wchan[ky * k..(ky + 1) * k];
+            if unroll && k == 5 && kx_lo == 0 && kx_hi == 5 {
+                let ix = ox + pad;
+                acc += irow[ix] * wrow[0]
+                    + irow[ix - 1] * wrow[1]
+                    + irow[ix - 2] * wrow[2]
+                    + irow[ix - 3] * wrow[3]
+                    + irow[ix - 4] * wrow[4];
+            } else {
+                for kx in kx_lo..kx_hi {
+                    acc += irow[ox + pad - kx] * wrow[kx];
+                }
+            }
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +329,32 @@ mod tests {
         ] {
             let got = deconv2d(level, &input, &weight, &bias, s);
             assert_close(&got, &scatter, 1e-3);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn deconv_px_is_bitwise_the_scalar_gather() {
+        for (k, pad) in [(3usize, 1usize), (5, 2), (3, 0)] {
+            let s = ConvShape { cin: 2, cout: 3, h: 12, w: 10, k, pad };
+            let (input, weight, bias) = random_case(31 + k as u64, s);
+            let (oh, ow) = (out_h(s), out_w(s));
+            for unroll in [false, true] {
+                let expect = deconv_gather(&input, &weight, &bias, s, true, unroll);
+                for co in 0..s.cout {
+                    let wco = &weight[co * k * k..];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let got = deconv_px(&input, wco, s, oy, ox, bias[co], unroll);
+                            let want = expect[co * oh * ow + oy * ow + ox];
+                            assert!(
+                                got.to_bits() == want.to_bits(),
+                                "({co},{oy},{ox}) k={k} unroll={unroll}: {got} vs {want}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,188 @@
+//! Runtime SIMD capability probing and the kernel-ladder dispatch policy.
+//!
+//! The paper hand-vectorizes its kernels per platform (×5 deconvolution
+//! vectorization on the FPGA, AVX on the Xeon); this module is the CPU
+//! half of that story: it decides, once per process, whether the
+//! explicit AVX2+FMA microkernels in [`crate::microkernel`] may run, and
+//! exposes the raw feature probe that `cc19-hetero` uses to derive the
+//! host's theoretical peak GFLOP/s.
+//!
+//! Dispatch policy (in priority order):
+//!
+//! 1. `CC19_SIMD=scalar` forces the scalar ladder (parity testing, and
+//!    the apples-to-apples baseline in `results/kernel_ladder.csv`);
+//! 2. `CC19_SIMD=avx2` requests the vector ladder, which still falls
+//!    back to scalar if the hardware lacks AVX2/FMA — forcing an ISA the
+//!    CPU cannot execute would be unsound, so the override can only
+//!    *narrow* the detected capability, never widen it;
+//! 3. otherwise the hardware probe decides ([`detected`]).
+//!
+//! Everything here is safe code: `is_x86_feature_detected!` is a safe
+//! macro, and the `unsafe` budget is spent entirely inside
+//! `crate::microkernel` (see DESIGN.md §13).
+
+use std::sync::OnceLock;
+
+/// Which kernel ladder implementation dispatch selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// The portable scalar ladder (always available, the parity oracle).
+    Scalar,
+    /// The explicit AVX2+FMA 8-lane f32 microkernels.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// f32 lanes per vector register on this path.
+    pub fn lanes_f32(&self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Avx2 => 8,
+        }
+    }
+
+    /// Short lowercase tag for CSV columns / metric labels.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Raw x86 feature probe results (all `false` on non-x86 targets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimdCaps {
+    /// AVX2 (256-bit integer + the 8-lane f32 shuffles the kernels use).
+    pub avx2: bool,
+    /// Fused multiply-add (the microkernels' inner op).
+    pub fma: bool,
+    /// AVX-512 foundation (16-lane f32; probed for the `cc19-hetero`
+    /// peak-GFLOP/s derivation — the microkernels themselves target AVX2).
+    pub avx512f: bool,
+}
+
+impl SimdCaps {
+    /// Widest f32 lane count these features support (1 when no x86 SIMD
+    /// detection is available; 4 = baseline x86_64 SSE2).
+    pub fn lanes_f32(&self) -> u32 {
+        if self.avx512f {
+            16
+        } else if self.avx2 {
+            8
+        } else if cfg!(target_arch = "x86_64") {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// Can the AVX2+FMA microkernels run on this hardware?
+    pub fn supports_avx2_kernels(&self) -> bool {
+        self.avx2 && self.fma
+    }
+}
+
+/// Probe the host CPU's features. Uncached — callers wanting the cached
+/// dispatch decision use [`detected`] / [`active`].
+#[cfg(target_arch = "x86_64")]
+pub fn probe() -> SimdCaps {
+    SimdCaps {
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        fma: std::arch::is_x86_feature_detected!("fma"),
+        avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+    }
+}
+
+/// Probe the host CPU's features (non-x86: no detection, all `false`).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn probe() -> SimdCaps {
+    SimdCaps::default()
+}
+
+/// Hardware truth: the widest ladder this CPU can execute, independent
+/// of any `CC19_SIMD` override. Cached after the first probe.
+pub fn detected() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if probe().supports_avx2_kernels() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// Parse a `CC19_SIMD` override value. Pure, so the mapping is unit
+/// testable without touching process environment: `"scalar"` and
+/// `"avx2"` (case-insensitive) force a level, anything else (including
+/// unset) means "auto".
+pub fn override_from(value: Option<&str>) -> Option<SimdLevel> {
+    match value.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        Some("scalar") => Some(SimdLevel::Scalar),
+        Some("avx2") => Some(SimdLevel::Avx2),
+        _ => None,
+    }
+}
+
+/// The dispatch decision every public kernel entry point uses: the
+/// `CC19_SIMD` override narrowed by [`detected`] hardware support.
+/// Cached at first use — the override is read once per process, which
+/// is what lets `scripts/tier1.sh` run the whole suite under
+/// `CC19_SIMD=scalar` as a separate process.
+pub fn active() -> SimdLevel {
+    static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        match override_from(std::env::var("CC19_SIMD").ok().as_deref()) {
+            Some(SimdLevel::Scalar) => SimdLevel::Scalar,
+            // Requesting AVX2 on hardware without it falls back to scalar.
+            Some(SimdLevel::Avx2) | None => detected(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_parsing_is_exact() {
+        assert_eq!(override_from(Some("scalar")), Some(SimdLevel::Scalar));
+        assert_eq!(override_from(Some("SCALAR")), Some(SimdLevel::Scalar));
+        assert_eq!(override_from(Some(" avx2 ")), Some(SimdLevel::Avx2));
+        assert_eq!(override_from(Some("avx512")), None, "unknown values mean auto");
+        assert_eq!(override_from(Some("")), None);
+        assert_eq!(override_from(None), None);
+    }
+
+    #[test]
+    fn detection_is_consistent_with_probe() {
+        let caps = probe();
+        assert_eq!(
+            detected() == SimdLevel::Avx2,
+            caps.supports_avx2_kernels(),
+            "cached detection must equal the raw probe"
+        );
+    }
+
+    #[test]
+    fn active_respects_the_process_override() {
+        // tier1.sh runs this suite twice: once bare (auto dispatch) and
+        // once under CC19_SIMD=scalar; the assertion covers both modes.
+        match override_from(std::env::var("CC19_SIMD").ok().as_deref()) {
+            Some(SimdLevel::Scalar) => assert_eq!(active(), SimdLevel::Scalar),
+            _ => assert_eq!(active(), detected()),
+        }
+    }
+
+    #[test]
+    fn lane_widths_are_ordered() {
+        assert_eq!(SimdLevel::Scalar.lanes_f32(), 1);
+        assert_eq!(SimdLevel::Avx2.lanes_f32(), 8);
+        let caps = SimdCaps { avx2: true, fma: true, avx512f: false };
+        assert_eq!(caps.lanes_f32(), 8);
+        let caps512 = SimdCaps { avx512f: true, ..caps };
+        assert_eq!(caps512.lanes_f32(), 16);
+        assert!(!SimdCaps::default().supports_avx2_kernels());
+    }
+}

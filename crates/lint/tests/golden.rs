@@ -159,6 +159,40 @@ fn obs_real_clock_exemption_is_pinned() {
 }
 
 #[test]
+fn unsafe_opt_outs_are_pinned_to_the_simd_files() {
+    // The workspace's `unsafe` budget is spent in exactly one place: the
+    // AVX2 microkernel module of cc19-kernels (DESIGN.md §13). A file
+    // "carries the budget" when it has both the opt-out marker and real
+    // `unsafe` tokens — the marker *string* also appears inside string
+    // literals in the lint rule sources themselves, which the token
+    // check excludes. Growing this set is a deliberate act: add the file
+    // here and justify it in its marker reason.
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = collect_sources(&root).expect("collect sources");
+    let opted: BTreeSet<String> = files
+        .iter()
+        .filter(|f| {
+            f.raw.contains(cc19_lint::rules::UNSAFE_OPT_OUT)
+                && f.tokens.iter().any(|t| t.text == "unsafe")
+        })
+        .map(|f| f.path.clone())
+        .collect();
+    let expect: BTreeSet<String> =
+        ["crates/kernels/src/microkernel.rs".to_string()].into_iter().collect();
+    assert_eq!(opted, expect, "the unsafe opt-out file set changed — update the golden list");
+    // The dispatch/probe layer must stay entirely safe code: the SIMD
+    // budget never leaks out of the microkernel module.
+    for f in &files {
+        if f.path == "crates/kernels/src/simd.rs" {
+            assert!(
+                !f.tokens.iter().any(|t| t.text == "unsafe"),
+                "simd.rs must remain safe code"
+            );
+        }
+    }
+}
+
+#[test]
 fn live_allowlist_entries_are_load_bearing() {
     // Every entry in the checked-in lint.toml must still be needed:
     // removing it must produce at least one violation. This keeps the

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 SCALE="${1:---quick}"
 BINS=(table2 table3 table4 table5 table6 table7 table8 table9_fig13 table10 \
       fig2 fig8 fig11 fig12 sec511 dose_sweep projection_domain other_maladies baselines \
-      serve_load)
+      serve_load kernel_ladder)
 
 mkdir -p results
 for bin in "${BINS[@]}"; do

@@ -24,6 +24,21 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
+echo "=== tier-1: SIMD kernel parity (auto + forced-scalar dispatch) ==="
+# The scalar/AVX2 kernel ladder must agree under both dispatch modes
+# (DESIGN.md §13): the plain `cargo test` above already ran the parity
+# suite under auto dispatch (AVX2 wherever the host supports it); this
+# stage re-runs the cc19-kernels suite in a fresh process with
+# CC19_SIMD=scalar, pinning the public entry points to the forced-scalar
+# ladder bit-for-bit.
+if [ "$status" -eq 0 ]; then
+    if ! CC19_SIMD=scalar cargo test -q -p cc19-kernels; then
+        echo "tier-1: KERNEL PARITY FAILED (CC19_SIMD=scalar)"
+        status=1
+    fi
+fi
+
+echo
 echo "=== tier-1: distributed chaos suite (CC19_FAULT_SEED pinned) ==="
 # Pin the fault-injection seed so a chaos failure reproduces exactly
 # (DESIGN.md §9); the suite re-runs under faults the same ring/trainer
