@@ -39,7 +39,10 @@ use cc19_kernels::simd::{self, SimdLevel};
 use cc19_kernels::OptLevel;
 use cc19_obs::span::enter_on;
 use cc19_obs::Snapshot;
-use cc19_serve::{BatchPolicy, ServeMetrics, ServeRequest, Server, ServerCfg};
+use cc19_serve::{
+    BatchPolicy, ClusterCfg, ClusterMetrics, ServeCluster, ServeMetrics, ServeRequest, Server,
+    ServerCfg,
+};
 use cc19_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
 use cc19_tensor::gemm::sgemm;
 use cc19_tensor::rng::Xorshift;
@@ -59,6 +62,12 @@ const CT_VIEWS: usize = 48;
 
 /// Serve smoke request count.
 const SERVE_REQS: u64 = 8;
+
+/// Requests offered to the sharded cluster stage.
+const CLUSTER_REQS: u64 = 12;
+
+/// Initial worker count for the cluster stage.
+const CLUSTER_WORKERS: usize = 2;
 
 fn stage_gemm() {
     let _span = enter_on(cc19_obs::global_arc(), "bench.gemm");
@@ -156,6 +165,68 @@ fn stage_serve() {
     server.shutdown();
 }
 
+fn stage_serve_cluster() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.serve_cluster");
+    let reg = cc19_obs::global();
+    let clock = reg.clock();
+    // The cluster's own metrics live on a *private* registry: its clock
+    // is read only by the router's recovery timer (two reads on the
+    // death path), so in deterministic mode the recovery latency is an
+    // exact, reproducible tick — worker frameworks read the global
+    // clock, but strictly sequentially (one request in flight at a
+    // time), keeping the global export byte-stable.
+    let metrics = ClusterMetrics::new();
+    let cfg = ClusterCfg {
+        workers: CLUSTER_WORKERS,
+        worker: ServerCfg {
+            batch: BatchPolicy { max_batch: 1, max_delay: Duration::ZERO },
+            threshold: 0.5,
+            ..ServerCfg::default()
+        },
+        // Kill-only plan: worker 1 dies on its third dispatch, the
+        // router re-dispatches the orphan to the survivor.
+        faults: FaultPlan::seeded(
+            1234,
+            FaultConfig { kill: Some((1, 2)), ..FaultConfig::clean() },
+        ),
+        ..ClusterCfg::default()
+    };
+    let cluster =
+        ServeCluster::start_with_metrics(cfg, || Framework::untrained_reduced(SEED), metrics)
+            .expect("cluster starts");
+    let client = cluster.client();
+    let t0 = clock.now_ns();
+    for i in 0..CLUSTER_REQS {
+        let mut rng = Xorshift::new(SEED ^ (0x9E37_79B9 + i));
+        let volume = rng.uniform_tensor([4, 32, 32], -1000.0, 400.0);
+        let pending = client.submit(i, ServeRequest::routine(volume)).expect("admission");
+        let resp = pending.wait().expect("reply");
+        resp.result.expect("diagnosis");
+    }
+    let wall_s = clock.now_ns().saturating_sub(t0) as f64 / 1e9;
+
+    let metrics = cluster.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.completed, CLUSTER_REQS, "a study was lost to the kill");
+    assert_eq!(snap.worker_deaths, 1, "the scheduled kill must fire");
+    assert!(snap.redispatched >= 1, "the orphaned dispatch was not re-dispatched");
+
+    // Surface the cluster's behaviour as bench_* gauges on the global
+    // registry (the private registry itself is not exported).
+    let rsnap = metrics.registry().snapshot();
+    for node in 0..CLUSTER_WORKERS {
+        let key = format!("serve_cluster_node_dispatched_total{{node=\"{node}\"}}");
+        let dispatched =
+            rsnap.counters.iter().find(|c| c.key == key).map(|c| c.value).unwrap_or(0);
+        let qps = if wall_s > 0.0 { dispatched as f64 / wall_s } else { 0.0 };
+        reg.gauge_with("bench_serve_cluster_node_qps", &[("node", &node.to_string())])
+            .set(qps);
+    }
+    reg.gauge("bench_serve_cluster_redispatched").set(snap.redispatched as f64);
+    reg.gauge("bench_serve_cluster_worker_deaths").set(snap.worker_deaths as f64);
+    reg.gauge("bench_serve_cluster_recovery_ms").set(metrics.mean_recovery_ms());
+}
+
 /// In-plane resolution / channels for the kernel-ladder stage — small:
 /// the point here is the GFLOP/s *gauges* (tracked across PRs via the
 /// exported JSON), not peak numbers, which `kernel_ladder` owns.
@@ -239,6 +310,13 @@ fn print_summary(snap: &Snapshot) {
     let faults = counter_sum(snap, "dist_faults_injected_total");
     t.row(&[&"dist_faults_injected_total", &faults]);
     t.row(&[&"serve_completed_total", &counter_sum(snap, "serve_completed_total")]);
+    let recovery = snap
+        .gauges
+        .iter()
+        .find(|e| e.name == "bench_serve_cluster_recovery_ms")
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    t.row(&[&"bench_serve_cluster_recovery_ms", &format!("{recovery:.3}")]);
     let gemm_gflops = snap
         .gauges
         .iter()
@@ -268,6 +346,7 @@ fn main() {
     stage_trainer();
     stage_allreduce();
     stage_serve();
+    stage_serve_cluster();
     stage_kernel_ladder();
     derive_gauges();
 
@@ -279,7 +358,19 @@ fn main() {
     let expect_ladder = 12 * if simd::detected() == SimdLevel::Avx2 { 2 } else { 1 };
     assert_eq!(ladder_gauges, expect_ladder, "kernel-ladder gauge set incomplete");
     assert!(counter_sum(&snap, "ddnet_steps_total") > 0, "trainer must record steps");
+    // Cluster worker nodes carry private serve registries, so the global
+    // serve counters still reflect exactly the single-server stage.
     assert_eq!(counter_sum(&snap, "serve_completed_total"), SERVE_REQS);
+    let qps_gauges =
+        snap.gauges.iter().filter(|e| e.name == "bench_serve_cluster_node_qps").count();
+    assert_eq!(qps_gauges, CLUSTER_WORKERS, "per-node QPS gauge set incomplete");
+    let deaths = snap
+        .gauges
+        .iter()
+        .find(|e| e.name == "bench_serve_cluster_worker_deaths")
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    assert_eq!(deaths, 1.0, "cluster stage must record the scheduled worker death");
 
     print_summary(&snap);
     cc19_bench::write_result("bench_obs.json", &cc19_obs::export::to_json(&snap));

@@ -1,0 +1,191 @@
+//! Cluster serving sweep: worker count × offered QPS against the
+//! sharded `cc19-serve` cluster — throughput, per-node dispatch share,
+//! rejects under admission tightening, plus a **kill-and-recover**
+//! scenario (one worker dies mid-load, a fresh one joins) reporting
+//! re-dispatch counts and recovery latency.
+//!
+//! ```text
+//! cargo run --release -p cc19-bench --bin serve_cluster [--quick|--full]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use cc19_bench::{banner, parse_scale, Scale, TablePrinter};
+use cc19_dist::{FaultConfig, FaultPlan};
+use cc19_serve::{ClusterCfg, ServeCluster, ServeRequest};
+use cc19_tensor::rng::Xorshift;
+use computecovid19::framework::Framework;
+
+struct Cell {
+    scenario: &'static str,
+    workers: usize,
+    qps: f64,
+    offered: usize,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    redispatched: u64,
+    deaths: u64,
+    joins: u64,
+    recovery_ms: f64,
+    wall_s: f64,
+}
+
+fn base_cfg(workers: usize, faults: FaultPlan) -> ClusterCfg {
+    ClusterCfg { workers, per_worker_inflight: 16, faults, ..ClusterCfg::default() }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    scenario: &'static str,
+    workers: usize,
+    qps: f64,
+    offered: usize,
+    dims: [usize; 3],
+    faults: FaultPlan,
+    join_at: Option<usize>,
+) -> Cell {
+    let cluster = ServeCluster::start(base_cfg(workers, faults), || {
+        Framework::untrained_reduced(31)
+    })
+    .expect("cluster starts");
+    let client = cluster.client();
+
+    // Open-loop arrivals, like serve_load: a fixed inter-arrival gap,
+    // submissions never waiting for completions.
+    let gap = Duration::from_secs_f64(1.0 / qps);
+    let mut rng = Xorshift::new(0xC1_057E ^ workers as u64);
+    let start = Instant::now();
+    let mut pendings = Vec::new();
+    for i in 0..offered {
+        if join_at == Some(i) {
+            cluster.join_worker().expect("mid-load join succeeds");
+        }
+        let req = ServeRequest::routine(rng.uniform_tensor(dims, -1000.0, 400.0));
+        if let Ok(p) = client.submit(i as u64, req) {
+            pendings.push(p);
+        }
+        let next = start + gap.mul_f64((i + 1) as f64);
+        if let Some(sleep) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+    }
+    for p in pendings {
+        // Every admitted request is answered — diagnosis or typed
+        // failure — never silently dropped.
+        p.wait().expect("admitted request must be answered");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let metrics = cluster.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.completed + snap.failed + snap.rejected,
+        offered as u64,
+        "a request went missing"
+    );
+    Cell {
+        scenario,
+        workers,
+        qps,
+        offered,
+        completed: snap.completed,
+        failed: snap.failed,
+        rejected: snap.rejected,
+        redispatched: snap.redispatched,
+        deaths: snap.worker_deaths,
+        joins: snap.worker_joins,
+        recovery_ms: metrics.mean_recovery_ms(),
+        wall_s,
+    }
+}
+
+fn main() {
+    let scale = parse_scale();
+    banner("serve_cluster", "workers x QPS sweep of the sharded serve cluster", scale);
+
+    let (offered, dims, worker_grid, qps_grid): (usize, [usize; 3], Vec<usize>, Vec<f64>) =
+        match scale {
+            Scale::Full => (96, [8, 64, 64], vec![1, 2, 4], vec![10.0, 40.0, 160.0]),
+            Scale::Quick => (36, [4, 32, 32], vec![1, 2, 4], vec![20.0, 120.0]),
+        };
+
+    let t = TablePrinter::new(&[14, 8, 8, 10, 7, 7, 9, 7, 7, 12, 9]);
+    t.row(&[
+        &"scenario", &"workers", &"QPS", &"done/off", &"fail", &"rej", &"redisp", &"deaths",
+        &"joins", &"recover ms", &"tput/s",
+    ]);
+    t.sep();
+    let mut csv = String::from(
+        "scenario,workers,offered_qps,offered,completed,failed,rejected,redispatched,\
+         worker_deaths,worker_joins,recovery_ms,throughput_per_s\n",
+    );
+    let mut emit = |c: &Cell| {
+        let tput = c.completed as f64 / c.wall_s;
+        t.row(&[
+            &c.scenario,
+            &c.workers,
+            &format!("{:.0}", c.qps),
+            &format!("{}/{}", c.completed, c.offered),
+            &c.failed,
+            &c.rejected,
+            &c.redispatched,
+            &c.deaths,
+            &c.joins,
+            &format!("{:.2}", c.recovery_ms),
+            &format!("{tput:.1}"),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{:.1},{},{},{},{},{},{},{},{:.3},{:.2}\n",
+            c.scenario,
+            c.workers,
+            c.qps,
+            c.offered,
+            c.completed,
+            c.failed,
+            c.rejected,
+            c.redispatched,
+            c.deaths,
+            c.joins,
+            c.recovery_ms,
+            tput
+        ));
+    };
+
+    for &workers in &worker_grid {
+        for &qps in &qps_grid {
+            let c = run_cell("steady", workers, qps, offered, dims, FaultPlan::none(), None);
+            emit(&c);
+        }
+        t.sep();
+    }
+
+    // Kill-and-recover: 3 workers, one scheduled kill a third of the way
+    // in, a replacement joining two thirds in (weights arrive over the
+    // broadcast path). Admission tightens between death and join.
+    let faults = FaultPlan::from_env(
+        1234,
+        FaultConfig { kill: Some((1, offered / 9)), ..FaultConfig::clean() },
+    );
+    for &qps in &qps_grid {
+        let c = run_cell(
+            "kill_recover",
+            3,
+            qps,
+            offered,
+            dims,
+            faults,
+            Some(2 * offered / 3),
+        );
+        assert_eq!(c.deaths, 1, "the scheduled kill must fire");
+        assert_eq!(c.joins, 1, "the replacement must join");
+        emit(&c);
+    }
+    t.sep();
+
+    println!("\nshape checks: steady throughput grows with workers until the offered QPS is");
+    println!("the bottleneck; kill_recover keeps completed+failed+rejected == offered (zero");
+    println!("lost), re-dispatches the dead worker's in-flight studies, and admission sheds");
+    println!("load while degraded (rejects concentrate between death and join).");
+    cc19_bench::write_result("serve_cluster.csv", &csv);
+}

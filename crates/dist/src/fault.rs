@@ -79,17 +79,28 @@ pub struct FaultPlan {
     cfg: FaultConfig,
 }
 
-/// splitmix64 — a tiny, well-mixed hash/PRNG step.
-fn splitmix64(mut x: u64) -> u64 {
+/// splitmix64 — a tiny, well-mixed hash/PRNG step. This is the one hash
+/// the whole fault/jitter/ring machinery keys off: the serve cluster's
+/// consistent-hash ring and the transport's jittered backoff reuse it so
+/// every "random" choice in a chaos run derives from one seed.
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
 }
 
+fn splitmix64(x: u64) -> u64 {
+    mix64(x)
+}
+
 /// Map a hash to a uniform f64 in [0, 1).
-fn unit(h: u64) -> f64 {
+pub fn unit01(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn unit(h: u64) -> f64 {
+    unit01(h)
 }
 
 impl FaultPlan {

@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod framing;
+pub mod link;
 mod obs;
 pub mod trainer;
 pub mod transport;
@@ -39,6 +40,7 @@ pub use cluster::{ClusterModel, Interconnect};
 pub use error::Error;
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use framing::WireFrame;
+pub use link::{byte_link, byte_link_in, ByteRx, ByteTx};
 pub use trainer::{
     train_distributed, train_distributed_ft, CheckpointCfg, DistConfig, DistStats, FtOptions,
 };

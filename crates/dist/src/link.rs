@@ -1,0 +1,428 @@
+//! Reliable point-to-point **byte** links — the serve cluster's wire.
+//!
+//! [`crate::transport`] moves `Vec<f32>` gradient payloads around rings
+//! and stars; the serve cluster needs the same reliability guarantees
+//! (sequence numbers, CRC, retransmit buffer, deterministic fault
+//! injection) for its RPC-style dispatch/reply traffic, whose payloads
+//! are encoded request/response bytes, not gradients. This module is that
+//! transport gap filled: a single directed link carrying `Vec<u8>` frames
+//! with exactly the reliability layer of the f32 transport.
+//!
+//! Two receive modes exist because the router must never block:
+//!
+//! - [`ByteRx::recv`] — blocking with jittered exponential backoff and a
+//!   hard cap, for a worker waiting on its dispatch queue;
+//! - [`ByteRx::try_recv`] — non-blocking, for the router polling many
+//!   worker reply links in one event loop. A `None` means "nothing ready";
+//!   an `Err(RankDead)` means the peer dropped its sender (died) *and*
+//!   every frame it ever sent has been drained — so by the time a death
+//!   verdict surfaces, no acknowledged work can be lost.
+//!
+//! Send-side ordering is determinism-critical: a frame is pushed to the
+//! channel *before* its authoritative copy lands in the retransmit slot,
+//! so an empty channel plus a buffered `want` can only mean the wire
+//! genuinely dropped (or corrupted) that frame — the retransmit-pull
+//! counters are then a pure function of the fault plan, which is what
+//! lets `obs_report` demand byte-identical metrics across runs.
+//!
+//! This file is on the cc19-lint panic-surface path: every recoverable
+//! failure must surface as a typed [`Error`], never a panic.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::Error;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::obs::LinkStats;
+use crate::transport::{backoff_delay, TimeoutCfg};
+
+/// One message on a byte link: sequence-numbered, checksummed payload.
+#[derive(Debug, Clone)]
+pub struct ByteFrame {
+    /// Sender's node id.
+    pub src: usize,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// CRC-32 of the *original* payload (corrupt faults flip bits in the
+    /// wire copy only, so the mismatch is detectable).
+    pub crc: u32,
+    /// The payload as sent (possibly corrupted in flight).
+    pub payload: Vec<u8>,
+}
+
+/// Sender-side reliability buffer, shared with the link's receiver.
+type ByteSlot = Arc<Mutex<HashMap<u64, Vec<u8>>>>;
+
+/// Poison-tolerant lock (same argument as `transport::lock`: the guarded
+/// map holds plain owned data, valid wherever a panicking peer stopped).
+fn lock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn crc32_bytes(bytes: &[u8]) -> u32 {
+    cc19_nn::checkpoint::crc32(bytes)
+}
+
+/// Sending half of a reliable byte link.
+pub struct ByteTx {
+    src: usize,
+    dst: usize,
+    seq: u64,
+    generation: u64,
+    tx: Sender<ByteFrame>,
+    slot: ByteSlot,
+    faults: FaultPlan,
+    stats: LinkStats,
+}
+
+/// Receiving half of a reliable byte link.
+pub struct ByteRx {
+    me: usize,
+    peer: usize,
+    want: u64,
+    rx: Receiver<ByteFrame>,
+    slot: ByteSlot,
+    stash: HashMap<u64, Vec<u8>>,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+    stats: LinkStats,
+}
+
+/// Build a reliable byte link carrying traffic from node `src` to node
+/// `dst`, with metrics on the process-global registry.
+pub fn byte_link(src: usize, dst: usize, faults: FaultPlan, t: TimeoutCfg) -> (ByteTx, ByteRx) {
+    byte_link_in(src, dst, faults, t, cc19_obs::global())
+}
+
+/// [`byte_link`] against an explicit `cc19-obs` registry.
+pub fn byte_link_in(
+    src: usize,
+    dst: usize,
+    faults: FaultPlan,
+    t: TimeoutCfg,
+    reg: &cc19_obs::Registry,
+) -> (ByteTx, ByteRx) {
+    let stats = LinkStats::from_registry(reg);
+    let (tx, rx) = unbounded();
+    let slot: ByteSlot = Arc::new(Mutex::new(HashMap::new()));
+    (
+        ByteTx {
+            src,
+            dst,
+            seq: 0,
+            generation: 0,
+            tx,
+            slot: slot.clone(),
+            faults,
+            stats: stats.clone(),
+        },
+        ByteRx {
+            me: dst,
+            peer: src,
+            want: 0,
+            rx,
+            slot,
+            stash: HashMap::new(),
+            faults,
+            t,
+            stats,
+        },
+    )
+}
+
+impl ByteTx {
+    /// The node id this half sends as.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Ship `payload` down the link. Never blocks and never fails: the
+    /// authoritative copy is retained in the retransmit buffer until the
+    /// receiver consumes past its sequence number, so even a frame the
+    /// fault plan drops or corrupts on the wire is recoverable.
+    pub fn send(&mut self, payload: &[u8]) {
+        let seq = self.seq;
+        self.seq += 1;
+        let actions = self.faults.decide(self.src, self.dst, seq, self.generation);
+        self.stats.record_faults(&actions);
+        if actions.contains(&FaultKind::Drop) {
+            // Dropped on the wire: only the reliability buffer gets it.
+            lock(&self.slot).insert(seq, payload.to_vec());
+            return;
+        }
+        let crc = crc32_bytes(payload);
+        let mut wire = payload.to_vec();
+        let mut duplicate = false;
+        for a in &actions {
+            match a {
+                FaultKind::Delay(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+                FaultKind::Corrupt => {
+                    if let Some(b) = wire.first_mut() {
+                        *b ^= 0x40;
+                    }
+                }
+                FaultKind::Duplicate => duplicate = true,
+                FaultKind::Drop => {} // handled by the early return above
+            }
+        }
+        let frame = ByteFrame { src: self.src, seq, crc, payload: wire };
+        if duplicate {
+            let _ = self.tx.send(frame.clone());
+        }
+        let _ = self.tx.send(frame);
+        // Channel push *before* slot insert: an empty channel with a
+        // buffered `want` then unambiguously means a wire fault, keeping
+        // the receiver's retransmit-pull count deterministic.
+        lock(&self.slot).insert(seq, payload.to_vec());
+    }
+}
+
+impl ByteRx {
+    /// The peer node id this half receives from.
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// Non-blocking poll for the next in-sequence payload.
+    ///
+    /// - `Ok(Some(p))` — the next payload, exactly once, in order;
+    /// - `Ok(None)` — nothing deliverable right now;
+    /// - `Err(RankDead)` — the peer dropped its sender *and* everything it
+    ///   ever sent (wire or retransmit buffer) has been delivered.
+    pub fn try_recv(&mut self) -> Result<Option<Vec<u8>>, Error> {
+        loop {
+            if let Some(p) = self.stash.remove(&self.want) {
+                return Ok(Some(self.deliver(p)));
+            }
+            match self.rx.recv_timeout(Duration::ZERO) {
+                Ok(frame) => self.absorb(frame),
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(Some(self.deliver(p)));
+                    }
+                    return Ok(None);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(Some(self.deliver(p)));
+                    }
+                    self.stats.rank_dead.inc();
+                    return Err(Error::RankDead { rank: self.peer });
+                }
+            }
+        }
+    }
+
+    /// Blocking receive with jittered exponential backoff between wakeups
+    /// (retransmit pulls happen on each timeout) and a hard cap.
+    ///
+    /// Unlike the f32 transport's lockstep receives, an idle byte link has
+    /// no outstanding frame it is owed, so backoff wakeups here do not
+    /// count toward `dist_recv_timeouts_total` — only genuine reliability
+    /// events (pulls, CRC rejects, duplicates) reach the registry, which
+    /// keeps the counters a pure function of the fault plan.
+    pub fn recv(&mut self) -> Result<Vec<u8>, Error> {
+        if let Some(p) = self.stash.remove(&self.want) {
+            return Ok(self.deliver(p));
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            if start.elapsed() > self.t.hard_cap {
+                return Err(Error::Timeout { rank: self.me, peer: self.peer, op: "byte recv" });
+            }
+            let backoff = backoff_delay(
+                &self.t,
+                self.faults.seed(),
+                crate::transport::link_stream(self.peer, self.me),
+                attempt,
+            );
+            match self.rx.recv_timeout(backoff) {
+                Ok(frame) => {
+                    self.absorb(frame);
+                    if let Some(p) = self.stash.remove(&self.want) {
+                        return Ok(self.deliver(p));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(self.deliver(p));
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(self.deliver(p));
+                    }
+                    self.stats.rank_dead.inc();
+                    return Err(Error::RankDead { rank: self.peer });
+                }
+            }
+        }
+    }
+
+    /// Blocking receive bounded by `max_wait` instead of the hard cap:
+    /// `Ok(None)` when nothing became deliverable in time. A worker idles
+    /// on this with a short bound so it keeps heartbeating between
+    /// dispatches instead of vanishing into a long blocking receive.
+    pub fn recv_wait(&mut self, max_wait: Duration) -> Result<Option<Vec<u8>>, Error> {
+        if let Some(p) = self.stash.remove(&self.want) {
+            return Ok(Some(self.deliver(p)));
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let left = max_wait.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                if let Some(p) = self.pull_buffered() {
+                    return Ok(Some(self.deliver(p)));
+                }
+                return Ok(None);
+            }
+            let backoff = backoff_delay(
+                &self.t,
+                self.faults.seed(),
+                crate::transport::link_stream(self.peer, self.me),
+                attempt,
+            )
+            .min(left);
+            match self.rx.recv_timeout(backoff) {
+                Ok(frame) => {
+                    self.absorb(frame);
+                    if let Some(p) = self.stash.remove(&self.want) {
+                        return Ok(Some(self.deliver(p)));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(Some(self.deliver(p)));
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(p) = self.pull_buffered() {
+                        return Ok(Some(self.deliver(p)));
+                    }
+                    self.stats.rank_dead.inc();
+                    return Err(Error::RankDead { rank: self.peer });
+                }
+            }
+        }
+    }
+
+    /// Classify one wire frame: discard stale duplicates, reject CRC
+    /// failures (the retransmit buffer holds the good copy), stash
+    /// in-order and reordered-ahead payloads.
+    fn absorb(&mut self, frame: ByteFrame) {
+        if frame.seq < self.want {
+            self.stats.duplicates_discarded.inc();
+            return;
+        }
+        if crc32_bytes(&frame.payload) != frame.crc {
+            self.stats.crc_rejects.inc();
+            return;
+        }
+        if frame.seq > self.want {
+            self.stats.reorder_stash.inc();
+        }
+        self.stash.insert(frame.seq, frame.payload);
+    }
+
+    /// NACK/retransmit round trip: the authoritative copy of `want` from
+    /// the sender's reliability buffer, if it was ever sent.
+    fn pull_buffered(&mut self) -> Option<Vec<u8>> {
+        let buffered = lock(&self.slot).get(&self.want).cloned();
+        if buffered.is_some() {
+            self.stats.retransmit_pulls.inc();
+        }
+        buffered
+    }
+
+    fn deliver(&mut self, payload: Vec<u8>) -> Vec<u8> {
+        let consumed = self.want;
+        self.want += 1;
+        lock(&self.slot).retain(|&s, _| s > consumed);
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    fn fresh_reg() -> cc19_obs::Registry {
+        cc19_obs::Registry::new()
+    }
+
+    #[test]
+    fn bytes_roundtrip_in_order() {
+        let reg = fresh_reg();
+        let (mut tx, mut rx) =
+            byte_link_in(0, 1, FaultPlan::none(), TimeoutCfg::fast(), &reg);
+        tx.send(b"alpha");
+        tx.send(b"beta");
+        assert_eq!(rx.recv().unwrap(), b"alpha");
+        assert_eq!(rx.try_recv().unwrap(), Some(b"beta".to_vec()));
+        assert_eq!(rx.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn dropped_and_corrupt_frames_recover_from_the_buffer() {
+        let reg = fresh_reg();
+        let cfg = FaultConfig { p_drop: 0.5, p_corrupt: 0.5, ..FaultConfig::clean() };
+        let (mut tx, mut rx) =
+            byte_link_in(0, 1, FaultPlan::seeded(5, cfg), TimeoutCfg::fast(), &reg);
+        for i in 0..64u8 {
+            tx.send(&[i, i.wrapping_mul(3)]);
+        }
+        for i in 0..64u8 {
+            assert_eq!(rx.recv().unwrap(), vec![i, i.wrapping_mul(3)]);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_discarded_exactly_once_delivery() {
+        let reg = fresh_reg();
+        let cfg = FaultConfig { p_duplicate: 1.0, ..FaultConfig::clean() };
+        let (mut tx, mut rx) =
+            byte_link_in(0, 1, FaultPlan::seeded(5, cfg), TimeoutCfg::fast(), &reg);
+        tx.send(b"x");
+        tx.send(b"y");
+        assert_eq!(rx.recv().unwrap(), b"x");
+        assert_eq!(rx.recv().unwrap(), b"y");
+        assert_eq!(rx.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn death_is_reported_only_after_all_sent_frames_drain() {
+        let reg = fresh_reg();
+        // Drop every frame on the wire: the payloads survive only in the
+        // retransmit buffer, and must still all be delivered before the
+        // dropped sender turns into a death verdict.
+        let cfg = FaultConfig { p_drop: 1.0, ..FaultConfig::clean() };
+        let (mut tx, mut rx) =
+            byte_link_in(2, 0, FaultPlan::seeded(9, cfg), TimeoutCfg::fast(), &reg);
+        tx.send(b"last words");
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), Some(b"last words".to_vec()));
+        assert_eq!(rx.try_recv().unwrap_err(), Error::RankDead { rank: 2 });
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_on_an_idle_link() {
+        let reg = fresh_reg();
+        let (_tx, mut rx) =
+            byte_link_in(0, 1, FaultPlan::none(), TimeoutCfg::fast(), &reg);
+        let t0 = Instant::now();
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+}

@@ -84,6 +84,12 @@ pub struct TimeoutCfg {
     /// Absolute per-receive budget; exceeding it with all peers alive is
     /// a fatal [`Error::Timeout`].
     pub hard_cap: Duration,
+    /// Fraction of each backoff step randomized away by deterministic
+    /// jitter (0.0 = the fixed exponential schedule, 1.0 = full jitter).
+    /// Desynchronizes retry storms when many links time out together;
+    /// the jitter derives from the fault-plan seed via [`backoff_delay`],
+    /// so chaos runs still reproduce exactly.
+    pub jitter: f64,
 }
 
 impl Default for TimeoutCfg {
@@ -94,6 +100,7 @@ impl Default for TimeoutCfg {
             retries: 6,
             liveness: Duration::from_secs(10),
             hard_cap: Duration::from_secs(30),
+            jitter: 0.5,
         }
     }
 }
@@ -112,8 +119,36 @@ impl TimeoutCfg {
             retries: 4,
             liveness: Duration::from_secs(3),
             hard_cap: Duration::from_secs(12),
+            jitter: 0.5,
         }
     }
+}
+
+/// The receive backoff for retry `attempt` on one directed link: the
+/// capped exponential step `base * 2^min(attempt, 4)`, with its trailing
+/// `jitter` fraction replaced by a deterministic draw in `[0, 1)` hashed
+/// from `(seed, stream, attempt)`. The result always lands in
+/// `[step * (1 - jitter), step]`, so the schedule keeps its exponential
+/// envelope while distinct links (distinct `stream` values) desynchronize
+/// instead of retrying in lockstep. Pure: the same inputs always produce
+/// the same delay, which keeps seeded chaos runs bit-reproducible.
+pub fn backoff_delay(t: &TimeoutCfg, seed: u64, stream: u64, attempt: u32) -> Duration {
+    let step = t.base.checked_mul(1u32 << attempt.min(4)).unwrap_or(t.max_backoff).min(t.max_backoff);
+    let jitter = t.jitter.clamp(0.0, 1.0);
+    if jitter == 0.0 {
+        return step;
+    }
+    let draw = crate::fault::unit01(crate::fault::mix64(
+        seed ^ crate::fault::mix64(stream) ^ (u64::from(attempt) | 0xBACC_0FF0_0000_0000),
+    ));
+    let scale = 1.0 - jitter * draw;
+    Duration::from_nanos((step.as_nanos() as f64 * scale) as u64)
+}
+
+/// The jitter stream id for the directed link `src -> dst` (keeps draws
+/// decorrelated across links without any shared state).
+pub(crate) fn link_stream(src: usize, dst: usize) -> u64 {
+    ((src as u64) << 32) | dst as u64
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +199,46 @@ impl Cluster {
         })
     }
 
+    /// A membership table used purely as a liveness oracle (heartbeats +
+    /// alive flags), without any ring endpoints. The serve cluster router
+    /// shares one of these with its worker nodes: workers [`Cluster::beat`]
+    /// on every loop iteration, the router consults
+    /// [`Cluster::stale_rank`] for hung-but-connected workers and
+    /// [`Cluster::mark_dead`] on a death verdict.
+    pub fn standalone(n: usize) -> Arc<Self> {
+        let c = Cluster::new(n);
+        // Every member starts "just heard from" so a slow first loop
+        // iteration is not mistaken for silence since process start.
+        for r in 0..n {
+            c.beat(r);
+        }
+        c
+    }
+
+    /// Flag `rank` as dead. Returns `true` if it was believed alive (the
+    /// caller is the first detector and owns the recovery action).
+    pub fn mark_dead(&self, rank: usize) -> bool {
+        let mut inner = lock(&self.inner);
+        if rank < inner.alive.len() && inner.alive[rank] {
+            inner.alive[rank] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flag `rank` as alive again (a rejoined worker taking over a
+    /// previously-dead slot) and refresh its heartbeat so it does not
+    /// immediately read as stale.
+    pub fn mark_alive(&self, rank: usize) {
+        let mut inner = lock(&self.inner);
+        if rank < inner.alive.len() {
+            inner.alive[rank] = true;
+            drop(inner);
+            self.beat(rank);
+        }
+    }
+
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
     }
@@ -179,9 +254,10 @@ impl Cluster {
         inner.alive.iter().enumerate().filter(|(_, a)| **a).map(|(r, _)| r).collect()
     }
 
-    /// The stalest allegedly-alive rank (excluding `me`) whose heartbeat
-    /// exceeds `liveness`, if any.
-    fn stale_rank(&self, me: usize, liveness: Duration) -> Option<usize> {
+    /// The stalest allegedly-alive rank (excluding `me`; pass an
+    /// out-of-range rank such as `usize::MAX` to exclude nobody) whose
+    /// heartbeat exceeds `liveness`, if any.
+    pub fn stale_rank(&self, me: usize, liveness: Duration) -> Option<usize> {
         let now = self.now_ms();
         let thresh = liveness.as_millis() as u64;
         let inner = lock(&self.inner);
@@ -376,12 +452,12 @@ impl RingTransport {
             if start.elapsed() > self.t.hard_cap {
                 return Err(Error::Timeout { rank: self.rank, peer: self.ep.prev_rank, op: "ring recv" });
             }
-            let backoff = self
-                .t
-                .base
-                .checked_mul(1u32 << attempt.min(4))
-                .unwrap_or(self.t.max_backoff)
-                .min(self.t.max_backoff);
+            let backoff = backoff_delay(
+                &self.t,
+                self.faults.seed(),
+                link_stream(self.ep.prev_rank, self.rank),
+                attempt,
+            );
             match self.ep.from_prev.recv_timeout(backoff) {
                 Ok(frame) => {
                     self.beat();
@@ -667,7 +743,16 @@ impl StarTransport {
     /// Worker: receive the reduced buffer from the server.
     pub fn recv_from_server(&mut self) -> Result<Vec<f32>, Error> {
         let want = self.recv_seq;
-        let got = recv_link(&self.down_rx, &self.down_slot, want, &self.t, self.rank, 0, &self.stats)?;
+        let got = recv_link(
+            &self.down_rx,
+            &self.down_slot,
+            want,
+            &self.t,
+            self.faults.seed(),
+            self.rank,
+            0,
+            &self.stats,
+        )?;
         self.recv_seq += 1;
         lock(&self.down_slot).retain(|&s, _| s > want);
         Ok(got)
@@ -679,6 +764,7 @@ impl StarTransport {
         let n = self.n;
         let t = self.t;
         let me = self.rank;
+        let seed = self.faults.seed();
         let stats = self.stats.clone();
         let srv = self
             .server
@@ -693,7 +779,7 @@ impl StarTransport {
                 let peer = got.iter().enumerate().skip(1).find(|(_, g)| g.is_none()).map(|(r, _)| r);
                 return Err(Error::Timeout { rank: me, peer: peer.unwrap_or(0), op: "star gather" });
             }
-            let backoff = t.base.checked_mul(1u32 << attempt.min(4)).unwrap_or(t.max_backoff).min(t.max_backoff);
+            let backoff = backoff_delay(&t, seed, link_stream(me, me), attempt);
             match srv.up_rx.recv_timeout(backoff) {
                 Ok(frame) => {
                     let src = frame.src;
@@ -772,6 +858,7 @@ fn recv_link(
     slot: &Slot,
     want: u64,
     t: &TimeoutCfg,
+    seed: u64,
     me: usize,
     peer: usize,
     stats: &LinkStats,
@@ -782,7 +869,7 @@ fn recv_link(
         if start.elapsed() > t.hard_cap {
             return Err(Error::Timeout { rank: me, peer, op: "star recv" });
         }
-        let backoff = t.base.checked_mul(1u32 << attempt.min(4)).unwrap_or(t.max_backoff).min(t.max_backoff);
+        let backoff = backoff_delay(t, seed, link_stream(peer, me), attempt);
         match rx.recv_timeout(backoff) {
             Ok(frame) => {
                 if frame.seq != want || payload_crc(&frame.payload) != frame.crc {
@@ -933,5 +1020,78 @@ mod tests {
         t0.server_broadcast(&sum).unwrap();
         assert_eq!(h1.join().unwrap(), vec![3.5, 3.5]);
         assert_eq!(h2.join().unwrap(), vec![3.5, 3.5]);
+    }
+
+    /// The jittered schedule is pinned for a known seed: same inputs, same
+    /// delays, forever. If this test breaks, seeded chaos runs stop
+    /// reproducing — change the constants only with a DESIGN.md §14 note.
+    #[test]
+    fn jittered_backoff_schedule_is_pinned_for_seed_1234() {
+        let t = TimeoutCfg {
+            base: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            retries: 4,
+            liveness: Duration::from_secs(3),
+            hard_cap: Duration::from_secs(12),
+            jitter: 0.5,
+        };
+        let got: Vec<u64> = (0..6)
+            .map(|a| backoff_delay(&t, 1234, link_stream(0, 1), a).as_micros() as u64)
+            .collect();
+        assert_eq!(got, vec![1987, 2751, 7740, 5119, 5971, 5135]);
+        // A different link draws a different (but equally pinned) schedule.
+        let other: Vec<u64> = (0..6)
+            .map(|a| backoff_delay(&t, 1234, link_stream(1, 0), a).as_micros() as u64)
+            .collect();
+        assert_ne!(got, other);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_inside_the_exponential_envelope() {
+        let t = TimeoutCfg::default(); // base 5ms, cap 40ms, jitter 0.5
+        for seed in [0u64, 7, 99, 12345] {
+            for attempt in 0..8u32 {
+                let step = t
+                    .base
+                    .checked_mul(1u32 << attempt.min(4))
+                    .unwrap_or(t.max_backoff)
+                    .min(t.max_backoff);
+                let d = backoff_delay(&t, seed, link_stream(2, 3), attempt);
+                assert!(d <= step, "attempt {attempt}: {d:?} > step {step:?}");
+                let floor = step.mul_f64(1.0 - t.jitter);
+                assert!(d >= floor, "attempt {attempt}: {d:?} < floor {floor:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_fixed_exponential_schedule() {
+        let t = TimeoutCfg { jitter: 0.0, ..TimeoutCfg::default() };
+        for attempt in 0..8u32 {
+            let want = t
+                .base
+                .checked_mul(1u32 << attempt.min(4))
+                .unwrap_or(t.max_backoff)
+                .min(t.max_backoff);
+            assert_eq!(backoff_delay(&t, 42, link_stream(0, 1), attempt), want);
+        }
+    }
+
+    #[test]
+    fn standalone_cluster_tracks_staleness_and_death() {
+        let c = Cluster::standalone(3);
+        assert_eq!(c.live_ranks(), vec![0, 1, 2]);
+        // Fresh heartbeats: nobody is stale.
+        assert_eq!(c.stale_rank(usize::MAX, Duration::from_millis(50)), None);
+        std::thread::sleep(Duration::from_millis(70));
+        c.beat(0);
+        c.beat(1);
+        // Rank 2 has been silent past the threshold.
+        assert_eq!(c.stale_rank(usize::MAX, Duration::from_millis(50)), Some(2));
+        // First detector wins; the second report is a no-op.
+        assert!(c.mark_dead(2));
+        assert!(!c.mark_dead(2));
+        assert_eq!(c.live_ranks(), vec![0, 1]);
+        assert_eq!(c.stale_rank(usize::MAX, Duration::from_millis(50)), None);
     }
 }

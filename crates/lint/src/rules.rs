@@ -611,6 +611,22 @@ mod tests {
     }
 
     #[test]
+    fn panic_surface_covers_the_serve_cluster_module() {
+        // The sharded cluster (router, node loop, wire protocol, weight
+        // broadcast) lives under crates/serve/src/cluster/ and must stay
+        // on the panic-free surface via the crates/serve/src/ prefix.
+        for file in ["router.rs", "node.rs", "proto.rs", "ring.rs", "weights.rs", "mod.rs"] {
+            let path = format!("crates/serve/src/cluster/{file}");
+            assert!(
+                PANIC_PATHS.iter().any(|p| path.starts_with(p)),
+                "{path} fell off the panic-free surface"
+            );
+        }
+        let bad = "fn f() { v.unwrap(); }\n";
+        assert_eq!(run("panic-surface", "crates/serve/src/cluster/router.rs", bad).len(), 1);
+    }
+
+    #[test]
     fn expect_field_access_is_not_a_call() {
         // `srv.expect[src]` (a field named `expect`) must not trip the rule.
         let src = "fn f() { let w = srv.expect[src]; }\n";

@@ -1,0 +1,156 @@
+//! A worker node: one single-node [`Server`] wrapped in a byte-link
+//! event loop.
+//!
+//! The loop heartbeats on every iteration (so the router's staleness
+//! sweep only fires for genuinely hung workers), pulls dispatches off
+//! the reliable link, submits them to the local server, and forwards
+//! completed responses back **in dispatch order** — FIFO forwarding
+//! keeps each worker's reply stream deterministic, which the chaos
+//! harness and the deterministic bench both rely on.
+//!
+//! Death simulation: when the cluster's [`FaultPlan`] schedules a kill
+//! for this node, the loop breaks out the moment the fatal dispatch
+//! arrives — before submitting it — and drops both links without
+//! draining, exactly like a crashed process. The router's death signal
+//! is the reply link disconnecting (primary) or the heartbeat going
+//! stale (secondary, for hung-but-connected workers).
+//!
+//! [`FaultPlan`]: cc19_dist::FaultPlan
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cc19_dist::transport::Cluster;
+use cc19_dist::{ByteRx, ByteTx};
+use crossbeam::channel::RecvTimeoutError;
+
+use crate::cluster::proto::{self, Dispatch};
+use crate::server::{PendingDiagnosis, Server, ServerCfg};
+use crate::worker::FrameworkFactory;
+
+/// Idle-wait bound per loop iteration. Far below any sane liveness
+/// window, so an idle worker still heartbeats many times per window.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+/// Poll bound on the oldest pending local response while busy.
+const BUSY_POLL: Duration = Duration::from_millis(1);
+
+/// Spawn a worker node thread serving dispatches from `dispatch_rx` and
+/// replying on `reply_tx`, heartbeating rank `node` on `hb`.
+/// `kill_after` is the fault plan's scheduled silent death for this
+/// node: die upon receiving dispatch number `kill_after` (0-based).
+pub(crate) fn spawn_node(
+    node: usize,
+    cfg: ServerCfg,
+    factory: FrameworkFactory,
+    dispatch_rx: ByteRx,
+    reply_tx: ByteTx,
+    hb: Arc<Cluster>,
+    kill_after: Option<usize>,
+) -> io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("cc19-cluster-node-{node}"))
+        .spawn(move || node_loop(node, cfg, factory, dispatch_rx, reply_tx, hb, kill_after))
+}
+
+fn node_loop(
+    node: usize,
+    cfg: ServerCfg,
+    factory: FrameworkFactory,
+    mut dispatch_rx: ByteRx,
+    mut reply_tx: ByteTx,
+    hb: Arc<Cluster>,
+    kill_after: Option<usize>,
+) {
+    let server = match Server::start(cfg, move || factory()) {
+        Ok(s) => s,
+        Err(_) => {
+            // Could not even start (thread-spawn exhaustion). Dropping
+            // the links is the death signal; the router re-routes.
+            drop(reply_tx);
+            drop(dispatch_rx);
+            return;
+        }
+    };
+    let client = server.client();
+    let mut pendings: VecDeque<(u64, PendingDiagnosis)> = VecDeque::new();
+    let mut received = 0usize;
+    let mut draining = false;
+
+    'outer: loop {
+        hb.beat(node);
+
+        // Pull dispatches: block briefly when idle (bounded, so the
+        // heartbeat keeps ticking), drain without blocking when busy.
+        loop {
+            let frame = if pendings.is_empty() && !draining {
+                dispatch_rx.recv_wait(IDLE_WAIT)
+            } else {
+                dispatch_rx.try_recv()
+            };
+            match frame {
+                Ok(Some(payload)) => match proto::decode_dispatch(&payload) {
+                    Ok(Dispatch::Request { req_id, req }) => {
+                        if kill_after == Some(received) {
+                            break 'outer; // scheduled crash: no drain, no goodbye
+                        }
+                        received += 1;
+                        match client.submit(req) {
+                            Ok(p) => pendings.push_back((req_id, p)),
+                            Err(why) => {
+                                reply_tx.send(&proto::encode_reply_rejected(req_id, &why));
+                            }
+                        }
+                    }
+                    Ok(Dispatch::Shutdown) => draining = true,
+                    // CRC-rejected frames never reach us; a frame that
+                    // still fails to decode is dropped, not fatal.
+                    Err(_) => {}
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    // Router hung up: serve what we have, then exit.
+                    draining = true;
+                    break;
+                }
+            }
+        }
+
+        // Forward completed responses, oldest first.
+        while let Some((req_id, p)) = pendings.front() {
+            let req_id = *req_id;
+            match p.wait_timeout(BUSY_POLL) {
+                Ok(resp) => {
+                    let bytes = match &resp.result {
+                        Ok(d) => proto::encode_reply_ok(req_id, d),
+                        Err(msg) => proto::encode_reply_fail(req_id, msg),
+                    };
+                    reply_tx.send(&bytes);
+                    pendings.pop_front();
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    reply_tx.send(&proto::encode_reply_fail(req_id, "worker pipeline lost"));
+                    pendings.pop_front();
+                }
+            }
+        }
+
+        if draining && pendings.is_empty() {
+            break;
+        }
+    }
+
+    // Links first — for a killed node this *is* the crash as the router
+    // sees it; for a graceful exit everything owed has been forwarded.
+    drop(reply_tx);
+    drop(dispatch_rx);
+    // Reap the local pipeline threads. A killed node's queued work may
+    // still compute here, but its replies go to dropped receivers and
+    // never reach the wire — matching a crashed process's externally
+    // observable behavior while keeping the test process leak-free.
+    let _ = server.shutdown();
+}

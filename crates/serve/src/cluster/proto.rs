@@ -1,0 +1,216 @@
+//! Cluster wire protocol: the messages the router and worker nodes
+//! exchange over reliable [`cc19_dist::link`] byte links.
+//!
+//! Payload layouts reuse the serve TCP wire encoders ([`crate::wire`])
+//! so probabilities keep crossing process boundaries as raw `f64` bits —
+//! the cluster inherits the bit-identity guarantee of the single-node
+//! wire. Framing integrity (CRC, sequencing, retransmit) lives a layer
+//! below, in the byte link itself.
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | `1` dispatch | router → worker | `[req_id u64][encoded ServeRequest]` |
+//! | `2` shutdown | router → worker | empty (drain and exit) |
+//! | `1` reply-ok | worker → router | `[encode_ok(req_id, diagnosis)]` |
+//! | `2` reply-fail | worker → router | `[req_id u64][utf-8 error]` |
+//! | `3` reply-reject | worker → router | `[req_id u64][encode_reject]` |
+
+use std::io;
+
+use computecovid19::Diagnosis;
+
+use crate::request::{Rejected, ServeRequest};
+use crate::wire;
+
+const KIND_DISPATCH: u8 = 1;
+const KIND_SHUTDOWN: u8 = 2;
+
+const REPLY_OK: u8 = 1;
+const REPLY_FAIL: u8 = 2;
+const REPLY_REJECT: u8 = 3;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn split_u64(payload: &[u8]) -> io::Result<(u64, &[u8])> {
+    if payload.len() < 8 {
+        return Err(invalid("truncated cluster frame"));
+    }
+    let (head, rest) = payload.split_at(8);
+    let mut b = [0u8; 8];
+    b.copy_from_slice(head);
+    Ok((u64::from_le_bytes(b), rest))
+}
+
+/// Router → worker message.
+#[derive(Debug)]
+pub(crate) enum Dispatch {
+    /// Serve this study and reply with `req_id`.
+    Request {
+        /// Router-assigned cluster request id.
+        req_id: u64,
+        /// The study.
+        req: ServeRequest,
+    },
+    /// Drain outstanding work, then exit.
+    Shutdown,
+}
+
+/// Worker → router message.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    /// Diagnosis completed.
+    Ok { req_id: u64, diagnosis: Diagnosis },
+    /// Accepted locally but a stage failed.
+    Fail { req_id: u64, message: String },
+    /// The worker's local admission turned the dispatch away.
+    Rejected { req_id: u64, why: Rejected },
+}
+
+impl Reply {
+    /// The cluster request id this reply answers.
+    pub(crate) fn req_id(&self) -> u64 {
+        match self {
+            Reply::Ok { req_id, .. } | Reply::Fail { req_id, .. } | Reply::Rejected { req_id, .. } => {
+                *req_id
+            }
+        }
+    }
+}
+
+pub(crate) fn encode_dispatch(req_id: u64, req: &ServeRequest) -> Vec<u8> {
+    let body = wire::encode_request(req);
+    let mut out = Vec::with_capacity(9 + body.len());
+    out.push(KIND_DISPATCH);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+pub(crate) fn encode_shutdown() -> Vec<u8> {
+    vec![KIND_SHUTDOWN]
+}
+
+pub(crate) fn decode_dispatch(payload: &[u8]) -> io::Result<Dispatch> {
+    let (&kind, rest) = payload.split_first().ok_or_else(|| invalid("empty cluster frame"))?;
+    match kind {
+        KIND_DISPATCH => {
+            let (req_id, body) = split_u64(rest)?;
+            Ok(Dispatch::Request { req_id, req: wire::decode_request(body)? })
+        }
+        KIND_SHUTDOWN => Ok(Dispatch::Shutdown),
+        other => Err(invalid(format!("unknown dispatch kind {other}"))),
+    }
+}
+
+pub(crate) fn encode_reply_ok(req_id: u64, d: &Diagnosis) -> Vec<u8> {
+    let mut out = vec![REPLY_OK];
+    out.extend_from_slice(&wire::encode_ok(req_id, d));
+    out
+}
+
+pub(crate) fn encode_reply_fail(req_id: u64, message: &str) -> Vec<u8> {
+    let mut out = vec![REPLY_FAIL];
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+pub(crate) fn encode_reply_rejected(req_id: u64, why: &Rejected) -> Vec<u8> {
+    let mut out = vec![REPLY_REJECT];
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&wire::encode_reject(why));
+    out
+}
+
+pub(crate) fn decode_reply(payload: &[u8]) -> io::Result<Reply> {
+    let (&kind, rest) = payload.split_first().ok_or_else(|| invalid("empty cluster reply"))?;
+    match kind {
+        REPLY_OK => {
+            let (req_id, diagnosis) = wire::decode_ok(rest)?;
+            Ok(Reply::Ok { req_id, diagnosis })
+        }
+        REPLY_FAIL => {
+            let (req_id, msg) = split_u64(rest)?;
+            let message = std::str::from_utf8(msg)
+                .map_err(|_| invalid("non-UTF-8 failure message"))?
+                .to_owned();
+            Ok(Reply::Fail { req_id, message })
+        }
+        REPLY_REJECT => {
+            let (req_id, body) = split_u64(rest)?;
+            Ok(Reply::Rejected { req_id, why: wire::decode_reject(body)? })
+        }
+        other => Err(invalid(format!("unknown reply kind {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::request::Priority;
+    use cc19_tensor::Tensor;
+    use std::time::Duration;
+
+    #[test]
+    fn dispatch_roundtrips_bit_exact() {
+        let req = ServeRequest {
+            volume: Tensor::from_vec([1, 2, 2], vec![1.5, -2.0, 0.25, 9.0]).unwrap(),
+            priority: Priority::Urgent,
+            deadline: Some(Duration::from_millis(40)),
+        };
+        match decode_dispatch(&encode_dispatch(77, &req)).unwrap() {
+            Dispatch::Request { req_id, req: back } => {
+                assert_eq!(req_id, 77);
+                assert_eq!(back.priority, req.priority);
+                assert_eq!(back.deadline, req.deadline);
+                assert_eq!(back.volume.data(), req.volume.data());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        assert!(matches!(decode_dispatch(&encode_shutdown()).unwrap(), Dispatch::Shutdown));
+    }
+
+    #[test]
+    fn replies_roundtrip_probability_bits_and_reasons() {
+        let d = Diagnosis {
+            probability: 0.987654321234,
+            positive: true,
+            t_queue: Duration::from_micros(3),
+            t_enhance: Duration::from_millis(5),
+            t_segment: Duration::from_millis(7),
+            t_classify: Duration::from_micros(11),
+            t_total: Duration::from_millis(13),
+        };
+        match decode_reply(&encode_reply_ok(5, &d)).unwrap() {
+            Reply::Ok { req_id, diagnosis } => {
+                assert_eq!(req_id, 5);
+                assert_eq!(diagnosis.probability.to_bits(), d.probability.to_bits());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        match decode_reply(&encode_reply_fail(6, "stage exploded")).unwrap() {
+            Reply::Fail { req_id, message } => {
+                assert_eq!((req_id, message.as_str()), (6, "stage exploded"));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let why = Rejected::QueueFull { depth: 9, bound: 9 };
+        match decode_reply(&encode_reply_rejected(7, &why)).unwrap() {
+            Reply::Rejected { req_id, why: back } => assert_eq!((req_id, back), (7, why)),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking() {
+        assert!(decode_dispatch(&[]).is_err());
+        assert!(decode_dispatch(&[KIND_DISPATCH, 1, 2]).is_err());
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[REPLY_FAIL, 0, 1]).is_err());
+        assert!(decode_reply(&[9]).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Consistent-hash ring over worker nodes, with virtual nodes and a
+//! generation counter.
+//!
+//! Each worker owns `vnodes` points on a 64-bit ring (hashed with the
+//! workspace's seeded `mix64`, so placement is deterministic and
+//! machine-independent); a study id routes to the owner of the first
+//! point at or after its hash. Removing a node deletes only that node's
+//! points, so only the studies it owned move — the minimal-disruption
+//! property that makes re-dispatch after a death cheap — and bumps the
+//! ring **generation**, the membership epoch the router exports as a
+//! gauge and the fault plan keys its decisions on.
+
+use std::collections::BTreeSet;
+
+use cc19_dist::fault::mix64;
+
+/// Consistent-hash ring: sorted `(hash, node)` points plus the live node
+/// set and a generation counter bumped on every membership change.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    points: Vec<(u64, usize)>,
+    nodes: BTreeSet<usize>,
+    generation: u64,
+}
+
+fn point_hash(node: usize, replica: usize) -> u64 {
+    mix64(mix64(node as u64 + 1) ^ mix64(replica as u64).rotate_left(17))
+}
+
+impl HashRing {
+    /// Ring over nodes `0..n`, each with `vnodes` points (at least 1).
+    pub fn new(n: usize, vnodes: usize) -> Self {
+        let mut ring =
+            HashRing { vnodes: vnodes.max(1), points: Vec::new(), nodes: BTreeSet::new(), generation: 0 };
+        for node in 0..n {
+            ring.insert_points(node);
+        }
+        ring.generation = 0; // initial membership is generation 0
+        ring
+    }
+
+    fn insert_points(&mut self, node: usize) {
+        if !self.nodes.insert(node) {
+            return;
+        }
+        for replica in 0..self.vnodes {
+            self.points.push((point_hash(node, replica), node));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// The owner of `study_id`, or `None` on an empty ring. Pure: the
+    /// same id always routes to the same node within a generation.
+    pub fn route(&self, study_id: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = mix64(study_id);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, node) = self.points[idx % self.points.len()];
+        Some(node)
+    }
+
+    /// Add `node` (a joined worker); bumps the generation if it was not
+    /// already a member.
+    pub fn add(&mut self, node: usize) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.insert_points(node);
+        self.generation += 1;
+    }
+
+    /// Remove a dead node's points; bumps the generation. Returns `true`
+    /// if the node was a member.
+    pub fn remove(&mut self, node: usize) -> bool {
+        if !self.nodes.remove(&node) {
+            return false;
+        }
+        self.points.retain(|&(_, n)| n != node);
+        self.generation += 1;
+        true
+    }
+
+    /// Membership epoch (bumped on every add/remove).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `node` is currently a member.
+    pub fn contains(&self, node: usize) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// True when no nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 16);
+        for id in 0..512u64 {
+            let a = ring.route(id).unwrap();
+            let b = ring.route(id).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn every_node_owns_a_reasonable_share() {
+        let ring = HashRing::new(4, 32);
+        let mut counts = [0usize; 4];
+        for id in 0..4000u64 {
+            counts[ring.route(id).unwrap()] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (400..=2000).contains(&c),
+                "node {node} owns {c}/4000 studies — vnode spread is broken"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_dead_nodes_keys() {
+        let mut ring = HashRing::new(4, 16);
+        let before: Vec<usize> = (0..2000u64).map(|id| ring.route(id).unwrap()).collect();
+        assert!(ring.remove(2));
+        assert_eq!(ring.generation(), 1);
+        for (id, &owner) in before.iter().enumerate() {
+            let now = ring.route(id as u64).unwrap();
+            if owner != 2 {
+                assert_eq!(now, owner, "study {id} moved although its owner survived");
+            } else {
+                assert_ne!(now, 2, "study {id} still routes to the dead node");
+            }
+        }
+    }
+
+    #[test]
+    fn add_restores_membership_and_bumps_generation() {
+        let mut ring = HashRing::new(3, 8);
+        assert!(ring.remove(1));
+        assert!(!ring.contains(1));
+        ring.add(1);
+        assert!(ring.contains(1));
+        assert_eq!(ring.generation(), 2);
+        assert_eq!(ring.node_count(), 3);
+        // Re-adding is a no-op.
+        ring.add(1);
+        assert_eq!(ring.generation(), 2);
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let mut ring = HashRing::new(1, 4);
+        assert!(ring.remove(0));
+        assert_eq!(ring.route(7), None);
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-weight distribution to joining replicas.
+//!
+//! A worker that joins a running cluster must hold bit-identical
+//! enhancer weights to the replicas already serving, or routing the same
+//! study to different workers would produce different diagnoses. Rather
+//! than trusting the factory alone, the router snapshots the canonical
+//! enhancer as a [`Checkpoint`], pushes it through the **existing
+//! allreduce/broadcast path** (a two-rank lockstep ring where the
+//! joining side contributes zeros, so the sum *is* the broadcast), and
+//! the joining worker loads the received checkpoint over whatever its
+//! factory built. This exercises the same CRC-framed, seq-numbered
+//! transport the trainer uses, instead of growing a second weight-
+//! distribution mechanism.
+
+use std::io;
+
+use cc19_dist::allreduce::make_ring_in;
+use cc19_dist::{ring_allreduce_lockstep, FaultPlan, TimeoutCfg};
+use cc19_nn::checkpoint::Checkpoint;
+
+/// Section layout of a flattened checkpoint: `(name, len)` per section,
+/// in order. Both ends of the broadcast derive it from the same factory,
+/// so only the payload floats cross the wire.
+pub(crate) type Schema = Vec<(String, usize)>;
+
+/// Flatten a checkpoint into its schema plus one contiguous `f32`
+/// buffer (the shape the allreduce path moves).
+pub(crate) fn flatten(ck: &Checkpoint) -> (Schema, Vec<f32>) {
+    let mut schema = Vec::with_capacity(ck.sections.len());
+    let mut flat = Vec::new();
+    for (name, data) in &ck.sections {
+        schema.push((name.clone(), data.len()));
+        flat.extend_from_slice(data);
+    }
+    (schema, flat)
+}
+
+/// Rebuild a checkpoint from a schema and a flat buffer. Truncated
+/// buffers yield truncated sections rather than panicking; the loader's
+/// own section-length validation catches the mismatch.
+pub(crate) fn unflatten(schema: &[(String, usize)], flat: &[f32]) -> Checkpoint {
+    let mut ck = Checkpoint::new();
+    let mut off = 0usize;
+    for (name, len) in schema {
+        let hi = (off + len).min(flat.len());
+        let lo = off.min(flat.len());
+        ck.push(name.clone(), flat[lo..hi].to_vec());
+        off += len;
+    }
+    ck
+}
+
+/// Broadcast `ck` over the distributed transport and return what the
+/// receiving side reconstructs. Rank 0 contributes the weights, rank 1
+/// zeros; after a lockstep ring allreduce both hold the sum — i.e. the
+/// weights — so rank 1's buffer is the delivered copy, having crossed
+/// the same CRC-framed link path as training traffic.
+pub(crate) fn broadcast_checkpoint(ck: &Checkpoint) -> io::Result<Checkpoint> {
+    let (schema, flat) = flatten(ck);
+    if flat.is_empty() {
+        return Ok(unflatten(&schema, &flat));
+    }
+    let zeros = vec![0.0f32; flat.len()];
+    let mut bufs = vec![flat, zeros];
+    // Private registry: the broadcast's transport metrics and clock reads
+    // must not leak into a deterministic export the caller may be driving.
+    let reg = cc19_obs::Registry::new();
+    let (_, mut rings) = make_ring_in(2, FaultPlan::none(), TimeoutCfg::fast(), &reg);
+    ring_allreduce_lockstep(&mut bufs, &mut rings)
+        .map_err(|e| io::Error::other(format!("weight broadcast failed: {e}")))?;
+    Ok(unflatten(&schema, &bufs[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrips_section_layout() {
+        let mut ck = Checkpoint::new();
+        ck.push("a", vec![1.0, 2.0, 3.0]);
+        ck.push("b", vec![]);
+        ck.push("c", vec![-4.5]);
+        let (schema, flat) = flatten(&ck);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, -4.5]);
+        assert_eq!(unflatten(&schema, &flat), ck);
+    }
+
+    #[test]
+    fn broadcast_delivers_bit_identical_weights() {
+        let mut ck = Checkpoint::new();
+        ck.push("w", (0..257).map(|i| (i as f32) * 0.37 - 40.0).collect::<Vec<_>>());
+        ck.push("bn.mean", vec![0.125, -7.5, 3.0e-8]);
+        let got = broadcast_checkpoint(&ck).unwrap();
+        assert_eq!(got.sections.len(), ck.sections.len());
+        for ((na, da), (nb, db)) in got.sections.iter().zip(&ck.sections) {
+            assert_eq!(na, nb);
+            let bits_a: Vec<u32> = da.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = db.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "section {na} changed bits in transit");
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_broadcasts_to_empty() {
+        let got = broadcast_checkpoint(&Checkpoint::new()).unwrap();
+        assert!(got.sections.is_empty());
+    }
+}

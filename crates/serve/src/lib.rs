@@ -45,6 +45,7 @@
 
 pub mod batcher;
 pub mod broker;
+pub mod cluster;
 pub mod metrics;
 pub mod request;
 pub mod server;
@@ -54,6 +55,7 @@ pub mod worker;
 
 pub use batcher::BatchPolicy;
 pub use broker::{Broker, BrokerCfg, Job};
+pub use cluster::{ClusterCfg, ClusterClient, ClusterMetrics, ClusterSnapshot, HashRing, ServeCluster};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use request::{Priority, Rejected, ServeRequest, ServeResponse};
 pub use server::{Client, PendingDiagnosis, Server, ServerCfg};

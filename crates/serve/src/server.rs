@@ -180,6 +180,13 @@ pub struct PendingDiagnosis {
 }
 
 impl PendingDiagnosis {
+    /// Assemble a pending handle from an id and a response receiver — the
+    /// cluster router mints these so cluster submissions and single-node
+    /// submissions share one client-side waiting type.
+    pub(crate) fn from_parts(id: u64, rx: Receiver<ServeResponse>) -> Self {
+        PendingDiagnosis { id, rx }
+    }
+
     /// The admission id the response will carry.
     pub fn id(&self) -> u64 {
         self.id

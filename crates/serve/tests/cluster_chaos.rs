@@ -1,0 +1,261 @@
+//! Deterministic chaos harness for the sharded serve cluster.
+//!
+//! The centerpiece test kills one of three workers mid-load under a
+//! seeded [`FaultPlan`] (plus wire drops/duplicates/corruption) and
+//! asserts the cluster's exactly-once contract:
+//!
+//! - **zero lost requests** — every admitted study gets exactly one
+//!   response;
+//! - **zero double-served requests** — response ids are unique (late
+//!   duplicate replies are suppressed by the dispatch table);
+//! - **bit-identical diagnoses** — every surviving diagnosis matches a
+//!   direct single-node `Framework::diagnose` baseline bit for bit,
+//!   re-dispatch and re-routing included.
+//!
+//! `CC19_FAULT_SEED` pins the fault schedule (tier-1 runs this file
+//! with a fixed seed); the invariants hold for *any* seed.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use cc19_dist::{FaultConfig, FaultPlan};
+use cc19_serve::{ClusterCfg, Rejected, ServeCluster, ServeRequest};
+use cc19_tensor::Tensor;
+use computecovid19::framework::Framework;
+
+const MODEL_SEED: u64 = 42;
+
+fn volume(study_id: u64) -> Tensor {
+    let mut rng = cc19_tensor::rng::Xorshift::new(0xC7_5CA0 ^ study_id);
+    rng.uniform_tensor([4, 32, 32], -1000.0, 400.0)
+}
+
+fn factory() -> Framework {
+    Framework::untrained_reduced(MODEL_SEED)
+}
+
+/// Direct single-node baseline for a study's probability bits.
+fn baseline_bits(fw: &Framework, study_id: u64) -> (u64, bool) {
+    let d = fw.diagnose(&volume(study_id), 0.5).unwrap();
+    (d.probability.to_bits(), d.positive)
+}
+
+#[test]
+fn killing_a_worker_mid_load_loses_nothing_and_changes_no_bits() {
+    const STUDIES: u64 = 48;
+    let faults = FaultPlan::from_env(
+        1234,
+        FaultConfig {
+            p_drop: 0.12,
+            p_delay: 0.0,
+            delay_ms_max: 0,
+            p_duplicate: 0.12,
+            p_corrupt: 0.08,
+            // Worker 1 crashes silently upon receiving its third
+            // dispatch — mid-load, with work in flight.
+            kill: Some((1, 2)),
+        },
+    );
+    let cfg = ClusterCfg {
+        workers: 3,
+        per_worker_inflight: 32,
+        faults,
+        ..ClusterCfg::default()
+    };
+    let cluster = ServeCluster::start(cfg, factory).expect("cluster starts");
+    let client = cluster.client();
+
+    let pendings: Vec<(u64, _)> = (0..STUDIES)
+        .map(|study| {
+            let p = client
+                .submit(study, ServeRequest::routine(volume(study)))
+                .expect("admission under capacity");
+            (study, p)
+        })
+        .collect();
+
+    // Zero lost: exactly one response per admitted study. Zero double
+    // service: the response ids are unique (each PendingDiagnosis
+    // receiver would hold a second message if a duplicate got through —
+    // wait() then try a second recv).
+    let baseline = factory();
+    let mut seen_req_ids = HashSet::new();
+    for (study, p) in pendings {
+        let resp = p
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|_| panic!("study {study} lost its response"));
+        assert!(seen_req_ids.insert(resp.id), "request id {} answered twice", resp.id);
+        let d = resp.result.unwrap_or_else(|e| panic!("study {study} failed: {e}"));
+        let (bits, positive) = baseline_bits(&baseline, study);
+        assert_eq!(
+            d.probability.to_bits(),
+            bits,
+            "study {study}: cluster diagnosis diverged from the single-node baseline"
+        );
+        assert_eq!(d.positive, positive);
+    }
+    assert_eq!(seen_req_ids.len(), STUDIES as usize);
+
+    let snap = cluster.shutdown().snapshot();
+    assert_eq!(snap.worker_deaths, 1, "exactly one worker was killed");
+    assert_eq!(snap.completed, STUDIES, "every study completed despite the kill");
+    assert_eq!(snap.failed, 0);
+    assert!(snap.redispatched >= 1, "the dead worker's in-flight work was re-dispatched");
+    assert_eq!(snap.generation, 1, "the ring rebalanced exactly once");
+    assert_eq!(snap.live_workers, 2);
+    assert_eq!(snap.recoveries, 1);
+}
+
+#[test]
+fn killing_the_only_worker_fails_requests_typed_not_silently() {
+    let faults = FaultPlan::from_env(
+        1234,
+        FaultConfig { kill: Some((0, 1)), ..FaultConfig::clean() },
+    );
+    let cfg = ClusterCfg {
+        workers: 1,
+        max_workers: 1,
+        max_attempts: 2,
+        per_worker_inflight: 8,
+        faults,
+        ..ClusterCfg::default()
+    };
+    let cluster = ServeCluster::start(cfg, factory).expect("cluster starts");
+    let client = cluster.client();
+
+    let mut answered = 0usize;
+    let mut rejected = 0usize;
+    let mut pendings = Vec::new();
+    for study in 0..4u64 {
+        match client.submit(study, ServeRequest::routine(volume(study))) {
+            Ok(p) => pendings.push((study, p)),
+            Err(_) => rejected += 1, // ring already empty at admission
+        }
+    }
+    let mut failures = 0usize;
+    for (study, p) in pendings {
+        let resp = p
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|_| panic!("study {study} silently dropped"));
+        answered += 1;
+        if resp.result.is_err() {
+            failures += 1;
+        }
+    }
+    // Nothing vanished: every submission was either rejected at
+    // admission or answered (diagnosis or typed failure).
+    assert_eq!(answered + rejected, 4);
+    assert!(failures >= 1, "orphans of the only worker must fail typed");
+
+    let snap = cluster.shutdown().snapshot();
+    assert_eq!(snap.worker_deaths, 1);
+    assert_eq!(snap.live_workers, 0);
+    assert_eq!(snap.completed + snap.failed, answered as u64);
+}
+
+#[test]
+fn joined_worker_serves_bit_identical_results() {
+    let cfg = ClusterCfg { workers: 2, per_worker_inflight: 64, ..ClusterCfg::default() };
+    let cluster = ServeCluster::start(cfg, factory).expect("cluster starts");
+
+    let node = cluster.join_worker().expect("join succeeds");
+    assert_eq!(node, 2);
+
+    let client = cluster.client();
+    let pendings: Vec<(u64, _)> = (0..60u64)
+        .map(|study| {
+            (study, client.submit(study, ServeRequest::routine(volume(study))).unwrap())
+        })
+        .collect();
+    let baseline = factory();
+    for (study, p) in pendings {
+        let resp = p.wait_timeout(Duration::from_secs(60)).expect("answered");
+        let d = resp.result.unwrap();
+        let (bits, _) = baseline_bits(&baseline, study);
+        assert_eq!(
+            d.probability.to_bits(),
+            bits,
+            "study {study} served by a joined replica diverged — weight broadcast broke"
+        );
+    }
+
+    let metrics = cluster.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.worker_joins, 1);
+    assert_eq!(snap.generation, 1, "join bumped the ring generation");
+    assert_eq!(snap.live_workers, 3);
+    assert_eq!(snap.completed, 60);
+    // The consistent-hash routing is deterministic, so the joined node's
+    // share of these 60 studies is a fixed, nonzero number.
+    let reg = metrics.registry().snapshot();
+    let joined_share = reg
+        .counters
+        .iter()
+        .find(|c| c.key == "serve_cluster_node_dispatched_total{node=\"2\"}")
+        .map(|c| c.value)
+        .unwrap_or(0);
+    assert!(joined_share > 0, "the joined worker never received a dispatch");
+}
+
+#[test]
+fn admission_tightens_with_capacity_and_closes_typed() {
+    let cfg = ClusterCfg {
+        workers: 1,
+        max_workers: 1,
+        per_worker_inflight: 2,
+        ..ClusterCfg::default()
+    };
+    let cluster = ServeCluster::start(cfg, factory).expect("cluster starts");
+    let client = cluster.client();
+
+    // Two admissions fill the (1 worker × 2) capacity; the third bounces
+    // with the cluster-level queue-full rejection before any reply can
+    // drain the table (a diagnosis takes milliseconds, the submits
+    // microseconds).
+    let p0 = client.submit(0, ServeRequest::routine(volume(0))).unwrap();
+    let p1 = client.submit(1, ServeRequest::routine(volume(1))).unwrap();
+    let err = client.submit(2, ServeRequest::routine(volume(2))).unwrap_err();
+    assert_eq!(err, Rejected::QueueFull { depth: 2, bound: 2 });
+
+    assert!(p0.wait_timeout(Duration::from_secs(60)).unwrap().result.is_ok());
+    assert!(p1.wait_timeout(Duration::from_secs(60)).unwrap().result.is_ok());
+
+    let metrics = cluster.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.completed, 2);
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.inflight_max, 2);
+
+    // After shutdown the router is gone: submissions get the typed
+    // shutting-down rejection, never a hang.
+    assert_eq!(
+        client.submit(3, ServeRequest::routine(volume(3))).unwrap_err(),
+        Rejected::ShuttingDown
+    );
+}
+
+#[test]
+fn invalid_and_impossible_requests_reject_at_cluster_admission() {
+    let cluster =
+        ServeCluster::start(ClusterCfg { workers: 1, ..ClusterCfg::default() }, factory)
+            .expect("cluster starts");
+    let client = cluster.client();
+
+    let flat = ServeRequest::routine(Tensor::zeros([32, 32]));
+    assert!(matches!(client.submit(0, flat).unwrap_err(), Rejected::Invalid(_)));
+
+    let mut cfg_cluster = ClusterCfg { workers: 1, ..ClusterCfg::default() };
+    cfg_cluster.worker.est_service = Duration::from_millis(50);
+    let strict = ServeCluster::start(cfg_cluster, factory).expect("cluster starts");
+    let mut req = ServeRequest::routine(volume(1));
+    req.deadline = Some(Duration::from_millis(10));
+    assert!(matches!(
+        strict.client().submit(1, req).unwrap_err(),
+        Rejected::DeadlineImpossible { .. }
+    ));
+
+    strict.shutdown();
+    cluster.shutdown();
+}

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use cc19_serve::{BatchPolicy, Broker, BrokerCfg, Priority, ServeMetrics, ServeRequest};
+use cc19_serve::{BatchPolicy, Broker, BrokerCfg, Priority, Rejected, ServeMetrics, ServeRequest};
 use cc19_tensor::Tensor;
 use crossbeam::channel::unbounded;
 use proptest::prelude::*;
@@ -140,5 +140,100 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), dispatched.len(), "a request was served twice");
+    }
+
+    /// Shutdown drain: whatever interleaving of submits and dispatches
+    /// ran before `close()`, afterwards (a) every new submission is
+    /// turned away with the typed `ShuttingDown` rejection, and (b)
+    /// every request accepted before the close comes out of the drain
+    /// exactly once — completed or already dispatched, never stranded.
+    #[test]
+    fn close_rejects_typed_and_drains_every_accepted_request(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        close_at in 0usize..40,
+        late_submits in 1usize..5,
+    ) {
+        let broker = Broker::new(
+            BrokerCfg { queue_bound: QUEUE_BOUND, est_service: Duration::ZERO },
+            ServeMetrics::new(),
+        );
+        let (reply_tx, _reply_rx) = unbounded();
+
+        let mut queued: Vec<u64> = Vec::new();
+        let mut served: Vec<u64> = Vec::new();
+        let mut accepted = 0usize;
+        let mut closed = false;
+
+        for (step, op) in ops.iter().enumerate() {
+            if step == close_at {
+                broker.close();
+                closed = true;
+            }
+            match *op {
+                Op::Submit { priority, deadline_ms } => {
+                    match broker.submit(tiny_request(priority, deadline_ms), reply_tx.clone()) {
+                        Ok(id) => {
+                            prop_assert!(!closed, "admission after close");
+                            queued.push(id);
+                            accepted += 1;
+                        }
+                        Err(why) => {
+                            if closed {
+                                prop_assert_eq!(
+                                    why,
+                                    Rejected::ShuttingDown,
+                                    "post-close rejection must be the typed shutdown"
+                                );
+                            }
+                        }
+                    }
+                }
+                Op::Dispatch { max_batch } => {
+                    if queued.is_empty() && !closed {
+                        continue; // pop_batch would block on an open, empty queue
+                    }
+                    match broker.pop_batch(instant(max_batch)) {
+                        Some(batch) => {
+                            for job in batch {
+                                let pos = queued.iter().position(|&id| id == job.id);
+                                prop_assert!(pos.is_some(), "phantom dispatch of id {}", job.id);
+                                queued.remove(pos.unwrap());
+                                served.push(job.id);
+                            }
+                        }
+                        None => prop_assert!(
+                            closed && queued.is_empty(),
+                            "pop_batch returned None with work still queued"
+                        ),
+                    }
+                }
+            }
+        }
+        if !closed {
+            broker.close();
+        }
+
+        // After close, every further submission is a typed rejection.
+        for _ in 0..late_submits {
+            let verdict = broker.submit(tiny_request(Priority::Stat, None), reply_tx.clone());
+            prop_assert_eq!(verdict.unwrap_err(), Rejected::ShuttingDown);
+        }
+
+        // Drain to None: nothing accepted before the close may strand.
+        while let Some(batch) = broker.pop_batch(instant(4)) {
+            for job in batch {
+                let pos = queued.iter().position(|&id| id == job.id);
+                prop_assert!(pos.is_some(), "drained id {} not in ledger", job.id);
+                queued.remove(pos.unwrap());
+                served.push(job.id);
+            }
+        }
+        prop_assert!(queued.is_empty(), "{} accepted requests stranded by close", queued.len());
+        prop_assert_eq!(served.len(), accepted);
+        let mut ids = served.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), served.len(), "a request drained twice");
+        prop_assert!(broker.pop_batch(instant(4)).is_none(), "drain is terminal");
     }
 }

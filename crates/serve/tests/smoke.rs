@@ -1,13 +1,23 @@
 //! Deterministic serving smoke test (wired into `scripts/tier1.sh`):
 //! 64 tiny mixed-priority requests against a paused server, fixed seed,
-//! zero lost replies, dynamic batching observed (max batch > 1), and the
-//! metrics CSV written to `results/` and re-parsed.
+//! zero lost replies, dynamic batching observed (max batch > 1).
+//!
+//! The metrics CSV is written to `results/serve_smoke_metrics.csv`
+//! **only when `CC19_OBS_DETERMINISTIC=1`**, and then from a registry on
+//! a frozen [`ManualClock`] — every latency reads exactly zero and every
+//! count is fixed by the seed, so reruns produce a **byte-identical**
+//! file (tier-1 runs this test twice and `cmp`s the two CSVs). Without
+//! the flag the test still exercises the full real-clock path but leaves
+//! no artifact, so ordinary `cargo test` runs never overwrite the
+//! deterministic CSV with wall-clock noise.
 
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-use cc19_serve::{BatchPolicy, Priority, ServeRequest, Server, ServerCfg};
+use cc19_obs::{Clock, ManualClock, Registry};
+use cc19_serve::{BatchPolicy, Priority, ServeMetrics, ServeRequest, Server, ServerCfg};
 use cc19_tensor::rng::Xorshift;
 use computecovid19::framework::Framework;
 
@@ -16,6 +26,10 @@ const REQUESTS: u64 = 64;
 
 fn results_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results").join(name)
+}
+
+fn deterministic_mode() -> bool {
+    std::env::var("CC19_OBS_DETERMINISTIC").map(|v| v == "1").unwrap_or(false)
 }
 
 #[test]
@@ -30,7 +44,31 @@ fn serve_smoke_64_requests_zero_lost_batched_metrics() {
         start_paused: true,
         ..ServerCfg::default()
     };
-    let server = Server::start(cfg, || Framework::untrained_reduced(SEED)).expect("server starts");
+    // Frozen manual clock in deterministic mode: every timestamp is 0,
+    // so the histogram rows of the exported CSV carry no wall-clock
+    // noise and the file is byte-stable run over run.
+    let deterministic = deterministic_mode();
+    let frozen: Option<Arc<dyn Clock>> = deterministic.then(|| {
+        let c: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        c
+    });
+    let metrics = match &frozen {
+        Some(clock) => {
+            ServeMetrics::with_registry(Arc::new(Registry::with_clock(Arc::clone(clock))))
+        }
+        None => ServeMetrics::new(),
+    };
+    // The replicas' stage timers must read the same frozen clock as the
+    // registry, or enhance/segment/classify rows pick up wall-clock
+    // noise through the process-global clock.
+    let factory = move || {
+        let fw = Framework::untrained_reduced(SEED);
+        match &frozen {
+            Some(clock) => fw.with_clock(Arc::clone(clock)),
+            None => fw,
+        }
+    };
+    let server = Server::start_with_metrics(cfg, factory, metrics).expect("server starts");
     let client = server.client();
 
     let mut rng = Xorshift::new(SEED);
@@ -61,6 +99,10 @@ fn serve_smoke_64_requests_zero_lost_batched_metrics() {
     assert_eq!(snap.failed, 0);
     assert!(snap.max_batch > 1, "dynamic batching never formed a batch (max {})", snap.max_batch);
     assert_eq!(snap.depth_max, REQUESTS as usize);
+
+    if !deterministic {
+        return; // no artifact: wall-clock CSVs are not reproducible
+    }
 
     // Metrics land in results/ as CSV and parse back cleanly.
     let path = results_path("serve_smoke_metrics.csv");

@@ -51,14 +51,40 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
-echo "=== tier-1: serving smoke (64 mixed-priority requests, fixed seed) ==="
-# Deterministic cc19-serve smoke: paused server, 64 seeded requests,
-# exactly-once delivery, dynamic batching observed, metrics CSV written
-# to results/ and re-parsed (DESIGN.md §10).
+echo "=== tier-1: cluster chaos (kill a worker mid-load, CC19_FAULT_SEED pinned) ==="
+# Sharded serve cluster under the seeded fault plan (DESIGN.md §14): one
+# of three workers dies mid-load with wire drops/duplicates/corruption on
+# top; zero lost, zero double-served, and every surviving diagnosis
+# bit-identical to the single-node baseline.
 if [ "$status" -eq 0 ]; then
-    if ! cargo test -q -p cc19-serve --test smoke; then
-        echo "tier-1: SERVE SMOKE FAILED"
+    if ! CC19_FAULT_SEED="${CC19_FAULT_SEED:-1234}" cargo test -q -p cc19-serve --test cluster_chaos; then
+        echo "tier-1: CLUSTER CHAOS FAILED (CC19_FAULT_SEED=${CC19_FAULT_SEED:-1234})"
         status=1
+    fi
+fi
+
+echo
+echo "=== tier-1: serving smoke (64 mixed-priority requests, byte-identical CSV) ==="
+# Deterministic cc19-serve smoke: paused server, 64 seeded requests,
+# exactly-once delivery, dynamic batching observed (DESIGN.md §10).
+# Under CC19_OBS_DETERMINISTIC=1 the test writes
+# results/serve_smoke_metrics.csv from a frozen manual clock — run it
+# twice and the files must be byte-identical.
+if [ "$status" -eq 0 ]; then
+    if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-serve --test smoke; then
+        echo "tier-1: SERVE SMOKE FAILED (first run)"
+        status=1
+    else
+        cp results/serve_smoke_metrics.csv results/.serve_smoke_metrics.run1.csv
+        if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-serve --test smoke; then
+            echo "tier-1: SERVE SMOKE FAILED (second run)"
+            status=1
+        elif ! cmp -s results/serve_smoke_metrics.csv results/.serve_smoke_metrics.run1.csv; then
+            echo "tier-1: SERVE SMOKE NOT DETERMINISTIC (serve_smoke_metrics.csv differs)"
+            diff results/.serve_smoke_metrics.run1.csv results/serve_smoke_metrics.csv | head -20
+            status=1
+        fi
+        rm -f results/.serve_smoke_metrics.run1.csv
     fi
 fi
 
@@ -66,7 +92,8 @@ echo
 echo "=== tier-1: observability report (byte-identical under manual clock) ==="
 # obs_report sweeps every instrumented subsystem (GEMM/conv kernels,
 # ctsim stages, a tiny training run, a faulty 4-rank all-reduce, a serve
-# smoke) into the cc19-obs registry and exports results/bench_obs.json.
+# smoke, a kill-and-recover cluster pass) into the cc19-obs registry and
+# exports results/bench_obs.json.
 # Under CC19_OBS_DETERMINISTIC=1 every clock read is causally ordered on
 # the auto-ticking manual clock, so two runs must produce byte-identical
 # output (DESIGN.md §12) — run it twice and compare.
