@@ -234,6 +234,14 @@ impl DenseNet3d {
 
     /// Save weights + batch-norm running statistics.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.to_checkpoint().save(path)
+    }
+
+    /// The classifier's full state (config fingerprint, parameters,
+    /// batch-norm running stats) as an in-memory checkpoint — what
+    /// [`DenseNet3d::save`] writes to disk, also the weight-identity
+    /// input of the monitoring layer's content-addressed study cache.
+    pub fn to_checkpoint(&self) -> cc19_nn::checkpoint::Checkpoint {
         let mut ck = cc19_nn::checkpoint::Checkpoint::new();
         ck.push("classifier.config", self.config_fingerprint());
         ck.push("classifier.params", self.store.snapshot());
@@ -241,7 +249,7 @@ impl DenseNet3d {
             ck.push(format!("classifier.bn{i}.mean"), bn.running_mean());
             ck.push(format!("classifier.bn{i}.var"), bn.running_var());
         }
-        ck.save(path)
+        ck
     }
 
     /// Load a checkpoint written by [`DenseNet3d::save`] into this

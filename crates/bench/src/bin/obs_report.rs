@@ -5,9 +5,10 @@
 //! own those — but an end-to-end exercise of the `cc19-obs` registry:
 //! seeded GEMM and conv kernels, the CT simulation stages, a tiny
 //! Enhancement-AI training run, a 4-rank lockstep all-reduce under a
-//! pinned fault plan, and a serve smoke test, all writing into the
-//! process-global registry, which is then exported with the deterministic
-//! sorted-key exporters.
+//! pinned fault plan, a serve smoke test, and a longitudinal-monitoring
+//! pass (progression series + one cache-hit replay), all writing into
+//! the process-global registry, which is then exported with the
+//! deterministic sorted-key exporters.
 //!
 //! Under `CC19_OBS_DETERMINISTIC=1` the global registry runs on the
 //! auto-ticking manual clock and every clock read in this binary is
@@ -28,6 +29,7 @@ use cc19_ctsim::lowdose::{apply_poisson_noise, DoseSettings};
 use cc19_ctsim::phantom::{ChestPhantom, Severity};
 use cc19_ctsim::siddon::{project_parallel, Grid};
 use cc19_data::lowdose_pairs::{make_pair, EnhancementPair, PairConfig};
+use cc19_data::progression::{progression_series, ProgressionCourse};
 use cc19_data::sources::{DataSource, Modality, ScanMeta};
 use cc19_ddnet::model::{Ddnet, DdnetConfig};
 use cc19_ddnet::trainer::{train_enhancement, TrainConfig};
@@ -37,6 +39,7 @@ use cc19_kernels::conv::{conv2d_with, ConvShape};
 use cc19_kernels::deconv::{deconv2d_with, out_h, out_w};
 use cc19_kernels::simd::{self, SimdLevel};
 use cc19_kernels::OptLevel;
+use cc19_monitor::{PatientSeries, Provenance};
 use cc19_obs::span::enter_on;
 use cc19_obs::Snapshot;
 use cc19_serve::{
@@ -68,6 +71,9 @@ const CLUSTER_REQS: u64 = 12;
 
 /// Initial worker count for the cluster stage.
 const CLUSTER_WORKERS: usize = 2;
+
+/// Timesteps in the longitudinal-monitoring stage's progression course.
+const MONITOR_STEPS: usize = 4;
 
 fn stage_gemm() {
     let _span = enter_on(cc19_obs::global_arc(), "bench.gemm");
@@ -227,6 +233,37 @@ fn stage_serve_cluster() {
     reg.gauge("bench_serve_cluster_recovery_ms").set(metrics.mean_recovery_ms());
 }
 
+fn stage_monitor() {
+    let _span = enter_on(cc19_obs::global_arc(), "bench.monitor");
+    let reg = cc19_obs::global();
+    // The series registers its monitor_* counters and histograms on the
+    // global registry, so they land in the exported JSON alongside the
+    // other subsystems. add_scan is strictly sequential on this thread,
+    // keeping the deterministic manual clock causal.
+    let course = ProgressionCourse::worsening(MONITOR_STEPS);
+    let scans = progression_series(SEED, &course, 32, 4, Severity::Moderate)
+        .expect("progression synthesis");
+    let fw = Framework::untrained_reduced(SEED);
+    let mut series = PatientSeries::with_registry(fw, 0.5, 64 << 20, cc19_obs::global_arc());
+    let mut last_burden = 0.0;
+    for (t, vol) in scans.iter().enumerate() {
+        let report = series.add_scan(format!("t{t}"), vol).expect("add_scan");
+        assert_eq!(report.provenance, Provenance::Computed);
+        assert!(report.burden.lesion_ml > last_burden, "worsening course must progress");
+        last_burden = report.burden.lesion_ml;
+    }
+    // replay the final scan: content-addressed hit, stages skipped
+    let replay = series.add_scan("t3-replay", &scans[MONITOR_STEPS - 1]).expect("replay");
+    assert_eq!(replay.provenance, Provenance::CacheHit);
+    assert_eq!(replay.burden.lesion_ml.to_bits(), last_burden.to_bits());
+
+    reg.gauge("bench_monitor_final_burden_ml").set(last_burden);
+    reg.gauge("bench_monitor_scans").set(series.reports().len() as f64);
+    let (hits, misses, _) = series.cache().stats();
+    let ratio = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    reg.gauge("bench_monitor_cache_hit_ratio").set(ratio);
+}
+
 /// In-plane resolution / channels for the kernel-ladder stage — small:
 /// the point here is the GFLOP/s *gauges* (tracked across PRs via the
 /// exported JSON), not peak numbers, which `kernel_ladder` owns.
@@ -310,6 +347,14 @@ fn print_summary(snap: &Snapshot) {
     let faults = counter_sum(snap, "dist_faults_injected_total");
     t.row(&[&"dist_faults_injected_total", &faults]);
     t.row(&[&"serve_completed_total", &counter_sum(snap, "serve_completed_total")]);
+    t.row(&[&"monitor_cache_hits_total", &counter_sum(snap, "monitor_cache_hits_total")]);
+    let burden = snap
+        .gauges
+        .iter()
+        .find(|e| e.name == "bench_monitor_final_burden_ml")
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    t.row(&[&"bench_monitor_final_burden_ml", &format!("{burden:.1}")]);
     let recovery = snap
         .gauges
         .iter()
@@ -347,6 +392,7 @@ fn main() {
     stage_allreduce();
     stage_serve();
     stage_serve_cluster();
+    stage_monitor();
     stage_kernel_ladder();
     derive_gauges();
 
@@ -361,6 +407,14 @@ fn main() {
     // Cluster worker nodes carry private serve registries, so the global
     // serve counters still reflect exactly the single-server stage.
     assert_eq!(counter_sum(&snap, "serve_completed_total"), SERVE_REQS);
+    // The monitoring stage runs 4 computed scans plus one replay: the
+    // cache counters in the export must say exactly that.
+    assert_eq!(counter_sum(&snap, "monitor_cache_hits_total"), 1);
+    assert_eq!(counter_sum(&snap, "monitor_cache_misses_total"), MONITOR_STEPS as u64);
+    assert_eq!(counter_sum(&snap, "monitor_cache_evictions_total"), 0);
+    let burden_obs: u64 =
+        snap.histograms.iter().filter(|e| e.name == "monitor_burden_ml").map(|e| e.value.count()).sum();
+    assert_eq!(burden_obs as usize, MONITOR_STEPS + 1, "one burden observation per submission");
     let qps_gauges =
         snap.gauges.iter().filter(|e| e.name == "bench_serve_cluster_node_qps").count();
     assert_eq!(qps_gauges, CLUSTER_WORKERS, "per-node QPS gauge set incomplete");

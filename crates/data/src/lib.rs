@@ -22,11 +22,13 @@ pub mod dataset;
 pub mod io;
 pub mod lowdose_pairs;
 pub mod prep;
+pub mod progression;
 pub mod sources;
 pub mod volume;
 
+pub use progression::ProgressionCourse;
 pub use sources::{DataSource, ScanMeta, SourceCatalog};
-pub use volume::CtVolume;
+pub use volume::{CtVolume, VoxelSpacing};
 
 /// Crate-wide result alias.
 pub type Result<T> = cc19_tensor::Result<T>;

@@ -1,0 +1,235 @@
+//! Longitudinal disease progression phantoms.
+//!
+//! The monitoring half of the paper needs *series* of scans of one
+//! patient whose lesion burden changes over time in a known way. This
+//! module takes the per-slice [`ChestPhantom`] anatomy (stable per
+//! patient seed) and rescales its lesions deterministically per
+//! timestep: a [`ProgressionCourse`] is a list of per-timestep scale
+//! factors applied to every lesion's Gaussian `sigma`, so lesion *area*
+//! (and therefore burden) grows as the square of the factor while the
+//! patient's anatomy, lesion sites, and texture stay fixed. Factor 1.0
+//! reproduces the baseline scan bit-for-bit; factor 0.0 clears the
+//! lesions entirely (full recovery).
+//!
+//! Everything is deterministic in `(patient, timestep)` — the
+//! monitoring end-to-end tests compare measured burden deltas against
+//! [`ProgressionCourse::programmed_burden`], the closed-form burden the
+//! course dialed in.
+
+use rayon::prelude::*;
+
+use cc19_ctsim::phantom::{ChestPhantom, Severity};
+use cc19_tensor::Tensor;
+
+use crate::sources::{DataSource, Modality, ScanMeta};
+use crate::volume::CtVolume;
+use crate::Result;
+
+/// A patient's programmed lesion trajectory: one lesion-size scale
+/// factor per timestep. Factors multiply every lesion's `sigma`, so
+/// burden ∝ factor² per lesion; `0.0` clears lesions, `1.0` is the
+/// untouched baseline anatomy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressionCourse {
+    /// Per-timestep lesion scale factors (each `>= 0`).
+    pub factors: Vec<f32>,
+}
+
+impl ProgressionCourse {
+    /// A strictly worsening course over `steps` timesteps: factors climb
+    /// linearly from 0.55 to 1.3, so burden rises monotonically.
+    pub fn worsening(steps: usize) -> Self {
+        let factors = (0..steps)
+            .map(|t| {
+                if steps <= 1 {
+                    1.0
+                } else {
+                    0.55 + 0.75 * t as f32 / (steps - 1) as f32
+                }
+            })
+            .collect();
+        ProgressionCourse { factors }
+    }
+
+    /// A strictly recovering course over `steps` timesteps: factors fall
+    /// linearly from 1.3 toward 0.25, so burden shrinks monotonically.
+    pub fn recovering(steps: usize) -> Self {
+        let mut c = Self::worsening(steps);
+        c.factors.reverse();
+        ProgressionCourse { factors: c.factors.iter().map(|f| f - 0.3).collect() }
+    }
+
+    /// An explicit factor list (clamped to `>= 0`).
+    pub fn custom(factors: Vec<f32>) -> Self {
+        ProgressionCourse { factors: factors.into_iter().map(|f| f.max(0.0)).collect() }
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factor at `timestep` (last factor held for out-of-range
+    /// steps, 1.0 for an empty course).
+    pub fn factor(&self, timestep: usize) -> f32 {
+        match self.factors.get(timestep).or(self.factors.last()) {
+            Some(f) => f.max(0.0),
+            None => 1.0,
+        }
+    }
+
+    /// The closed-form lesion burden this course programs at `timestep`
+    /// for the given patient: the sum over slices of the phantom's
+    /// `lesion_burden` (Σ peak·σ²) after scaling. The e2e tests compare
+    /// measured burden ordering against this.
+    pub fn programmed_burden(
+        &self,
+        patient: u64,
+        timestep: usize,
+        slices: usize,
+        severity: Severity,
+    ) -> f64 {
+        let f = self.factor(timestep) as f64;
+        let base: f64 = (0..slices)
+            .map(|s| {
+                let z = (s as f32 + 0.5) / slices as f32;
+                ChestPhantom::subject(patient, z, Some(severity)).lesion_burden() as f64
+            })
+            .sum();
+        base * f * f
+    }
+}
+
+/// Scale a phantom's lesions in place by `factor` (σ ← factor·σ). A
+/// factor at or below zero removes the lesions entirely — a zero-sigma
+/// Gaussian is a division by zero in `Lesion::hu_at`, and physically a
+/// fully resorbed lesion simply is not there.
+fn scale_lesions(phantom: &mut ChestPhantom, factor: f32) {
+    if factor <= 0.0 {
+        phantom.lesions.clear();
+    } else {
+        for l in &mut phantom.lesions {
+            l.sigma *= factor;
+        }
+    }
+}
+
+/// Catalog metadata for one timestep of a progression series. The scan
+/// id is the patient id (the anatomy seed); the timestep only rescales
+/// lesions, it never reseeds anatomy.
+fn timestep_meta(patient: u64, slices: usize, severity: Severity) -> ScanMeta {
+    ScanMeta {
+        id: patient,
+        source: DataSource::Midrc,
+        modality: Modality::Ct,
+        positive: true,
+        severity: Some(severity),
+        slices,
+        circular_artifact: false,
+        has_projections: false,
+    }
+}
+
+/// Synthesize the scan of `patient` at `timestep` of `course`:
+/// baseline anatomy from the patient seed, lesions rescaled by the
+/// course factor, rasterized at `n`×`n` over `slices` slices.
+pub fn progression_volume(
+    patient: u64,
+    timestep: usize,
+    course: &ProgressionCourse,
+    n: usize,
+    slices: usize,
+    severity: Severity,
+) -> Result<CtVolume> {
+    let factor = course.factor(timestep);
+    let mut hu = Tensor::zeros([slices, n, n]);
+    let plane = n * n;
+    hu.data_mut().par_chunks_mut(plane).enumerate().for_each(|(s, out)| {
+        let z = (s as f32 + 0.5) / slices as f32;
+        let mut phantom = ChestPhantom::subject(patient, z, Some(severity));
+        scale_lesions(&mut phantom, factor);
+        let img = phantom.rasterize_hu(n);
+        out.copy_from_slice(img.data());
+    });
+    Ok(CtVolume { hu, meta: timestep_meta(patient, slices, severity) })
+}
+
+/// The full series of a course: one volume per timestep, in order.
+pub fn progression_series(
+    patient: u64,
+    course: &ProgressionCourse,
+    n: usize,
+    slices: usize,
+    severity: Severity,
+) -> Result<Vec<CtVolume>> {
+    (0..course.steps())
+        .map(|t| progression_volume(patient, t, course, n, slices, severity))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PATIENT: u64 = 0xC19;
+
+    #[test]
+    fn factor_one_reproduces_baseline_bits() {
+        let course = ProgressionCourse::custom(vec![1.0]);
+        let vol = progression_volume(PATIENT, 0, &course, 48, 4, Severity::Moderate).unwrap();
+        let base =
+            CtVolume::synthesize(&timestep_meta(PATIENT, 4, Severity::Moderate), 48, 4).unwrap();
+        assert_eq!(vol.hu.data(), base.hu.data());
+    }
+
+    #[test]
+    fn timesteps_are_deterministic_and_distinct() {
+        let course = ProgressionCourse::worsening(4);
+        let a = progression_volume(PATIENT, 2, &course, 32, 4, Severity::Moderate).unwrap();
+        let b = progression_volume(PATIENT, 2, &course, 32, 4, Severity::Moderate).unwrap();
+        let c = progression_volume(PATIENT, 3, &course, 32, 4, Severity::Moderate).unwrap();
+        assert_eq!(a.hu.data(), b.hu.data());
+        assert_ne!(a.hu.data(), c.hu.data());
+    }
+
+    #[test]
+    fn programmed_burden_is_monotone_in_the_course() {
+        let course = ProgressionCourse::worsening(4);
+        let burdens: Vec<f64> = (0..4)
+            .map(|t| course.programmed_burden(PATIENT, t, 4, Severity::Moderate))
+            .collect();
+        for w in burdens.windows(2) {
+            assert!(w[1] > w[0], "programmed burden not monotone: {burdens:?}");
+        }
+        let rec = ProgressionCourse::recovering(4);
+        let burdens: Vec<f64> =
+            (0..4).map(|t| rec.programmed_burden(PATIENT, t, 4, Severity::Moderate)).collect();
+        for w in burdens.windows(2) {
+            assert!(w[1] < w[0], "recovering burden not monotone: {burdens:?}");
+        }
+    }
+
+    #[test]
+    fn zero_factor_clears_lesions() {
+        let course = ProgressionCourse::custom(vec![0.0]);
+        let vol = progression_volume(PATIENT, 0, &course, 48, 4, Severity::Severe).unwrap();
+        let healthy_meta = ScanMeta {
+            positive: false,
+            severity: None,
+            ..timestep_meta(PATIENT, 4, Severity::Severe)
+        };
+        // lesions gone ⇒ identical to the healthy synthesis of the same
+        // patient (anatomy and texture are lesion-independent)
+        let healthy = CtVolume::synthesize(&healthy_meta, 48, 4).unwrap();
+        assert_eq!(vol.hu.data(), healthy.hu.data());
+        assert_eq!(course.programmed_burden(PATIENT, 0, 4, Severity::Severe), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_timestep_holds_the_last_factor() {
+        let course = ProgressionCourse::custom(vec![0.5, 2.0]);
+        assert_eq!(course.factor(1), 2.0);
+        assert_eq!(course.factor(7), 2.0);
+        assert_eq!(ProgressionCourse::custom(vec![]).factor(0), 1.0);
+    }
+}

@@ -23,6 +23,48 @@ pub struct CtVolume {
 /// -2000/-3024 sentinel values; we use -2000.
 pub const CIRCLE_PADDING_HU: f32 = -2000.0;
 
+/// In-plane physical field of view of the phantom rasterizer, in mm
+/// (matches `ChestPhantom::rasterize_hu`, which maps `n` pixels onto a
+/// 500 mm square).
+pub const FOV_MM: f64 = 500.0;
+
+/// Physical z extent spanned by the normalized `[0, 1]` slice axis, in
+/// mm — the chest coverage of a synthesized study. Slices are placed at
+/// `z = (s + 0.5) / slices`, so a study of `D` slices covers the full
+/// extent with `CHEST_Z_MM / D` mm per slice.
+pub const CHEST_Z_MM: f64 = 300.0;
+
+/// Physical voxel spacing of a synthesized `(D, H, W)` study, derived
+/// from the phantom geometry ([`FOV_MM`] in-plane, [`CHEST_Z_MM`]
+/// axially). Turns raw voxel counts into physical volumes — lesion
+/// burden is reported in mL, not voxels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelSpacing {
+    /// Slice thickness (mm).
+    pub dz_mm: f64,
+    /// Row pitch (mm).
+    pub dy_mm: f64,
+    /// Column pitch (mm).
+    pub dx_mm: f64,
+}
+
+impl VoxelSpacing {
+    /// Spacing for a synthesized volume of `slices` slices at `n`×`n`
+    /// in-plane resolution.
+    pub fn for_volume_dims(slices: usize, n: usize) -> Self {
+        VoxelSpacing {
+            dz_mm: if slices > 0 { CHEST_Z_MM / slices as f64 } else { 0.0 },
+            dy_mm: if n > 0 { FOV_MM / n as f64 } else { 0.0 },
+            dx_mm: if n > 0 { FOV_MM / n as f64 } else { 0.0 },
+        }
+    }
+
+    /// Volume of one voxel in mL (1 mL = 1000 mm³).
+    pub fn voxel_ml(&self) -> f64 {
+        self.dz_mm * self.dy_mm * self.dx_mm / 1000.0
+    }
+}
+
 impl CtVolume {
     /// Synthesize the study described by `meta` at `n`×`n` in-plane
     /// resolution with `slices` slices (overriding `meta.slices` lets the
@@ -88,6 +130,12 @@ impl CtVolume {
             }
         });
         self.meta.circular_artifact = true;
+    }
+
+    /// Physical voxel spacing of this study (phantom geometry: 500 mm
+    /// in-plane FOV, [`CHEST_Z_MM`] axial coverage).
+    pub fn voxel_spacing(&self) -> VoxelSpacing {
+        VoxelSpacing::for_volume_dims(self.slices(), self.n())
     }
 
     /// Ground-truth lung masks, shape `(D, H, W)` with 1 inside lungs.
@@ -190,5 +238,23 @@ mod tests {
         let a = CtVolume::synthesize(&meta(true, false), 32, 4).unwrap();
         let b = CtVolume::synthesize(&meta(true, false), 32, 4).unwrap();
         assert_eq!(a.hu.data(), b.hu.data());
+    }
+
+    #[test]
+    fn voxel_spacing_matches_phantom_geometry() {
+        let vol = CtVolume::synthesize(&meta(false, false), 64, 16).unwrap();
+        let sp = vol.voxel_spacing();
+        assert_eq!(sp.dx_mm, FOV_MM / 64.0);
+        assert_eq!(sp.dy_mm, FOV_MM / 64.0);
+        assert_eq!(sp.dz_mm, CHEST_Z_MM / 16.0);
+        // one voxel in mL: dz * dy * dx / 1000
+        let expected = (CHEST_Z_MM / 16.0) * (FOV_MM / 64.0) * (FOV_MM / 64.0) / 1000.0;
+        assert!((sp.voxel_ml() - expected).abs() < 1e-12);
+        // whole-volume physical size is invariant under resampling
+        let fine = CtVolume::synthesize(&meta(false, false), 128, 32).unwrap();
+        let total = |v: &CtVolume| {
+            v.voxel_spacing().voxel_ml() * (v.slices() * v.n() * v.n()) as f64
+        };
+        assert!((total(&vol) - total(&fine)).abs() < 1e-6);
     }
 }

@@ -1,0 +1,17 @@
+//~ path: crates/monitor/src/fixture.rs
+//~ expect: determinism
+//~ expect: panic-surface
+// The longitudinal-monitoring crate sits on BOTH enforced surfaces:
+// its cache keys and burden numbers must be bit-reproducible (no
+// ambient clocks/RNG), and its cache/timeline paths must stay
+// panic-free — a stale-entry unwrap would take down a serving replica
+// mid-study. One sneaky clock read plus one unwrap must trip exactly
+// the two rules.
+
+use std::time::Instant;
+
+pub fn evict_with_wall_clock_tiebreak(entries: &mut Vec<(u64, f64)>) -> (u64, f64) {
+    let jitter = Instant::now().elapsed().as_nanos() as u64;
+    let victim = entries.pop().unwrap();
+    (victim.0 ^ jitter, victim.1)
+}

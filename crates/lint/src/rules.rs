@@ -47,7 +47,8 @@ pub const RULE_NAMES: &[&str] = &[
 /// wall-clock read in the workspace is the allowlisted
 /// `MonotonicClock` in `crates/obs/src/clock.rs` — everything else
 /// must go through an injected [`cc19_obs::Clock`].
-pub const DETERMINISM_CRATES: &[&str] = &["tensor", "kernels", "nn", "ddnet", "ctsim", "obs"];
+pub const DETERMINISM_CRATES: &[&str] =
+    &["tensor", "kernels", "nn", "ddnet", "ctsim", "obs", "monitor"];
 
 /// Registry constructor methods whose first argument is a metric name
 /// (the `cc19-obs` registration surface). When that argument is a string
@@ -67,8 +68,12 @@ pub const METRIC_CTORS: &[&str] = &[
 /// Paths that must stay panic-free and use typed errors: the
 /// fault-tolerant transport, the whole serving dispatch crate, and
 /// checkpoint I/O.
-pub const PANIC_PATHS: &[&str] =
-    &["crates/dist/src/transport.rs", "crates/serve/src/", "crates/nn/src/checkpoint.rs"];
+pub const PANIC_PATHS: &[&str] = &[
+    "crates/dist/src/transport.rs",
+    "crates/serve/src/",
+    "crates/nn/src/checkpoint.rs",
+    "crates/monitor/src/",
+];
 
 /// The per-file `unsafe` opt-out marker (must appear verbatim, typically
 /// in a comment near the top of the file, with a reason string).
@@ -624,6 +629,25 @@ mod tests {
         }
         let bad = "fn f() { v.unwrap(); }\n";
         assert_eq!(run("panic-surface", "crates/serve/src/cluster/router.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn monitor_crate_is_pinned_onto_both_rule_sets() {
+        // The longitudinal-monitoring subsystem memoizes clinical
+        // artifacts: its cache keys and burden numbers must be
+        // bit-reproducible, and a panic in the cache path would take
+        // down a serving replica mid-study.
+        assert!(DETERMINISM_CRATES.contains(&"monitor"), "monitor fell off determinism");
+        assert!(
+            PANIC_PATHS.iter().any(|p| "crates/monitor/src/cache.rs".starts_with(p)),
+            "crates/monitor/src/ fell off the panic-free surface"
+        );
+        let clocked = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(run("determinism", "crates/monitor/src/timeline.rs", clocked).len(), 1);
+        let bad = "fn f() { v.unwrap(); }\n";
+        assert_eq!(run("panic-surface", "crates/monitor/src/cache.rs", bad).len(), 1);
+        // tests and the demo example stay off the enforced surface
+        assert!(run("panic-surface", "crates/monitor/tests/x.rs", bad).is_empty());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Lesion-burden quantification in physical units.
+//!
+//! Counts lung and lesion voxels from the segmentation output (mask ×
+//! enhanced HU volume) and converts them to mL via the phantom
+//! [`VoxelSpacing`] — the fluid-volume-calculation direction: burden is
+//! a volume, not a voxel count. The HU threshold separating healthy
+//! parenchyma from GGO/consolidation territory is the pipeline's
+//! [`LESION_HU_THRESHOLD`].
+
+use cc19_data::volume::VoxelSpacing;
+use cc19_tensor::Tensor;
+use computecovid19::monitoring::LESION_HU_THRESHOLD;
+
+use crate::Result;
+
+/// Quantified lesion burden of one scan, in physical units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LesionBurden {
+    /// Segmented lung volume (mL).
+    pub lung_ml: f64,
+    /// GGO/consolidation volume inside the lungs (mL).
+    pub lesion_ml: f64,
+    /// Mean HU inside the lungs (rises with disease).
+    pub mean_lung_hu: f64,
+}
+
+impl LesionBurden {
+    /// Lesion fraction of the lung volume (0..1); 0 for empty lungs.
+    pub fn fraction(&self) -> f64 {
+        if self.lung_ml <= 0.0 {
+            return 0.0;
+        }
+        self.lesion_ml / self.lung_ml
+    }
+}
+
+/// Quantify the burden of a `(D, H, W)` HU volume against its binary
+/// lung mask. Both tensors must share dims; the mask is the
+/// segmentation stage's output (1 inside lungs).
+pub fn quantify_masked(
+    volume_hu: &Tensor,
+    mask: &Tensor,
+    spacing: VoxelSpacing,
+) -> Result<LesionBurden> {
+    volume_hu.shape().expect_rank(3)?;
+    if volume_hu.dims() != mask.dims() {
+        return Err(cc19_tensor::TensorError::Incompatible(
+            "burden quantification needs matching volume and mask dims".into(),
+        ));
+    }
+    let mut lung_voxels = 0u64;
+    let mut lesion_voxels = 0u64;
+    let mut hu_acc = 0.0f64;
+    for (&hu, &m) in volume_hu.data().iter().zip(mask.data()) {
+        if m > 0.5 {
+            lung_voxels += 1;
+            hu_acc += hu as f64;
+            if hu > LESION_HU_THRESHOLD {
+                lesion_voxels += 1;
+            }
+        }
+    }
+    let voxel_ml = spacing.voxel_ml();
+    Ok(LesionBurden {
+        lung_ml: lung_voxels as f64 * voxel_ml,
+        lesion_ml: lesion_voxels as f64 * voxel_ml,
+        mean_lung_hu: if lung_voxels > 0 { hu_acc / lung_voxels as f64 } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    fn spacing() -> VoxelSpacing {
+        VoxelSpacing::for_volume_dims(4, 32)
+    }
+
+    #[test]
+    fn counts_scale_by_voxel_volume() {
+        // 2 lung voxels, 1 above the lesion threshold
+        let mut vol = Tensor::full([1, 2, 2], -1000.0);
+        vol.data_mut()[0] = -800.0;
+        vol.data_mut()[1] = -300.0;
+        let mut mask = Tensor::zeros([1, 2, 2]);
+        mask.data_mut()[0] = 1.0;
+        mask.data_mut()[1] = 1.0;
+        let b = quantify_masked(&vol, &mask, spacing()).unwrap();
+        let vml = spacing().voxel_ml();
+        assert!((b.lung_ml - 2.0 * vml).abs() < 1e-12);
+        assert!((b.lesion_ml - vml).abs() < 1e-12);
+        assert!((b.fraction() - 0.5).abs() < 1e-12);
+        assert!((b.mean_lung_hu - (-550.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mask_is_zero_burden() {
+        let vol = Tensor::full([1, 2, 2], -300.0);
+        let mask = Tensor::zeros([1, 2, 2]);
+        let b = quantify_masked(&vol, &mask, spacing()).unwrap();
+        assert_eq!(b.lung_ml, 0.0);
+        assert_eq!(b.fraction(), 0.0);
+    }
+
+    #[test]
+    fn dim_mismatch_is_an_error() {
+        let vol = Tensor::zeros([1, 2, 2]);
+        let mask = Tensor::zeros([1, 2, 3]);
+        assert!(quantify_masked(&vol, &mask, spacing()).is_err());
+        assert!(quantify_masked(&Tensor::zeros([2, 2]), &Tensor::zeros([2, 2]), spacing())
+            .is_err());
+    }
+}

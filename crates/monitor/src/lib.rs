@@ -1,0 +1,49 @@
+//! # cc19-monitor
+//!
+//! Longitudinal patient **monitoring** — the second half of the paper's
+//! title — built as a layer over the diagnosis pipeline (DESIGN.md §15):
+//!
+//! * [`digest`] — content-addressed study identity: an FNV-1a/splitmix
+//!   digest over the HU volume bytes, the model weights (checkpoint
+//!   serialization, same discipline as the CRC-framed checkpoint
+//!   format), and the pipeline configuration;
+//! * [`cache`] — a dependency-free keyed store memoizing the enhanced
+//!   HU volume, the segmentation mask, and the diagnosis per
+//!   [`StudyKey`], with deterministic LRU eviction under a byte budget
+//!   and hit/miss/eviction counters on the `cc19-obs` registry;
+//! * [`burden`] — lesion-burden quantification in physical mL (mask ×
+//!   voxel spacing), the fluid-volume-calculation direction;
+//! * [`timeline`] — the [`PatientSeries`] API: submit scans in
+//!   acquisition order, get a [`DeltaReport`] per scan ("burden 12% →
+//!   7%", trend, cache provenance), exported as deterministic CSV/JSON.
+//!
+//! Repeat submissions of a scan are cache hits: the enhance/segment/
+//! classify stages are skipped and the reported diagnosis and burden
+//! are bit-identical to the first computation. Scans can also ride
+//! through the serving layer ([`PatientSeries::add_scan_served`] /
+//! [`PatientSeries::add_scan_clustered`]); the served diagnosis is
+//! bit-identical to the direct path, so the resulting reports match
+//! byte for byte.
+//!
+//! This crate sits on the panic-free and determinism lint surfaces
+//! (`cc19-lint`): no `unwrap`/`expect` outside tests, no ambient
+//! clocks or RNG — all timing flows through the injected registry
+//! clock.
+
+// Panic-free surface (cc19-lint panic-surface rule + DESIGN.md §15):
+// monitoring runs inside serving deployments; recoverable failures
+// must reach the caller as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::unreachable)]
+
+pub mod burden;
+pub mod cache;
+pub mod digest;
+pub mod timeline;
+
+pub use burden::LesionBurden;
+pub use cache::{CachedStudy, StudyCache};
+pub use digest::StudyKey;
+pub use timeline::{DeltaReport, PatientSeries, Provenance, ScanRecord};
+
+/// Crate-wide result alias.
+pub type Result<T> = cc19_tensor::Result<T>;

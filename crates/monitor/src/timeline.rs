@@ -1,0 +1,478 @@
+//! The patient timeline: scans in, delta reports out.
+//!
+//! A [`PatientSeries`] owns a diagnosis [`Framework`] and a
+//! [`StudyCache`]. Each [`PatientSeries::add_scan`] call content-
+//! addresses the submission, serves it from the cache when possible
+//! (skipping the enhance/segment/classify stages entirely), quantifies
+//! the lesion burden in mL, and emits a [`DeltaReport`] against the
+//! previous scan — "burden 12% → 7%", trend direction, and whether the
+//! result was computed or replayed from cache.
+//!
+//! Scans can also ride through the serving layer
+//! ([`PatientSeries::add_scan_served`] via a single-node broker,
+//! [`PatientSeries::add_scan_clustered`] via the sharded cluster): the
+//! served diagnosis is bit-identical to the direct path, so the
+//! resulting timeline exports match byte for byte. Reports carry no
+//! wall-clock fields — the CSV/JSON exports are deterministic and
+//! byte-stable across runs.
+
+use std::sync::Arc;
+
+use cc19_data::volume::CtVolume;
+use cc19_obs::{HistogramHandle, Registry, Timer};
+use cc19_serve::{Client, ClusterClient, ServeRequest};
+use cc19_tensor::{Tensor, TensorError};
+use computecovid19::framework::{Diagnosis, Framework, Scratch};
+use computecovid19::monitoring::Trend;
+
+use crate::burden::{quantify_masked, LesionBurden};
+use crate::cache::StudyCache;
+use crate::digest::StudyKey;
+use crate::Result;
+
+/// How a scan's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The pipeline stages ran (and the result was memoized).
+    Computed,
+    /// The result was replayed from the content-addressed cache.
+    CacheHit,
+}
+
+impl Provenance {
+    /// Stable lowercase tag for exports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Provenance::Computed => "computed",
+            Provenance::CacheHit => "cache_hit",
+        }
+    }
+}
+
+/// Stable lowercase tag for a trend.
+fn trend_tag(t: Trend) -> &'static str {
+    match t {
+        Trend::Improving => "improving",
+        Trend::Stable => "stable",
+        Trend::Progressing => "progressing",
+    }
+}
+
+/// One scan on the timeline: burden, diagnosis, and provenance.
+#[derive(Debug, Clone)]
+pub struct ScanRecord {
+    /// Caller-supplied label ("day 0", an accession id, …).
+    pub label: String,
+    /// Quantified lesion burden (mL, physical units).
+    pub burden: LesionBurden,
+    /// The pipeline diagnosis (cached replays are bit-identical to the
+    /// original computation, timings included).
+    pub diagnosis: Diagnosis,
+    /// Computed or replayed from cache.
+    pub provenance: Provenance,
+    /// The scan's content address.
+    pub key: StudyKey,
+}
+
+/// The delta between a scan and its predecessor on the timeline.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// This scan's label.
+    pub label: String,
+    /// This scan's burden.
+    pub burden: LesionBurden,
+    /// COVID-positive probability of this scan.
+    pub probability: f64,
+    /// Decision at the series threshold.
+    pub positive: bool,
+    /// Computed or replayed from cache.
+    pub provenance: Provenance,
+    /// Previous scan's label (None for the baseline scan).
+    pub prev_label: Option<String>,
+    /// Previous scan's lesion fraction.
+    pub prev_fraction: Option<f64>,
+    /// Previous scan's lesion volume (mL).
+    pub prev_lesion_ml: Option<f64>,
+    /// Trend vs the previous scan (None for the baseline scan).
+    pub trend: Option<Trend>,
+}
+
+impl DeltaReport {
+    /// Lesion-volume change vs the previous scan (mL); 0 for baseline.
+    pub fn delta_ml(&self) -> f64 {
+        self.burden.lesion_ml - self.prev_lesion_ml.unwrap_or(self.burden.lesion_ml)
+    }
+
+    /// Human-readable one-liner, e.g.
+    /// `day 5: burden 12.4% -> 7.1% (improving, cache_hit)`.
+    pub fn summary(&self) -> String {
+        let pct = self.burden.fraction() * 100.0;
+        match (self.prev_fraction, self.trend) {
+            (Some(prev), Some(trend)) => format!(
+                "{}: burden {:.1}% -> {:.1}% ({}, {})",
+                self.label,
+                prev * 100.0,
+                pct,
+                trend_tag(trend),
+                self.provenance.tag()
+            ),
+            _ => format!(
+                "{}: burden {:.1}% (baseline, {})",
+                self.label,
+                pct,
+                self.provenance.tag()
+            ),
+        }
+    }
+}
+
+/// How a scan's diagnosis is produced on a cache miss.
+enum Route<'a> {
+    /// Classify in-process on the series' own framework.
+    Direct,
+    /// Submit through a single-node serving broker.
+    Served(&'a Client),
+    /// Submit through the sharded serve cluster.
+    Clustered(&'a ClusterClient),
+}
+
+/// Longitudinal monitoring of one patient over a cached pipeline.
+pub struct PatientSeries {
+    fw: Framework,
+    threshold: f64,
+    min_delta: f64,
+    cache: StudyCache,
+    scratch: Scratch,
+    registry: Arc<Registry>,
+    burden_ml: HistogramHandle,
+    delta_seconds: HistogramHandle,
+    records: Vec<ScanRecord>,
+    reports: Vec<DeltaReport>,
+}
+
+impl PatientSeries {
+    /// Series over `fw` at the given decision threshold, with a study
+    /// cache of `cache_budget` bytes, counting on the global registry.
+    pub fn new(fw: Framework, threshold: f64, cache_budget: usize) -> Self {
+        Self::with_registry(fw, threshold, cache_budget, cc19_obs::global_arc())
+    }
+
+    /// [`PatientSeries::new`] on an injected `cc19-obs` registry (the
+    /// cache counters, burden histogram, and delta timer all land
+    /// there, and the timer reads the registry's clock).
+    pub fn with_registry(
+        fw: Framework,
+        threshold: f64,
+        cache_budget: usize,
+        registry: Arc<Registry>,
+    ) -> Self {
+        PatientSeries {
+            fw,
+            threshold,
+            min_delta: 0.01,
+            cache: StudyCache::with_registry(cache_budget, Arc::clone(&registry)),
+            scratch: Scratch::new(),
+            burden_ml: registry.histogram("monitor_burden_ml"),
+            delta_seconds: registry.histogram("monitor_delta_seconds"),
+            registry,
+            records: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Minimum absolute lesion-fraction change that counts as a trend
+    /// (smaller deltas report [`Trend::Stable`]); default 0.01.
+    pub fn with_min_delta(mut self, min_delta: f64) -> Self {
+        self.min_delta = min_delta;
+        self
+    }
+
+    /// The scans recorded so far, in submission order.
+    pub fn records(&self) -> &[ScanRecord] {
+        &self.records
+    }
+
+    /// The delta reports emitted so far, in submission order.
+    pub fn reports(&self) -> &[DeltaReport] {
+        &self.reports
+    }
+
+    /// The underlying study cache (stats, size).
+    pub fn cache(&self) -> &StudyCache {
+        &self.cache
+    }
+
+    /// The framework the series diagnoses with.
+    pub fn framework(&self) -> &Framework {
+        &self.fw
+    }
+
+    /// Submit the next scan of the timeline; diagnosis runs in-process.
+    pub fn add_scan(&mut self, label: impl Into<String>, vol: &CtVolume) -> Result<DeltaReport> {
+        self.add_scan_routed(label.into(), vol, Route::Direct)
+    }
+
+    /// Submit the next scan through a serving broker: on a cache miss
+    /// the diagnosis is produced by the server (bit-identical to the
+    /// direct path) while enhancement and segmentation artifacts are
+    /// captured locally for burden quantification and memoization.
+    pub fn add_scan_served(
+        &mut self,
+        label: impl Into<String>,
+        vol: &CtVolume,
+        client: &Client,
+    ) -> Result<DeltaReport> {
+        self.add_scan_routed(label.into(), vol, Route::Served(client))
+    }
+
+    /// [`PatientSeries::add_scan_served`] through the sharded serve
+    /// cluster; the scan's volume digest is used as the routing study
+    /// id, so resubmissions shard identically.
+    pub fn add_scan_clustered(
+        &mut self,
+        label: impl Into<String>,
+        vol: &CtVolume,
+        client: &ClusterClient,
+    ) -> Result<DeltaReport> {
+        self.add_scan_routed(label.into(), vol, Route::Clustered(client))
+    }
+
+    fn add_scan_routed(
+        &mut self,
+        label: String,
+        vol: &CtVolume,
+        route: Route<'_>,
+    ) -> Result<DeltaReport> {
+        // Times the whole submission (hit or miss) into
+        // monitor_delta_seconds on the registry clock.
+        let _timer = Timer::start(self.registry.clock(), self.delta_seconds.clone());
+        vol.hu.shape().expect_rank(3)?;
+        let key = StudyKey::for_study(&self.fw, &vol.hu, self.threshold);
+        let spacing = vol.voxel_spacing();
+
+        let (burden, diagnosis, provenance) = match self.cache.get(&key) {
+            Some(hit) => {
+                // Recompute burden from the memoized artifacts — the
+                // same inputs through the same arithmetic, so the
+                // result is bit-identical to the original pass.
+                let burden = quantify_masked(&hit.enhanced_hu, &hit.mask, spacing)?;
+                (burden, hit.diagnosis, Provenance::CacheHit)
+            }
+            None => {
+                let enh = self.fw.run_enhance(&vol.hu, &mut self.scratch)?;
+                let (seg, capture) = self.fw.run_segment_capturing(enh, &mut self.scratch)?;
+                let diagnosis = match route {
+                    Route::Direct => self.fw.run_classify(seg, self.threshold, &mut self.scratch)?,
+                    Route::Served(client) => {
+                        self.scratch.recycle(seg.masked);
+                        submit_serve(client, &vol.hu)?
+                    }
+                    Route::Clustered(client) => {
+                        self.scratch.recycle(seg.masked);
+                        submit_cluster(client, key.volume, &vol.hu)?
+                    }
+                };
+                let burden = quantify_masked(&capture.enhanced_hu, &capture.mask, spacing)?;
+                self.cache.insert(key, &capture.enhanced_hu, &capture.mask, diagnosis.clone())?;
+                self.scratch.recycle(capture.enhanced_hu);
+                self.scratch.recycle(capture.mask);
+                (burden, diagnosis, Provenance::Computed)
+            }
+        };
+
+        self.burden_ml.observe(burden.lesion_ml);
+        let prev = self.records.last();
+        let trend = prev.map(|p| {
+            let (was, now) = (p.burden.fraction(), burden.fraction());
+            if now > was + self.min_delta {
+                Trend::Progressing
+            } else if now < was - self.min_delta {
+                Trend::Improving
+            } else {
+                Trend::Stable
+            }
+        });
+        let report = DeltaReport {
+            label: label.clone(),
+            burden,
+            probability: diagnosis.probability,
+            positive: diagnosis.positive,
+            provenance,
+            prev_label: prev.map(|p| p.label.clone()),
+            prev_fraction: prev.map(|p| p.burden.fraction()),
+            prev_lesion_ml: prev.map(|p| p.burden.lesion_ml),
+            trend,
+        };
+        self.records.push(ScanRecord { label, burden, diagnosis, provenance, key });
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// The timeline as deterministic CSV (no wall-clock fields; floats
+    /// in shortest-round-trip form, so reruns are byte-identical).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scan,label,provenance,lung_ml,lesion_ml,fraction,prev_fraction,delta_ml,trend,probability,positive\n",
+        );
+        for (i, r) in self.reports.iter().enumerate() {
+            let trend = r.trend.map(trend_tag).unwrap_or("");
+            let prev = r.prev_fraction.map(|f| format!("{f:?}")).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{:?},{:?},{:?},{},{:?},{},{:?},{}\n",
+                i,
+                r.label,
+                r.provenance.tag(),
+                r.burden.lung_ml,
+                r.burden.lesion_ml,
+                r.burden.fraction(),
+                prev,
+                r.delta_ml(),
+                trend,
+                r.probability,
+                r.positive,
+            ));
+        }
+        out
+    }
+
+    /// The timeline as deterministic JSON (same fields as the CSV).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let trend = r
+                .trend
+                .map(|t| format!("\"{}\"", trend_tag(t)))
+                .unwrap_or_else(|| "null".into());
+            let prev = r
+                .prev_fraction
+                .map(|f| format!("{f:?}"))
+                .unwrap_or_else(|| "null".into());
+            out.push_str(&format!(
+                "  {{\"scan\": {}, \"label\": \"{}\", \"provenance\": \"{}\", \
+                 \"lung_ml\": {:?}, \"lesion_ml\": {:?}, \"fraction\": {:?}, \
+                 \"prev_fraction\": {}, \"delta_ml\": {:?}, \"trend\": {}, \
+                 \"probability\": {:?}, \"positive\": {}}}",
+                i,
+                r.label.replace('"', "\\\""),
+                r.provenance.tag(),
+                r.burden.lung_ml,
+                r.burden.lesion_ml,
+                r.burden.fraction(),
+                prev,
+                r.delta_ml(),
+                trend,
+                r.probability,
+                r.positive,
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Submit one volume through a serving broker and wait for its reply.
+fn submit_serve(client: &Client, vol_hu: &Tensor) -> Result<Diagnosis> {
+    let pending = client
+        .submit(ServeRequest::routine(vol_hu.clone()))
+        .map_err(|r| TensorError::Incompatible(format!("serve admission rejected: {r:?}")))?;
+    let resp = pending
+        .wait()
+        .ok_or_else(|| TensorError::Incompatible("serving reply channel closed".into()))?;
+    resp.result.map_err(|e| TensorError::Incompatible(format!("served stage failed: {e}")))
+}
+
+/// Submit one volume through the sharded cluster and wait for its reply.
+fn submit_cluster(client: &ClusterClient, study_id: u64, vol_hu: &Tensor) -> Result<Diagnosis> {
+    let pending = client
+        .submit(study_id, ServeRequest::routine(vol_hu.clone()))
+        .map_err(|r| TensorError::Incompatible(format!("cluster admission rejected: {r:?}")))?;
+    let resp = pending
+        .wait()
+        .ok_or_else(|| TensorError::Incompatible("cluster reply channel closed".into()))?;
+    resp.result.map_err(|e| TensorError::Incompatible(format!("clustered stage failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use cc19_ctsim::phantom::Severity;
+    use cc19_data::progression::{progression_volume, ProgressionCourse};
+
+    const PATIENT: u64 = 0x17;
+
+    fn series() -> PatientSeries {
+        let fw = Framework::untrained_reduced(PATIENT);
+        PatientSeries::with_registry(fw, 0.5, 64 << 20, Arc::new(Registry::new()))
+    }
+
+    fn scan(t: usize) -> CtVolume {
+        let course = ProgressionCourse::worsening(4);
+        progression_volume(PATIENT, t, &course, 32, 4, Severity::Moderate).unwrap()
+    }
+
+    #[test]
+    fn baseline_then_delta() {
+        let mut s = series();
+        let r0 = s.add_scan("day 0", &scan(0)).unwrap();
+        assert!(r0.trend.is_none());
+        assert_eq!(r0.provenance, Provenance::Computed);
+        assert!(r0.burden.lesion_ml > 0.0);
+        let r1 = s.add_scan("day 5", &scan(3)).unwrap();
+        assert_eq!(r1.trend, Some(Trend::Progressing));
+        assert!(r1.delta_ml() > 0.0);
+        assert_eq!(r1.prev_label.as_deref(), Some("day 0"));
+        assert!(r1.summary().contains("progressing"));
+        assert_eq!(s.records().len(), 2);
+    }
+
+    #[test]
+    fn resubmission_hits_the_cache_bit_identically() {
+        let mut s = series();
+        let r0 = s.add_scan("day 0", &scan(1)).unwrap();
+        let r1 = s.add_scan("day 0 again", &scan(1)).unwrap();
+        assert_eq!(r1.provenance, Provenance::CacheHit);
+        assert_eq!(
+            r0.probability.to_bits(),
+            r1.probability.to_bits(),
+            "cached probability must be bit-identical"
+        );
+        assert_eq!(r0.burden.lesion_ml.to_bits(), r1.burden.lesion_ml.to_bits());
+        assert_eq!(r0.burden.lung_ml.to_bits(), r1.burden.lung_ml.to_bits());
+        assert_eq!(s.cache().stats().0, 1);
+        // identical scans => stable trend
+        assert_eq!(r1.trend, Some(Trend::Stable));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let mut s = series();
+            s.add_scan("t0", &scan(0)).unwrap();
+            s.add_scan("t1", &scan(2)).unwrap();
+            s.add_scan("t1-again", &scan(2)).unwrap();
+            (s.to_csv(), s.to_json())
+        };
+        let (csv_a, json_a) = build();
+        let (csv_b, json_b) = build();
+        assert_eq!(csv_a, csv_b);
+        assert_eq!(json_a, json_b);
+        assert!(csv_a.lines().count() == 4);
+        assert!(csv_a.contains("cache_hit"));
+        assert!(json_a.contains("\"provenance\": \"cache_hit\""));
+    }
+
+    #[test]
+    fn wrong_rank_is_rejected() {
+        let mut s = series();
+        let bad = CtVolume {
+            hu: Tensor::zeros([8, 8]),
+            meta: scan(0).meta,
+        };
+        assert!(s.add_scan("bad", &bad).is_err());
+    }
+}

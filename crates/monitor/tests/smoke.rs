@@ -1,0 +1,71 @@
+//! Deterministic monitoring smoke test (wired into `scripts/tier1.sh`):
+//! a pinned-seed 4-timestep progression series plus one cache-hit
+//! replay through [`PatientSeries`], exported as a timeline CSV.
+//!
+//! The timeline is written to `results/monitor_timeline.csv` **only
+//! when `CC19_OBS_DETERMINISTIC=1`**, and then from a registry on a
+//! frozen [`ManualClock`]. The exported report fields (burden, deltas,
+//! probabilities, provenance) are pure functions of the seed — no
+//! timing columns — so reruns produce a **byte-identical** file
+//! (tier-1 runs this test twice and `cmp`s the two CSVs). Without the
+//! flag the test still exercises the full path but leaves no artifact.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cc19_ctsim::phantom::Severity;
+use cc19_data::progression::{progression_series, ProgressionCourse};
+use cc19_monitor::{PatientSeries, Provenance};
+use cc19_obs::{Clock, ManualClock, Registry};
+use computecovid19::framework::Framework;
+
+const SEED: u64 = 0x0C19_70DE;
+const STEPS: usize = 4;
+
+fn results_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results").join(name)
+}
+
+fn deterministic_mode() -> bool {
+    std::env::var("CC19_OBS_DETERMINISTIC").map(|v| v == "1").unwrap_or(false)
+}
+
+#[test]
+fn monitor_smoke_progression_timeline_is_reproducible() {
+    let deterministic = deterministic_mode();
+    let registry = if deterministic {
+        // Frozen manual clock: the delta-latency histogram reads zero
+        // everywhere, so nothing wall-clock-shaped can leak anywhere.
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        Arc::new(Registry::with_clock(clock))
+    } else {
+        Arc::new(Registry::new())
+    };
+
+    let course = ProgressionCourse::worsening(STEPS);
+    let scans = progression_series(SEED, &course, 32, 4, Severity::Moderate)
+        .expect("progression synthesis");
+    let fw = Framework::untrained_reduced(SEED);
+    let mut series = PatientSeries::with_registry(fw, 0.5, 64 << 20, registry);
+
+    for (t, vol) in scans.iter().enumerate() {
+        let report = series.add_scan(format!("day {}", t * 5), vol).expect("add_scan");
+        assert_eq!(report.provenance, Provenance::Computed);
+    }
+    // replay of the final scan: must come back from the cache
+    let replay = series.add_scan("day 15 (re-read)", &scans[STEPS - 1]).expect("replay");
+    assert_eq!(replay.provenance, Provenance::CacheHit);
+    assert_eq!(series.cache().stats(), (1, STEPS as u64, 0));
+
+    let csv = series.to_csv();
+    let rows: Vec<&str> = csv.lines().collect();
+    assert_eq!(rows.len(), STEPS + 2, "header + one row per submission");
+    assert!(rows[0].starts_with("scan,label,provenance,"));
+    assert!(rows[rows.len() - 1].contains("cache_hit"));
+
+    if !deterministic {
+        return; // no artifact: only the pinned tier-1 run writes CSVs
+    }
+    let path = results_path("monitor_timeline.csv");
+    std::fs::write(&path, &csv).expect("write timeline CSV");
+}

@@ -149,6 +149,19 @@ pub struct Enhanced {
     started: u64,
 }
 
+/// Intermediate artifacts of the segmentation stage, captured via
+/// [`Framework::run_segment_capturing`] for the monitoring layer: the
+/// HU-space volume the segmenter ran on and the binary mask it
+/// produced. Both are plain tensors the caller now owns (recyclable
+/// into a [`Scratch`] pool).
+#[derive(Debug)]
+pub struct StageCapture {
+    /// Enhanced (or passthrough) volume in HU — the segmenter's input.
+    pub enhanced_hu: Tensor,
+    /// Binary lung mask (1 inside lungs), same dims as the volume.
+    pub mask: Tensor,
+}
+
 /// Output of the segmentation stage (input to classification).
 #[derive(Debug)]
 pub struct Segmented {
@@ -247,6 +260,25 @@ impl Framework {
 
     /// Stage 2: segment the lungs and apply the mask.
     pub fn run_segment(&self, enh: Enhanced, scratch: &mut Scratch) -> Result<Segmented> {
+        let (seg, capture) = self.run_segment_capturing(enh, scratch)?;
+        scratch.recycle(capture.enhanced_hu);
+        scratch.recycle(capture.mask);
+        Ok(seg)
+    }
+
+    /// [`Framework::run_segment`] that also hands back the stage's
+    /// intermediate artifacts instead of recycling them — the enhanced
+    /// HU volume and the binary lung mask the monitoring layer
+    /// memoizes (content-addressed study cache) and quantifies (lesion
+    /// burden in mL). `run_segment` delegates here and recycles the
+    /// capture, so the two paths are bit-identical and the `_into`/
+    /// [`Scratch`] discipline is preserved; callers that keep the
+    /// capture may [`Scratch::recycle`] its tensors when done.
+    pub fn run_segment_capturing(
+        &self,
+        enh: Enhanced,
+        scratch: &mut Scratch,
+    ) -> Result<(Segmented, StageCapture)> {
         let Enhanced { unit, hu_for_seg, t_enhance, started } = enh;
         let t0 = self.clock.now_ns();
         let mask = self.segmenter.segment_volume(&hu_for_seg)?;
@@ -256,9 +288,8 @@ impl Framework {
         let mut masked = scratch.take(unit.dims());
         apply_mask_into(&unit, &mask, &mut masked)?;
         scratch.recycle(unit);
-        scratch.recycle(hu_for_seg);
-        scratch.recycle(mask);
-        Ok(Segmented { masked, t_enhance, t_segment, started })
+        let seg = Segmented { masked, t_enhance, t_segment, started };
+        Ok((seg, StageCapture { enhanced_hu: hu_for_seg, mask }))
     }
 
     /// Stage 3: classify and assemble the report.
@@ -448,6 +479,27 @@ mod tests {
         let _ = fw.run_classify(seg, 0.5, &mut scratch).unwrap();
         // enhance recycles 1 (pre-enhance unit), segment recycles 3
         // (unit, hu_for_seg, mask), classify recycles 1 (masked).
+        assert!(scratch.pooled() >= 4, "pooled: {}", scratch.pooled());
+    }
+
+    #[test]
+    fn capturing_segment_is_bit_identical_and_exposes_the_mask() {
+        let fw = Framework::untrained_reduced(9);
+        let vol = test_volume(true);
+        let mut scratch = Scratch::new();
+        let enh = fw.run_enhance(&vol.hu, &mut scratch).unwrap();
+        let (seg, capture) = fw.run_segment_capturing(enh, &mut scratch).unwrap();
+        assert_eq!(capture.mask.dims(), vol.hu.dims());
+        assert_eq!(capture.enhanced_hu.dims(), vol.hu.dims());
+        // the mask is binary and nontrivial
+        assert!(capture.mask.data().iter().all(|&m| m == 0.0 || m == 1.0));
+        assert!(capture.mask.data().iter().sum::<f32>() > 0.0);
+        let captured = fw.run_classify(seg, 0.5, &mut scratch).unwrap();
+        let direct = fw.diagnose(&vol.hu, 0.5).unwrap();
+        assert_eq!(captured.probability.to_bits(), direct.probability.to_bits());
+        // recycling the capture restores the plain-path pool accounting
+        scratch.recycle(capture.enhanced_hu);
+        scratch.recycle(capture.mask);
         assert!(scratch.pooled() >= 4, "pooled: {}", scratch.pooled());
     }
 

@@ -8,6 +8,7 @@
 //! territory) and classifies the trend.
 
 use cc19_analysis::segmentation::LungSegmenter;
+use cc19_data::volume::VoxelSpacing;
 use cc19_tensor::Tensor;
 
 use crate::Result;
@@ -16,7 +17,10 @@ use crate::Result;
 /// ~-850; GGOs start around -700).
 pub const LESION_HU_THRESHOLD: f32 = -650.0;
 
-/// Quantified involvement of one study.
+/// Quantified involvement of one study. Volumes are reported in
+/// physical units (mL, via the phantom [`VoxelSpacing`]) — raw voxel
+/// counts are kept only as the dimensionless inputs of
+/// [`Involvement::fraction`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Involvement {
     /// Number of lung voxels.
@@ -25,6 +29,8 @@ pub struct Involvement {
     pub lesion_voxels: usize,
     /// Mean HU inside the lungs (rises with disease).
     pub mean_lung_hu: f64,
+    /// Physical volume of one voxel in mL (phantom geometry).
+    pub voxel_ml: f64,
 }
 
 impl Involvement {
@@ -35,10 +41,35 @@ impl Involvement {
         }
         self.lesion_voxels as f64 / self.lung_voxels as f64
     }
+
+    /// Segmented lung volume in mL.
+    pub fn lung_ml(&self) -> f64 {
+        self.lung_voxels as f64 * self.voxel_ml
+    }
+
+    /// Lesion (GGO/consolidation) volume in mL.
+    pub fn lesion_ml(&self) -> f64 {
+        self.lesion_voxels as f64 * self.voxel_ml
+    }
 }
 
-/// Quantify the lesion burden of one `(D, H, W)` HU volume.
+/// Quantify the lesion burden of one `(D, H, W)` HU volume. Voxel
+/// spacing is derived from the phantom geometry for the volume's dims
+/// (500 mm in-plane FOV, 300 mm axial coverage), so the mL figures are
+/// physical; use [`quantify_with_spacing`] when the caller knows the
+/// true spacing.
 pub fn quantify(volume_hu: &Tensor, segmenter: &LungSegmenter) -> Result<Involvement> {
+    volume_hu.shape().expect_rank(3)?;
+    let dims = volume_hu.dims();
+    quantify_with_spacing(volume_hu, segmenter, VoxelSpacing::for_volume_dims(dims[0], dims[1]))
+}
+
+/// [`quantify`] with an explicit voxel spacing.
+pub fn quantify_with_spacing(
+    volume_hu: &Tensor,
+    segmenter: &LungSegmenter,
+    spacing: VoxelSpacing,
+) -> Result<Involvement> {
     volume_hu.shape().expect_rank(3)?;
     let mask = segmenter.segment_volume(volume_hu)?;
     let mut lung_voxels = 0usize;
@@ -57,6 +88,7 @@ pub fn quantify(volume_hu: &Tensor, segmenter: &LungSegmenter) -> Result<Involve
         lung_voxels,
         lesion_voxels,
         mean_lung_hu: if lung_voxels > 0 { hu_acc / lung_voxels as f64 } else { 0.0 },
+        voxel_ml: spacing.voxel_ml(),
     })
 }
 
@@ -173,5 +205,20 @@ mod tests {
         let inv = quantify(&air, &seg).unwrap();
         assert_eq!(inv.fraction(), 0.0);
         assert_eq!(inv.lung_voxels, 0);
+        assert_eq!(inv.lung_ml(), 0.0);
+    }
+
+    #[test]
+    fn burden_is_reported_in_physical_ml() {
+        let seg = LungSegmenter::default();
+        let inv = quantify(&vol(3, Some(Severity::Severe)), &seg).unwrap();
+        let spacing = cc19_data::volume::VoxelSpacing::for_volume_dims(6, 48);
+        assert_eq!(inv.voxel_ml, spacing.voxel_ml());
+        assert!((inv.lung_ml() - inv.lung_voxels as f64 * spacing.voxel_ml()).abs() < 1e-12);
+        assert!(inv.lesion_ml() > 0.0);
+        assert!(inv.lesion_ml() < inv.lung_ml());
+        // adult-plausible magnitude: segmented lungs land in the
+        // hundreds-of-mL-to-litres range, not voxel-count territory
+        assert!(inv.lung_ml() > 100.0 && inv.lung_ml() < 10_000.0, "lung {} mL", inv.lung_ml());
     }
 }

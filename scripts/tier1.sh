@@ -89,6 +89,31 @@ if [ "$status" -eq 0 ]; then
 fi
 
 echo
+echo "=== tier-1: monitoring smoke (4-timestep progression, byte-identical CSV) ==="
+# Deterministic cc19-monitor smoke: a pinned-seed progression series plus
+# one content-addressed cache-hit replay through PatientSeries
+# (DESIGN.md §15). Under CC19_OBS_DETERMINISTIC=1 the test writes
+# results/monitor_timeline.csv from a frozen manual clock — run it twice
+# and the files must be byte-identical.
+if [ "$status" -eq 0 ]; then
+    if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-monitor --test smoke; then
+        echo "tier-1: MONITOR SMOKE FAILED (first run)"
+        status=1
+    else
+        cp results/monitor_timeline.csv results/.monitor_timeline.run1.csv
+        if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-monitor --test smoke; then
+            echo "tier-1: MONITOR SMOKE FAILED (second run)"
+            status=1
+        elif ! cmp -s results/monitor_timeline.csv results/.monitor_timeline.run1.csv; then
+            echo "tier-1: MONITOR SMOKE NOT DETERMINISTIC (monitor_timeline.csv differs)"
+            diff results/.monitor_timeline.run1.csv results/monitor_timeline.csv | head -20
+            status=1
+        fi
+        rm -f results/.monitor_timeline.run1.csv
+    fi
+fi
+
+echo
 echo "=== tier-1: observability report (byte-identical under manual clock) ==="
 # obs_report sweeps every instrumented subsystem (GEMM/conv kernels,
 # ctsim stages, a tiny training run, a faulty 4-rank all-reduce, a serve
