@@ -235,11 +235,13 @@ pub fn enhance_volume(net: &Ddnet, volume: &Tensor) -> Result<Tensor> {
 /// slice staging buffer across slices. Bit-identical to the allocating
 /// form (same per-slice forward); this is the buffer-reuse hook the
 /// batch-serving path threads through `Scratch`.
+// cc19-hot
 pub fn enhance_volume_into(net: &Ddnet, volume: &Tensor, out: &mut Tensor) -> Result<()> {
     volume.shape().expect_rank(3)?;
     volume.shape().expect_same(out.shape())?;
     let (d, h, w) = (volume.dims()[0], volume.dims()[1], volume.dims()[2]);
     let plane = h * w;
+    // cc19-lint: allow(alloc, "one slice-sized staging buffer per volume; the compiled-plan arena (ROADMAP 3) will own it")
     let mut stage = vec![0.0f32; plane];
     for s in 0..d {
         stage.copy_from_slice(&volume.data()[s * plane..(s + 1) * plane]);

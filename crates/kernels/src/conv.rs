@@ -60,6 +60,7 @@ pub fn conv2d(level: OptLevel, input: &[f32], weight: &[f32], bias: &[f32], s: C
 /// the parity suite's entry point. Passing [`SimdLevel::Avx2`] requires
 /// `simd::detected() == Avx2` (the vector entry asserts it; the AVX2
 /// arms are compiled out entirely on non-x86_64).
+// cc19-hot
 pub fn conv2d_with(
     level: OptLevel,
     simd: SimdLevel,
@@ -110,6 +111,7 @@ fn conv_avx2(_: &[f32], _: &[f32], _: &[f32], _: ConvShape, _: bool, _: bool) ->
 /// exactly as a line-by-line OpenCL port would do.
 fn conv_baseline(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape) -> Vec<f32> {
     let (oh, ow) = (s.out_h(), s.out_w());
+    // cc19-lint: allow(alloc, "allocating twin: the output buffer is the return value; _into callers reuse theirs")
     let mut out = vec![0.0f32; s.out_len()];
     out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, plane)| {
         for oy in 0..oh {
@@ -142,6 +144,7 @@ fn conv_prefetch(input: &[f32], weight: &[f32], bias: &[f32], s: ConvShape, unro
     let (h, w, k, pad, cin) = (s.h, s.w, s.k, s.pad, s.cin);
     let hw = h * w;
     let kk = k * k;
+    // cc19-lint: allow(alloc, "allocating twin: the output buffer is the return value; _into callers reuse theirs")
     let mut out = vec![0.0f32; s.out_len()];
     out.par_chunks_mut(oh * ow).enumerate().for_each(|(co, plane)| {
         let wbase = &weight[co * cin * kk..(co + 1) * cin * kk];

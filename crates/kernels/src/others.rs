@@ -101,6 +101,7 @@ pub fn batch_norm_inplace(
 pub fn concat_channels(a: &[f32], ca: usize, b: &[f32], cb: usize, plane: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), ca * plane);
     debug_assert_eq!(b.len(), cb * plane);
+    // cc19-lint: allow(alloc, "concat output buffer; plan-level fusion (ROADMAP 3) will write both halves into an arena slot")
     let mut out = Vec::with_capacity((ca + cb) * plane);
     out.extend_from_slice(a);
     out.extend_from_slice(b);

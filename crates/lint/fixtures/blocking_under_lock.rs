@@ -1,0 +1,21 @@
+//~ path: crates/serve/src/fixture.rs
+//~ expect: blocking-under-lock
+//! Fixture: a channel `recv` while a mutex guard is still held. Every
+//! other thread that needs `state` now waits on a sender that may
+//! never send — the `blocking-under-lock` rule must flag the `recv`
+//! and name the held lock.
+
+struct Inbox {
+    state: Mutex<u32>,
+    rx: Receiver<u32>,
+}
+
+impl Inbox {
+    fn drain_holding_the_lock(&self) -> u32 {
+        let mut g = self.state.lock();
+        if let Ok(v) = self.rx.recv() {
+            *g += v;
+        }
+        *g
+    }
+}

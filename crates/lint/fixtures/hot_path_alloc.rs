@@ -1,0 +1,24 @@
+//~ path: crates/tensor/src/fixture.rs
+//~ expect: hot-path-alloc
+//! Fixture: a `// cc19-hot` seed whose *callee* allocates. The
+//! `hot-path-alloc` rule must walk the call graph from the seed and
+//! flag the `collect` inside `gather`, reporting the chain from the
+//! seed — the seed function itself is allocation-free.
+
+// cc19-hot
+fn hot_entry(xs: &[f32]) -> f32 {
+    let doubled = gather(xs);
+    accumulate(&doubled)
+}
+
+fn gather(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|x| x * 2.0).collect()
+}
+
+fn accumulate(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

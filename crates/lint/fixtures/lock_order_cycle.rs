@@ -1,0 +1,26 @@
+//~ path: crates/serve/src/fixture.rs
+//~ expect: lock-order
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! orders. Neither order deadlocks on its own, but a thread in
+//! `forward` holding `a` and a thread in `backward` holding `b` wait
+//! on each other forever — the `lock-order` rule must report the cycle
+//! with both lock names and a witness chain for each leg.
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga - *gb
+    }
+}

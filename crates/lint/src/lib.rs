@@ -31,10 +31,31 @@
 //!   trailing whitespace, tab indentation, carriage returns, or missing
 //!   final newline.
 //!
+//! The v2 cross-function rules (DESIGN.md §16) build a workspace call
+//! graph ([`graph`]) and a lock-site model ([`locks`]) on top of the
+//! same token stream:
+//!
+//! * **lock-order** — the may-hold-while-acquiring graph over the
+//!   serve/dist/monitor lock sites must be acyclic; any cycle is a
+//!   potential deadlock, reported with both lock names and the
+//!   witnessing call chain.
+//! * **blocking-under-lock** — no channel `recv`, `JoinHandle::join`,
+//!   TCP I/O, or condvar wait on a *different* lock while a lock guard
+//!   is held (directly or through calls).
+//! * **hot-path-alloc** — functions annotated `// cc19-hot` transitively
+//!   may not reach allocation calls (`Vec::new`, `vec!`, `to_vec`,
+//!   `collect`, `Box::new`, `format!`, owned-buffer `clone`) except
+//!   through a `// cc19-lint: allow(alloc, "reason")` opt-out — the
+//!   static twin of ROADMAP item 3's zero-alloc counting-allocator goal.
+//!
 //! Run it with `cargo run -p cc19-lint`; it exits non-zero on any
-//! violation and is wired into `scripts/tier1.sh`.
+//! violation and is wired into `scripts/tier1.sh`, which also
+//! byte-compares the deterministic `--report results/lint_report.json`
+//! artifact across two consecutive runs.
 
 pub mod config;
+pub mod graph;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scanner;

@@ -5,15 +5,20 @@
 //! Flags:
 //! * `--only <rule>[,<rule>…]` — run a subset (e.g. the tier-1
 //!   whitespace gate runs `--only whitespace`).
+//! * `--rule <rule>` — add one rule to the subset (repeatable; merges
+//!   with `--only` for local iteration).
+//! * `--report <path>` — also write the byte-deterministic JSON report
+//!   (`tier1.sh` writes `results/lint_report.json` and `cmp`s two runs).
 //! * `--root <dir>` — workspace root (default: search upward from cwd).
 //! * `--list-rules` — print rule names and exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cc19_lint::report::summary;
+use cc19_lint::report::{render_json, summary};
+use cc19_lint::rules::run_analysis;
 use cc19_lint::walk::{collect_manifests, collect_sources, find_root};
-use cc19_lint::{run_rules, LintConfig, RULE_NAMES};
+use cc19_lint::{LintConfig, RULE_NAMES};
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("cc19-lint: error: {msg}");
@@ -23,6 +28,7 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 fn main() -> ExitCode {
     let mut only: Option<Vec<String>> = None;
     let mut root_arg: Option<PathBuf> = None;
+    let mut report_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,8 +39,18 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--only" => match args.next() {
-                Some(v) => only = Some(v.split(',').map(str::to_string).collect()),
+                Some(v) => {
+                    only.get_or_insert_with(Vec::new).extend(v.split(',').map(str::to_string))
+                }
                 None => return fail("--only needs a comma-separated rule list"),
+            },
+            "--rule" => match args.next() {
+                Some(v) => only.get_or_insert_with(Vec::new).push(v),
+                None => return fail("--rule needs a rule name"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_arg = Some(PathBuf::from(v)),
+                None => return fail("--report needs an output path"),
             },
             "--root" => match args.next() {
                 Some(v) => root_arg = Some(PathBuf::from(v)),
@@ -78,7 +94,20 @@ fn main() -> ExitCode {
         Err(e) => return fail(format!("collecting manifests: {e}")),
     };
 
-    let violations = run_rules(&enabled, &files, &manifests, &cfg);
+    let (violations, artifacts) = run_analysis(&enabled, &files, &manifests, &cfg);
+    if let Some(path) = &report_arg {
+        let json = render_json(files.len(), &enabled, &violations, &artifacts);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    return fail(format!("creating {}: {e}", dir.display()));
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(format!("writing {}: {e}", path.display()));
+        }
+    }
     for v in &violations {
         println!("{v}");
     }

@@ -8,6 +8,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::LintConfig;
+use crate::graph::{call_open, CallGraph};
+use crate::locks::{self, LockAnalysis};
 use crate::report::Violation;
 use crate::scanner::{tokenize, Token};
 
@@ -31,7 +33,9 @@ impl SourceFile {
     }
 }
 
-/// All rule names, in report order.
+/// All rule names, in report order. The last three are the v2
+/// cross-function rules (DESIGN.md §16) built on [`crate::graph`] and
+/// [`crate::locks`].
 pub const RULE_NAMES: &[&str] = &[
     "determinism",
     "metric-naming",
@@ -40,7 +44,13 @@ pub const RULE_NAMES: &[&str] = &[
     "unsafe-budget",
     "doc-coverage",
     "whitespace",
+    "lock-order",
+    "blocking-under-lock",
+    "hot-path-alloc",
 ];
+
+/// The rules that need the workspace call graph / lock analysis.
+pub const GRAPH_RULES: &[&str] = &["lock-order", "blocking-under-lock", "hot-path-alloc"];
 
 /// Crates whose numerics must be bit-reproducible: no ambient clocks or
 /// ambient RNG (DESIGN.md §9/§11). `obs` is here so that the *only*
@@ -78,6 +88,10 @@ pub const PANIC_PATHS: &[&str] = &[
 /// The per-file `unsafe` opt-out marker (must appear verbatim, typically
 /// in a comment near the top of the file, with a reason string).
 pub const UNSAFE_OPT_OUT: &str = "cc19-lint: allow(unsafe";
+
+/// The per-site allocation opt-out marker: on (or directly above) an
+/// allocation line inside the hot-path closure, with a reason string.
+pub const ALLOC_OPT_OUT: &str = "cc19-lint: allow(alloc";
 
 /// Token patterns a rule bans.
 enum Needle {
@@ -145,6 +159,44 @@ fn find_needles(toks: &[Token], needles: &[Needle]) -> Vec<(usize, String)> {
     hits
 }
 
+/// One allocation call site reachable from a `// cc19-hot` seed
+/// (report artifact; `allowed` sites carry an opt-out and are not
+/// violations).
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// File containing the allocation.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Display form of the allocating call (`vec!`, `.collect()`, …).
+    pub what: String,
+    /// Containing function (`stem::Owner::name`).
+    pub func: String,
+    /// Witness chain from a hot seed.
+    pub chain: String,
+    /// True when covered by an inline or lint.toml opt-out.
+    pub allowed: bool,
+}
+
+/// Cross-function analysis artifacts, surfaced in the JSON report.
+#[derive(Debug, Default)]
+pub struct Artifacts {
+    /// Function definitions in the call graph.
+    pub graph_fns: usize,
+    /// Resolved call edges.
+    pub graph_edges: usize,
+    /// Display names of the `// cc19-hot` seeds, sorted.
+    pub hot_fns: Vec<String>,
+    /// Functions transitively reachable from the seeds.
+    pub hot_reachable: usize,
+    /// Lock acquisition sites `(lock, path, line)`, sorted.
+    pub lock_sites: Vec<(String, String, usize)>,
+    /// May-hold-while-acquiring edges `(from, to, witness)`, sorted.
+    pub lock_edges: Vec<(String, String, String)>,
+    /// Allocation sites reachable from hot seeds (allowed and not).
+    pub alloc_sites: Vec<AllocSite>,
+}
+
 /// Run the `enabled` subset of rules over the scanned workspace.
 ///
 /// `manifests` are `(path, contents)` pairs for the root `Cargo.toml`
@@ -156,6 +208,16 @@ pub fn run_rules(
     manifests: &[(String, String)],
     cfg: &LintConfig,
 ) -> Vec<Violation> {
+    run_analysis(enabled, files, manifests, cfg).0
+}
+
+/// [`run_rules`] plus the cross-function [`Artifacts`] for the report.
+pub fn run_analysis(
+    enabled: &[&str],
+    files: &[SourceFile],
+    manifests: &[(String, String)],
+    cfg: &LintConfig,
+) -> (Vec<Violation>, Artifacts) {
     let mut v = Vec::new();
     if enabled.contains(&"determinism") {
         v.extend(determinism(files, cfg));
@@ -178,8 +240,35 @@ pub fn run_rules(
     if enabled.contains(&"whitespace") {
         v.extend(whitespace(files));
     }
+    let mut artifacts = Artifacts::default();
+    if GRAPH_RULES.iter().any(|r| enabled.contains(r)) {
+        let graph = CallGraph::build(files);
+        let analysis = locks::analyze(files, &graph);
+        artifacts.graph_fns = graph.fns.len();
+        artifacts.graph_edges = graph.edge_count();
+        artifacts.hot_fns = graph.hot_seeds().iter().map(|&i| graph.fns[i].display(files)).collect();
+        artifacts.hot_fns.sort();
+        artifacts.lock_sites = analysis.sites.clone();
+        artifacts.lock_edges = analysis
+            .edges
+            .iter()
+            .map(|e| (e.from.clone(), e.to.clone(), e.witness.join(" → ")))
+            .collect();
+        if enabled.contains(&"lock-order") {
+            v.extend(lock_order(&analysis, cfg));
+        }
+        if enabled.contains(&"blocking-under-lock") {
+            v.extend(blocking_under_lock(&analysis, cfg));
+        }
+        if enabled.contains(&"hot-path-alloc") {
+            let (hits, sites, reachable) = hot_path_alloc(files, &graph, cfg);
+            v.extend(hits);
+            artifacts.alloc_sites = sites;
+            artifacts.hot_reachable = reachable;
+        }
+    }
     v.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    v
+    (v, artifacts)
 }
 
 /// Which deterministic crate (if any) owns this path?
@@ -544,6 +633,179 @@ fn whitespace(files: &[SourceFile]) -> Vec<Violation> {
     out
 }
 
+fn lock_order(analysis: &LockAnalysis, cfg: &LintConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for cycle in locks::find_cycles(&analysis.edges) {
+        // Describe each leg of the cycle with its witnessing edge.
+        let mut legs = Vec::new();
+        let mut anchor: Option<(&str, usize)> = None;
+        for k in 0..cycle.len() {
+            let from = &cycle[k];
+            let to = &cycle[(k + 1) % cycle.len()];
+            if let Some(e) =
+                analysis.edges.iter().find(|e| &e.from == from && &e.to == to)
+            {
+                legs.push(format!(
+                    "`{from}` → `{to}` via {} ({}:{})",
+                    e.witness.join(" → "),
+                    e.path,
+                    e.line
+                ));
+                if anchor.is_none() {
+                    anchor = Some((&e.path, e.line));
+                }
+            }
+        }
+        let Some((path, line)) = anchor else { continue };
+        if cfg.is_allowed("lock-order", path) {
+            continue;
+        }
+        let ring: Vec<&str> = cycle.iter().map(String::as_str).collect();
+        out.push(Violation {
+            rule: "lock-order",
+            path: path.to_string(),
+            line,
+            msg: format!(
+                "lock-order cycle `{}` → `{}`: {}; a thread interleaving can \
+                 deadlock — impose a single acquisition order (see the rank \
+                 table in crates/serve/src/sync.rs)",
+                ring.join("` → `"),
+                cycle[0],
+                legs.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+fn blocking_under_lock(analysis: &LockAnalysis, cfg: &LintConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for hit in &analysis.blocking {
+        if cfg.is_allowed("blocking-under-lock", &hit.path) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "blocking-under-lock",
+            path: hit.path.clone(),
+            line: hit.line,
+            msg: format!(
+                "`{}` while holding `{}` (via {}): a blocked holder stalls \
+                 every other thread on that lock — drop the guard before \
+                 blocking, or move the wait out of the critical section",
+                hit.what,
+                hit.lock,
+                hit.witness.join(" → ")
+            ),
+        });
+    }
+    out
+}
+
+/// Allocation needles scanned inside hot-reachable fn bodies: paths,
+/// methods, and macros that reach the heap.
+const ALLOC_PATHS: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+    ("String", &["new", "from", "with_capacity"]),
+    ("Arc", &["new"]),
+    ("Rc", &["new"]),
+];
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect", "clone"];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Allocating calls inside one fn body: `(line, display)`.
+fn alloc_hits(toks: &[Token], body: (usize, usize)) -> Vec<(usize, String)> {
+    let (b0, b1) = body;
+    let mut out = Vec::new();
+    for i in b0..=b1 {
+        if toks[i].in_test {
+            continue;
+        }
+        let t = toks[i].text.as_str();
+        if ALLOC_MACROS.contains(&t) && toks.get(i + 1).is_some_and(|n| n.text == "!") {
+            out.push((toks[i].line, format!("{t}!")));
+            continue;
+        }
+        if let Some((_, methods)) = ALLOC_PATHS.iter().find(|(p, _)| *p == t) {
+            if toks.get(i + 1).is_some_and(|n| n.text == ":")
+                && toks.get(i + 2).is_some_and(|n| n.text == ":")
+            {
+                if let Some(m) = toks.get(i + 3).filter(|m| methods.contains(&m.text.as_str())) {
+                    if call_open(toks, i + 3).is_some() {
+                        out.push((toks[i].line, format!("{t}::{}", m.text)));
+                        continue;
+                    }
+                }
+            }
+        }
+        if t == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| ALLOC_METHODS.contains(&n.text.as_str()))
+            && call_open(toks, i + 1).is_some()
+        {
+            // `Arc::clone(&x)` never lands here (path form, not covered
+            // above); `.clone()` does — owned-buffer clones on the hot
+            // path are exactly what the rule exists to name.
+            out.push((toks[i + 1].line, format!(".{}()", toks[i + 1].text)));
+        }
+    }
+    out
+}
+
+/// Does the raw line of `line` (or the line above) carry the alloc
+/// opt-out marker?
+fn alloc_opted_out(raw: &str, line: usize) -> bool {
+    let lines: Vec<&str> = raw.lines().collect();
+    lines.get(line - 1).is_some_and(|l| l.contains(ALLOC_OPT_OUT))
+        || (line >= 2 && lines.get(line - 2).is_some_and(|l| l.contains(ALLOC_OPT_OUT)))
+}
+
+fn hot_path_alloc(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &LintConfig,
+) -> (Vec<Violation>, Vec<AllocSite>, usize) {
+    let seeds = graph.hot_seeds();
+    let (reached, parents) = graph.reachable_from(&seeds);
+    let mut out = Vec::new();
+    let mut sites = Vec::new();
+    for &fi in &reached {
+        let d = &graph.fns[fi];
+        let Some(body) = d.body else { continue };
+        let f = &files[d.file];
+        let chain = graph.chain(&parents, fi);
+        for (line, what) in alloc_hits(&f.tokens, body) {
+            let allowed =
+                alloc_opted_out(&f.raw, line) || cfg.is_allowed("hot-path-alloc", &f.path);
+            sites.push(AllocSite {
+                path: f.path.clone(),
+                line,
+                what: what.clone(),
+                func: d.display(files),
+                chain: chain.clone(),
+                allowed,
+            });
+            if !allowed {
+                out.push(Violation {
+                    rule: "hot-path-alloc",
+                    path: f.path.clone(),
+                    line,
+                    msg: format!(
+                        "`{what}` allocates on the hot path (reached via {chain}): \
+                         the `// cc19-hot` contract is zero heap traffic after \
+                         warmup — hoist the buffer, use an `_into` twin, or opt \
+                         out with `// {ALLOC_OPT_OUT}, \"reason\")`"
+                    ),
+                });
+            }
+        }
+    }
+    sites.sort_by(|a, b| (&a.path, a.line, &a.what).cmp(&(&b.path, b.line, &b.what)));
+    sites.dedup_by(|a, b| (&a.path, a.line, &a.what) == (&b.path, b.line, &b.what));
+    (out, sites, reached.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,5 +978,51 @@ mod tests {
             .insert("crates/nn/src/x.rs".into(), "timing".into());
         let files = [SourceFile::new("crates/nn/src/x.rs", "fn f() { Instant::now(); }\n")];
         assert!(run_rules(&["determinism"], &files, &[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn lock_order_names_both_locks_and_the_witness() {
+        let src = "impl P {\n    fn fwd(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n    fn bwd(&self) { let b = self.b.lock(); let a = self.a.lock(); }\n}\n";
+        let v = run("lock-order", "crates/serve/src/pair.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("`pair::a`") && v[0].msg.contains("`pair::b`"), "{v:?}");
+        assert!(v[0].msg.contains("fwd") && v[0].msg.contains("bwd"), "{v:?}");
+        // Consistent ordering in both functions: no cycle.
+        let ok = "impl P {\n    fn fwd(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n    fn again(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n}\n";
+        assert!(run("lock-order", "crates/serve/src/pair.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn blocking_under_lock_flags_recv_but_not_condvar_waits() {
+        let bad = "fn f(&self) {\n    let g = lock(&self.inner);\n    let v = self.rx.recv();\n    drop(g);\n}\n";
+        let v = run("blocking-under-lock", "crates/serve/src/q.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains(".recv()") && v[0].msg.contains("q::inner"), "{v:?}");
+        let ok = "fn f(&self) {\n    let mut g = lock(&self.inner);\n    while g.empty { g = wait(&self.cv, g); }\n}\n";
+        assert!(run("blocking-under-lock", "crates/serve/src/q.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_walks_the_closure_and_honors_opt_outs() {
+        let src = "// cc19-hot\npub fn hot(&self) { self.step(); }\nfn step(&self) { let v: Vec<f32> = it.collect(); }\nfn cold() { let v = vec![0.0]; }\n";
+        let v = run("hot-path-alloc", "crates/tensor/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains(".collect()"), "{v:?}");
+        assert!(v[0].msg.contains("hot → step"), "{v:?}");
+        // `cold` is unreachable from the seed: no obligation.
+        let opted = "// cc19-hot\npub fn hot(&self) { self.step(); }\nfn step(&self) {\n    // cc19-lint: allow(alloc, \"one-time warmup\")\n    let v: Vec<f32> = it.collect();\n}\n";
+        assert!(run("hot-path-alloc", "crates/tensor/src/x.rs", opted).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_artifacts_list_allowed_sites_too() {
+        let src = "// cc19-hot\npub fn hot() {\n    // cc19-lint: allow(alloc, \"pinned\")\n    let v = vec![1];\n}\n";
+        let files = [SourceFile::new("crates/tensor/src/x.rs", src)];
+        let (v, art) = run_analysis(&["hot-path-alloc"], &files, &[], &LintConfig::default());
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(art.alloc_sites.len(), 1, "{:?}", art.alloc_sites);
+        assert!(art.alloc_sites[0].allowed);
+        assert_eq!(art.alloc_sites[0].what, "vec!");
+        assert_eq!(art.hot_fns, vec!["x::hot".to_string()]);
     }
 }

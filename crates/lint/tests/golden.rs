@@ -177,8 +177,15 @@ fn unsafe_opt_outs_are_pinned_to_the_simd_files() {
         })
         .map(|f| f.path.clone())
         .collect();
-    let expect: BTreeSet<String> =
-        ["crates/kernels/src/microkernel.rs".to_string()].into_iter().collect();
+    let expect: BTreeSet<String> = [
+        // AVX2 intrinsics (DESIGN.md §13).
+        "crates/kernels/src/microkernel.rs".to_string(),
+        // #[global_allocator] counting shim for the diagnose ratchet
+        // (DESIGN.md §16): GlobalAlloc is an unsafe trait.
+        "crates/pipeline/tests/alloc_ratchet.rs".to_string(),
+    ]
+    .into_iter()
+    .collect();
     assert_eq!(opted, expect, "the unsafe opt-out file set changed — update the golden list");
     // The dispatch/probe layer must stay entirely safe code: the SIMD
     // budget never leaks out of the microkernel module.
@@ -189,6 +196,89 @@ fn unsafe_opt_outs_are_pinned_to_the_simd_files() {
                 "simd.rs must remain safe code"
             );
         }
+    }
+}
+
+#[test]
+fn inline_alloc_opt_outs_are_load_bearing() {
+    // Every inline `// cc19-lint: allow(alloc, …)` marker in the live
+    // workspace must still suppress a real hot-reachable allocation:
+    // neutralizing a file's markers must make `hot-path-alloc` fire in
+    // that file. Like the lint.toml gate above, this keeps opt-outs
+    // from outliving the code they excuse. The lint crate's own
+    // sources mention the marker in string literals and docs, so they
+    // are excluded — they carry no hot-path code.
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let files = collect_sources(&root).expect("collect sources");
+    let manifests = collect_manifests(&root).expect("collect manifests");
+    let marked: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| {
+            f.raw.contains(cc19_lint::rules::ALLOC_OPT_OUT)
+                && !f.path.starts_with("crates/lint/")
+        })
+        .collect();
+    assert!(
+        marked.len() >= 5,
+        "expected inline alloc opt-outs on the hot kernels, found {:?}",
+        marked.iter().map(|f| f.path.as_str()).collect::<Vec<_>>()
+    );
+    for target in marked {
+        let mutated: Vec<SourceFile> = files
+            .iter()
+            .map(|f| {
+                if f.path == target.path {
+                    let raw = f
+                        .raw
+                        .replace(cc19_lint::rules::ALLOC_OPT_OUT, "cc19-lint: inert(alloc");
+                    SourceFile::new(f.path.clone(), raw)
+                } else {
+                    f.clone()
+                }
+            })
+            .collect();
+        let violations = run_rules(RULE_NAMES, &mutated, &manifests, &cfg);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "hot-path-alloc" && v.path == target.path),
+            "inline alloc opt-out in {} no longer suppresses anything — delete it",
+            target.path
+        );
+    }
+}
+
+#[test]
+fn live_hot_path_inventory_is_tracked() {
+    // The `// cc19-hot` closure must include the end-to-end diagnose
+    // entry point, and every allocation site it reaches must be in the
+    // tracked (allowed) inventory — zero *untracked* hot allocations,
+    // while the inventory itself stays non-empty until ROADMAP item 3's
+    // plan compiler drives it to zero.
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let files = collect_sources(&root).expect("collect sources");
+    let manifests = collect_manifests(&root).expect("collect manifests");
+    let (violations, artifacts) =
+        cc19_lint::rules::run_analysis(RULE_NAMES, &files, &manifests, &cfg);
+    assert!(violations.is_empty(), "live workspace must pass clean");
+    assert!(
+        artifacts.hot_fns.iter().any(|f| f == "framework::Framework::diagnose"),
+        "diagnose must be a hot seed; got {:?}",
+        artifacts.hot_fns
+    );
+    assert!(
+        !artifacts.alloc_sites.is_empty(),
+        "the hot-path alloc inventory emptied — ROADMAP item 3 is done; \
+         flip this assert and celebrate in CHANGES.md"
+    );
+    for site in &artifacts.alloc_sites {
+        assert!(
+            site.allowed,
+            "untracked hot-path allocation {} at {}:{} (chain {})",
+            site.what, site.path, site.line, site.chain
+        );
     }
 }
 

@@ -220,6 +220,7 @@ impl Framework {
     }
 
     /// [`Framework::run_enhance`] with an explicit slice-batching mode.
+    // cc19-hot
     pub fn run_enhance_with(
         &self,
         vol_hu: &Tensor,
@@ -334,6 +335,7 @@ impl Framework {
 
     /// Full diagnosis with stage timings — a thin wrapper over
     /// [`Framework::diagnose_batch`] with a batch of one.
+    // cc19-hot
     pub fn diagnose(&self, vol_hu: &Tensor, threshold: f64) -> Result<Diagnosis> {
         let mut reports = self.diagnose_batch(std::slice::from_ref(vol_hu), threshold)?;
         Ok(reports.pop().expect("batch of 1 yields 1 report"))

@@ -11,7 +11,7 @@
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use crate::sync::{lock, wait};
+use crate::sync::{lock, wait, RANK_GATE};
 
 /// Coalescing policy for one dispatch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,7 +45,7 @@ impl Gate {
 
     /// Block until the gate is open.
     pub(crate) fn wait_open(&self) {
-        let mut open = lock(&self.open);
+        let mut open = lock(&self.open, &RANK_GATE);
         while !*open {
             open = wait(&self.cv, open);
         }
@@ -53,7 +53,7 @@ impl Gate {
 
     /// Open the gate and wake all waiters.
     pub(crate) fn open(&self) {
-        *lock(&self.open) = true;
+        *lock(&self.open, &RANK_GATE) = true;
         self.cv.notify_all();
     }
 }

@@ -17,7 +17,7 @@ use crossbeam::channel::Sender;
 use crate::batcher::BatchPolicy;
 use crate::metrics::ServeMetrics;
 use crate::request::{Priority, Rejected, ServeRequest, ServeResponse};
-use crate::sync::{lock, wait, wait_timeout};
+use crate::sync::{lock, wait, wait_timeout, RANK_BROKER_INNER};
 
 /// Broker tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,7 +99,7 @@ impl Broker {
 
     /// Current queue depth (admitted, not yet dispatched).
     pub fn depth(&self) -> usize {
-        lock(&self.inner).depth
+        lock(&self.inner, &RANK_BROKER_INNER).depth
     }
 
     /// Admit a request or reject it synchronously. On success returns
@@ -127,7 +127,7 @@ impl Broker {
             }
         }
         let now = self.metrics.now_ns();
-        let mut inner = lock(&self.inner);
+        let mut inner = lock(&self.inner, &RANK_BROKER_INNER);
         if inner.closed {
             drop(inner);
             let why = Rejected::ShuttingDown;
@@ -166,7 +166,7 @@ impl Broker {
     /// broker is closed **and** drained (graceful shutdown: queued work
     /// is still served after [`Broker::close`]).
     pub fn pop_batch(&self, policy: BatchPolicy) -> Option<Vec<Job>> {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock(&self.inner, &RANK_BROKER_INNER);
         loop {
             // Wait for the first job (or closed+empty).
             loop {
@@ -228,7 +228,7 @@ impl Broker {
 
     /// Stop admitting; wake all dispatchers so they can drain and exit.
     pub fn close(&self) {
-        lock(&self.inner).closed = true;
+        lock(&self.inner, &RANK_BROKER_INNER).closed = true;
         self.arrived.notify_all();
     }
 }

@@ -230,6 +230,7 @@ fn macro_kernel(
 /// is set. `C` is `(m, n)` row-major and must be zero-initialized (the
 /// kernel accumulates). `A` holds `m*k` elements (stored `(k, m)` if
 /// `trans_a`), `B` holds `k*n` (stored `(n, k)` if `trans_b`).
+// cc19-hot
 pub fn sgemm(
     trans_a: bool,
     trans_b: bool,
@@ -260,7 +261,9 @@ pub fn sgemm(
         c.par_chunks_mut(MC * n).enumerate().for_each(|(blk, c_chunk)| {
             let i0 = blk * MC;
             let mc = c_chunk.len() / n;
+            // cc19-lint: allow(alloc, "KC-bounded packing buffers, one pair per rayon block; plan arenas (ROADMAP 3) will pre-size them")
             let mut ap = vec![0.0f32; ceil_mul(mc, MR) * KC];
+            // cc19-lint: allow(alloc, "see ap above")
             let mut bp = vec![0.0f32; KC * ceil_mul(NC.min(n), NR)];
             for p0 in (0..k).step_by(KC) {
                 let kc = (k - p0).min(KC);

@@ -156,10 +156,26 @@ echo "=== tier-1: static analysis ==="
 # unsafe budget, doc-coverage opt-in, and the whitespace gate
 # (trailing whitespace / tab indent / CR / missing final newline — the
 # `cargo fmt --check` stand-in for this vendored toolchain).
+# The v2 cross-function rules (DESIGN.md §16) add lock-order cycles,
+# blocking-under-lock, and the hot-path allocation closure, and the run
+# exports results/lint_report.json. The report is byte-deterministic
+# (sorted keys, no timestamps) — run the linter twice and compare, the
+# same determinism gate bench_obs.json gets above.
 if [ "$status" -eq 0 ]; then
-    if ! cargo run -q -p cc19-lint; then
+    if ! cargo run -q -p cc19-lint -- --report results/lint_report.json; then
         echo "tier-1: STATIC ANALYSIS FAILED (cc19-lint)"
         status=1
+    else
+        cp results/lint_report.json results/.lint_report.run1.json
+        if ! cargo run -q -p cc19-lint -- --report results/lint_report.json; then
+            echo "tier-1: STATIC ANALYSIS FAILED (cc19-lint, second run)"
+            status=1
+        elif ! cmp -s results/lint_report.json results/.lint_report.run1.json; then
+            echo "tier-1: STATIC ANALYSIS NOT DETERMINISTIC (lint_report.json differs between runs)"
+            diff results/.lint_report.run1.json results/lint_report.json | head -20
+            status=1
+        fi
+        rm -f results/.lint_report.run1.json
     fi
 fi
 if [ "$status" -eq 0 ]; then
