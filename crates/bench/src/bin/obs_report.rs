@@ -41,7 +41,7 @@ use cc19_kernels::simd::{self, SimdLevel};
 use cc19_kernels::OptLevel;
 use cc19_monitor::{PatientSeries, Provenance};
 use cc19_obs::span::enter_on;
-use cc19_obs::Snapshot;
+use cc19_obs::{Registry, Snapshot, SpanStatus};
 use cc19_serve::{
     BatchPolicy, ClusterCfg, ClusterMetrics, ServeCluster, ServeMetrics, ServeRequest, Server,
     ServerCfg,
@@ -171,7 +171,7 @@ fn stage_serve() {
     server.shutdown();
 }
 
-fn stage_serve_cluster() {
+fn stage_serve_cluster() -> std::sync::Arc<Registry> {
     let _span = enter_on(cc19_obs::global_arc(), "bench.serve_cluster");
     let reg = cc19_obs::global();
     let clock = reg.clock();
@@ -231,6 +231,9 @@ fn stage_serve_cluster() {
     reg.gauge("bench_serve_cluster_redispatched").set(snap.redispatched as f64);
     reg.gauge("bench_serve_cluster_worker_deaths").set(snap.worker_deaths as f64);
     reg.gauge("bench_serve_cluster_recovery_ms").set(metrics.mean_recovery_ms());
+    // Hand the router registry back so main() can derive the critical-
+    // path report from its stitched request traces (DESIGN.md §17).
+    std::sync::Arc::clone(metrics.registry())
 }
 
 fn stage_monitor() {
@@ -338,6 +341,29 @@ fn derive_gauges() {
     }
 }
 
+/// One sorted-key JSON object of every `bench_*` gauge — the line
+/// appended per run to `results/bench_history.jsonl`, which
+/// `scripts/bench_check.sh` diffs against the previous run.
+fn bench_history_line(snap: &Snapshot) -> String {
+    let mut entries: Vec<(String, f64)> = snap
+        .gauges
+        .iter()
+        .filter(|g| g.name.starts_with("bench_"))
+        .map(|g| (g.key.clone(), g.value))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let key = k.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("\"{key}\": {v:?}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn print_summary(snap: &Snapshot) {
     let t = TablePrinter::new(&[34, 16]);
     t.row(&[&"metric", &"value"]);
@@ -391,7 +417,7 @@ fn main() {
     stage_trainer();
     stage_allreduce();
     stage_serve();
-    stage_serve_cluster();
+    let cluster_reg = stage_serve_cluster();
     stage_monitor();
     stage_kernel_ladder();
     derive_gauges();
@@ -426,7 +452,31 @@ fn main() {
         .unwrap_or(0.0);
     assert_eq!(deaths, 1.0, "cluster stage must record the scheduled worker death");
 
+    // The cluster stage must leave one stitched span tree per request in
+    // the router registry: a router-level `serve.request` root, its
+    // dispatch span(s), and the worker subtree grafted beneath — the
+    // killed worker's aborted dispatch marked `redispatched`, not lost.
+    let spans = cluster_reg.trace_records();
+    let roots =
+        spans.iter().filter(|r| r.parent_id == 0 && r.path == "serve.request").count() as u64;
+    assert_eq!(roots, CLUSTER_REQS, "every clustered request must root one span tree");
+    let aborted = spans.iter().filter(|r| r.status == SpanStatus::Redispatched).count();
+    assert!(aborted >= 1, "the scheduled kill must leave a redispatched dispatch span");
+    // Critical-path invariant: per trace, the segment decomposition sums
+    // exactly to the root's end-to-end latency (DESIGN.md §17).
+    for root in spans.iter().filter(|r| r.parent_id == 0 && r.path == "serve.request") {
+        let (e2e, segs) = cc19_obs::trace::trace_segments(&spans, root.trace_id)
+            .expect("completed trace must decompose");
+        let total: u64 = segs.values().sum();
+        assert_eq!(total, e2e, "trace {} segments must sum to end-to-end", root.trace_id);
+    }
+
     print_summary(&snap);
     cc19_bench::write_result("bench_obs.json", &cc19_obs::export::to_json(&snap));
     cc19_bench::write_result("bench_obs.prom", &cc19_obs::export::to_prometheus(&snap));
+    cc19_bench::write_result(
+        "trace_report.json",
+        &cc19_obs::trace::critical_path_report(&cluster_reg, 3),
+    );
+    cc19_bench::append_result("bench_history.jsonl", &bench_history_line(&snap));
 }

@@ -43,6 +43,32 @@ pub fn crc32_f32s(payload: &[f32]) -> u32 {
     crc32(&bytes)
 }
 
+/// Append a `u32`-length-prefixed section to a payload under
+/// construction. Sections let a payload carry optional, independently
+/// sized blocks (the serve cluster's trace-span block rides its reply
+/// frames this way) without disturbing the bytes that follow them —
+/// [`take_section`] splits them back off exactly.
+pub fn put_section(out: &mut Vec<u8>, section: &[u8]) {
+    out.extend_from_slice(&(section.len() as u32).to_le_bytes());
+    out.extend_from_slice(section);
+}
+
+/// Split a `u32`-length-prefixed section off the front of `payload`,
+/// returning `(section, rest)`. Errors with `InvalidData` on a
+/// truncated prefix or a length that overruns the payload, so a
+/// malformed frame is rejected instead of mis-split.
+pub fn take_section(payload: &[u8]) -> io::Result<(&[u8], &[u8])> {
+    if payload.len() < 4 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated section prefix"));
+    }
+    let (head, rest) = payload.split_at(4);
+    let len = u32::from_le_bytes(head.try_into().unwrap_or([0; 4])) as usize;
+    if len > rest.len() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "section overruns payload"));
+    }
+    Ok(rest.split_at(len))
+}
+
 /// One framed byte message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireFrame {
@@ -145,6 +171,27 @@ mod tests {
         wire[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = WireFrame::read_from(&mut &wire[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sections_roundtrip_and_reject_overruns() {
+        let mut payload = Vec::new();
+        put_section(&mut payload, b"trace-block");
+        payload.extend_from_slice(b"tail bytes");
+        let (section, rest) = take_section(&payload).unwrap();
+        assert_eq!(section, b"trace-block");
+        assert_eq!(rest, b"tail bytes");
+
+        let mut empty = Vec::new();
+        put_section(&mut empty, b"");
+        let (section, rest) = take_section(&empty).unwrap();
+        assert!(section.is_empty() && rest.is_empty());
+
+        assert!(take_section(&[1, 2]).is_err(), "truncated prefix");
+        let mut overrun = Vec::new();
+        put_section(&mut overrun, b"abcd");
+        overrun.truncate(6); // length says 4, only 2 bytes remain
+        assert!(take_section(&overrun).is_err(), "overrunning length");
     }
 
     #[test]

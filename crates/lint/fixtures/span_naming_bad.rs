@@ -1,0 +1,22 @@
+//~ path: crates/serve/src/fixture.rs
+//~ expect: metric-naming
+// Span paths recorded through the cc19-obs tracing surface must be
+// dotted snake_case under the recording crate's own namespace
+// (DESIGN.md §17): "queue" alone carries no crate namespace, and
+// "Monitor.Cache" is neither lowercase nor this crate's. The path is
+// the second argument of these ctors and the second call is wrapped
+// the way rustfmt wraps it, so this fixture also pins the
+// first-literal-in-call extraction across lines.
+
+use cc19_obs::{Registry, SpanStatus, TraceCtx};
+
+pub fn record(reg: &Registry, ctx: TraceCtx) {
+    reg.trace_child(ctx, "queue", 0, 1);
+    reg.trace_record(
+        ctx,
+        "Monitor.Cache",
+        0,
+        1,
+        SpanStatus::Ok,
+    );
+}

@@ -75,6 +75,13 @@ pub const METRIC_CTORS: &[&str] = &[
     "timer_with",
 ];
 
+/// Tracing constructors whose call carries a span-path string literal
+/// (the `cc19-obs` span/trace surface — the path is not always the
+/// first argument, so the extractor takes the first literal in the
+/// call). When present, the metric-naming rule validates it as a
+/// dotted, crate-prefixed span path (DESIGN.md §17).
+pub const SPAN_CTORS: &[&str] = &["enter", "enter_on", "trace_child", "trace_record"];
+
 /// Paths that must stay panic-free and use typed errors: the
 /// fault-tolerant transport, the whole serving dispatch crate, and
 /// checkpoint I/O.
@@ -317,6 +324,76 @@ fn is_valid_metric_name(name: &str, prefix: &str) -> bool {
     snake && name.starts_with(prefix)
 }
 
+/// Is `path` a legal span path for crate `krate` — dotted snake_case
+/// with the crate name as its first segment (`serve.cluster.wire`,
+/// `monitor.cache`), at least two segments (DESIGN.md §17)?
+fn is_valid_span_path(path: &str, krate: &str) -> bool {
+    let seg_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    let mut segs = path.split('.');
+    let Some(first) = segs.next() else { return false };
+    if first != krate.replace('-', "_") || !seg_ok(first) {
+        return false;
+    }
+    let mut rest = 0usize;
+    for s in segs {
+        if !seg_ok(s) {
+            return false;
+        }
+        rest += 1;
+    }
+    rest >= 1
+}
+
+/// Extract `(ctor, path)` pairs from `window`: every [`SPAN_CTORS`]
+/// call starting within the first `limit` bytes whose balanced-paren
+/// argument list carries a string literal — the first such literal is
+/// the span path (`enter_on(reg, "bench.gemm")` puts it second).
+fn extract_span_paths(window: &str, limit: usize) -> Vec<(&'static str, &str)> {
+    let bytes = window.as_bytes();
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut out = Vec::new();
+    for &ctor in SPAN_CTORS {
+        let mut from = 0usize;
+        while let Some(pos) = window[from..].find(ctor) {
+            let at = from + pos;
+            from = at + 1;
+            if at >= limit || (at > 0 && ident(bytes[at - 1])) {
+                continue;
+            }
+            let mut j = at + ctor.len();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'(') || ident(*bytes.get(at + ctor.len()).unwrap_or(&b' ')) {
+                continue;
+            }
+            // Scan the balanced argument extent for the first literal.
+            let mut depth = 1usize;
+            j += 1;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    b'"' => {
+                        let lit = j + 1;
+                        if let Some(end) = window[lit..].find('"') {
+                            out.push((ctor, &window[lit..lit + end]));
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Extract `(ctor, name)` pairs from `window`: every [`METRIC_CTORS`]
 /// call whose first argument is a string literal, where the call starts
 /// within the first `limit` bytes (the literal itself may continue past
@@ -394,6 +471,40 @@ fn metric_naming(files: &[SourceFile], cfg: &LintConfig) -> Vec<Violation> {
                         msg: format!(
                             "metric name \"{name}\" (registered via `{ctor}`) must be \
                              snake_case with the `{prefix}` crate prefix (DESIGN.md §12); \
+                             rename it or allowlist this file in lint.toml with a reason"
+                        ),
+                    });
+                }
+            }
+        }
+        // Same gate, extended to the tracing surface: span-path
+        // literals recorded through the cc19-obs span/trace ctors must
+        // be dotted snake_case under the crate's own namespace, so one
+        // request's tree reads uniformly across broker, cluster wire,
+        // and monitor cache spans (DESIGN.md §17). The window extends a
+        // few lines because rustfmt puts the path argument of a
+        // wrapped `trace_record` call on its own line.
+        let mut span_lines: BTreeSet<usize> = BTreeSet::new();
+        for (i, t) in f.tokens.iter().enumerate() {
+            if !t.in_test
+                && SPAN_CTORS.contains(&t.text.as_str())
+                && f.tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                span_lines.insert(t.line);
+            }
+        }
+        for &line in &span_lines {
+            let Some(first) = raw_lines.get(line - 1) else { continue };
+            let window: String = raw_lines[line - 1..raw_lines.len().min(line + 3)].join("\n");
+            for (ctor, path) in extract_span_paths(&window, first.len() + 1) {
+                if !is_valid_span_path(path, krate) {
+                    out.push(Violation {
+                        rule: "metric-naming",
+                        path: f.path.clone(),
+                        line,
+                        msg: format!(
+                            "span path \"{path}\" (recorded via `{ctor}`) must be dotted \
+                             snake_case with the `{krate}.` crate prefix (DESIGN.md §17); \
                              rename it or allowlist this file in lint.toml with a reason"
                         ),
                     });
@@ -831,6 +942,36 @@ mod tests {
         assert!(v[0].msg.contains("ddnet_"), "{v:?}");
         let ok = "fn f(reg: &R) { reg.counter(\"ddnet_steps_total\"); }\n";
         assert!(run("metric-naming", "crates/ddnet/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn span_path_naming_checks_prefix_dots_and_case() {
+        // CamelCase segment and another crate's namespace both trip;
+        // the path literal is the *second* argument of trace_child and
+        // may sit on its own line in a rustfmt-wrapped call.
+        let bad = "fn f(reg: &R, ctx: C) {\n\
+                       reg.trace_child(ctx, \"Serve.Queue\", 0, 1);\n\
+                       reg.trace_record(\n\
+                           ctx,\n\
+                           \"monitor.cache\",\n\
+                           0, 1, S::Ok);\n\
+                   }\n";
+        let v = run("metric-naming", "crates/serve/src/x.rs", bad);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.msg.contains("serve.")), "{v:?}");
+        // Dotted, crate-prefixed paths pass; a single-segment path (no
+        // namespace under the crate) does not.
+        let ok = "fn f(reg: &R, ctx: C) { reg.trace_child(ctx, \"serve.cluster.wire\", 0, 1); }\n";
+        assert!(run("metric-naming", "crates/serve/src/x.rs", ok).is_empty());
+        let flat = "fn f(reg: &R, ctx: C) { reg.trace_child(ctx, \"serve\", 0, 1); }\n";
+        assert_eq!(run("metric-naming", "crates/serve/src/x.rs", flat).len(), 1);
+    }
+
+    #[test]
+    fn span_path_naming_ignores_dynamic_paths_and_definitions() {
+        let src = "impl Registry { pub fn trace_child(&self, ctx: C, path: &str) { x } }\n\
+                   fn g(reg: &R, ctx: C, p: &str) { reg.trace_child(ctx, p, 0, 1); }\n";
+        assert!(run("metric-naming", "crates/obs/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use cc19_data::volume::CtVolume;
-use cc19_obs::{HistogramHandle, Registry, Timer};
+use cc19_obs::{HistogramHandle, Registry, SpanStatus, Timer, TraceCtx};
 use cc19_serve::{Client, ClusterClient, ServeRequest};
 use cc19_tensor::{Tensor, TensorError};
 use computecovid19::framework::{Diagnosis, Framework, Scratch};
@@ -243,6 +243,29 @@ impl PatientSeries {
         vol: &CtVolume,
         route: Route<'_>,
     ) -> Result<DeltaReport> {
+        // Every scan gets its own trace rooted at `monitor.scan`; the
+        // cache probe, pipeline stages, burden quantification, and any
+        // serve/cluster hand-off all land in the same span tree
+        // (DESIGN.md §17). Child spans tile the root — each starts
+        // where the previous ended — so critical-path segments sum to
+        // the scan's end-to-end latency exactly.
+        let t0 = self.registry.now_ns();
+        let trace = self.registry.trace_begin(None);
+        let result = self.scan_traced(label, vol, route, trace, t0);
+        let t_end = self.registry.now_ns();
+        let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Failed };
+        self.registry.trace_record(trace, "monitor.scan", t0, t_end.max(t0), status);
+        result
+    }
+
+    fn scan_traced(
+        &mut self,
+        label: String,
+        vol: &CtVolume,
+        route: Route<'_>,
+        trace: TraceCtx,
+        t0: u64,
+    ) -> Result<DeltaReport> {
         // Times the whole submission (hit or miss) into
         // monitor_delta_seconds on the registry clock.
         let _timer = Timer::start(self.registry.clock(), self.delta_seconds.clone());
@@ -252,28 +275,49 @@ impl PatientSeries {
 
         let (burden, diagnosis, provenance) = match self.cache.get(&key) {
             Some(hit) => {
+                let t_cache = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.cache", t0, t_cache);
                 // Recompute burden from the memoized artifacts — the
                 // same inputs through the same arithmetic, so the
                 // result is bit-identical to the original pass.
                 let burden = quantify_masked(&hit.enhanced_hu, &hit.mask, spacing)?;
+                let t_b = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.burden", t_cache, t_b);
                 (burden, hit.diagnosis, Provenance::CacheHit)
             }
             None => {
+                let t_cache = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.cache", t0, t_cache);
                 let enh = self.fw.run_enhance(&vol.hu, &mut self.scratch)?;
+                let t_e = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.enhance", t_cache, t_e);
                 let (seg, capture) = self.fw.run_segment_capturing(enh, &mut self.scratch)?;
+                let t_s = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.segment", t_e, t_s);
+                // Reserve the classify span up front so a served or
+                // clustered submission can link *under* it: the remote
+                // request's subtree nests inside `monitor.classify`
+                // instead of widening the root's direct children.
+                let cls = self.registry.trace_reserve(trace);
                 let diagnosis = match route {
                     Route::Direct => self.fw.run_classify(seg, self.threshold, &mut self.scratch)?,
                     Route::Served(client) => {
                         self.scratch.recycle(seg.masked);
-                        submit_serve(client, &vol.hu)?
+                        submit_serve(client, &vol.hu, cls)?
                     }
                     Route::Clustered(client) => {
                         self.scratch.recycle(seg.masked);
-                        submit_cluster(client, key.volume, &vol.hu)?
+                        submit_cluster(client, key.volume, &vol.hu, cls)?
                     }
                 };
+                let t_c = self.registry.now_ns();
+                self.registry.trace_record(cls, "monitor.classify", t_s, t_c, SpanStatus::Ok);
                 let burden = quantify_masked(&capture.enhanced_hu, &capture.mask, spacing)?;
+                let t_b = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.burden", t_c, t_b);
                 self.cache.insert(key, &capture.enhanced_hu, &capture.mask, diagnosis.clone())?;
+                let t_i = self.registry.now_ns();
+                self.registry.trace_child(trace, "monitor.cache_insert", t_b, t_i);
                 self.scratch.recycle(capture.enhanced_hu);
                 self.scratch.recycle(capture.mask);
                 (burden, diagnosis, Provenance::Computed)
@@ -374,9 +418,12 @@ impl PatientSeries {
 }
 
 /// Submit one volume through a serving broker and wait for its reply.
-fn submit_serve(client: &Client, vol_hu: &Tensor) -> Result<Diagnosis> {
+/// The scan's classify-span context links the served request's span
+/// tree under the monitor trace when broker and monitor share a
+/// registry (a foreign registry records its own subtree instead).
+fn submit_serve(client: &Client, vol_hu: &Tensor, link: TraceCtx) -> Result<Diagnosis> {
     let pending = client
-        .submit(ServeRequest::routine(vol_hu.clone()))
+        .submit_traced(ServeRequest::routine(vol_hu.clone()), Some(link))
         .map_err(|r| TensorError::Incompatible(format!("serve admission rejected: {r:?}")))?;
     let resp = pending
         .wait()
@@ -384,10 +431,16 @@ fn submit_serve(client: &Client, vol_hu: &Tensor) -> Result<Diagnosis> {
     resp.result.map_err(|e| TensorError::Incompatible(format!("served stage failed: {e}")))
 }
 
-/// Submit one volume through the sharded cluster and wait for its reply.
-fn submit_cluster(client: &ClusterClient, study_id: u64, vol_hu: &Tensor) -> Result<Diagnosis> {
+/// Submit one volume through the sharded cluster and wait for its reply,
+/// linking the router-side request trace under the scan's classify span.
+fn submit_cluster(
+    client: &ClusterClient,
+    study_id: u64,
+    vol_hu: &Tensor,
+    link: TraceCtx,
+) -> Result<Diagnosis> {
     let pending = client
-        .submit(study_id, ServeRequest::routine(vol_hu.clone()))
+        .submit_traced(study_id, ServeRequest::routine(vol_hu.clone()), Some(link))
         .map_err(|r| TensorError::Incompatible(format!("cluster admission rejected: {r:?}")))?;
     let resp = pending
         .wait()

@@ -17,7 +17,7 @@ fn fmt_f64(v: f64) -> String {
 }
 
 /// Escape a string for a JSON string literal (without the quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -192,11 +192,10 @@ fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String
 }
 
 /// JSONL span-trace dump: one event per line, in completion order.
+/// Locking goes through the poison-recovering [`crate::lock::lock`], so
+/// a panicked instrumented thread cannot blank the dump.
 pub fn trace_jsonl(reg: &Registry) -> String {
-    let store = match reg.spans.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    };
+    let store = crate::lock::lock(&reg.spans);
     let mut out = String::new();
     for e in store.trace() {
         out.push_str(&format!(

@@ -8,6 +8,10 @@
 //!   quantile implementation) addressed by static name + label set;
 //! * [`span`] — hierarchical RAII spans ([`span!`]) aggregated by
 //!   dotted path, with a bounded trace buffer;
+//! * [`trace`] — request-scoped distributed tracing: a [`TraceCtx`]
+//!   minted at admission and carried explicitly across thread and wire
+//!   hops, a pre-sized span-record ring, sorted-key JSONL tree export,
+//!   and the critical-path latency analyzer (DESIGN.md §17);
 //! * [`export`] — Prometheus text exposition, CSV, JSON, and JSONL
 //!   trace dumps, all sorted-key deterministic.
 //!
@@ -28,13 +32,16 @@ use std::sync::{Arc, OnceLock};
 pub mod clock;
 pub mod export;
 pub mod histogram;
+mod lock;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::Histogram;
 pub use registry::{Counter, Entry, Gauge, HistogramHandle, Registry, Snapshot, Timer};
 pub use span::{Span, SpanStat};
+pub use trace::{SpanRecord, SpanStatus, TraceCtx};
 
 static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
 

@@ -14,7 +14,9 @@ use std::sync::{Arc, Mutex};
 
 use crate::clock::{default_clock, Clock};
 use crate::histogram::Histogram;
+use crate::lock::lock;
 use crate::span::{SpanStat, SpanStore};
+use crate::trace::TraceStore;
 
 /// A monotonically increasing integer metric.
 #[derive(Debug, Clone)]
@@ -77,19 +79,15 @@ impl Gauge {
 pub struct HistogramHandle(Arc<Mutex<Histogram>>);
 
 impl HistogramHandle {
-    /// Record one sample.
+    /// Record one sample. Poisoning recovers instead of silently
+    /// dropping the sample (see [`crate::lock::lock`]).
     pub fn observe(&self, v: f64) {
-        if let Ok(mut h) = self.0.lock() {
-            h.observe(v);
-        }
+        lock(&self.0).observe(v);
     }
 
     /// Clone out the current state (count/sum/quantiles/buckets).
     pub fn snapshot(&self) -> Histogram {
-        match self.0.lock() {
-            Ok(h) => h.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
-        }
+        lock(&self.0).clone()
     }
 }
 
@@ -169,6 +167,7 @@ pub struct Registry {
     clock: Arc<dyn Clock>,
     metrics: Mutex<BTreeMap<String, Metric>>,
     pub(crate) spans: Mutex<SpanStore>,
+    pub(crate) traces: Mutex<TraceStore>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -208,6 +207,7 @@ impl Registry {
             clock,
             metrics: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(SpanStore::default()),
+            traces: Mutex::new(TraceStore::default()),
         }
     }
 
@@ -222,10 +222,7 @@ impl Registry {
     }
 
     fn metrics_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
-        match self.metrics.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        lock(&self.metrics)
     }
 
     /// Counter without labels.
@@ -338,10 +335,7 @@ impl Registry {
                         value: f64::from_bits(g.load(Ordering::Relaxed)),
                     }),
                     Slot::Histogram(h) => {
-                        let value = match h.lock() {
-                            Ok(h) => h.clone(),
-                            Err(p) => p.into_inner().clone(),
-                        };
+                        let value = lock(h).clone();
                         snap.histograms.push(Entry { name, labels, key, value });
                     }
                 }
@@ -351,12 +345,11 @@ impl Registry {
         snap
     }
 
-    /// Aggregated span statistics, sorted by path.
+    /// Aggregated span statistics, sorted by path. Locking goes through
+    /// the poison-recovering [`crate::lock::lock`], so a panicked
+    /// instrumented thread cannot blank the aggregates.
     pub fn span_stats(&self) -> Vec<(String, SpanStat)> {
-        let store = match self.spans.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
+        let store = lock(&self.spans);
         store.stats().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
     }
 }

@@ -117,10 +117,7 @@ impl Drop for Span {
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
-        let mut store = match self.registry.spans.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
+        let mut store = crate::lock::lock(&self.registry.spans);
         store.record(std::mem::take(&mut self.path), self.start_ns, dur_ns);
     }
 }

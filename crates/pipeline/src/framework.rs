@@ -149,6 +149,16 @@ pub struct Enhanced {
     started: u64,
 }
 
+impl Enhanced {
+    /// Clock-ns when this study's preprocessing began on the
+    /// framework's clock — the anchor a tracing caller uses to start a
+    /// stage span at the same instant the `t_total` accounting does
+    /// (DESIGN.md §17).
+    pub fn started_ns(&self) -> u64 {
+        self.started
+    }
+}
+
 /// Intermediate artifacts of the segmentation stage, captured via
 /// [`Framework::run_segment_capturing`] for the monitoring layer: the
 /// HU-space volume the segmenter ran on and the binary mask it
@@ -170,6 +180,14 @@ pub struct Segmented {
     t_enhance: Duration,
     t_segment: Duration,
     started: u64,
+}
+
+impl Segmented {
+    /// Clock-ns when the study's preprocessing began (see
+    /// [`Enhanced::started_ns`]).
+    pub fn started_ns(&self) -> u64 {
+        self.started
+    }
 }
 
 /// The ComputeCOVID19+ pipeline: optional Enhancement AI, Segmentation AI,

@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 
+use cc19_obs::TraceCtx;
+
 use crate::batcher::BatchPolicy;
 use crate::metrics::ServeMetrics;
 use crate::request::{Priority, Rejected, ServeRequest, ServeResponse};
@@ -54,6 +56,12 @@ pub struct Job {
     pub volume: cc19_tensor::Tensor,
     /// Admission timestamp in clock-ns (queue-wait accounting).
     pub submitted: u64,
+    /// Root trace context minted at admission (DESIGN.md §17); the
+    /// span-tree root is recorded against it when the request resolves.
+    pub trace: TraceCtx,
+    /// Dispatch timestamp in clock-ns, stamped when the job leaves the
+    /// queue inside a batch (0 while still queued).
+    pub t_dispatch: u64,
     /// Exactly-once reply channel.
     pub reply: Sender<ServeResponse>,
 }
@@ -110,6 +118,20 @@ impl Broker {
         req: ServeRequest,
         reply: Sender<ServeResponse>,
     ) -> Result<u64, Rejected> {
+        self.submit_traced(req, reply, None)
+    }
+
+    /// [`Broker::submit`] carrying an explicit trace link: `None` mints
+    /// a fresh root trace at admission; `Some(ctx)` continues the
+    /// caller's trace (the cluster worker node passes the router-minted
+    /// dispatch context here so the local span subtree stitches under
+    /// the router's tree — see `cc19_obs::trace`).
+    pub fn submit_traced(
+        &self,
+        req: ServeRequest,
+        reply: Sender<ServeResponse>,
+        link: Option<TraceCtx>,
+    ) -> Result<u64, Rejected> {
         let dims = req.volume.dims();
         if dims.len() != 3 || dims.contains(&0) {
             let why = Rejected::Invalid(format!("expected non-empty (D,H,W) volume, got {dims:?}"));
@@ -142,12 +164,18 @@ impl Broker {
         }
         let id = inner.next_id;
         inner.next_id += 1;
+        // Mint the root span only for admitted requests, under the
+        // admission lock so trace ids follow admission order (the obs
+        // trace lock is leaf-level; nothing locks broker state under it).
+        let trace = self.metrics.registry().trace_begin(link);
         let job = Job {
             id,
             priority: req.priority,
             deadline: req.deadline.map(|b| now + b.as_nanos() as u64),
             volume: req.volume,
             submitted: now,
+            trace,
+            t_dispatch: 0,
             reply,
         };
         let class = &mut inner.classes[req.priority.class()];
@@ -178,6 +206,9 @@ impl Broker {
                 }
                 inner = wait(&self.arrived, inner);
             }
+            // Queue wait ends here; everything between this read and the
+            // dispatch read below is batch-formation delay.
+            let t_pop = self.metrics.now_ns();
             // Coalescing window: give the batch max_delay to fill up to
             // max_batch (the latency/throughput knob). A closed broker
             // skips the wait — drain as fast as possible. This window
@@ -222,6 +253,19 @@ impl Broker {
             }
             drop(inner);
             self.metrics.on_batch(batch.len());
+            // Record the queue/batch segments so they tile each trace:
+            // queue = admission → pop, batch = pop → dispatch. A job that
+            // arrived inside the coalescing window (submitted after
+            // `t_pop`) gets a zero-width queue span instead of an
+            // underflowed one.
+            let t_dispatch = self.metrics.now_ns();
+            let reg = self.metrics.registry();
+            for job in batch.iter_mut() {
+                let popped = t_pop.max(job.submitted);
+                reg.trace_child(job.trace, "serve.queue", job.submitted, popped);
+                reg.trace_child(job.trace, "serve.batch", popped, t_dispatch.max(popped));
+                job.t_dispatch = t_dispatch.max(popped);
+            }
             return Some(batch);
         }
     }

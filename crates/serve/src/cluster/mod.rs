@@ -120,6 +120,7 @@ pub struct ClusterMetrics {
     pub(crate) completed: Counter,
     pub(crate) failed: Counter,
     pub(crate) rejected: Counter,
+    pub(crate) trace_spans: Counter,
     pub(crate) generation: Gauge,
     pub(crate) live_workers: Gauge,
     pub(crate) inflight_max: Gauge,
@@ -174,6 +175,7 @@ impl ClusterMetrics {
             completed: reg.counter("serve_cluster_completed_total"),
             failed: reg.counter("serve_cluster_failed_total"),
             rejected: reg.counter("serve_cluster_rejected_total"),
+            trace_spans: reg.counter("serve_cluster_trace_spans_ingested_total"),
             generation: reg.gauge("serve_cluster_generation"),
             live_workers: reg.gauge("serve_cluster_live_workers"),
             inflight_max: reg.gauge("serve_cluster_inflight_max"),
@@ -335,11 +337,24 @@ impl ClusterClient {
         study_id: u64,
         req: ServeRequest,
     ) -> Result<PendingDiagnosis, Rejected> {
+        self.submit_traced(study_id, req, None)
+    }
+
+    /// [`ClusterClient::submit`] continuing an existing trace: the
+    /// request's root span links under `link` instead of rooting a new
+    /// trace on the router registry — how the monitor's clustered route
+    /// stitches cluster dispatches into its scan trace (DESIGN.md §17).
+    pub fn submit_traced(
+        &self,
+        study_id: u64,
+        req: ServeRequest,
+        link: Option<cc19_obs::TraceCtx>,
+    ) -> Result<PendingDiagnosis, Rejected> {
         let (reply_tx, reply_rx) = unbounded();
         let (dec_tx, dec_rx) = unbounded();
         if self
             .cmd_tx
-            .send(Cmd::Submit { study_id, req, reply: reply_tx, decision: dec_tx })
+            .send(Cmd::Submit { study_id, req, reply: reply_tx, decision: dec_tx, link })
             .is_err()
         {
             return Err(Rejected::ShuttingDown);

@@ -28,6 +28,7 @@ use cc19_dist::{ByteRx, ByteTx};
 use crossbeam::channel::RecvTimeoutError;
 
 use crate::cluster::proto::{self, Dispatch};
+use crate::metrics::ServeMetrics;
 use crate::server::{PendingDiagnosis, Server, ServerCfg};
 use crate::worker::FrameworkFactory;
 
@@ -65,7 +66,11 @@ fn node_loop(
     hb: Arc<Cluster>,
     kill_after: Option<usize>,
 ) {
-    let server = match Server::start(cfg, move || factory()) {
+    // Hold the node's own registry so completed requests' span subtrees
+    // can be drained (`trace_take`) and shipped home in reply frames.
+    let metrics = ServeMetrics::new();
+    let reg = Arc::clone(metrics.registry());
+    let server = match Server::start_with_metrics(cfg, move || factory(), metrics) {
         Ok(s) => s,
         Err(_) => {
             // Could not even start (thread-spawn exhaustion). Dropping
@@ -76,7 +81,7 @@ fn node_loop(
         }
     };
     let client = server.client();
-    let mut pendings: VecDeque<(u64, PendingDiagnosis)> = VecDeque::new();
+    let mut pendings: VecDeque<(u64, u64, PendingDiagnosis)> = VecDeque::new();
     let mut received = 0usize;
     let mut draining = false;
 
@@ -93,14 +98,17 @@ fn node_loop(
             };
             match frame {
                 Ok(Some(payload)) => match proto::decode_dispatch(&payload) {
-                    Ok(Dispatch::Request { req_id, req }) => {
+                    Ok(Dispatch::Request { req_id, ctx, req }) => {
                         if kill_after == Some(received) {
                             break 'outer; // scheduled crash: no drain, no goodbye
                         }
                         received += 1;
-                        match client.submit(req) {
-                            Ok(p) => pendings.push_back((req_id, p)),
+                        match client.submit_traced(req, Some(ctx)) {
+                            Ok(p) => pendings.push_back((req_id, ctx.trace_id, p)),
                             Err(why) => {
+                                // Rejections mint no trace (admission
+                                // failed before span minting), so the
+                                // reply carries no span section.
                                 reply_tx.send(&proto::encode_reply_rejected(req_id, &why));
                             }
                         }
@@ -119,21 +127,26 @@ fn node_loop(
             }
         }
 
-        // Forward completed responses, oldest first.
-        while let Some((req_id, p)) = pendings.front() {
-            let req_id = *req_id;
+        // Forward completed responses, oldest first. Each reply drains
+        // the request's local span subtree and ships it home so the
+        // router can graft it under its dispatch span.
+        while let Some((req_id, trace_id, p)) = pendings.front() {
+            let (req_id, trace_id) = (*req_id, *trace_id);
             match p.wait_timeout(BUSY_POLL) {
                 Ok(resp) => {
+                    let spans = reg.trace_take(trace_id);
                     let bytes = match &resp.result {
-                        Ok(d) => proto::encode_reply_ok(req_id, d),
-                        Err(msg) => proto::encode_reply_fail(req_id, msg),
+                        Ok(d) => proto::encode_reply_ok(req_id, d, &spans),
+                        Err(msg) => proto::encode_reply_fail(req_id, msg, &spans),
                     };
                     reply_tx.send(&bytes);
                     pendings.pop_front();
                 }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
-                    reply_tx.send(&proto::encode_reply_fail(req_id, "worker pipeline lost"));
+                    let spans = reg.trace_take(trace_id);
+                    reply_tx
+                        .send(&proto::encode_reply_fail(req_id, "worker pipeline lost", &spans));
                     pendings.pop_front();
                 }
             }

@@ -9,13 +9,24 @@
 //!
 //! | kind | direction | payload |
 //! |------|-----------|---------|
-//! | `1` dispatch | router → worker | `[req_id u64][encoded ServeRequest]` |
+//! | `1` dispatch | router → worker | `[req_id u64][trace ctx 3×u64][encoded ServeRequest]` |
 //! | `2` shutdown | router → worker | empty (drain and exit) |
-//! | `1` reply-ok | worker → router | `[encode_ok(req_id, diagnosis)]` |
-//! | `2` reply-fail | worker → router | `[req_id u64][utf-8 error]` |
+//! | `1` reply-ok | worker → router | `[span section][encode_ok(req_id, diagnosis)]` |
+//! | `2` reply-fail | worker → router | `[req_id u64][span section][utf-8 error]` |
 //! | `3` reply-reject | worker → router | `[req_id u64][encode_reject]` |
+//!
+//! Dispatch frames carry the router-minted [`TraceCtx`] so the worker's
+//! local span subtree records under the right trace id; `Ok`/`Fail`
+//! replies ship that subtree back in a `u32`-length-prefixed *span
+//! section* ([`cc19_dist::framing::put_section`]) ahead of the existing
+//! payload, and the router grafts it under its dispatch span
+//! (DESIGN.md §17). A locally rejected dispatch records no spans, so
+//! reject replies stay section-free.
 
 use std::io;
+
+use cc19_dist::framing::{put_section, take_section};
+use cc19_obs::{SpanRecord, SpanStatus, TraceCtx};
 
 use computecovid19::Diagnosis;
 
@@ -50,6 +61,9 @@ pub(crate) enum Dispatch {
     Request {
         /// Router-assigned cluster request id.
         req_id: u64,
+        /// Router-minted trace context of the dispatch span; the
+        /// worker's local span subtree links under it.
+        ctx: TraceCtx,
         /// The study.
         req: ServeRequest,
     },
@@ -60,10 +74,10 @@ pub(crate) enum Dispatch {
 /// Worker → router message.
 #[derive(Debug)]
 pub(crate) enum Reply {
-    /// Diagnosis completed.
-    Ok { req_id: u64, diagnosis: Diagnosis },
-    /// Accepted locally but a stage failed.
-    Fail { req_id: u64, message: String },
+    /// Diagnosis completed; `spans` is the worker-local span subtree.
+    Ok { req_id: u64, diagnosis: Diagnosis, spans: Vec<SpanRecord> },
+    /// Accepted locally but a stage failed; partial spans still ship.
+    Fail { req_id: u64, message: String, spans: Vec<SpanRecord> },
     /// The worker's local admission turned the dispatch away.
     Rejected { req_id: u64, why: Rejected },
 }
@@ -79,11 +93,68 @@ impl Reply {
     }
 }
 
-pub(crate) fn encode_dispatch(req_id: u64, req: &ServeRequest) -> Vec<u8> {
+fn split_u32(payload: &[u8]) -> io::Result<(u32, &[u8])> {
+    if payload.len() < 4 {
+        return Err(invalid("truncated cluster frame"));
+    }
+    let (head, rest) = payload.split_at(4);
+    let mut b = [0u8; 4];
+    b.copy_from_slice(head);
+    Ok((u32::from_le_bytes(b), rest))
+}
+
+/// Serialize a span subtree: `[count u32]` then, per record, five `u64`
+/// fields, a status code byte, and a length-prefixed UTF-8 path.
+fn encode_spans(spans: &[SpanRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + spans.len() * 64);
+    out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+    for s in spans {
+        out.extend_from_slice(&s.trace_id.to_le_bytes());
+        out.extend_from_slice(&s.span_id.to_le_bytes());
+        out.extend_from_slice(&s.parent_id.to_le_bytes());
+        out.extend_from_slice(&s.start_ns.to_le_bytes());
+        out.extend_from_slice(&s.end_ns.to_le_bytes());
+        out.push(s.status.code());
+        out.extend_from_slice(&(s.path.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.path.as_bytes());
+    }
+    out
+}
+
+fn decode_spans(block: &[u8]) -> io::Result<Vec<SpanRecord>> {
+    let (count, mut rest) = split_u32(block)?;
+    let mut out = Vec::with_capacity((count as usize).min(1024));
+    for _ in 0..count {
+        let (trace_id, r) = split_u64(rest)?;
+        let (span_id, r) = split_u64(r)?;
+        let (parent_id, r) = split_u64(r)?;
+        let (start_ns, r) = split_u64(r)?;
+        let (end_ns, r) = split_u64(r)?;
+        let (&code, r) = r.split_first().ok_or_else(|| invalid("truncated span record"))?;
+        let status =
+            SpanStatus::from_code(code).ok_or_else(|| invalid("unknown span status code"))?;
+        let (path_len, r) = split_u32(r)?;
+        if (path_len as usize) > r.len() {
+            return Err(invalid("span path overruns frame"));
+        }
+        let (path, r) = r.split_at(path_len as usize);
+        let path = std::str::from_utf8(path)
+            .map_err(|_| invalid("non-UTF-8 span path"))?
+            .to_owned();
+        out.push(SpanRecord { trace_id, span_id, parent_id, path, start_ns, end_ns, status });
+        rest = r;
+    }
+    Ok(out)
+}
+
+pub(crate) fn encode_dispatch(req_id: u64, ctx: TraceCtx, req: &ServeRequest) -> Vec<u8> {
     let body = wire::encode_request(req);
-    let mut out = Vec::with_capacity(9 + body.len());
+    let mut out = Vec::with_capacity(33 + body.len());
     out.push(KIND_DISPATCH);
     out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    out.extend_from_slice(&ctx.span_id.to_le_bytes());
+    out.extend_from_slice(&ctx.parent_id.to_le_bytes());
     out.extend_from_slice(&body);
     out
 }
@@ -96,23 +167,32 @@ pub(crate) fn decode_dispatch(payload: &[u8]) -> io::Result<Dispatch> {
     let (&kind, rest) = payload.split_first().ok_or_else(|| invalid("empty cluster frame"))?;
     match kind {
         KIND_DISPATCH => {
-            let (req_id, body) = split_u64(rest)?;
-            Ok(Dispatch::Request { req_id, req: wire::decode_request(body)? })
+            let (req_id, rest) = split_u64(rest)?;
+            let (trace_id, rest) = split_u64(rest)?;
+            let (span_id, rest) = split_u64(rest)?;
+            let (parent_id, body) = split_u64(rest)?;
+            Ok(Dispatch::Request {
+                req_id,
+                ctx: TraceCtx { trace_id, span_id, parent_id },
+                req: wire::decode_request(body)?,
+            })
         }
         KIND_SHUTDOWN => Ok(Dispatch::Shutdown),
         other => Err(invalid(format!("unknown dispatch kind {other}"))),
     }
 }
 
-pub(crate) fn encode_reply_ok(req_id: u64, d: &Diagnosis) -> Vec<u8> {
+pub(crate) fn encode_reply_ok(req_id: u64, d: &Diagnosis, spans: &[SpanRecord]) -> Vec<u8> {
     let mut out = vec![REPLY_OK];
+    put_section(&mut out, &encode_spans(spans));
     out.extend_from_slice(&wire::encode_ok(req_id, d));
     out
 }
 
-pub(crate) fn encode_reply_fail(req_id: u64, message: &str) -> Vec<u8> {
+pub(crate) fn encode_reply_fail(req_id: u64, message: &str, spans: &[SpanRecord]) -> Vec<u8> {
     let mut out = vec![REPLY_FAIL];
     out.extend_from_slice(&req_id.to_le_bytes());
+    put_section(&mut out, &encode_spans(spans));
     out.extend_from_slice(message.as_bytes());
     out
 }
@@ -128,15 +208,19 @@ pub(crate) fn decode_reply(payload: &[u8]) -> io::Result<Reply> {
     let (&kind, rest) = payload.split_first().ok_or_else(|| invalid("empty cluster reply"))?;
     match kind {
         REPLY_OK => {
+            let (block, rest) = take_section(rest)?;
+            let spans = decode_spans(block)?;
             let (req_id, diagnosis) = wire::decode_ok(rest)?;
-            Ok(Reply::Ok { req_id, diagnosis })
+            Ok(Reply::Ok { req_id, diagnosis, spans })
         }
         REPLY_FAIL => {
-            let (req_id, msg) = split_u64(rest)?;
+            let (req_id, rest) = split_u64(rest)?;
+            let (block, msg) = take_section(rest)?;
+            let spans = decode_spans(block)?;
             let message = std::str::from_utf8(msg)
                 .map_err(|_| invalid("non-UTF-8 failure message"))?
                 .to_owned();
-            Ok(Reply::Fail { req_id, message })
+            Ok(Reply::Fail { req_id, message, spans })
         }
         REPLY_REJECT => {
             let (req_id, body) = split_u64(rest)?;
@@ -155,6 +239,33 @@ mod tests {
     use cc19_tensor::Tensor;
     use std::time::Duration;
 
+    fn sample_ctx() -> TraceCtx {
+        TraceCtx { trace_id: 9, span_id: 2, parent_id: 1 }
+    }
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                trace_id: 9,
+                span_id: 1,
+                parent_id: 0,
+                path: "serve.request".to_string(),
+                start_ns: 1_000,
+                end_ns: 9_000,
+                status: SpanStatus::Ok,
+            },
+            SpanRecord {
+                trace_id: 9,
+                span_id: 2,
+                parent_id: 1,
+                path: "serve.queue".to_string(),
+                start_ns: 1_000,
+                end_ns: 2_000,
+                status: SpanStatus::Redispatched,
+            },
+        ]
+    }
+
     #[test]
     fn dispatch_roundtrips_bit_exact() {
         let req = ServeRequest {
@@ -162,9 +273,10 @@ mod tests {
             priority: Priority::Urgent,
             deadline: Some(Duration::from_millis(40)),
         };
-        match decode_dispatch(&encode_dispatch(77, &req)).unwrap() {
-            Dispatch::Request { req_id, req: back } => {
+        match decode_dispatch(&encode_dispatch(77, sample_ctx(), &req)).unwrap() {
+            Dispatch::Request { req_id, ctx, req: back } => {
                 assert_eq!(req_id, 77);
+                assert_eq!(ctx, sample_ctx());
                 assert_eq!(back.priority, req.priority);
                 assert_eq!(back.deadline, req.deadline);
                 assert_eq!(back.volume.data(), req.volume.data());
@@ -185,16 +297,18 @@ mod tests {
             t_classify: Duration::from_micros(11),
             t_total: Duration::from_millis(13),
         };
-        match decode_reply(&encode_reply_ok(5, &d)).unwrap() {
-            Reply::Ok { req_id, diagnosis } => {
+        match decode_reply(&encode_reply_ok(5, &d, &sample_spans())).unwrap() {
+            Reply::Ok { req_id, diagnosis, spans } => {
                 assert_eq!(req_id, 5);
                 assert_eq!(diagnosis.probability.to_bits(), d.probability.to_bits());
+                assert_eq!(spans, sample_spans(), "span subtree survives the wire");
             }
             other => panic!("wrong decode: {other:?}"),
         }
-        match decode_reply(&encode_reply_fail(6, "stage exploded")).unwrap() {
-            Reply::Fail { req_id, message } => {
+        match decode_reply(&encode_reply_fail(6, "stage exploded", &[])).unwrap() {
+            Reply::Fail { req_id, message, spans } => {
                 assert_eq!((req_id, message.as_str()), (6, "stage exploded"));
+                assert!(spans.is_empty());
             }
             other => panic!("wrong decode: {other:?}"),
         }

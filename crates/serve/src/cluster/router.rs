@@ -29,7 +29,7 @@ use cc19_dist::{byte_link, ByteRx, ByteTx};
 use cc19_nn::checkpoint::Checkpoint;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-use cc19_obs::Counter;
+use cc19_obs::{Counter, SpanStatus, TraceCtx};
 
 use computecovid19::framework::Framework;
 
@@ -57,6 +57,8 @@ pub(super) enum Cmd {
         reply: Sender<ServeResponse>,
         /// Admission verdict: `Ok(req_id)` or a typed rejection.
         decision: Sender<Result<u64, Rejected>>,
+        /// Optional trace to continue instead of rooting a new one.
+        link: Option<TraceCtx>,
     },
     /// Add a worker replica (weights arrive over the broadcast path).
     Join {
@@ -76,6 +78,15 @@ struct InFlight {
     attempts: usize,
     /// Worker currently holding the request.
     worker: usize,
+    /// Root span of the request's trace (recorded when it resolves).
+    root: TraceCtx,
+    /// Dispatch span of the *current* attempt; the worker subtree
+    /// grafts under it, and a death marks it `redispatched`.
+    wire: TraceCtx,
+    /// Root span start (admission time, router clock ns).
+    t_root: u64,
+    /// Current attempt's dispatch time (router clock ns).
+    attempt_start: u64,
 }
 
 /// The router's view of one worker.
@@ -241,8 +252,8 @@ impl Router {
 
     fn handle_cmd(&mut self, cmd: Cmd) {
         match cmd {
-            Cmd::Submit { study_id, req, reply, decision } => {
-                match self.admit(study_id, req, reply) {
+            Cmd::Submit { study_id, req, reply, decision, link } => {
+                match self.admit(study_id, req, reply, link) {
                     Ok(id) => {
                         let _ = decision.send(Ok(id));
                     }
@@ -270,6 +281,7 @@ impl Router {
         study_id: u64,
         req: ServeRequest,
         reply: Sender<ServeResponse>,
+        link: Option<TraceCtx>,
     ) -> Result<u64, Rejected> {
         if self.closed {
             return Err(Rejected::ShuttingDown);
@@ -300,9 +312,29 @@ impl Router {
         };
         let id = self.next_req;
         self.next_req += 1;
-        self.workers[worker].tx.send(&proto::encode_dispatch(id, &req));
+        // Mint the trace only for admitted requests. One clock read per
+        // admission; commands are handled sequentially on this thread,
+        // so deterministic-mode timestamps stay causally ordered.
+        let reg = self.metrics.registry();
+        let t0 = reg.now_ns();
+        let root = reg.trace_begin(link);
+        let wire = reg.trace_reserve(root);
+        self.workers[worker].tx.send(&proto::encode_dispatch(id, wire, &req));
         self.workers[worker].dispatched.inc();
-        self.inflight.insert(id, InFlight { study_id, req, reply, attempts: 1, worker });
+        self.inflight.insert(
+            id,
+            InFlight {
+                study_id,
+                req,
+                reply,
+                attempts: 1,
+                worker,
+                root,
+                wire,
+                t_root: t0,
+                attempt_start: t0,
+            },
+        );
         self.metrics.dispatched.inc();
         self.metrics.inflight_max.set_max(self.inflight.len() as f64);
         Ok(id)
@@ -323,20 +355,34 @@ impl Router {
             self.metrics.suppressed.inc();
             return;
         };
-        let result = match reply {
-            Reply::Ok { diagnosis, .. } => {
+        let (result, spans, status) = match reply {
+            Reply::Ok { diagnosis, spans, .. } => {
                 self.metrics.completed.inc();
-                Ok(diagnosis)
+                (Ok(diagnosis), spans, SpanStatus::Ok)
             }
-            Reply::Fail { message, .. } => {
+            Reply::Fail { message, spans, .. } => {
                 self.metrics.failed.inc();
-                Err(message)
+                (Err(message), spans, SpanStatus::Failed)
             }
             Reply::Rejected { why, .. } => {
                 self.metrics.failed.inc();
-                Err(format!("worker-local rejection: {why}"))
+                (Err(format!("worker-local rejection: {why}")), Vec::new(), SpanStatus::Failed)
             }
         };
+        // Graft the worker's span subtree under this attempt's dispatch
+        // span. The worker registry runs its own clock, so the subtree
+        // is rebased onto the dispatch time, and the dispatch span ends
+        // no earlier than the rebased subtree — the tree stays properly
+        // nested and the critical-path segments still sum exactly.
+        let reg = self.metrics.registry();
+        let t1 = reg.now_ns();
+        let lo = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let extent = spans.iter().map(|s| s.end_ns).max().unwrap_or(0).saturating_sub(lo);
+        self.metrics.trace_spans.add(spans.len() as u64);
+        reg.trace_ingest(inf.wire, inf.attempt_start, &spans);
+        let wire_end = t1.max(inf.attempt_start.saturating_add(extent));
+        reg.trace_record(inf.wire, "serve.cluster.wire", inf.attempt_start, wire_end, SpanStatus::Ok);
+        reg.trace_record(inf.root, "serve.request", inf.t_root, wire_end, status);
         let _ = inf.reply.send(ServeResponse { id: req_id, result });
     }
 
@@ -364,17 +410,30 @@ impl Router {
             .collect();
         orphans.sort_unstable();
         for id in orphans {
-            self.redispatch(id);
+            self.redispatch(id, t0);
         }
         let dt = self.metrics.registry().now_ns().saturating_sub(t0);
         self.metrics.recovery_ms.observe(dt as f64 / 1e6);
     }
 
     /// Move one orphaned request to a surviving worker, or fail it with
-    /// a typed error once the retry budget is spent.
-    fn redispatch(&mut self, id: u64) {
+    /// a typed error once the retry budget is spent. `now_ns` is the
+    /// death-verdict timestamp read by [`Router::on_worker_death`] — no
+    /// extra clock reads here, so deterministic runs stay reproducible.
+    fn redispatch(&mut self, id: u64, now_ns: u64) {
         let Some(inf) = self.inflight.get_mut(&id) else { return };
         inf.attempts += 1;
+        // The aborted attempt's spans died with the worker; its dispatch
+        // span is closed as `redispatched` so the trace shows the lost
+        // attempt instead of silently dropping it.
+        let reg = Arc::clone(self.metrics.registry());
+        reg.trace_record(
+            inf.wire,
+            "serve.cluster.wire",
+            inf.attempt_start,
+            now_ns.max(inf.attempt_start),
+            SpanStatus::Redispatched,
+        );
         let target = if inf.attempts > self.cfg.max_attempts {
             None
         } else {
@@ -383,7 +442,9 @@ impl Router {
         match target {
             Some(worker) => {
                 inf.worker = worker;
-                self.workers[worker].tx.send(&proto::encode_dispatch(id, &inf.req));
+                inf.wire = reg.trace_reserve(inf.root);
+                inf.attempt_start = now_ns;
+                self.workers[worker].tx.send(&proto::encode_dispatch(id, inf.wire, &inf.req));
                 self.workers[worker].dispatched.inc();
                 self.metrics.dispatched.inc();
                 self.metrics.redispatched.inc();
@@ -395,6 +456,13 @@ impl Router {
                     format!("re-dispatch budget exhausted after {} attempts", inf.attempts - 1)
                 };
                 let Some(inf) = self.inflight.remove(&id) else { return };
+                reg.trace_record(
+                    inf.root,
+                    "serve.request",
+                    inf.t_root,
+                    now_ns.max(inf.t_root),
+                    SpanStatus::Failed,
+                );
                 self.metrics.failed.inc();
                 let _ = inf.reply.send(ServeResponse { id, result: Err(reason) });
             }

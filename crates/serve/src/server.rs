@@ -166,8 +166,20 @@ impl Client {
     /// Submit a study. Returns a [`PendingDiagnosis`] on admission or a
     /// typed [`Rejected`] immediately.
     pub fn submit(&self, req: ServeRequest) -> Result<PendingDiagnosis, Rejected> {
+        self.submit_traced(req, None)
+    }
+
+    /// [`Client::submit`] continuing an existing trace: the admitted
+    /// request's span tree links under `link` instead of rooting a new
+    /// trace — how the cluster worker node and the monitor's served
+    /// route stitch their spans into the caller's tree (DESIGN.md §17).
+    pub fn submit_traced(
+        &self,
+        req: ServeRequest,
+        link: Option<cc19_obs::TraceCtx>,
+    ) -> Result<PendingDiagnosis, Rejected> {
         let (tx, rx) = unbounded();
-        let id = self.broker.submit(req, tx)?;
+        let id = self.broker.submit_traced(req, tx, link)?;
         Ok(PendingDiagnosis { id, rx })
     }
 }

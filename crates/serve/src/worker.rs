@@ -21,6 +21,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 
+use cc19_obs::{SpanStatus, TraceCtx};
+
 use computecovid19::framework::{EnhanceMode, Enhanced, Framework, Scratch, Segmented};
 
 use crate::batcher::{BatchPolicy, Gate};
@@ -32,11 +34,18 @@ use crate::request::ServeResponse;
 pub type FrameworkFactory = Arc<dyn Fn() -> Framework + Send + Sync>;
 
 /// Everything a study carries between stages besides the tensors.
-/// Deadlines are clock-ns on the metrics registry's clock.
+/// Deadlines are clock-ns on the metrics registry's clock. The trace
+/// context rides along explicitly — spans survive the thread hops that
+/// kill `cc19_obs::span!`'s thread-local nesting — and `t_prev` marks
+/// where the previous stage's span ended, so consecutive stage spans
+/// tile the request exactly (DESIGN.md §17).
 struct JobMeta {
     id: u64,
     deadline: Option<u64>,
     t_queue: Duration,
+    trace: TraceCtx,
+    t_submit: u64,
+    t_prev: u64,
     reply: Sender<ServeResponse>,
 }
 
@@ -52,6 +61,14 @@ struct SegmentedJob {
 
 fn fail(meta: JobMeta, stage: &str, err: impl std::fmt::Display, metrics: &ServeMetrics) {
     metrics.on_failure();
+    let now = metrics.now_ns();
+    metrics.registry().trace_record(
+        meta.trace,
+        "serve.request",
+        meta.t_submit,
+        now,
+        SpanStatus::Failed,
+    );
     let _ = meta
         .reply
         .send(ServeResponse { id: meta.id, result: Err(format!("{stage} stage failed: {err}")) });
@@ -86,10 +103,22 @@ pub(crate) fn spawn_pipeline(
                 for job in batch {
                     let t_queue =
                         Duration::from_nanos(m_enh.now_ns().saturating_sub(job.submitted));
-                    let meta =
-                        JobMeta { id: job.id, deadline: job.deadline, t_queue, reply: job.reply };
+                    let mut meta = JobMeta {
+                        id: job.id,
+                        deadline: job.deadline,
+                        t_queue,
+                        trace: job.trace,
+                        t_submit: job.submitted,
+                        t_prev: job.t_dispatch,
+                        reply: job.reply,
+                    };
                     match fw.run_enhance_with(&job.volume, &mut scratch, enhance_mode) {
                         Ok(enh) => {
+                            let t_e = m_enh.now_ns();
+                            m_enh
+                                .registry()
+                                .trace_child(meta.trace, "serve.enhance", meta.t_prev, t_e);
+                            meta.t_prev = t_e;
                             if seg_tx.send(EnhancedJob { meta, enh }).is_err() {
                                 return; // downstream died; nothing sane to do
                             }
@@ -108,9 +137,12 @@ pub(crate) fn spawn_pipeline(
         .spawn(move || {
             let fw = f_seg();
             let mut scratch = Scratch::new();
-            while let Ok(EnhancedJob { meta, enh }) = seg_rx.recv() {
+            while let Ok(EnhancedJob { mut meta, enh }) = seg_rx.recv() {
                 match fw.run_segment(enh, &mut scratch) {
                     Ok(seg) => {
+                        let t_s = m_seg.now_ns();
+                        m_seg.registry().trace_child(meta.trace, "serve.segment", meta.t_prev, t_s);
+                        meta.t_prev = t_s;
                         if cls_tx.send(SegmentedJob { meta, seg }).is_err() {
                             return;
                         }
@@ -129,7 +161,17 @@ pub(crate) fn spawn_pipeline(
                 match fw.run_classify(seg, threshold, &mut scratch) {
                     Ok(d) => {
                         let d = d.with_queue_time(meta.t_queue);
-                        let missed = meta.deadline.map(|dl| metrics.now_ns() > dl).unwrap_or(false);
+                        let t_c = metrics.now_ns();
+                        let missed = meta.deadline.map(|dl| t_c > dl).unwrap_or(false);
+                        let reg = metrics.registry();
+                        reg.trace_child(meta.trace, "serve.classify", meta.t_prev, t_c);
+                        reg.trace_record(
+                            meta.trace,
+                            "serve.request",
+                            meta.t_submit,
+                            t_c,
+                            SpanStatus::Ok,
+                        );
                         metrics.on_complete(&d, missed);
                         let _ = meta.reply.send(ServeResponse { id: meta.id, result: Ok(d) });
                     }

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Bench-trajectory check (DESIGN.md §17 satellite tooling): every
+# obs_report run appends its bench_* gauges as one sorted-key JSON line
+# to results/bench_history.jsonl. This script diffs the newest entry
+# against the previous one and WARNS on >20% regressions — throughput
+# gauges (gflops / qps / ratio) regress by dropping, latency gauges
+# (*_ms) regress by rising; count gauges are informational only.
+#
+# Warn-only by design: bench numbers on shared CI hosts are noisy, so
+# this surfaces trajectory drift without gating the build. Always
+# exits 0 (except on malformed history).
+# Usage: scripts/bench_check.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+HISTORY=results/bench_history.jsonl
+if [ ! -f "$HISTORY" ]; then
+    echo "bench-check: no $HISTORY yet — run obs_report first"
+    exit 0
+fi
+
+python3 - "$HISTORY" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 0.20  # warn past a 20% regression
+
+with open(sys.argv[1], encoding="utf-8") as f:
+    lines = [ln for ln in f.read().splitlines() if ln.strip()]
+
+if len(lines) < 2:
+    print(f"bench-check: only {len(lines)} entry in history — nothing to diff")
+    sys.exit(0)
+
+prev, curr = json.loads(lines[-2]), json.loads(lines[-1])
+
+
+def direction(key):
+    """Regression direction: -1 = lower is worse, +1 = higher is worse."""
+    base = key.split("{", 1)[0]
+    if base.endswith(("_gflops", "_qps", "_ratio")):
+        return -1
+    if base.endswith("_ms"):
+        return +1
+    return 0  # counts and other gauges: informational only
+
+
+warned = 0
+for key in sorted(set(prev) & set(curr)):
+    sign = direction(key)
+    old, new = prev[key], curr[key]
+    if sign == 0 or old == 0:
+        continue
+    change = (new - old) / abs(old)
+    if sign * change > THRESHOLD:
+        verb = "dropped" if sign < 0 else "rose"
+        print(f"bench-check: WARNING {key} {verb} {abs(change) * 100:.1f}%"
+              f" ({old:.4g} -> {new:.4g})")
+        warned += 1
+
+for key in sorted(set(prev) ^ set(curr)):
+    where = "disappeared" if key in prev else "is new"
+    print(f"bench-check: note — gauge {key} {where} in the latest entry")
+
+if warned:
+    print(f"bench-check: {warned} regression warning(s) over {len(lines)} entries"
+          " (warn-only; not a gate)")
+else:
+    print(f"bench-check: OK — newest entry within {THRESHOLD * 100:.0f}% of the"
+          f" previous across {len(set(prev) & set(curr))} shared gauges")
+EOF

@@ -118,10 +118,11 @@ echo "=== tier-1: observability report (byte-identical under manual clock) ==="
 # obs_report sweeps every instrumented subsystem (GEMM/conv kernels,
 # ctsim stages, a tiny training run, a faulty 4-rank all-reduce, a serve
 # smoke, a kill-and-recover cluster pass) into the cc19-obs registry and
-# exports results/bench_obs.json.
+# exports results/bench_obs.json plus the per-request critical-path
+# report results/trace_report.json (DESIGN.md §17).
 # Under CC19_OBS_DETERMINISTIC=1 every clock read is causally ordered on
 # the auto-ticking manual clock, so two runs must produce byte-identical
-# output (DESIGN.md §12) — run it twice and compare.
+# output (DESIGN.md §12) — run it twice and compare both artifacts.
 if [ "$status" -eq 0 ]; then
     if ! cargo build -q --release -p cc19-bench --bin obs_report; then
         echo "tier-1: OBS REPORT BUILD FAILED"
@@ -134,6 +135,7 @@ if [ "$status" -eq 0 ]; then
         status=1
     else
         cp results/bench_obs.json results/.bench_obs.run1.json
+        cp results/trace_report.json results/.trace_report.run1.json
         if ! CC19_OBS_DETERMINISTIC=1 ./target/release/obs_report; then
             echo "tier-1: OBS REPORT FAILED (second run)"
             status=1
@@ -141,8 +143,40 @@ if [ "$status" -eq 0 ]; then
             echo "tier-1: OBS REPORT NOT DETERMINISTIC (bench_obs.json differs between runs)"
             diff results/.bench_obs.run1.json results/bench_obs.json | head -20
             status=1
+        elif ! cmp -s results/trace_report.json results/.trace_report.run1.json; then
+            echo "tier-1: OBS REPORT NOT DETERMINISTIC (trace_report.json differs between runs)"
+            diff results/.trace_report.run1.json results/trace_report.json | head -20
+            status=1
         fi
-        rm -f results/.bench_obs.run1.json
+        rm -f results/.bench_obs.run1.json results/.trace_report.run1.json
+    fi
+fi
+
+echo
+echo "=== tier-1: request tracing (stitched span trees, byte-identical JSONL) ==="
+# The cc19-serve trace suite (DESIGN.md §17) runs one request through a
+# single-node server on a fully injected manual clock and 2×12 requests
+# through a 3-worker cluster (healthy + scheduled-kill phases), asserting
+# span parentage, stage tiling, the segments-sum-to-e2e invariant, and
+# that a killed worker's orphaned dispatch span is marked `redispatched`.
+# Under CC19_OBS_DETERMINISTIC=1 the cluster test writes
+# results/trace_smoke.jsonl — run it twice and the exports must be
+# byte-identical.
+if [ "$status" -eq 0 ]; then
+    if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-serve --test trace; then
+        echo "tier-1: REQUEST TRACING FAILED (first run)"
+        status=1
+    else
+        cp results/trace_smoke.jsonl results/.trace_smoke.run1.jsonl
+        if ! CC19_OBS_DETERMINISTIC=1 cargo test -q -p cc19-serve --test trace; then
+            echo "tier-1: REQUEST TRACING FAILED (second run)"
+            status=1
+        elif ! cmp -s results/trace_smoke.jsonl results/.trace_smoke.run1.jsonl; then
+            echo "tier-1: REQUEST TRACING NOT DETERMINISTIC (trace_smoke.jsonl differs)"
+            diff results/.trace_smoke.run1.jsonl results/trace_smoke.jsonl | head -20
+            status=1
+        fi
+        rm -f results/.trace_smoke.run1.jsonl
     fi
 fi
 
